@@ -1,0 +1,69 @@
+//! Criterion benches over the collective figures (Figures 14–17) at
+//! test scale (2×4 ranks), plus the vectored collectives the paper's
+//! OMB-J supports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ombj::{run, Api, BenchOptions, Benchmark, CollOp, Library, RunSpec};
+use simfabric::Topology;
+
+fn opts() -> BenchOptions {
+    BenchOptions {
+        min_size: 4,
+        max_size: 1 << 10,
+        iterations: 8,
+        warmup: 1,
+        iterations_large: 2,
+        warmup_large: 1,
+        ..BenchOptions::default()
+    }
+}
+
+fn bench_figures_14_17(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_fig16_collectives");
+    g.sample_size(10);
+    for (op, oname) in [(CollOp::Bcast, "bcast"), (CollOp::Allreduce, "allreduce")] {
+        for (lib, lname) in [(Library::Mvapich2J, "mvapich2j"), (Library::OpenMpiJ, "openmpij")] {
+            g.bench_function(BenchmarkId::new(oname, lname), |b| {
+                b.iter(|| {
+                    run(RunSpec {
+                        library: lib,
+                        benchmark: Benchmark::Collective(op),
+                        api: Api::Buffer,
+                        topo: Topology::new(2, 4),
+                        opts: opts(),
+                    })
+                    .expect("collective runs")
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_vectored(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vectored_collectives");
+    g.sample_size(10);
+    for (op, name) in [
+        (CollOp::Allgatherv, "allgatherv"),
+        (CollOp::Gatherv, "gatherv"),
+        (CollOp::Scatterv, "scatterv"),
+        (CollOp::Alltoallv, "alltoallv"),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run(RunSpec {
+                    library: Library::Mvapich2J,
+                    benchmark: Benchmark::Collective(op),
+                    api: Api::Arrays,
+                    topo: Topology::new(2, 2),
+                    opts: opts(),
+                })
+                .expect("vectored collective runs")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures_14_17, bench_vectored);
+criterion_main!(benches);

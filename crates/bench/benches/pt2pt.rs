@@ -1,0 +1,97 @@
+//! Criterion benches over the point-to-point figures (Figures 5–13):
+//! each target regenerates one figure's workload at reduced iteration
+//! counts and reports the wall-clock cost of the full simulation — a
+//! regression guard for the simulator itself. Virtual-time results are
+//! asserted non-empty so a silent benchmark break fails loudly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ombj::{run, Api, BenchOptions, Benchmark, Library, RunSpec};
+use simfabric::Topology;
+
+fn opts() -> BenchOptions {
+    BenchOptions {
+        min_size: 1,
+        max_size: 4 << 10,
+        iterations: 20,
+        warmup: 2,
+        iterations_large: 4,
+        warmup_large: 1,
+        ..BenchOptions::default()
+    }
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_fig9_latency");
+    g.sample_size(10);
+    for (name, topo) in [("intra", Topology::single_node(2)), ("inter", Topology::new(2, 1))] {
+        for (api, alabel) in [(Api::Buffer, "buffer"), (Api::Arrays, "arrays")] {
+            g.bench_with_input(
+                BenchmarkId::new(name, alabel),
+                &(topo, api),
+                |b, &(topo, api)| {
+                    b.iter(|| {
+                        let s = run(RunSpec {
+                            library: Library::Mvapich2J,
+                            benchmark: Benchmark::Latency,
+                            api,
+                            topo,
+                            opts: opts(),
+                        })
+                        .expect("latency runs");
+                        assert!(!s.points.is_empty());
+                        s
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_bandwidth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_fig12_bandwidth");
+    g.sample_size(10);
+    for (name, lib) in [("mvapich2j", Library::Mvapich2J), ("openmpij", Library::OpenMpiJ)] {
+        g.bench_function(BenchmarkId::new("bw_buffer", name), |b| {
+            b.iter(|| {
+                run(RunSpec {
+                    library: lib,
+                    benchmark: Benchmark::Bandwidth,
+                    api: Api::Buffer,
+                    topo: Topology::new(2, 1),
+                    opts: opts(),
+                })
+                .expect("bw runs")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_validation_mode(c: &mut Criterion) {
+    // Figure 18's workload.
+    let mut g = c.benchmark_group("fig18_validation");
+    g.sample_size(10);
+    for (api, label) in [(Api::Buffer, "buffer"), (Api::Arrays, "arrays")] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let o = BenchOptions {
+                    validate: true,
+                    ..opts()
+                };
+                run(RunSpec {
+                    library: Library::Mvapich2J,
+                    benchmark: Benchmark::Latency,
+                    api,
+                    topo: Topology::new(2, 1),
+                    opts: o,
+                })
+                .expect("validated latency runs")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_latency, bench_bandwidth, bench_validation_mode);
+criterion_main!(benches);

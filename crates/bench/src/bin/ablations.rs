@@ -1,0 +1,256 @@
+//! Ablation studies over the design decisions DESIGN.md calls out.
+//!
+//! All numbers are *virtual* microseconds (deterministic). Each section
+//! isolates one decision by toggling it while holding everything else
+//! fixed:
+//!
+//! 1. the buffering-layer pool vs. allocating a direct buffer per message;
+//! 2. the three JNI array-access strategies (copy / critical / staging);
+//! 3. two-level (hierarchical) vs. flat collective algorithms;
+//! 4. the eager→rendezvous threshold;
+//! 5. Java-layer call overhead contribution.
+//!
+//! Run with: `cargo run --release -p ombj-bench --bin ablations`
+
+use mpisim::datatype::BYTE;
+use mpisim::{run_mpi, Profile, ReduceOp};
+use mvapich2j::{run_job, JobConfig, Topology};
+use vtime::{Clock, CostModel};
+
+fn main() {
+    pool_ablation();
+    jni_strategy_ablation();
+    hierarchy_ablation();
+    eager_threshold_ablation();
+    java_layer_ablation();
+}
+
+/// 1. Pool vs. allocate-per-message: array ping-pong latency.
+fn pool_ablation() {
+    println!("== ablation 1: buffering-layer pool vs allocateDirect per message");
+    println!("   (array ping-pong, intra-node, one-way latency in us)\n");
+    println!("{:>9}  {:>10}  {:>12}  {:>8}", "size", "pooled", "unpooled", "saving");
+    for size in [64usize, 1024, 16 << 10, 256 << 10] {
+        let lat = |pool_limit: usize| -> f64 {
+            let mut cfg = JobConfig::mvapich2j(Topology::single_node(2));
+            cfg.pool_limit = pool_limit;
+            let r = run_job(cfg, move |env| {
+                let w = env.world();
+                let me = env.rank();
+                let arr = env.new_array::<i8>(size).unwrap();
+                env.barrier(w).unwrap();
+                let iters = 50;
+                let t0 = env.now();
+                for _ in 0..iters {
+                    if me == 0 {
+                        env.send_array(arr, size as i32, 1, 0, w).unwrap();
+                        env.recv_array(arr, size as i32, 1, 0, w).unwrap();
+                    } else {
+                        env.recv_array(arr, size as i32, 0, 0, w).unwrap();
+                        env.send_array(arr, size as i32, 0, 0, w).unwrap();
+                    }
+                }
+                (env.now() - t0).as_micros() / (2.0 * iters as f64)
+            });
+            r[0]
+        };
+        let pooled = lat(8);
+        let unpooled = lat(0);
+        println!(
+            "{size:>9}  {pooled:>10.3}  {unpooled:>12.3}  {:>7.1}%",
+            100.0 * (unpooled - pooled) / unpooled
+        );
+    }
+    println!();
+}
+
+/// 2. JNI array-access strategies: cost to expose a 1 MiB array to native
+/// code and hand any changes back.
+fn jni_strategy_ablation() {
+    println!("== ablation 2: JNI array-access strategy (1 MiB array, virtual us)\n");
+    let cost = CostModel::default();
+    let n = 1 << 20;
+
+    // a) Get/ReleaseArrayElements: copy out + copy back.
+    let mut rt = mrt::Runtime::new(cost);
+    let mut clock = Clock::new();
+    let arr = rt.alloc_array::<i8>(n, &mut clock).unwrap();
+    let t0 = clock.now();
+    let native = nif::get_array_elements(&rt, &mut clock, arr).unwrap();
+    nif::release_array_elements(&mut rt, &mut clock, arr, &native, nif::ReleaseMode::CopyBack)
+        .unwrap();
+    let copy_us = (clock.now() - t0).as_micros();
+
+    // b) GetPrimitiveArrayCritical: zero copy, GC locked.
+    let t1 = clock.now();
+    {
+        let _g = nif::get_primitive_array_critical(&mut rt, &mut clock, arr).unwrap();
+    }
+    let critical_us = (clock.now() - t1).as_micros();
+
+    // c) Buffering layer: stage into a pooled direct buffer + unstage.
+    let mut pool = mpjbuf::BufferPool::new();
+    // Warm the pool (steady-state behaviour).
+    let warm = mpjbuf::Buffer::from_pool(&mut pool, &mut rt, &mut clock, n);
+    warm.free(&mut pool, &mut rt, &mut clock);
+    let t2 = clock.now();
+    let mut buf = mpjbuf::Buffer::from_pool(&mut pool, &mut rt, &mut clock, n);
+    buf.stage_array(&mut rt, &mut clock, arr, 0, n).unwrap();
+    buf.commit();
+    buf.unstage_array(&mut rt, &mut clock, arr, 0, n).unwrap();
+    buf.free(&mut pool, &mut rt, &mut clock);
+    let staging_us = (clock.now() - t2).as_micros();
+
+    println!("   Get/ReleaseArrayElements (copy both ways) : {copy_us:>9.2} us");
+    println!("   GetPrimitiveArrayCritical (GC disabled)   : {critical_us:>9.2} us");
+    println!("   buffering layer (pooled staging copies)   : {staging_us:>9.2} us");
+    println!("   -> critical is cheapest but blocks the collector; the");
+    println!("      buffering layer matches the copy cost while keeping GC");
+    println!("      live and enabling subsets/derived datatypes\n");
+}
+
+/// 3. Hierarchical vs. flat collectives at fixed fabric parameters.
+fn hierarchy_ablation() {
+    println!("== ablation 3: two-level vs flat collectives (4x8 ranks, virtual us)\n");
+    let topo = Topology::new(4, 8);
+    let mut flat = Profile::mvapich2();
+    flat.coll.hierarchical = false;
+    println!("{:>12} {:>9}  {:>12}  {:>9}", "collective", "size", "two-level", "flat");
+    for (label, size) in [
+        ("allreduce", 256usize),
+        ("allreduce", 64 << 10),
+        ("bcast", 256),
+        ("bcast", 64 << 10),
+    ] {
+        let time = |profile: Profile| -> f64 {
+            let r = run_mpi(topo, profile, move |mpi| {
+                let w = mpi.world();
+                let send = vec![1u8; size];
+                let mut recv = vec![0u8; size];
+                mpi.barrier(w).unwrap();
+                let iters = 20;
+                let t0 = mpi.now();
+                for _ in 0..iters {
+                    if label == "allreduce" {
+                        mpi.allreduce(&send, &mut recv, size as i32, &BYTE, ReduceOp::Sum, w)
+                            .unwrap();
+                    } else {
+                        mpi.bcast(&mut recv, size as i32, &BYTE, 0, w).unwrap();
+                    }
+                }
+                (mpi.now() - t0).as_micros() / iters as f64
+            });
+            r.iter().copied().fold(0.0f64, f64::max)
+        };
+        println!(
+            "{label:>12} {size:>9}  {:>12.2}  {:>9.2}",
+            time(Profile::mvapich2()),
+            time(flat)
+        );
+    }
+    println!("   -> note: the fabric model has no NIC-sharing contention, so");
+    println!("      flat algorithms look better here than on real hardware,");
+    println!("      where 16 concurrent flows share each node's HCA. The");
+    println!("      library comparison in the figures is unaffected (both");
+    println!("      profiles run on the same fabric model); see DESIGN.md.");
+    println!();
+}
+
+/// 4. Eager→rendezvous threshold sweep on the inter-node path.
+fn eager_threshold_ablation() {
+    println!("== ablation 4: eager/rendezvous threshold (inter-node latency, us)\n");
+    let sizes = [4usize << 10, 16 << 10, 64 << 10];
+    print!("{:>12}", "threshold");
+    for s in sizes {
+        print!("  {:>9}B", s);
+    }
+    println!();
+    for threshold in [0usize, 8 << 10, 32 << 10, 256 << 10] {
+        let mut profile = Profile::mvapich2();
+        profile.net.eager_threshold = threshold;
+        print!("{threshold:>12}");
+        for size in sizes {
+            let r = run_mpi(Topology::new(2, 1), profile, move |mpi| {
+                let w = mpi.world();
+                let me = mpi.rank(w).unwrap();
+                let mut buf = vec![0u8; size];
+                mpi.barrier(w).unwrap();
+                let iters = 30;
+                let t0 = mpi.now();
+                for _ in 0..iters {
+                    if me == 0 {
+                        mpi.send(&buf, size as i32, &BYTE, 1, 0, w).unwrap();
+                        mpi.recv(&mut buf, size as i32, &BYTE, 1, 0, w).unwrap();
+                    } else {
+                        mpi.recv(&mut buf, size as i32, &BYTE, 0, 0, w).unwrap();
+                        mpi.send(&buf, size as i32, &BYTE, 0, 0, w).unwrap();
+                    }
+                }
+                (mpi.now() - t0).as_micros() / (2.0 * iters as f64)
+            });
+            print!("  {:>10.2}", r[0]);
+        }
+        println!();
+    }
+    println!("   -> eager pays a CPU copy per byte; rendezvous pays a handshake.");
+    println!("      The default (16 KiB) sits near the crossover.\n");
+}
+
+/// 5. Java-layer overhead contribution (Figure 11 decomposition).
+fn java_layer_ablation() {
+    println!("== ablation 5: where the Java-vs-native overhead comes from\n");
+    let topo = Topology::new(2, 1);
+    let iters = 200;
+    let native = run_mpi(topo, Profile::mvapich2(), move |mpi| {
+        let w = mpi.world();
+        let me = mpi.rank(w).unwrap();
+        let mut buf = vec![0u8; 8];
+        mpi.barrier(w).unwrap();
+        let t0 = mpi.now();
+        for _ in 0..iters {
+            if me == 0 {
+                mpi.send(&buf, 8, &BYTE, 1, 0, w).unwrap();
+                mpi.recv(&mut buf, 8, &BYTE, 1, 0, w).unwrap();
+            } else {
+                mpi.recv(&mut buf, 8, &BYTE, 0, 0, w).unwrap();
+                mpi.send(&buf, 8, &BYTE, 0, 0, w).unwrap();
+            }
+        }
+        (mpi.now() - t0).as_micros() / (2.0 * iters as f64)
+    })[0];
+    let java = |zero_overhead: bool| -> f64 {
+        let mut cfg = JobConfig::mvapich2j(topo);
+        if zero_overhead {
+            cfg.flavor.call_overhead_ns = 0.0;
+            cfg.flavor.garbage_per_call = 0;
+            cfg.cost.jni.transition_ns = 0.0;
+            cfg.cost.jni.get_direct_buffer_address_ns = 0.0;
+        }
+        run_job(cfg, move |env| {
+            let w = env.world();
+            let me = env.rank();
+            let buf = env.new_direct(8);
+            env.barrier(w).unwrap();
+            let t0 = env.now();
+            for _ in 0..iters {
+                if me == 0 {
+                    env.send_buffer(buf, 8, &BYTE, 1, 0, w).unwrap();
+                    env.recv_buffer(buf, 8, &BYTE, 1, 0, w).unwrap();
+                } else {
+                    env.recv_buffer(buf, 8, &BYTE, 0, 0, w).unwrap();
+                    env.send_buffer(buf, 8, &BYTE, 0, 0, w).unwrap();
+                }
+            }
+            (env.now() - t0).as_micros() / (2.0 * iters as f64)
+        })[0]
+    };
+    let full = java(false);
+    let stripped = java(true);
+    println!("   native MVAPICH2 8 B latency        : {native:>7.3} us");
+    println!("   MVAPICH2-J (full Java layer)       : {full:>7.3} us");
+    println!("   MVAPICH2-J (JNI+overhead zeroed)   : {stripped:>7.3} us");
+    println!(
+        "   -> JNI transitions + call overhead account for {:.0}% of the gap",
+        100.0 * (full - stripped) / (full - native)
+    );
+}

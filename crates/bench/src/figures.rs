@@ -1,0 +1,462 @@
+//! One function per figure of the paper's evaluation section.
+//!
+//! Experiment index (see also `DESIGN.md`):
+//!
+//! | id    | paper figure                               | workload            |
+//! |-------|--------------------------------------------|---------------------|
+//! | fig5  | intra-node latency, small                  | osu_latency 1×2     |
+//! | fig6  | intra-node latency, large                  | osu_latency 1×2     |
+//! | fig7  | intra-node bandwidth, small                | osu_bw 1×2          |
+//! | fig8  | intra-node bandwidth, large                | osu_bw 1×2          |
+//! | fig9  | inter-node latency, small                  | osu_latency 2×1     |
+//! | fig10 | inter-node latency, large                  | osu_latency 2×1     |
+//! | fig11 | Java-vs-native latency overhead            | osu_latency 2×1     |
+//! | fig12 | inter-node bandwidth, small                | osu_bw 2×1          |
+//! | fig13 | inter-node bandwidth, large                | osu_bw 2×1          |
+//! | fig14 | bcast latency, small, 4 nodes × 16 ppn     | osu_bcast 4×16      |
+//! | fig15 | bcast latency, large                       | osu_bcast 4×16      |
+//! | fig16 | allreduce latency, small                   | osu_allreduce 4×16  |
+//! | fig17 | allreduce latency, large                   | osu_allreduce 4×16  |
+//! | fig18 | latency with validation, arrays vs buffers | osu_latency -validate 2×1 |
+
+use mpisim::Profile;
+use ombj::report::mean_ratio;
+use ombj::{
+    native::native_latency, run, Api, BenchOptions, Benchmark, CollOp, Library, RunSpec, Series,
+    SizeValue,
+};
+use simfabric::Topology;
+
+/// How big a run to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's sweep: sizes to 4 MB, 4 nodes × 16 ppn collectives.
+    Full,
+    /// Test-sized: small sweeps, 2 nodes × 4 ppn collectives. Same
+    /// qualitative shapes, seconds instead of minutes.
+    Quick,
+}
+
+struct Sweep {
+    p2p_small: (usize, usize),
+    p2p_large: (usize, usize),
+    bw_small: (usize, usize),
+    bw_large: (usize, usize),
+    coll_small: (usize, usize),
+    coll_large: (usize, usize),
+    coll_topo: Topology,
+    iters: usize,
+    iters_large: usize,
+}
+
+impl Sweep {
+    fn of(scale: Scale) -> Sweep {
+        match scale {
+            Scale::Full => Sweep {
+                p2p_small: (1, 1 << 10),
+                p2p_large: (2 << 10, 4 << 20),
+                bw_small: (1, 8 << 10),
+                bw_large: (16 << 10, 4 << 20),
+                coll_small: (4, 4 << 10),
+                coll_large: (8 << 10, 1 << 20),
+                coll_topo: Topology::new(4, 16),
+                iters: 100,
+                iters_large: 16,
+            },
+            Scale::Quick => Sweep {
+                p2p_small: (1, 256),
+                p2p_large: (2 << 10, 64 << 10),
+                bw_small: (1, 2 << 10),
+                bw_large: (16 << 10, 128 << 10),
+                coll_small: (4, 512),
+                coll_large: (8 << 10, 64 << 10),
+                coll_topo: Topology::new(2, 4),
+                iters: 10,
+                iters_large: 3,
+            },
+        }
+    }
+
+    fn opts(&self, (min, max): (usize, usize)) -> BenchOptions {
+        BenchOptions {
+            min_size: min,
+            max_size: max,
+            iterations: self.iters,
+            warmup: (self.iters / 10).max(1),
+            iterations_large: self.iters_large,
+            warmup_large: 1,
+            ..BenchOptions::default()
+        }
+    }
+}
+
+/// A regenerated figure: labelled series plus free-form notes.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Experiment id ("fig5" … "fig18").
+    pub id: &'static str,
+    /// Human title echoing the paper's caption.
+    pub title: &'static str,
+    /// Metric unit of every series.
+    pub unit: &'static str,
+    /// Measured series.
+    pub series: Vec<Series>,
+    /// Notes (e.g. series the library cannot produce).
+    pub notes: Vec<String>,
+}
+
+fn intra() -> Topology {
+    Topology::single_node(2)
+}
+
+fn inter() -> Topology {
+    Topology::new(2, 1)
+}
+
+/// All figure ids, in paper order.
+pub fn all_figure_ids() -> &'static [&'static str] {
+    &[
+        "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+        "fig15", "fig16", "fig17", "fig18",
+    ]
+}
+
+/// Run the four library×API series of one benchmark; unsupported
+/// combinations produce a note instead of a series.
+fn four_series(
+    benchmark: Benchmark,
+    topo: Topology,
+    opts: BenchOptions,
+    notes: &mut Vec<String>,
+) -> Vec<Series> {
+    let mut out = Vec::new();
+    for lib in [Library::Mvapich2J, Library::OpenMpiJ] {
+        for api in [Api::Buffer, Api::Arrays] {
+            match run(RunSpec {
+                library: lib,
+                benchmark,
+                api,
+                topo,
+                opts,
+            }) {
+                Some(s) => out.push(s),
+                None => notes.push(format!(
+                    "{} does not support the {} API with {} — series omitted, as in the paper",
+                    lib.label(),
+                    api.label(),
+                    benchmark.name()
+                )),
+            }
+        }
+    }
+    out
+}
+
+/// Regenerate one figure by id.
+pub fn run_figure(id: &str, scale: Scale) -> Figure {
+    let sw = Sweep::of(scale);
+    let mut notes = Vec::new();
+    match id {
+        "fig5" => {
+            let series = four_series(Benchmark::Latency, intra(), sw.opts(sw.p2p_small), &mut notes);
+            Figure { id: "fig5", title: "Intra-node latency, small messages", unit: "us", series, notes }
+        }
+        "fig6" => {
+            let series = four_series(Benchmark::Latency, intra(), sw.opts(sw.p2p_large), &mut notes);
+            Figure { id: "fig6", title: "Intra-node latency, large messages", unit: "us", series, notes }
+        }
+        "fig7" => {
+            let series = four_series(Benchmark::Bandwidth, intra(), sw.opts(sw.bw_small), &mut notes);
+            Figure { id: "fig7", title: "Intra-node bandwidth, small messages", unit: "MB/s", series, notes }
+        }
+        "fig8" => {
+            let series = four_series(Benchmark::Bandwidth, intra(), sw.opts(sw.bw_large), &mut notes);
+            Figure { id: "fig8", title: "Intra-node bandwidth, large messages", unit: "MB/s", series, notes }
+        }
+        "fig9" => {
+            let series = four_series(Benchmark::Latency, inter(), sw.opts(sw.p2p_small), &mut notes);
+            Figure { id: "fig9", title: "Inter-node latency, small messages", unit: "us", series, notes }
+        }
+        "fig10" => {
+            let series = four_series(Benchmark::Latency, inter(), sw.opts(sw.p2p_large), &mut notes);
+            Figure { id: "fig10", title: "Inter-node latency, large messages", unit: "us", series, notes }
+        }
+        "fig11" => {
+            // Java-vs-native overhead for direct ByteBuffers, inter-node.
+            let opts = sw.opts(sw.p2p_small);
+            let mut series = Vec::new();
+            for (lib, profile) in [
+                (Library::Mvapich2J, Profile::mvapich2()),
+                (Library::OpenMpiJ, Profile::openmpi_ucx()),
+            ] {
+                let java = run(RunSpec {
+                    library: lib,
+                    benchmark: Benchmark::Latency,
+                    api: Api::Buffer,
+                    topo: inter(),
+                    opts,
+                })
+                .expect("buffer latency always supported");
+                let native = native_latency(inter(), profile, &opts);
+                let points = java
+                    .points
+                    .iter()
+                    .zip(native.iter())
+                    .map(|(j, n)| {
+                        debug_assert_eq!(j.size, n.size);
+                        SizeValue { size: j.size, value: (j.value - n.value).max(0.0) }
+                    })
+                    .collect();
+                series.push(Series {
+                    label: format!("{} overhead vs native", lib.label()),
+                    benchmark: "osu_latency",
+                    unit: "us",
+                    points,
+                });
+            }
+            Figure {
+                id: "fig11",
+                title: "Inter-node latency overhead: Java bindings vs native (direct ByteBuffers)",
+                unit: "us",
+                series,
+                notes,
+            }
+        }
+        "fig12" => {
+            let series = four_series(Benchmark::Bandwidth, inter(), sw.opts(sw.bw_small), &mut notes);
+            Figure { id: "fig12", title: "Inter-node bandwidth, small messages", unit: "MB/s", series, notes }
+        }
+        "fig13" => {
+            let series = four_series(Benchmark::Bandwidth, inter(), sw.opts(sw.bw_large), &mut notes);
+            Figure { id: "fig13", title: "Inter-node bandwidth, large messages", unit: "MB/s", series, notes }
+        }
+        "fig14" => {
+            let series = four_series(
+                Benchmark::Collective(CollOp::Bcast),
+                sw.coll_topo,
+                sw.opts(sw.coll_small),
+                &mut notes,
+            );
+            Figure { id: "fig14", title: "Broadcast latency, small messages (4x16)", unit: "us", series, notes }
+        }
+        "fig15" => {
+            let series = four_series(
+                Benchmark::Collective(CollOp::Bcast),
+                sw.coll_topo,
+                sw.opts(sw.coll_large),
+                &mut notes,
+            );
+            Figure { id: "fig15", title: "Broadcast latency, large messages (4x16)", unit: "us", series, notes }
+        }
+        "fig16" => {
+            let series = four_series(
+                Benchmark::Collective(CollOp::Allreduce),
+                sw.coll_topo,
+                sw.opts(sw.coll_small),
+                &mut notes,
+            );
+            Figure { id: "fig16", title: "Allreduce latency, small messages (4x16)", unit: "us", series, notes }
+        }
+        "fig17" => {
+            let series = four_series(
+                Benchmark::Collective(CollOp::Allreduce),
+                sw.coll_topo,
+                sw.opts(sw.coll_large),
+                &mut notes,
+            );
+            Figure { id: "fig17", title: "Allreduce latency, large messages (4x16)", unit: "us", series, notes }
+        }
+        "fig18" => {
+            // Validation experiment: MVAPICH2-J only, full size sweep.
+            let mut opts = sw.opts((sw.p2p_small.0, sw.p2p_large.1));
+            opts.validate = true;
+            let mut series = Vec::new();
+            for api in [Api::Buffer, Api::Arrays] {
+                series.push(
+                    run(RunSpec {
+                        library: Library::Mvapich2J,
+                        benchmark: Benchmark::Latency,
+                        api,
+                        topo: inter(),
+                        opts,
+                    })
+                    .expect("latency always supported"),
+                );
+            }
+            Figure {
+                id: "fig18",
+                title: "Inter-node latency with data validation: ByteBuffers vs arrays (MVAPICH2-J)",
+                unit: "us",
+                series,
+                notes,
+            }
+        }
+        other => panic!("unknown figure id {other}"),
+    }
+}
+
+/// The headline numbers the paper quotes, computed from regenerated
+/// figures.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Fig 5: OMPI-J buffer / MV2-J buffer small intra-node latency
+    /// (paper: 2.46×).
+    pub intra_small_buffer_ratio: f64,
+    /// Figs 14+15: bcast, OMPI-J / MV2-J, buffers (paper: 6.2×).
+    pub bcast_buffer_ratio: f64,
+    /// Figs 14+15: bcast, arrays (paper: 2.2×).
+    pub bcast_arrays_ratio: f64,
+    /// Figs 16+17: allreduce, buffers (paper: 2.76×).
+    pub allreduce_buffer_ratio: f64,
+    /// Figs 16+17: allreduce, arrays (paper: 1.62×).
+    pub allreduce_arrays_ratio: f64,
+    /// Fig 18: first size at which arrays beat buffers (paper: past 256 B).
+    pub validate_crossover: Option<usize>,
+    /// Fig 18: buffer/array latency ratio at the largest size (paper: ~3×
+    /// at 4 MB).
+    pub validate_ratio_at_max: f64,
+    /// Fig 11: mean Java-over-native overhead in µs, per library
+    /// (paper: "ballpark of 1 µs", MVAPICH2-J smaller).
+    pub overhead_mv2j_us: f64,
+    pub overhead_ompij_us: f64,
+}
+
+fn find<'a>(figure: &'a Figure, label_contains: &str) -> &'a [SizeValue] {
+    figure
+        .series
+        .iter()
+        .find(|s| s.label.contains(label_contains))
+        .map(|s| s.points.as_slice())
+        .unwrap_or(&[])
+}
+
+/// Compute the headline summary from regenerated figures (runs the
+/// needed figures at the given scale).
+pub fn headline_summary(scale: Scale) -> Summary {
+    let fig5 = run_figure("fig5", scale);
+    let fig11 = run_figure("fig11", scale);
+    let fig14 = run_figure("fig14", scale);
+    let fig15 = run_figure("fig15", scale);
+    let fig16 = run_figure("fig16", scale);
+    let fig17 = run_figure("fig17", scale);
+    let fig18 = run_figure("fig18", scale);
+    summary_from(&fig5, &fig11, &fig14, &fig15, &fig16, &fig17, &fig18)
+}
+
+/// Compute the summary from already-regenerated figures.
+pub fn summary_from(
+    fig5: &Figure,
+    fig11: &Figure,
+    fig14: &Figure,
+    fig15: &Figure,
+    fig16: &Figure,
+    fig17: &Figure,
+    fig18: &Figure,
+) -> Summary {
+    let ratio_over = |a: &Figure, b: &Figure, lib_a: &str, lib_b: &str, api: &str| {
+        let mut num: Vec<SizeValue> = Vec::new();
+        let mut den: Vec<SizeValue> = Vec::new();
+        for f in [a, b] {
+            num.extend_from_slice(find(f, &format!("{lib_a} {api}")));
+            den.extend_from_slice(find(f, &format!("{lib_b} {api}")));
+        }
+        mean_ratio(&num, &den)
+    };
+
+    let bcast_buffer_ratio = ratio_over(fig14, fig15, "Open MPI-J", "MVAPICH2-J", "buffer");
+    let bcast_arrays_ratio = ratio_over(fig14, fig15, "Open MPI-J", "MVAPICH2-J", "arrays");
+    let allreduce_buffer_ratio = ratio_over(fig16, fig17, "Open MPI-J", "MVAPICH2-J", "buffer");
+    let allreduce_arrays_ratio = ratio_over(fig16, fig17, "Open MPI-J", "MVAPICH2-J", "arrays");
+
+    let intra_small_buffer_ratio = mean_ratio(
+        find(fig5, "Open MPI-J buffer"),
+        find(fig5, "MVAPICH2-J buffer"),
+    );
+
+    let buf18 = find(fig18, "buffer");
+    let arr18 = find(fig18, "arrays");
+    let validate_crossover = buf18
+        .iter()
+        .zip(arr18.iter())
+        .find(|(b, a)| a.value < b.value)
+        .map(|(b, _)| b.size);
+    let validate_ratio_at_max = match (buf18.last(), arr18.last()) {
+        (Some(b), Some(a)) if a.value > 0.0 => b.value / a.value,
+        _ => f64::NAN,
+    };
+
+    let mean = |pts: &[SizeValue]| {
+        if pts.is_empty() {
+            f64::NAN
+        } else {
+            pts.iter().map(|p| p.value).sum::<f64>() / pts.len() as f64
+        }
+    };
+    let overhead_mv2j_us = mean(find(fig11, "MVAPICH2-J overhead"));
+    let overhead_ompij_us = mean(find(fig11, "Open MPI-J overhead"));
+
+    Summary {
+        intra_small_buffer_ratio,
+        bcast_buffer_ratio,
+        bcast_arrays_ratio,
+        allreduce_buffer_ratio,
+        allreduce_arrays_ratio,
+        validate_crossover,
+        validate_ratio_at_max,
+        overhead_mv2j_us,
+        overhead_ompij_us,
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "headline summary (paper value in parentheses):")?;
+        writeln!(
+            f,
+            "  intra-node small latency, OMPI-J/MV2-J buffers : {:5.2}x  (2.46x)",
+            self.intra_small_buffer_ratio
+        )?;
+        writeln!(
+            f,
+            "  bcast latency, OMPI-J/MV2-J, buffers           : {:5.2}x  (6.2x)",
+            self.bcast_buffer_ratio
+        )?;
+        writeln!(
+            f,
+            "  bcast latency, OMPI-J/MV2-J, arrays            : {:5.2}x  (2.2x)",
+            self.bcast_arrays_ratio
+        )?;
+        writeln!(
+            f,
+            "  allreduce latency, OMPI-J/MV2-J, buffers       : {:5.2}x  (2.76x)",
+            self.allreduce_buffer_ratio
+        )?;
+        writeln!(
+            f,
+            "  allreduce latency, OMPI-J/MV2-J, arrays        : {:5.2}x  (1.62x)",
+            self.allreduce_arrays_ratio
+        )?;
+        writeln!(
+            f,
+            "  validation crossover (arrays win past)         : {}  (256 B)",
+            self.validate_crossover
+                .map(|s| format!("{s} B"))
+                .unwrap_or_else(|| "none".into())
+        )?;
+        writeln!(
+            f,
+            "  validation buffer/array ratio at max size      : {:5.2}x  (~3x at 4 MB)",
+            self.validate_ratio_at_max
+        )?;
+        writeln!(
+            f,
+            "  Java-vs-native overhead MVAPICH2-J             : {:5.2} us (~1 us ballpark)",
+            self.overhead_mv2j_us
+        )?;
+        writeln!(
+            f,
+            "  Java-vs-native overhead Open MPI-J             : {:5.2} us (larger than MVAPICH2-J)",
+            self.overhead_ompij_us
+        )
+    }
+}

@@ -1,0 +1,759 @@
+//! Collective bindings (Section IV-D): blocking collectives and their
+//! vectored variants, for direct ByteBuffers and Java arrays.
+//!
+//! "Like the point-to-point primitives, the buffering layer is used for
+//! Java arrays. Again, the idea is to keep the Java layer as minimal as
+//! possible and utilize all optimizations and advanced collective
+//! algorithms available in the native MVAPICH2 library."
+//!
+//! Array variants stage the whole participating region through a pooled
+//! direct buffer (one bulk copy each way); buffer variants hand the
+//! native library the buffer's stable storage.
+
+use mpisim::datatype::Datatype;
+use mpisim::{CommHandle, ReduceOp};
+use mpjbuf::Buffer;
+use mrt::prim::Prim;
+use mrt::{DirectBuffer, JArray};
+
+use crate::datatype::datatype_of;
+use crate::env::Env;
+use crate::error::{BindError, BindResult};
+use crate::request::ArrayDest;
+use crate::stage::{stage_from_array, unstage_to_array};
+
+impl Env {
+    /// Uncharged snapshot of a direct buffer's storage (the native
+    /// library reads it in place; the copy is a simulation artifact).
+    fn snapshot(&self, buf: DirectBuffer) -> BindResult<Vec<u8>> {
+        Ok(self.rt.direct_bytes(buf)?.to_vec())
+    }
+
+    /// Uncharged deposit back into a direct buffer (native DMA).
+    fn deposit(&mut self, buf: DirectBuffer, bytes: &[u8]) -> BindResult<()> {
+        self.rt.direct_bytes_mut(buf)?[..bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Stage the first `elems` elements of an array through a pooled
+    /// buffer: returns the staging buffer and a byte snapshot for the
+    /// native call. One charged bulk copy of exactly the participating
+    /// region.
+    fn stage_region<T: Prim>(&mut self, arr: JArray<T>, elems: usize) -> BindResult<(Buffer, Vec<u8>)> {
+        let nbytes = (elems * T::SIZE).max(1);
+        let clock = self.mpi.clock_mut();
+        let staging = Buffer::from_pool(&mut self.pool, &mut self.rt, clock, nbytes);
+        let dt = datatype_of::<T>();
+        stage_from_array(
+            &mut self.rt,
+            clock,
+            staging.store(),
+            arr.handle(),
+            0,
+            elems,
+            &dt,
+        )?;
+        let bytes = self.rt.direct_bytes(staging.store())?[..elems * T::SIZE].to_vec();
+        Ok((staging, bytes))
+    }
+
+    /// Acquire a staging buffer for `elems` received elements without
+    /// copying in.
+    fn stage_empty<T: Prim>(&mut self, _arr: JArray<T>, elems: usize) -> BindResult<Buffer> {
+        let nbytes = (elems * T::SIZE).max(1);
+        let clock = self.mpi.clock_mut();
+        Ok(Buffer::from_pool(&mut self.pool, &mut self.rt, clock, nbytes))
+    }
+
+    /// Deposit `bytes` into the staging buffer (uncharged: native DMA),
+    /// scatter them into the first `bytes.len()` bytes of the array
+    /// (charged), and return the staging buffer to the pool.
+    fn unstage_region<T: Prim>(
+        &mut self,
+        staging: Buffer,
+        arr: JArray<T>,
+        bytes: &[u8],
+    ) -> BindResult<()> {
+        self.rt.direct_bytes_mut(staging.store())?[..bytes.len()].copy_from_slice(bytes);
+        let dt = datatype_of::<T>();
+        let dest = ArrayDest {
+            handle: arr.handle(),
+            byte_off: 0,
+            byte_len: arr.byte_len(),
+        };
+        let elems = bytes.len() / T::SIZE;
+        let clock = self.mpi.clock_mut();
+        unstage_to_array(
+            &mut self.rt,
+            clock,
+            staging.store(),
+            &dest,
+            elems,
+            &dt,
+            bytes.len(),
+        )?;
+        let clock = self.mpi.clock_mut();
+        staging.free(&mut self.pool, &mut self.rt, clock);
+        Ok(())
+    }
+
+    /// Return a staging buffer without unstaging (send side).
+    fn release_staging(&mut self, staging: Buffer) {
+        let clock = self.mpi.clock_mut();
+        staging.free(&mut self.pool, &mut self.rt, clock);
+    }
+
+    fn charge_addr(&mut self) {
+        let cost = *self.rt.cost();
+        let clock = self.mpi.clock_mut();
+        clock.charge(cost.jni_transition());
+        clock.charge(vtime::VDur::from_nanos(cost.jni.get_direct_buffer_address_ns));
+    }
+
+    // ------------------------------------------------------------------
+    // Barrier
+    // ------------------------------------------------------------------
+
+    /// `comm.barrier()`.
+    pub fn barrier(&mut self, comm: CommHandle) -> BindResult<()> {
+        self.binding_call();
+        self.mpi.barrier(comm)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Bcast
+    // ------------------------------------------------------------------
+
+    /// `comm.bcast(ByteBuffer, count, datatype, root)`.
+    pub fn bcast_buffer(
+        &mut self,
+        buf: DirectBuffer,
+        count: i32,
+        dt: &Datatype,
+        root: usize,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        self.charge_addr();
+        let mut temp = self.snapshot(buf)?;
+        self.mpi.bcast(&mut temp, count, dt, root, comm)?;
+        self.deposit(buf, &temp)
+    }
+
+    /// `comm.bcast(type[] arr, count, datatype, root)`.
+    pub fn bcast_array<T: Prim>(
+        &mut self,
+        arr: JArray<T>,
+        count: i32,
+        root: usize,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        let me = self.mpi.rank(comm)?;
+        let dt = datatype_of::<T>();
+        let elems = count.max(0) as usize;
+        if me == root {
+            let (staging, mut temp) = self.stage_region(arr, elems)?;
+            self.charge_addr();
+            self.mpi.bcast(&mut temp, count, &dt, root, comm)?;
+            self.release_staging(staging);
+        } else {
+            let staging = self.stage_empty(arr, elems)?;
+            let mut temp = vec![0u8; elems * T::SIZE];
+            self.charge_addr();
+            self.mpi.bcast(&mut temp, count, &dt, root, comm)?;
+            self.unstage_region(staging, arr, &temp)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Reduce / Allreduce
+    // ------------------------------------------------------------------
+
+    /// `comm.reduce(send, recv, count, datatype, op, root)` over direct
+    /// buffers; `recv` is significant at the root.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce_buffer(
+        &mut self,
+        send: DirectBuffer,
+        recv: Option<DirectBuffer>,
+        count: i32,
+        dt: &Datatype,
+        op: ReduceOp,
+        root: usize,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        self.charge_addr();
+        let sendbytes = self.snapshot(send)?;
+        let me = self.mpi.rank(comm)?;
+        if me == root {
+            let out = recv.ok_or(BindError::Mpi(mpisim::MpiError::BufferTooSmall {
+                needed: dt.span(count.max(0) as usize),
+                available: 0,
+            }))?;
+            let mut temp = self.snapshot(out)?;
+            self.mpi
+                .reduce(&sendbytes, Some(&mut temp), count, dt, op, root, comm)?;
+            self.deposit(out, &temp)?;
+        } else {
+            self.mpi.reduce(&sendbytes, None, count, dt, op, root, comm)?;
+        }
+        Ok(())
+    }
+
+    /// Array flavour of reduce.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce_array<T: Prim>(
+        &mut self,
+        send: JArray<T>,
+        recv: Option<JArray<T>>,
+        count: i32,
+        op: ReduceOp,
+        root: usize,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        let dt = datatype_of::<T>();
+        let elems = count.max(0) as usize;
+        let (staging, sendbytes) = self.stage_region(send, elems)?;
+        self.charge_addr();
+        let me = self.mpi.rank(comm)?;
+        if me == root {
+            let out = recv.ok_or(BindError::Mpi(mpisim::MpiError::BufferTooSmall {
+                needed: dt.span(elems),
+                available: 0,
+            }))?;
+            let rstaging = self.stage_empty(out, elems)?;
+            let mut temp = vec![0u8; elems * T::SIZE];
+            self.mpi
+                .reduce(&sendbytes, Some(&mut temp), count, &dt, op, root, comm)?;
+            self.unstage_region(rstaging, out, &temp)?;
+        } else {
+            self.mpi.reduce(&sendbytes, None, count, &dt, op, root, comm)?;
+        }
+        self.release_staging(staging);
+        Ok(())
+    }
+
+    /// `comm.allReduce(send, recv, count, datatype, op)` over buffers.
+    pub fn allreduce_buffer(
+        &mut self,
+        send: DirectBuffer,
+        recv: DirectBuffer,
+        count: i32,
+        dt: &Datatype,
+        op: ReduceOp,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        self.charge_addr();
+        let sendbytes = self.snapshot(send)?;
+        let mut temp = self.snapshot(recv)?;
+        self.mpi.allreduce(&sendbytes, &mut temp, count, dt, op, comm)?;
+        self.deposit(recv, &temp)
+    }
+
+    /// Array flavour of allreduce.
+    pub fn allreduce_array<T: Prim>(
+        &mut self,
+        send: JArray<T>,
+        recv: JArray<T>,
+        count: i32,
+        op: ReduceOp,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        let dt = datatype_of::<T>();
+        let elems = count.max(0) as usize;
+        let (staging, sendbytes) = self.stage_region(send, elems)?;
+        let rstaging = self.stage_empty(recv, elems)?;
+        self.charge_addr();
+        let mut temp = vec![0u8; elems * T::SIZE];
+        self.mpi.allreduce(&sendbytes, &mut temp, count, &dt, op, comm)?;
+        self.unstage_region(rstaging, recv, &temp)?;
+        self.release_staging(staging);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Gather / Scatter (+v)
+    // ------------------------------------------------------------------
+
+    /// `comm.gather` over buffers; `recv` significant at root and must
+    /// hold `size * count` elements.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gather_buffer(
+        &mut self,
+        send: DirectBuffer,
+        recv: Option<DirectBuffer>,
+        count: i32,
+        dt: &Datatype,
+        root: usize,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        self.charge_addr();
+        let sendbytes = self.snapshot(send)?;
+        let me = self.mpi.rank(comm)?;
+        if me == root {
+            let out = recv.ok_or(BindError::Mpi(mpisim::MpiError::BufferTooSmall {
+                needed: 0,
+                available: 0,
+            }))?;
+            let mut temp = self.snapshot(out)?;
+            self.mpi
+                .gather(&sendbytes, Some(&mut temp), count, dt, root, comm)?;
+            self.deposit(out, &temp)?;
+        } else {
+            self.mpi.gather(&sendbytes, None, count, dt, root, comm)?;
+        }
+        Ok(())
+    }
+
+    /// Array flavour of gather.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gather_array<T: Prim>(
+        &mut self,
+        send: JArray<T>,
+        recv: Option<JArray<T>>,
+        count: i32,
+        root: usize,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        let dt = datatype_of::<T>();
+        let elems = count.max(0) as usize;
+        let p = self.mpi.size(comm)?;
+        let (staging, sendbytes) = self.stage_region(send, elems)?;
+        self.charge_addr();
+        let me = self.mpi.rank(comm)?;
+        if me == root {
+            let out = recv.ok_or(BindError::Mpi(mpisim::MpiError::BufferTooSmall {
+                needed: 0,
+                available: 0,
+            }))?;
+            let rstaging = self.stage_empty(out, elems * p)?;
+            let mut temp = vec![0u8; elems * p * T::SIZE];
+            self.mpi
+                .gather(&sendbytes, Some(&mut temp), count, &dt, root, comm)?;
+            self.unstage_region(rstaging, out, &temp)?;
+        } else {
+            self.mpi.gather(&sendbytes, None, count, &dt, root, comm)?;
+        }
+        self.release_staging(staging);
+        Ok(())
+    }
+
+    /// `comm.gatherv` over buffers (vectored blocking collective).
+    #[allow(clippy::too_many_arguments)]
+    pub fn gatherv_buffer(
+        &mut self,
+        send: DirectBuffer,
+        sendcount: i32,
+        recv: Option<DirectBuffer>,
+        recvcounts: &[i32],
+        displs: &[i32],
+        dt: &Datatype,
+        root: usize,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        self.charge_addr();
+        let sendbytes = self.snapshot(send)?;
+        let me = self.mpi.rank(comm)?;
+        if me == root {
+            let out = recv.ok_or(BindError::Mpi(mpisim::MpiError::BufferTooSmall {
+                needed: 0,
+                available: 0,
+            }))?;
+            let mut temp = self.snapshot(out)?;
+            self.mpi.gatherv(
+                &sendbytes,
+                sendcount,
+                Some(&mut temp),
+                recvcounts,
+                displs,
+                dt,
+                root,
+                comm,
+            )?;
+            self.deposit(out, &temp)?;
+        } else {
+            self.mpi
+                .gatherv(&sendbytes, sendcount, None, recvcounts, displs, dt, root, comm)?;
+        }
+        Ok(())
+    }
+
+    /// Array flavour of gatherv.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gatherv_array<T: Prim>(
+        &mut self,
+        send: JArray<T>,
+        sendcount: i32,
+        recv: Option<JArray<T>>,
+        recvcounts: &[i32],
+        displs: &[i32],
+        root: usize,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        let dt = datatype_of::<T>();
+        let (staging, sendbytes) = self.stage_region(send, send.len())?;
+        self.charge_addr();
+        let me = self.mpi.rank(comm)?;
+        if me == root {
+            let out = recv.ok_or(BindError::Mpi(mpisim::MpiError::BufferTooSmall {
+                needed: 0,
+                available: 0,
+            }))?;
+            let rstaging = self.stage_empty(out, out.len())?;
+            // Seed with current contents: gatherv only fills the blocks.
+            let mut temp = self.array_snapshot(out)?;
+            self.mpi.gatherv(
+                &sendbytes,
+                sendcount,
+                Some(&mut temp),
+                recvcounts,
+                displs,
+                &dt,
+                root,
+                comm,
+            )?;
+            self.unstage_region(rstaging, out, &temp)?;
+        } else {
+            self.mpi
+                .gatherv(&sendbytes, sendcount, None, recvcounts, displs, &dt, root, comm)?;
+        }
+        self.release_staging(staging);
+        Ok(())
+    }
+
+    /// Uncharged byte snapshot of an array (seeding receive temps).
+    fn array_snapshot<T: Prim>(&self, arr: JArray<T>) -> BindResult<Vec<u8>> {
+        Ok(self.rt.heap().bytes(arr.handle())?.to_vec())
+    }
+
+    /// `comm.scatter` over buffers; `send` significant at root.
+    #[allow(clippy::too_many_arguments)]
+    pub fn scatter_buffer(
+        &mut self,
+        send: Option<DirectBuffer>,
+        recv: DirectBuffer,
+        count: i32,
+        dt: &Datatype,
+        root: usize,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        self.charge_addr();
+        let me = self.mpi.rank(comm)?;
+        let mut temp = self.snapshot(recv)?;
+        if me == root {
+            let src = send.ok_or(BindError::Mpi(mpisim::MpiError::BufferTooSmall {
+                needed: 0,
+                available: 0,
+            }))?;
+            let sendbytes = self.snapshot(src)?;
+            self.mpi
+                .scatter(Some(&sendbytes), &mut temp, count, dt, root, comm)?;
+        } else {
+            self.mpi.scatter(None, &mut temp, count, dt, root, comm)?;
+        }
+        self.deposit(recv, &temp)
+    }
+
+    /// Array flavour of scatter.
+    #[allow(clippy::too_many_arguments)]
+    pub fn scatter_array<T: Prim>(
+        &mut self,
+        send: Option<JArray<T>>,
+        recv: JArray<T>,
+        count: i32,
+        root: usize,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        let dt = datatype_of::<T>();
+        let me = self.mpi.rank(comm)?;
+        let rstaging = self.stage_empty(recv, recv.len())?;
+        let mut temp = vec![0u8; recv.byte_len()];
+        if me == root {
+            let src = send.ok_or(BindError::Mpi(mpisim::MpiError::BufferTooSmall {
+                needed: 0,
+                available: 0,
+            }))?;
+            let (staging, sendbytes) = self.stage_region(src, src.len())?;
+            self.charge_addr();
+            self.mpi
+                .scatter(Some(&sendbytes), &mut temp, count, &dt, root, comm)?;
+            self.release_staging(staging);
+        } else {
+            self.charge_addr();
+            self.mpi.scatter(None, &mut temp, count, &dt, root, comm)?;
+        }
+        self.unstage_region(rstaging, recv, &temp)
+    }
+
+    /// `comm.scatterv` over buffers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn scatterv_buffer(
+        &mut self,
+        send: Option<DirectBuffer>,
+        sendcounts: &[i32],
+        displs: &[i32],
+        recv: DirectBuffer,
+        recvcount: i32,
+        dt: &Datatype,
+        root: usize,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        self.charge_addr();
+        let me = self.mpi.rank(comm)?;
+        let mut temp = self.snapshot(recv)?;
+        if me == root {
+            let src = send.ok_or(BindError::Mpi(mpisim::MpiError::BufferTooSmall {
+                needed: 0,
+                available: 0,
+            }))?;
+            let sendbytes = self.snapshot(src)?;
+            self.mpi.scatterv(
+                Some(&sendbytes),
+                sendcounts,
+                displs,
+                &mut temp,
+                recvcount,
+                dt,
+                root,
+                comm,
+            )?;
+        } else {
+            self.mpi
+                .scatterv(None, sendcounts, displs, &mut temp, recvcount, dt, root, comm)?;
+        }
+        self.deposit(recv, &temp)
+    }
+
+    /// Array flavour of scatterv.
+    #[allow(clippy::too_many_arguments)]
+    pub fn scatterv_array<T: Prim>(
+        &mut self,
+        send: Option<JArray<T>>,
+        sendcounts: &[i32],
+        displs: &[i32],
+        recv: JArray<T>,
+        recvcount: i32,
+        root: usize,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        let dt = datatype_of::<T>();
+        let me = self.mpi.rank(comm)?;
+        let rstaging = self.stage_empty(recv, recv.len())?;
+        let mut temp = self.array_snapshot(recv)?;
+        if me == root {
+            let src = send.ok_or(BindError::Mpi(mpisim::MpiError::BufferTooSmall {
+                needed: 0,
+                available: 0,
+            }))?;
+            let (staging, sendbytes) = self.stage_region(src, src.len())?;
+            self.charge_addr();
+            self.mpi.scatterv(
+                Some(&sendbytes),
+                sendcounts,
+                displs,
+                &mut temp,
+                recvcount,
+                &dt,
+                root,
+                comm,
+            )?;
+            self.release_staging(staging);
+        } else {
+            self.charge_addr();
+            self.mpi
+                .scatterv(None, sendcounts, displs, &mut temp, recvcount, &dt, root, comm)?;
+        }
+        self.unstage_region(rstaging, recv, &temp)
+    }
+
+    // ------------------------------------------------------------------
+    // Allgather / Alltoall (+v)
+    // ------------------------------------------------------------------
+
+    /// `comm.allGather` over buffers.
+    pub fn allgather_buffer(
+        &mut self,
+        send: DirectBuffer,
+        recv: DirectBuffer,
+        count: i32,
+        dt: &Datatype,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        self.charge_addr();
+        let sendbytes = self.snapshot(send)?;
+        let mut temp = self.snapshot(recv)?;
+        self.mpi.allgather(&sendbytes, &mut temp, count, dt, comm)?;
+        self.deposit(recv, &temp)
+    }
+
+    /// Array flavour of allgather.
+    pub fn allgather_array<T: Prim>(
+        &mut self,
+        send: JArray<T>,
+        recv: JArray<T>,
+        count: i32,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        let dt = datatype_of::<T>();
+        let elems = count.max(0) as usize;
+        let p = self.mpi.size(comm)?;
+        let (staging, sendbytes) = self.stage_region(send, elems)?;
+        let rstaging = self.stage_empty(recv, elems * p)?;
+        self.charge_addr();
+        let mut temp = vec![0u8; elems * p * T::SIZE];
+        self.mpi.allgather(&sendbytes, &mut temp, count, &dt, comm)?;
+        self.unstage_region(rstaging, recv, &temp)?;
+        self.release_staging(staging);
+        Ok(())
+    }
+
+    /// `comm.allGatherv` over buffers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn allgatherv_buffer(
+        &mut self,
+        send: DirectBuffer,
+        sendcount: i32,
+        recv: DirectBuffer,
+        recvcounts: &[i32],
+        displs: &[i32],
+        dt: &Datatype,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        self.charge_addr();
+        let sendbytes = self.snapshot(send)?;
+        let mut temp = self.snapshot(recv)?;
+        self.mpi
+            .allgatherv(&sendbytes, sendcount, &mut temp, recvcounts, displs, dt, comm)?;
+        self.deposit(recv, &temp)
+    }
+
+    /// Array flavour of allgatherv.
+    #[allow(clippy::too_many_arguments)]
+    pub fn allgatherv_array<T: Prim>(
+        &mut self,
+        send: JArray<T>,
+        sendcount: i32,
+        recv: JArray<T>,
+        recvcounts: &[i32],
+        displs: &[i32],
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        let dt = datatype_of::<T>();
+        let (staging, sendbytes) = self.stage_region(send, send.len())?;
+        let rstaging = self.stage_empty(recv, recv.len())?;
+        self.charge_addr();
+        let mut temp = self.array_snapshot(recv)?;
+        self.mpi
+            .allgatherv(&sendbytes, sendcount, &mut temp, recvcounts, displs, &dt, comm)?;
+        self.unstage_region(rstaging, recv, &temp)?;
+        self.release_staging(staging);
+        Ok(())
+    }
+
+    /// `comm.allToAll` over buffers.
+    pub fn alltoall_buffer(
+        &mut self,
+        send: DirectBuffer,
+        recv: DirectBuffer,
+        count: i32,
+        dt: &Datatype,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        self.charge_addr();
+        let sendbytes = self.snapshot(send)?;
+        let mut temp = self.snapshot(recv)?;
+        self.mpi.alltoall(&sendbytes, &mut temp, count, dt, comm)?;
+        self.deposit(recv, &temp)
+    }
+
+    /// Array flavour of alltoall.
+    pub fn alltoall_array<T: Prim>(
+        &mut self,
+        send: JArray<T>,
+        recv: JArray<T>,
+        count: i32,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        let dt = datatype_of::<T>();
+        let elems = count.max(0) as usize;
+        let p = self.mpi.size(comm)?;
+        let (staging, sendbytes) = self.stage_region(send, elems * p)?;
+        let rstaging = self.stage_empty(recv, elems * p)?;
+        self.charge_addr();
+        let mut temp = vec![0u8; elems * p * T::SIZE];
+        self.mpi.alltoall(&sendbytes, &mut temp, count, &dt, comm)?;
+        self.unstage_region(rstaging, recv, &temp)?;
+        self.release_staging(staging);
+        Ok(())
+    }
+
+    /// `comm.allToAllv` over buffers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn alltoallv_buffer(
+        &mut self,
+        send: DirectBuffer,
+        sendcounts: &[i32],
+        sdispls: &[i32],
+        recv: DirectBuffer,
+        recvcounts: &[i32],
+        rdispls: &[i32],
+        dt: &Datatype,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        self.charge_addr();
+        let sendbytes = self.snapshot(send)?;
+        let mut temp = self.snapshot(recv)?;
+        self.mpi.alltoallv(
+            &sendbytes, sendcounts, sdispls, &mut temp, recvcounts, rdispls, dt, comm,
+        )?;
+        self.deposit(recv, &temp)
+    }
+
+    /// Array flavour of alltoallv.
+    #[allow(clippy::too_many_arguments)]
+    pub fn alltoallv_array<T: Prim>(
+        &mut self,
+        send: JArray<T>,
+        sendcounts: &[i32],
+        sdispls: &[i32],
+        recv: JArray<T>,
+        recvcounts: &[i32],
+        rdispls: &[i32],
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        let dt = datatype_of::<T>();
+        let (staging, sendbytes) = self.stage_region(send, send.len())?;
+        let rstaging = self.stage_empty(recv, recv.len())?;
+        self.charge_addr();
+        let mut temp = self.array_snapshot(recv)?;
+        self.mpi.alltoallv(
+            &sendbytes, sendcounts, sdispls, &mut temp, recvcounts, rdispls, &dt, comm,
+        )?;
+        self.unstage_region(rstaging, recv, &temp)?;
+        self.release_staging(staging);
+        Ok(())
+    }
+}

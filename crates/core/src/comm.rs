@@ -1,0 +1,62 @@
+//! Communicator and group management bindings.
+//!
+//! Thin wrappers over the native library's communicator machinery — the
+//! "supporting communicator and group management functions" the paper's
+//! prototype implements.
+
+use mpisim::{CommHandle, Group};
+
+use crate::env::Env;
+use crate::error::BindResult;
+
+impl Env {
+    /// `comm.getRank()`.
+    pub fn comm_rank(&self, comm: CommHandle) -> BindResult<usize> {
+        Ok(self.native_ref().rank(comm)?)
+    }
+
+    /// `comm.getSize()`.
+    pub fn comm_size(&self, comm: CommHandle) -> BindResult<usize> {
+        Ok(self.native_ref().size(comm)?)
+    }
+
+    /// `comm.dup()` — collective.
+    pub fn comm_dup(&mut self, comm: CommHandle) -> BindResult<CommHandle> {
+        self.binding_call();
+        Ok(self.native_mut().comm_dup(comm)?)
+    }
+
+    /// `comm.split(color, key)` — collective; `color < 0` is
+    /// MPI_UNDEFINED.
+    pub fn comm_split(
+        &mut self,
+        comm: CommHandle,
+        color: i32,
+        key: i32,
+    ) -> BindResult<Option<CommHandle>> {
+        self.binding_call();
+        Ok(self.native_mut().comm_split(comm, color, key)?)
+    }
+
+    /// `Comm.create(group)` — collective over `comm`.
+    pub fn comm_create(&mut self, comm: CommHandle, group: &Group) -> BindResult<Option<CommHandle>> {
+        self.binding_call();
+        Ok(self.native_mut().comm_create(comm, group)?)
+    }
+
+    /// `comm.getGroup()`.
+    pub fn comm_group(&mut self, comm: CommHandle) -> BindResult<Group> {
+        self.binding_call();
+        Ok(self.native_ref().comm_group(comm)?)
+    }
+
+    /// `comm.free()`.
+    pub fn comm_free(&mut self, comm: CommHandle) -> BindResult<()> {
+        self.binding_call();
+        Ok(self.native_mut().comm_free(comm)?)
+    }
+
+    pub(crate) fn native_ref(&self) -> &mpisim::Mpi {
+        &self.mpi
+    }
+}

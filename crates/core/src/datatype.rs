@@ -1,0 +1,67 @@
+//! Datatype constants and the mapping between managed primitive types and
+//! native MPI basic types.
+//!
+//! The bindings re-export the native [`Datatype`] so applications can
+//! build derived types (contiguous/vector/indexed) exactly as the MPJ API
+//! allowed — the capability the buffering layer exists to serve.
+
+pub use mpisim::datatype::{BOOLEAN, BYTE, CHAR, DOUBLE, FLOAT, INT, LONG, SHORT};
+pub use mpisim::{BasicType, Datatype};
+
+use mrt::prim::{Prim, PrimType};
+
+/// The native basic type corresponding to a managed primitive type.
+pub fn basic_of(p: PrimType) -> BasicType {
+    match p {
+        PrimType::Byte => BasicType::Byte,
+        PrimType::Boolean => BasicType::Boolean,
+        PrimType::Char => BasicType::Char,
+        PrimType::Short => BasicType::Short,
+        PrimType::Int => BasicType::Int,
+        PrimType::Long => BasicType::Long,
+        PrimType::Float => BasicType::Float,
+        PrimType::Double => BasicType::Double,
+    }
+}
+
+/// The natural datatype of a managed array's element type.
+pub fn datatype_of<T: Prim>() -> Datatype {
+    Datatype::Basic(basic_of(T::TYPE))
+}
+
+/// Check that a (possibly derived) datatype is built over the managed
+/// element type `T`.
+pub fn check_base<T: Prim>(dt: &Datatype) -> bool {
+    dt.base_type() == basic_of(T::TYPE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_covers_all_types() {
+        assert_eq!(basic_of(PrimType::Byte), BasicType::Byte);
+        assert_eq!(basic_of(PrimType::Boolean), BasicType::Boolean);
+        assert_eq!(basic_of(PrimType::Char), BasicType::Char);
+        assert_eq!(basic_of(PrimType::Short), BasicType::Short);
+        assert_eq!(basic_of(PrimType::Int), BasicType::Int);
+        assert_eq!(basic_of(PrimType::Long), BasicType::Long);
+        assert_eq!(basic_of(PrimType::Float), BasicType::Float);
+        assert_eq!(basic_of(PrimType::Double), BasicType::Double);
+    }
+
+    #[test]
+    fn datatype_of_matches_sizes() {
+        assert_eq!(datatype_of::<i32>().size(), 4);
+        assert_eq!(datatype_of::<f64>().size(), 8);
+        assert_eq!(datatype_of::<u16>().size(), 2);
+    }
+
+    #[test]
+    fn check_base_accepts_derived_over_same_base() {
+        let v = Datatype::vector(2, 1, 2, INT).unwrap();
+        assert!(check_base::<i32>(&v));
+        assert!(!check_base::<f64>(&v));
+    }
+}

@@ -1,0 +1,268 @@
+//! The per-rank bindings environment: a managed runtime ("JVM"), a native
+//! MPI library instance, and the buffering layer, wired to one virtual
+//! clock.
+//!
+//! `Env` is what a Java MPI process is in the paper: user code manipulates
+//! managed arrays and direct ByteBuffers through it, and communicates via
+//! the bindings methods (see the `pt2pt` and `colls` modules), each of
+//! which crosses the JNI-analog boundary into the native library.
+
+use mpisim::{Mpi, Profile, Wire};
+use mpjbuf::{BufferPool, PoolStats};
+use mrt::prim::Prim;
+use mrt::{DirectBuffer, GcStats, JArray, MrtResult, Runtime};
+use simfabric::{run_cluster, Topology};
+use vtime::{CostModel, VDur, VTime};
+
+use crate::flavor::{BindingFlavor, MVAPICH2J};
+
+/// Job configuration: cluster shape, native library, binding flavor, and
+/// managed-heap sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct JobConfig {
+    /// Cluster shape (nodes × ppn).
+    pub topo: Topology,
+    /// Native MPI library model underneath the bindings.
+    pub profile: Profile,
+    /// Java-layer personality.
+    pub flavor: BindingFlavor,
+    /// Calibrated cost model for the managed runtime.
+    pub cost: CostModel,
+    /// Initial managed heap per rank (-Xms).
+    pub heap_initial: usize,
+    /// Max managed heap per rank (-Xmx).
+    pub heap_max: usize,
+    /// Buffers the buffering-layer pool may park per size class; 0
+    /// disables pooling entirely (every message allocates a fresh direct
+    /// buffer — the configuration the pool exists to avoid).
+    pub pool_limit: usize,
+}
+
+impl JobConfig {
+    /// MVAPICH2-J over the MVAPICH2 native profile (the paper's library).
+    pub fn mvapich2j(topo: Topology) -> Self {
+        JobConfig {
+            topo,
+            profile: Profile::mvapich2(),
+            flavor: MVAPICH2J,
+            cost: CostModel::default(),
+            heap_initial: mrt::runtime::DEFAULT_HEAP,
+            heap_max: mrt::runtime::DEFAULT_MAX_HEAP,
+            pool_limit: 8,
+        }
+    }
+
+    /// Same cluster, different flavor/profile.
+    pub fn with_flavor(mut self, flavor: BindingFlavor, profile: Profile) -> Self {
+        self.flavor = flavor;
+        self.profile = profile;
+        self
+    }
+}
+
+/// One rank's bindings environment.
+pub struct Env {
+    pub(crate) rt: Runtime,
+    pub(crate) mpi: Mpi,
+    pub(crate) pool: BufferPool,
+    pub(crate) flavor: BindingFlavor,
+    pub(crate) binding_calls: u64,
+}
+
+/// Run a simulated Java MPI job: `f` executes once per rank with its own
+/// [`Env`]. Results come back in rank order.
+pub fn run_job<R, F>(cfg: JobConfig, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Env) -> R + Sync,
+{
+    run_cluster::<Wire, R, _>(cfg.topo, |ep| {
+        let mut env = Env {
+            rt: Runtime::with_heap(cfg.cost, cfg.heap_initial, cfg.heap_max),
+            mpi: Mpi::new(ep, cfg.profile),
+            pool: BufferPool::with_limit(cfg.pool_limit),
+            flavor: cfg.flavor,
+            binding_calls: 0,
+        };
+        f(&mut env)
+    })
+}
+
+impl Env {
+    /// The binding flavor (library identity).
+    pub fn flavor(&self) -> BindingFlavor {
+        self.flavor
+    }
+
+    /// Charge the Java-side cost of one binding call: a JNI transition,
+    /// argument handling, and the small-object churn that keeps the
+    /// collector honest.
+    pub(crate) fn binding_call(&mut self) {
+        self.binding_calls += 1;
+        let garbage = self.flavor.garbage_per_call;
+        let overhead = self.flavor.call_overhead_ns;
+        let clock = self.mpi.clock_mut();
+        clock.charge(self.rt.cost().jni_transition());
+        clock.charge(VDur::from_nanos(overhead));
+        if garbage > 0 {
+            // Status/request wrapper objects: allocated, then immediately
+            // unreachable. GC pauses triggered by this churn are charged
+            // inside alloc_object.
+            if let Ok(h) = self.rt.alloc_object(garbage, clock) {
+                let _ = self.rt.release_object(h);
+            }
+        }
+    }
+
+    /// Number of binding calls made so far (introspection).
+    pub fn binding_call_count(&self) -> u64 {
+        self.binding_calls
+    }
+
+    // ------------------------------------------------------------------
+    // World / time
+    // ------------------------------------------------------------------
+
+    /// MPI_COMM_WORLD.
+    pub fn world(&self) -> mpisim::CommHandle {
+        self.mpi.world()
+    }
+
+    /// This process's rank in the world.
+    pub fn rank(&self) -> usize {
+        self.mpi.rank(self.mpi.world()).expect("world is valid")
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.mpi.size(self.mpi.world()).expect("world is valid")
+    }
+
+    /// `MPI.wtime()` in virtual seconds.
+    pub fn wtime(&self) -> f64 {
+        self.mpi.wtime()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VTime {
+        self.mpi.now()
+    }
+
+    /// Charge pure application compute time (a workload's "think time").
+    pub fn compute(&mut self, d: VDur) {
+        self.mpi.clock_mut().charge(d);
+    }
+
+    // ------------------------------------------------------------------
+    // Managed-runtime delegates (the "Java program" side)
+    // ------------------------------------------------------------------
+
+    /// `new T[len]`.
+    pub fn new_array<T: Prim>(&mut self, len: usize) -> MrtResult<JArray<T>> {
+        let clock = self.mpi.clock_mut();
+        self.rt.alloc_array(len, clock)
+    }
+
+    /// Drop an array reference.
+    pub fn free_array<T: Prim>(&mut self, arr: JArray<T>) -> MrtResult<()> {
+        self.rt.release_array(arr)
+    }
+
+    /// `arr[idx]`.
+    pub fn array_get<T: Prim>(&mut self, arr: JArray<T>, idx: usize) -> MrtResult<T> {
+        let clock = self.mpi.clock_mut();
+        self.rt.array_get(arr, idx, clock)
+    }
+
+    /// `arr[idx] = v`.
+    pub fn array_set<T: Prim>(&mut self, arr: JArray<T>, idx: usize, v: T) -> MrtResult<()> {
+        let clock = self.mpi.clock_mut();
+        self.rt.array_set(arr, idx, v, clock)
+    }
+
+    /// Bulk read from an array.
+    pub fn array_read<T: Prim>(&mut self, arr: JArray<T>, off: usize, out: &mut [T]) -> MrtResult<()> {
+        let clock = self.mpi.clock_mut();
+        self.rt.array_read(arr, off, out, clock)
+    }
+
+    /// Bulk write into an array.
+    pub fn array_write<T: Prim>(&mut self, arr: JArray<T>, off: usize, src: &[T]) -> MrtResult<()> {
+        let clock = self.mpi.clock_mut();
+        self.rt.array_write(arr, off, src, clock)
+    }
+
+    /// `ByteBuffer.allocateDirect(cap)`.
+    pub fn new_direct(&mut self, cap: usize) -> DirectBuffer {
+        let clock = self.mpi.clock_mut();
+        self.rt.allocate_direct(cap, clock)
+    }
+
+    /// Free a direct buffer.
+    pub fn free_direct(&mut self, b: DirectBuffer) -> MrtResult<()> {
+        let clock = self.mpi.clock_mut();
+        self.rt.free_direct(b, clock)
+    }
+
+    /// Absolute typed put on a direct buffer.
+    pub fn direct_put<T: Prim>(&mut self, b: DirectBuffer, byte_idx: usize, v: T) -> MrtResult<()> {
+        let clock = self.mpi.clock_mut();
+        self.rt.direct_put(b, byte_idx, v, clock)
+    }
+
+    /// Absolute typed get on a direct buffer.
+    pub fn direct_get<T: Prim>(&mut self, b: DirectBuffer, byte_idx: usize) -> MrtResult<T> {
+        let clock = self.mpi.clock_mut();
+        self.rt.direct_get(b, byte_idx, clock)
+    }
+
+    /// Charge a populate/validate loop over `n` array elements (helper
+    /// for benchmarks; virtual cost identical to `n` `array_get/set`s).
+    pub fn charge_array_loop(&mut self, n: usize) {
+        let clock = self.mpi.clock_mut();
+        self.rt.charge_array_loop(n, clock);
+    }
+
+    /// Charge a populate/validate loop over `n` direct-buffer elements.
+    pub fn charge_direct_loop(&mut self, n: usize) {
+        let clock = self.mpi.clock_mut();
+        self.rt.charge_direct_loop(n, clock);
+    }
+
+    /// Force a collection (`System.gc()`).
+    pub fn gc(&mut self) {
+        let clock = self.mpi.clock_mut();
+        self.rt.gc(clock);
+    }
+
+    /// Collector statistics.
+    pub fn gc_stats(&self) -> GcStats {
+        self.rt.gc_stats()
+    }
+
+    /// Buffering-layer pool statistics.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Direct buffers ever created by this rank's runtime.
+    pub fn direct_allocations(&self) -> u64 {
+        self.rt.direct_allocations()
+    }
+
+    /// Fabric-level traffic counters.
+    pub fn fabric_stats(&self) -> simfabric::SendStats {
+        self.mpi.fabric_stats()
+    }
+
+    /// Escape hatch: the underlying native library (for tests comparing
+    /// the Java layer against direct native calls, as Figure 11 does).
+    pub fn native_mut(&mut self) -> &mut Mpi {
+        &mut self.mpi
+    }
+
+    /// Escape hatch: the managed runtime.
+    pub fn runtime_mut(&mut self) -> (&mut Runtime, &mut vtime::Clock) {
+        (&mut self.rt, self.mpi.clock_mut())
+    }
+}

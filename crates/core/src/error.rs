@@ -1,0 +1,68 @@
+//! Bindings-level errors: the analogue of `MPIException`.
+
+use std::fmt;
+
+use mpisim::MpiError;
+use mrt::MrtError;
+
+/// Errors surfaced by the bindings API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BindError {
+    /// Raised by the native MPI library.
+    Mpi(MpiError),
+    /// Raised by the managed runtime (heap/buffer misuse).
+    Runtime(MrtError),
+    /// Datatype does not match the array's element type.
+    DatatypeMismatch {
+        expected: &'static str,
+        datatype: &'static str,
+    },
+    /// API combination this library does not support (e.g. Open MPI-J
+    /// with Java arrays on non-blocking operations).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindError::Mpi(e) => write!(f, "MPIException: {e}"),
+            BindError::Runtime(e) => write!(f, "runtime error: {e}"),
+            BindError::DatatypeMismatch { expected, datatype } => {
+                write!(f, "datatype {datatype} incompatible with {expected} array")
+            }
+            BindError::Unsupported(what) => write!(f, "UnsupportedOperationException: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+impl From<MpiError> for BindError {
+    fn from(e: MpiError) -> Self {
+        BindError::Mpi(e)
+    }
+}
+
+impl From<MrtError> for BindError {
+    fn from(e: MrtError) -> Self {
+        BindError::Runtime(e)
+    }
+}
+
+/// Result alias for the bindings API.
+pub type BindResult<T> = Result<T, BindError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: BindError = MpiError::InvalidComm.into();
+        assert!(e.to_string().contains("MPIException"));
+        let e: BindError = MrtError::BadHandle.into();
+        assert!(e.to_string().contains("runtime error"));
+        let e = BindError::Unsupported("arrays with non-blocking p2p");
+        assert!(e.to_string().contains("Unsupported"));
+    }
+}

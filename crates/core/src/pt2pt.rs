@@ -1,0 +1,462 @@
+//! Point-to-point bindings: the Open-MPI-Java-style API over the native
+//! library, for both buffer kinds.
+//!
+//! * **Direct ByteBuffers** (Section IV-C): the binding resolves the
+//!   buffer's stable native address (`GetDirectBufferAddress`) and hands
+//!   it straight to the native library — zero Java-side copies.
+//! * **Java arrays** (Section IV-B): the binding stages the data through
+//!   a pooled direct buffer from the buffering layer (one explicit copy
+//!   each way), which also enables derived datatypes and — as an
+//!   extension the paper proposes for the future — array *subsets* via an
+//!   offset argument (`send_array_slice`).
+
+use mpisim::datatype::Datatype;
+use mpisim::CommHandle;
+use mpjbuf::Buffer;
+use mrt::prim::Prim;
+use mrt::{DirectBuffer, JArray};
+use vtime::VDur;
+
+use crate::datatype::{check_base, datatype_of};
+use crate::env::Env;
+use crate::error::{BindError, BindResult};
+use crate::request::{ArrayDest, JRequest, JStatus, PostAction, TestOutcome};
+use crate::stage::{stage_from_array, unstage_to_array};
+
+impl Env {
+    /// Charge the `GetDirectBufferAddress` JNI cost.
+    fn charge_buffer_address(&mut self) {
+        let cost = *self.rt.cost();
+        let clock = self.mpi.clock_mut();
+        clock.charge(cost.jni_transition());
+        clock.charge(VDur::from_nanos(cost.jni.get_direct_buffer_address_ns));
+    }
+
+    fn check_dt_capacity(buf: DirectBuffer, count: i32, dt: &Datatype) -> BindResult<usize> {
+        if count < 0 {
+            return Err(BindError::Mpi(mpisim::MpiError::InvalidCount { count }));
+        }
+        let span = dt.span(count as usize);
+        if span > buf.capacity() {
+            return Err(BindError::Runtime(mrt::MrtError::BufferOverflow {
+                needed: span,
+                available: buf.capacity(),
+            }));
+        }
+        Ok(span)
+    }
+
+    // ------------------------------------------------------------------
+    // Direct-ByteBuffer path
+    // ------------------------------------------------------------------
+
+    fn isend_buffer_raw(
+        &mut self,
+        buf: DirectBuffer,
+        count: i32,
+        dt: &Datatype,
+        dst: usize,
+        tag: i32,
+        comm: CommHandle,
+    ) -> BindResult<JRequest> {
+        let span = Self::check_dt_capacity(buf, count, dt)?;
+        self.charge_buffer_address();
+        // The native call reads straight out of the buffer's storage.
+        let bytes = self.rt.direct_bytes(buf)?;
+        let native = self.mpi.isend(&bytes[..span], count, dt, dst, tag, comm)?;
+        Ok(JRequest {
+            native,
+            post: PostAction::SendDone,
+        })
+    }
+
+    fn irecv_buffer_raw(
+        &mut self,
+        buf: DirectBuffer,
+        count: i32,
+        dt: &Datatype,
+        src: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> BindResult<JRequest> {
+        let span = Self::check_dt_capacity(buf, count, dt)?;
+        self.charge_buffer_address();
+        let native = self.mpi.irecv(count, dt, src, tag, comm)?;
+        Ok(JRequest {
+            native,
+            post: PostAction::RecvBuffer { buf, span },
+        })
+    }
+
+    /// `comm.send(ByteBuffer, count, datatype, dst, tag)`.
+    pub fn send_buffer(
+        &mut self,
+        buf: DirectBuffer,
+        count: i32,
+        dt: &Datatype,
+        dst: usize,
+        tag: i32,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        let req = self.isend_buffer_raw(buf, count, dt, dst, tag, comm)?;
+        self.wait_raw(req).map(|_| ())
+    }
+
+    /// `comm.recv(ByteBuffer, count, datatype, src, tag)`.
+    pub fn recv_buffer(
+        &mut self,
+        buf: DirectBuffer,
+        count: i32,
+        dt: &Datatype,
+        src: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> BindResult<JStatus> {
+        self.binding_call();
+        let req = self.irecv_buffer_raw(buf, count, dt, src, tag, comm)?;
+        self.wait_raw(req)
+    }
+
+    /// `comm.iSend(ByteBuffer, ...)`.
+    pub fn isend_buffer(
+        &mut self,
+        buf: DirectBuffer,
+        count: i32,
+        dt: &Datatype,
+        dst: usize,
+        tag: i32,
+        comm: CommHandle,
+    ) -> BindResult<JRequest> {
+        self.binding_call();
+        self.isend_buffer_raw(buf, count, dt, dst, tag, comm)
+    }
+
+    /// `comm.iRecv(ByteBuffer, ...)`.
+    pub fn irecv_buffer(
+        &mut self,
+        buf: DirectBuffer,
+        count: i32,
+        dt: &Datatype,
+        src: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> BindResult<JRequest> {
+        self.binding_call();
+        self.irecv_buffer_raw(buf, count, dt, src, tag, comm)
+    }
+
+    // ------------------------------------------------------------------
+    // Java-array path (through the buffering layer)
+    // ------------------------------------------------------------------
+
+    fn isend_array_raw<T: Prim>(
+        &mut self,
+        arr: JArray<T>,
+        elem_off: usize,
+        count: i32,
+        dt: &Datatype,
+        dst: usize,
+        tag: i32,
+        comm: CommHandle,
+    ) -> BindResult<JRequest> {
+        if count < 0 {
+            return Err(BindError::Mpi(mpisim::MpiError::InvalidCount { count }));
+        }
+        if !check_base::<T>(dt) {
+            return Err(BindError::DatatypeMismatch {
+                expected: T::TYPE.name(),
+                datatype: dt.name(),
+            });
+        }
+        let count = count as usize;
+        let packed = dt.size() * count;
+        // Buffering layer: pooled direct buffer + gather copy.
+        let clock = self.mpi.clock_mut();
+        let staging = Buffer::from_pool(&mut self.pool, &mut self.rt, clock, packed.max(1));
+        stage_from_array(
+            &mut self.rt,
+            clock,
+            staging.store(),
+            arr.handle(),
+            elem_off * T::SIZE,
+            count,
+            dt,
+        )?;
+        self.charge_buffer_address();
+        // Native sees a contiguous run of base elements.
+        let base_dt = datatype_of::<T>();
+        let elems = (packed / T::SIZE) as i32;
+        let bytes = self.rt.direct_bytes(staging.store())?;
+        let native = self.mpi.isend(&bytes[..packed], elems, &base_dt, dst, tag, comm)?;
+        Ok(JRequest {
+            native,
+            post: PostAction::SendStaged { staging },
+        })
+    }
+
+    fn irecv_array_raw<T: Prim>(
+        &mut self,
+        arr: JArray<T>,
+        elem_off: usize,
+        count: i32,
+        dt: &Datatype,
+        src: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> BindResult<JRequest> {
+        if count < 0 {
+            return Err(BindError::Mpi(mpisim::MpiError::InvalidCount { count }));
+        }
+        if !check_base::<T>(dt) {
+            return Err(BindError::DatatypeMismatch {
+                expected: T::TYPE.name(),
+                datatype: dt.name(),
+            });
+        }
+        let count = count as usize;
+        let packed = dt.size() * count;
+        let clock = self.mpi.clock_mut();
+        let staging = Buffer::from_pool(&mut self.pool, &mut self.rt, clock, packed.max(1));
+        self.charge_buffer_address();
+        let base_dt = datatype_of::<T>();
+        let elems = (packed / T::SIZE) as i32;
+        let native = self.mpi.irecv(elems, &base_dt, src, tag, comm)?;
+        Ok(JRequest {
+            native,
+            post: PostAction::RecvArray {
+                staging,
+                dest: ArrayDest {
+                    handle: arr.handle(),
+                    byte_off: elem_off * T::SIZE,
+                    byte_len: arr.byte_len(),
+                },
+                dt: dt.clone(),
+                count,
+            },
+        })
+    }
+
+    /// `comm.send(type[] arr, count, datatype, dst, tag)` — natural
+    /// datatype.
+    pub fn send_array<T: Prim>(
+        &mut self,
+        arr: JArray<T>,
+        count: i32,
+        dst: usize,
+        tag: i32,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        let dt = datatype_of::<T>();
+        self.send_array_dt(arr, count, &dt, dst, tag, comm)
+    }
+
+    /// Array send with an explicit (possibly derived) datatype.
+    pub fn send_array_dt<T: Prim>(
+        &mut self,
+        arr: JArray<T>,
+        count: i32,
+        dt: &Datatype,
+        dst: usize,
+        tag: i32,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        let req = self.isend_array_raw(arr, 0, count, dt, dst, tag, comm)?;
+        self.wait_raw(req).map(|_| ())
+    }
+
+    /// Extension (Section IV-B): send a *subset* of an array, restoring
+    /// the `offset` argument the Open MPI Java API dropped. The buffering
+    /// layer copies only the subset.
+    pub fn send_array_slice<T: Prim>(
+        &mut self,
+        arr: JArray<T>,
+        elem_off: usize,
+        count: i32,
+        dst: usize,
+        tag: i32,
+        comm: CommHandle,
+    ) -> BindResult<()> {
+        self.binding_call();
+        let dt = datatype_of::<T>();
+        let req = self.isend_array_raw(arr, elem_off, count, &dt, dst, tag, comm)?;
+        self.wait_raw(req).map(|_| ())
+    }
+
+    /// `comm.recv(type[] arr, count, datatype, src, tag)`.
+    pub fn recv_array<T: Prim>(
+        &mut self,
+        arr: JArray<T>,
+        count: i32,
+        src: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> BindResult<JStatus> {
+        let dt = datatype_of::<T>();
+        self.recv_array_dt(arr, count, &dt, src, tag, comm)
+    }
+
+    /// Array receive with an explicit (possibly derived) datatype.
+    pub fn recv_array_dt<T: Prim>(
+        &mut self,
+        arr: JArray<T>,
+        count: i32,
+        dt: &Datatype,
+        src: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> BindResult<JStatus> {
+        self.binding_call();
+        let req = self.irecv_array_raw(arr, 0, count, dt, src, tag, comm)?;
+        self.wait_raw(req)
+    }
+
+    /// Extension: receive into a subset of an array.
+    pub fn recv_array_slice<T: Prim>(
+        &mut self,
+        arr: JArray<T>,
+        elem_off: usize,
+        count: i32,
+        src: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> BindResult<JStatus> {
+        self.binding_call();
+        let dt = datatype_of::<T>();
+        let req = self.irecv_array_raw(arr, elem_off, count, &dt, src, tag, comm)?;
+        self.wait_raw(req)
+    }
+
+    /// `comm.iSend(type[] arr, ...)`. MVAPICH2-J supports this; Open
+    /// MPI-J raises the documented unsupported-operation error.
+    pub fn isend_array<T: Prim>(
+        &mut self,
+        arr: JArray<T>,
+        count: i32,
+        dst: usize,
+        tag: i32,
+        comm: CommHandle,
+    ) -> BindResult<JRequest> {
+        if !self.flavor.arrays_with_nonblocking {
+            return Err(BindError::Unsupported(
+                "Java arrays with non-blocking point-to-point operations",
+            ));
+        }
+        self.binding_call();
+        let dt = datatype_of::<T>();
+        self.isend_array_raw(arr, 0, count, &dt, dst, tag, comm)
+    }
+
+    /// `comm.iRecv(type[] arr, ...)` (same restriction as
+    /// [`Env::isend_array`]).
+    pub fn irecv_array<T: Prim>(
+        &mut self,
+        arr: JArray<T>,
+        count: i32,
+        src: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> BindResult<JRequest> {
+        if !self.flavor.arrays_with_nonblocking {
+            return Err(BindError::Unsupported(
+                "Java arrays with non-blocking point-to-point operations",
+            ));
+        }
+        self.binding_call();
+        let dt = datatype_of::<T>();
+        self.irecv_array_raw(arr, 0, count, &dt, src, tag, comm)
+    }
+
+    // ------------------------------------------------------------------
+    // Completion
+    // ------------------------------------------------------------------
+
+    /// Temp buffer (user layout) the native wait/test deposits into, for
+    /// post-actions that need one. RecvBuffer temps are seeded with the
+    /// buffer's current content so derived-datatype gaps survive.
+    fn prepare_temp(&mut self, post: &PostAction) -> BindResult<Option<Vec<u8>>> {
+        match post {
+            PostAction::SendDone | PostAction::SendStaged { .. } => Ok(None),
+            PostAction::RecvBuffer { buf, span } => {
+                let mut temp = vec![0u8; *span];
+                temp.copy_from_slice(&self.rt.direct_bytes(*buf)?[..*span]);
+                Ok(Some(temp))
+            }
+            PostAction::RecvArray { dt, count, .. } => Ok(Some(vec![0u8; dt.size() * count])),
+        }
+    }
+
+    /// Run the Java-side completion actions once the native request is
+    /// done.
+    fn finish_post(
+        &mut self,
+        post: PostAction,
+        st: mpisim::Status,
+        temp: Option<Vec<u8>>,
+    ) -> BindResult<JStatus> {
+        match post {
+            PostAction::SendDone => {}
+            PostAction::SendStaged { staging } => {
+                let clock = self.mpi.clock_mut();
+                staging.free(&mut self.pool, &mut self.rt, clock);
+            }
+            PostAction::RecvBuffer { buf, span } => {
+                // The native library deposited straight into the direct
+                // buffer (conceptually DMA — uncharged).
+                let temp = temp.expect("recv temp prepared");
+                self.rt.direct_bytes_mut(buf)?[..span].copy_from_slice(&temp);
+            }
+            PostAction::RecvArray {
+                staging,
+                dest,
+                dt,
+                count,
+            } => {
+                let temp = temp.expect("recv temp prepared");
+                // Native deposited into the staging buffer (DMA).
+                self.rt.direct_bytes_mut(staging.store())?[..st.bytes]
+                    .copy_from_slice(&temp[..st.bytes]);
+                // Buffering layer scatters into the managed array.
+                let clock = self.mpi.clock_mut();
+                unstage_to_array(&mut self.rt, clock, staging.store(), &dest, count, &dt, st.bytes)?;
+                let clock = self.mpi.clock_mut();
+                staging.free(&mut self.pool, &mut self.rt, clock);
+            }
+        }
+        Ok(JStatus {
+            source: st.source as i32,
+            tag: st.tag,
+            bytes: st.bytes,
+        })
+    }
+
+    pub(crate) fn wait_raw(&mut self, req: JRequest) -> BindResult<JStatus> {
+        let mut temp = self.prepare_temp(&req.post)?;
+        let st = self.mpi.wait(req.native, temp.as_deref_mut())?;
+        self.finish_post(req.post, st, temp)
+    }
+
+    /// `request.waitFor()`.
+    pub fn wait(&mut self, req: JRequest) -> BindResult<JStatus> {
+        self.binding_call();
+        self.wait_raw(req)
+    }
+
+    /// `Request.waitAll(...)`: complete in order.
+    pub fn waitall(&mut self, reqs: Vec<JRequest>) -> BindResult<Vec<JStatus>> {
+        self.binding_call();
+        reqs.into_iter().map(|r| self.wait_raw(r)).collect()
+    }
+
+    /// `request.test()`: non-blocking completion check; hands the request
+    /// back when still pending.
+    pub fn test(&mut self, req: JRequest) -> BindResult<TestOutcome> {
+        self.binding_call();
+        let mut temp = self.prepare_temp(&req.post)?;
+        match self.mpi.test(&req.native, temp.as_deref_mut())? {
+            None => Ok(TestOutcome::Pending(req)),
+            Some(st) => self.finish_post(req.post, st, temp).map(TestOutcome::Done),
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Request and status objects returned by the non-blocking bindings API.
+
+use mpisim::datatype::Datatype;
+use mpjbuf::Buffer;
+use mrt::Handle;
+
+/// Completion status (the bindings' `Status` object).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JStatus {
+    /// Source rank within the communicator (`status.getSource()`).
+    pub source: i32,
+    /// Message tag (`status.getTag()`).
+    pub tag: i32,
+    /// Received payload size in bytes.
+    pub bytes: usize,
+}
+
+impl JStatus {
+    /// `status.getCount(datatype)`: received element count.
+    pub fn count(&self, dt: &Datatype) -> usize {
+        if dt.size() == 0 {
+            0
+        } else {
+            self.bytes / dt.size()
+        }
+    }
+}
+
+/// Type-erased description of a managed-array destination for unstaging.
+#[derive(Debug)]
+pub(crate) struct ArrayDest {
+    /// Heap handle of the target array.
+    pub handle: Handle,
+    /// Byte offset within the array where element 0 of the message lands.
+    pub byte_off: usize,
+    /// Total byte length of the array object (for bounds checks).
+    pub byte_len: usize,
+}
+
+/// What must happen when a request completes.
+pub(crate) enum PostAction {
+    /// Plain send (direct-buffer source): nothing to do.
+    SendDone,
+    /// Array send: the staging buffer goes back to the pool.
+    SendStaged { staging: Buffer },
+    /// Receive into a direct buffer: deposit the payload.
+    RecvBuffer {
+        buf: mrt::DirectBuffer,
+        /// User-layout span of the posted receive (temp sizing).
+        span: usize,
+    },
+    /// Receive into a managed array: deposit into the staging buffer,
+    /// then scatter into the array per the datatype.
+    RecvArray {
+        staging: Buffer,
+        dest: ArrayDest,
+        dt: Datatype,
+        count: usize,
+    },
+}
+
+/// A non-blocking operation in flight (the bindings' `Request` object).
+pub struct JRequest {
+    pub(crate) native: mpisim::mpi::MpiRequest,
+    pub(crate) post: PostAction,
+}
+
+impl JRequest {
+    /// Whether this request is a receive (its completion carries data).
+    pub fn is_recv(&self) -> bool {
+        matches!(
+            self.post,
+            PostAction::RecvBuffer { .. } | PostAction::RecvArray { .. }
+        )
+    }
+}
+
+/// Result of a non-blocking `test`.
+pub enum TestOutcome {
+    /// Completed with this status.
+    Done(JStatus),
+    /// Still pending; the request is handed back.
+    Pending(JRequest),
+}

@@ -1,0 +1,233 @@
+//! Staging copies between managed arrays and direct buffers, with full
+//! derived-datatype support.
+//!
+//! "The buffering layer is useful for communicating derived datatypes
+//! since it is possible to copy scattered elements in the array onto
+//! consecutive locations in the ByteBuffer" — these helpers implement
+//! exactly that gather/scatter, charging a bulk-copy cost per contiguous
+//! segment.
+
+use mpisim::datatype::Datatype;
+use mrt::{DirectBuffer, Handle, MrtError, MrtResult, Runtime};
+use vtime::Clock;
+
+use crate::request::ArrayDest;
+
+/// Gather `count` elements of `dt` from the array object `src` (starting
+/// at `src_byte_off`) into `store` starting at byte 0. Returns the packed
+/// size.
+pub(crate) fn stage_from_array(
+    rt: &mut Runtime,
+    clock: &mut Clock,
+    store: DirectBuffer,
+    src: Handle,
+    src_byte_off: usize,
+    count: usize,
+    dt: &Datatype,
+) -> MrtResult<usize> {
+    stage_from_array_at(rt, clock, store, 0, src, src_byte_off, count, dt)
+}
+
+/// Like [`stage_from_array`], but packing into `store` at `store_off`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stage_from_array_at(
+    rt: &mut Runtime,
+    clock: &mut Clock,
+    store: DirectBuffer,
+    store_off: usize,
+    src: Handle,
+    src_byte_off: usize,
+    count: usize,
+    dt: &Datatype,
+) -> MrtResult<usize> {
+    let packed = dt.size() * count;
+    let span = dt.span(count);
+    let avail = rt.heap().len_of(src)?;
+    if src_byte_off + span > avail {
+        return Err(MrtError::IndexOutOfBounds {
+            index: src_byte_off + span,
+            length: avail,
+        });
+    }
+    if dt.is_contiguous() {
+        // One bulk copy.
+        let bytes = rt.heap().bytes(src)?[src_byte_off..src_byte_off + packed].to_vec();
+        rt.direct_write_bytes(store, store_off, &bytes, clock)?;
+    } else {
+        let segs = dt.segments();
+        let ext = dt.extent();
+        let mut pos = store_off;
+        for i in 0..count {
+            let base = src_byte_off + i * ext;
+            for &(off, len) in &segs {
+                let bytes = rt.heap().bytes(src)?[base + off..base + off + len].to_vec();
+                // Each scattered segment is a separate (charged) copy.
+                rt.direct_write_bytes(store, pos, &bytes, clock)?;
+                pos += len;
+            }
+        }
+        debug_assert_eq!(pos, store_off + packed);
+    }
+    Ok(packed)
+}
+
+/// Scatter packed bytes from `store` into the array destination per `dt`.
+/// `filled` is the number of valid bytes in the store (may be less than
+/// `dt.size() * count` for short messages).
+pub(crate) fn unstage_to_array(
+    rt: &mut Runtime,
+    clock: &mut Clock,
+    store: DirectBuffer,
+    dest: &ArrayDest,
+    count: usize,
+    dt: &Datatype,
+    filled: usize,
+) -> MrtResult<()> {
+    unstage_to_array_at(rt, clock, store, 0, dest, count, dt, filled)
+}
+
+/// Like [`unstage_to_array`], but reading packed bytes from `store` at
+/// `store_off`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn unstage_to_array_at(
+    rt: &mut Runtime,
+    clock: &mut Clock,
+    store: DirectBuffer,
+    store_off: usize,
+    dest: &ArrayDest,
+    count: usize,
+    dt: &Datatype,
+    filled: usize,
+) -> MrtResult<()> {
+    let elem = dt.size();
+    if elem == 0 || filled == 0 {
+        return Ok(());
+    }
+    let full = (filled / elem).min(count);
+    let span = if full == 0 { 0 } else { dt.span(full) };
+    if dest.byte_off + span > dest.byte_len {
+        return Err(MrtError::IndexOutOfBounds {
+            index: dest.byte_off + span,
+            length: dest.byte_len,
+        });
+    }
+    if dt.is_contiguous() {
+        let mut bytes = vec![0u8; full * elem];
+        rt.direct_read_bytes(store, store_off, &mut bytes, clock)?;
+        let dst = rt.heap_mut().bytes_mut(dest.handle)?;
+        dst[dest.byte_off..dest.byte_off + bytes.len()].copy_from_slice(&bytes);
+    } else {
+        let segs = dt.segments();
+        let ext = dt.extent();
+        let mut pos = store_off;
+        for i in 0..full {
+            let base = dest.byte_off + i * ext;
+            for &(off, len) in &segs {
+                let mut bytes = vec![0u8; len];
+                rt.direct_read_bytes(store, pos, &mut bytes, clock)?;
+                let dst = rt.heap_mut().bytes_mut(dest.handle)?;
+                dst[base + off..base + off + len].copy_from_slice(&bytes);
+                pos += len;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::datatype::INT;
+    use mpisim::Datatype;
+    use vtime::CostModel;
+
+    fn setup() -> (Runtime, Clock) {
+        (Runtime::new(CostModel::default()), Clock::new())
+    }
+
+    #[test]
+    fn contiguous_stage_roundtrip() {
+        let (mut rt, mut c) = setup();
+        let arr = rt.alloc_array::<i32>(8, &mut c).unwrap();
+        for i in 0..8 {
+            rt.array_set(arr, i, 100 + i as i32, &mut c).unwrap();
+        }
+        let store = rt.allocate_direct(64, &mut c);
+        let n = stage_from_array(&mut rt, &mut c, store, arr.handle(), 8, 4, &INT).unwrap();
+        assert_eq!(n, 16); // elements 2..6
+        let dst = rt.alloc_array::<i32>(8, &mut c).unwrap();
+        let dest = ArrayDest {
+            handle: dst.handle(),
+            byte_off: 0,
+            byte_len: 32,
+        };
+        unstage_to_array(&mut rt, &mut c, store, &dest, 4, &INT, 16).unwrap();
+        for k in 0..4 {
+            assert_eq!(rt.array_get(dst, k, &mut c).unwrap(), 102 + k as i32);
+        }
+    }
+
+    #[test]
+    fn vector_datatype_gathers_and_scatters() {
+        let (mut rt, mut c) = setup();
+        // vector(2 blocks, 1 elem, stride 3) over INT: picks idx 0 and 3.
+        let dt = Datatype::vector(2, 1, 3, INT).unwrap();
+        let arr = rt.alloc_array::<i32>(8, &mut c).unwrap();
+        for i in 0..8 {
+            rt.array_set(arr, i, i as i32, &mut c).unwrap();
+        }
+        let store = rt.allocate_direct(64, &mut c);
+        let n = stage_from_array(&mut rt, &mut c, store, arr.handle(), 0, 2, &dt).unwrap();
+        assert_eq!(n, 16); // 2 elements × 2 ints
+        // Packed content must be [0, 3, 4, 7].
+        let mut packed = vec![0u8; 16];
+        rt.direct_read_bytes(store, 0, &mut packed, &mut c).unwrap();
+        let vals: Vec<i32> = packed
+            .chunks_exact(4)
+            .map(|b| i32::from_le_bytes(b.try_into().unwrap()))
+            .collect();
+        assert_eq!(vals, vec![0, 3, 4, 7]);
+
+        // Scatter into a fresh array: gaps untouched.
+        let dst = rt.alloc_array::<i32>(8, &mut c).unwrap();
+        for i in 0..8 {
+            rt.array_set(dst, i, -1, &mut c).unwrap();
+        }
+        let dest = ArrayDest {
+            handle: dst.handle(),
+            byte_off: 0,
+            byte_len: 32,
+        };
+        unstage_to_array(&mut rt, &mut c, store, &dest, 2, &dt, 16).unwrap();
+        let mut out = [0i32; 8];
+        rt.array_read(dst, 0, &mut out, &mut c).unwrap();
+        assert_eq!(out, [0, -1, -1, 3, 4, -1, -1, 7]);
+    }
+
+    #[test]
+    fn stage_out_of_bounds_rejected() {
+        let (mut rt, mut c) = setup();
+        let arr = rt.alloc_array::<i32>(2, &mut c).unwrap();
+        let store = rt.allocate_direct(64, &mut c);
+        assert!(stage_from_array(&mut rt, &mut c, store, arr.handle(), 0, 4, &INT).is_err());
+    }
+
+    #[test]
+    fn short_message_fills_prefix_only() {
+        let (mut rt, mut c) = setup();
+        let store = rt.allocate_direct(64, &mut c);
+        rt.direct_write_bytes(store, 0, &[1, 0, 0, 0, 2, 0, 0, 0], &mut c)
+            .unwrap();
+        let dst = rt.alloc_array::<i32>(4, &mut c).unwrap();
+        let dest = ArrayDest {
+            handle: dst.handle(),
+            byte_off: 0,
+            byte_len: 16,
+        };
+        // Posted for 4 elements, only 2 arrived.
+        unstage_to_array(&mut rt, &mut c, store, &dest, 4, &INT, 8).unwrap();
+        assert_eq!(rt.array_get(dst, 0, &mut c).unwrap(), 1);
+        assert_eq!(rt.array_get(dst, 1, &mut c).unwrap(), 2);
+        assert_eq!(rt.array_get(dst, 2, &mut c).unwrap(), 0);
+    }
+}

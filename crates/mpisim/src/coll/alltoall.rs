@@ -1,0 +1,128 @@
+//! Alltoall and alltoallv: pairwise-exchange (ring-offset) algorithm.
+//!
+//! At step `s`, every rank sends its block for `(me + s) mod p` and
+//! receives from `(me - s) mod p`; p steps move all p² blocks with full
+//! link utilization and no hot spot.
+
+use super::{cc, cisend, crecv, tags};
+use crate::comm::CommHandle;
+use crate::datatype::Datatype;
+use crate::error::{MpiError, MpiResult};
+use crate::mpi::Mpi;
+use vtime::VDur;
+
+fn pack_block(mpi: &mut Mpi, buf: &[u8], elem_offset: usize, count: usize, dt: &Datatype) -> MpiResult<Vec<u8>> {
+    let start = elem_offset * dt.extent();
+    if buf.len() < start + dt.span(count) {
+        return Err(MpiError::BufferTooSmall {
+            needed: start + dt.span(count),
+            available: buf.len(),
+        });
+    }
+    let p = dt.pack(&buf[start..], count)?;
+    if !dt.is_contiguous() {
+        let per_byte = mpi.profile().pack_per_byte_ns;
+        mpi.clock_mut()
+            .charge(VDur::from_nanos(p.len() as f64 * per_byte));
+    }
+    Ok(p)
+}
+
+fn unpack_block(
+    mpi: &mut Mpi,
+    data: &[u8],
+    count: usize,
+    dt: &Datatype,
+    out: &mut [u8],
+    elem_offset: usize,
+) -> MpiResult<()> {
+    let start = elem_offset * dt.extent();
+    let end = start + dt.span(count);
+    if out.len() < end {
+        return Err(MpiError::BufferTooSmall {
+            needed: end,
+            available: out.len(),
+        });
+    }
+    dt.unpack(data, count, &mut out[start..end])?;
+    if !dt.is_contiguous() {
+        let per_byte = mpi.profile().pack_per_byte_ns;
+        mpi.clock_mut()
+            .charge(VDur::from_nanos(data.len() as f64 * per_byte));
+    }
+    Ok(())
+}
+
+/// MPI_Alltoall (equal blocks of `count` elements).
+pub fn alltoall(
+    mpi: &mut Mpi,
+    send: &[u8],
+    recv: &mut [u8],
+    count: usize,
+    dt: &Datatype,
+    comm: CommHandle,
+) -> MpiResult<()> {
+    let c = cc(mpi, comm)?;
+    let p = c.size();
+    let me = c.me;
+
+    // Step 0: local block.
+    let own = pack_block(mpi, send, me * count, count, dt)?;
+    unpack_block(mpi, &own, count, dt, recv, me * count)?;
+
+    for s in 1..p {
+        let dst = (me + s) % p;
+        let src = (me + p - s) % p;
+        let out = pack_block(mpi, send, dst * count, count, dt)?;
+        let sreq = cisend(mpi, &c, &out, dst, tags::ALLTOALL)?;
+        let got = crecv(mpi, &c, count * dt.size(), src, tags::ALLTOALL)?;
+        mpi.engine_mut().wait(sreq)?;
+        unpack_block(mpi, &got, count, dt, recv, src * count)?;
+    }
+    Ok(())
+}
+
+/// MPI_Alltoallv: pairwise exchange with per-peer counts/displacements
+/// (all in elements).
+#[allow(clippy::too_many_arguments)]
+pub fn alltoallv(
+    mpi: &mut Mpi,
+    send: &[u8],
+    sendcounts: &[i32],
+    sdispls: &[i32],
+    recv: &mut [u8],
+    recvcounts: &[i32],
+    rdispls: &[i32],
+    dt: &Datatype,
+    comm: CommHandle,
+) -> MpiResult<()> {
+    let c = cc(mpi, comm)?;
+    let p = c.size();
+    let me = c.me;
+    if sendcounts.len() != p || sdispls.len() != p || recvcounts.len() != p || rdispls.len() != p {
+        return Err(MpiError::CollectiveMismatch(
+            "alltoallv counts/displs must have one entry per rank",
+        ));
+    }
+    for r in 0..p {
+        if sendcounts[r] < 0 || recvcounts[r] < 0 || sdispls[r] < 0 || rdispls[r] < 0 {
+            return Err(MpiError::InvalidCount {
+                count: sendcounts[r].min(recvcounts[r]).min(sdispls[r]).min(rdispls[r]),
+            });
+        }
+    }
+
+    let own = pack_block(mpi, send, sdispls[me] as usize, sendcounts[me] as usize, dt)?;
+    unpack_block(mpi, &own, recvcounts[me] as usize, dt, recv, rdispls[me] as usize)?;
+
+    for s in 1..p {
+        let dst = (me + s) % p;
+        let src = (me + p - s) % p;
+        let out = pack_block(mpi, send, sdispls[dst] as usize, sendcounts[dst] as usize, dt)?;
+        let sreq = cisend(mpi, &c, &out, dst, tags::ALLTOALL + 1)?;
+        let got = crecv(mpi, &c, recvcounts[src] as usize * dt.size(), src, tags::ALLTOALL + 1)?;
+        mpi.engine_mut().wait(sreq)?;
+        unpack_block(mpi, &got, recvcounts[src] as usize, dt, recv, rdispls[src] as usize)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,220 @@
+//! Groups and communicators.
+//!
+//! A [`Group`] is an ordered set of world ranks; a communicator is a group
+//! plus a *context* — the integer stream id that isolates its traffic from
+//! every other communicator's. Point-to-point traffic uses context
+//! `2 * base` and collective traffic `2 * base + 1`, mirroring how real
+//! MPI implementations keep a communicator's collectives from matching
+//! its user sends.
+
+use crate::error::{MpiError, MpiResult};
+
+/// An ordered set of distinct world ranks (MPI_Group).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    ranks: Vec<usize>,
+}
+
+impl Group {
+    /// Build a group from world ranks. Ranks must be distinct.
+    pub fn new(ranks: Vec<usize>) -> MpiResult<Group> {
+        let mut seen = ranks.clone();
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return Err(MpiError::InvalidGroup("duplicate ranks in group"));
+        }
+        Ok(Group { ranks })
+    }
+
+    /// The world ranks, in group order.
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// Number of members (MPI_Group_size).
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Group rank of `world_rank`, if a member (MPI_Group_rank).
+    pub fn rank_of(&self, world_rank: usize) -> Option<usize> {
+        self.ranks.iter().position(|&r| r == world_rank)
+    }
+
+    /// World rank of group member `group_rank`.
+    pub fn world_rank(&self, group_rank: usize) -> MpiResult<usize> {
+        self.ranks
+            .get(group_rank)
+            .copied()
+            .ok_or(MpiError::InvalidRank {
+                rank: group_rank as i32,
+                comm_size: self.size(),
+            })
+    }
+
+    /// Keep the listed members, in the listed order (MPI_Group_incl).
+    pub fn incl(&self, members: &[usize]) -> MpiResult<Group> {
+        let mut out = Vec::with_capacity(members.len());
+        for &m in members {
+            out.push(self.world_rank(m)?);
+        }
+        Group::new(out)
+    }
+
+    /// Remove the listed members (MPI_Group_excl).
+    pub fn excl(&self, members: &[usize]) -> MpiResult<Group> {
+        for &m in members {
+            if m >= self.size() {
+                return Err(MpiError::InvalidRank {
+                    rank: m as i32,
+                    comm_size: self.size(),
+                });
+            }
+        }
+        let out = self
+            .ranks
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !members.contains(i))
+            .map(|(_, &r)| r)
+            .collect();
+        Group::new(out)
+    }
+
+    /// Members of `self` followed by members of `other` not already
+    /// present (MPI_Group_union).
+    pub fn union(&self, other: &Group) -> Group {
+        let mut out = self.ranks.clone();
+        for &r in &other.ranks {
+            if !out.contains(&r) {
+                out.push(r);
+            }
+        }
+        Group { ranks: out }
+    }
+
+    /// Members of `self` that are also in `other`, in `self` order
+    /// (MPI_Group_intersection).
+    pub fn intersection(&self, other: &Group) -> Group {
+        Group {
+            ranks: self
+                .ranks
+                .iter()
+                .copied()
+                .filter(|r| other.ranks.contains(r))
+                .collect(),
+        }
+    }
+
+    /// Members of `self` not in `other` (MPI_Group_difference).
+    pub fn difference(&self, other: &Group) -> Group {
+        Group {
+            ranks: self
+                .ranks
+                .iter()
+                .copied()
+                .filter(|r| !other.ranks.contains(r))
+                .collect(),
+        }
+    }
+
+    /// Translate group ranks of `self` into group ranks of `other`
+    /// (MPI_Group_translate_ranks); `None` where not a member.
+    pub fn translate(&self, ranks: &[usize], other: &Group) -> MpiResult<Vec<Option<usize>>> {
+        ranks
+            .iter()
+            .map(|&r| self.world_rank(r).map(|w| other.rank_of(w)))
+            .collect()
+    }
+}
+
+/// Handle to a communicator owned by an [`crate::Mpi`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CommHandle(pub(crate) usize);
+
+/// MPI_COMM_WORLD: always handle 0.
+pub const COMM_WORLD: CommHandle = CommHandle(0);
+
+/// Internal communicator record.
+#[derive(Debug, Clone)]
+pub(crate) struct CommInfo {
+    /// Base context id; pt2pt uses `2*base`, collectives `2*base + 1`.
+    pub base_context: u32,
+    pub group: Group,
+    /// This process's rank within the communicator.
+    pub my_rank: usize,
+}
+
+impl CommInfo {
+    #[inline]
+    pub fn pt2pt_context(&self) -> u32 {
+        2 * self.base_context
+    }
+
+    #[inline]
+    pub fn coll_context(&self) -> u32 {
+        2 * self.base_context + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(v: &[usize]) -> Group {
+        Group::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn group_basics() {
+        let grp = g(&[4, 2, 7]);
+        assert_eq!(grp.size(), 3);
+        assert_eq!(grp.rank_of(2), Some(1));
+        assert_eq!(grp.rank_of(3), None);
+        assert_eq!(grp.world_rank(2).unwrap(), 7);
+        assert!(grp.world_rank(3).is_err());
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        assert!(Group::new(vec![1, 2, 1]).is_err());
+    }
+
+    #[test]
+    fn incl_excl() {
+        let grp = g(&[10, 11, 12, 13]);
+        assert_eq!(grp.incl(&[3, 0]).unwrap().ranks(), &[13, 10]);
+        assert_eq!(grp.excl(&[1, 2]).unwrap().ranks(), &[10, 13]);
+        assert!(grp.incl(&[9]).is_err());
+        assert!(grp.excl(&[9]).is_err());
+    }
+
+    #[test]
+    fn set_ops() {
+        let a = g(&[0, 1, 2]);
+        let b = g(&[2, 3]);
+        assert_eq!(a.union(&b).ranks(), &[0, 1, 2, 3]);
+        assert_eq!(a.intersection(&b).ranks(), &[2]);
+        assert_eq!(a.difference(&b).ranks(), &[0, 1]);
+    }
+
+    #[test]
+    fn translate_ranks() {
+        let a = g(&[5, 6, 7]);
+        let b = g(&[7, 5]);
+        let t = a.translate(&[0, 1, 2], &b).unwrap();
+        assert_eq!(t, vec![Some(1), None, Some(0)]);
+    }
+
+    #[test]
+    fn contexts_are_disjoint_streams() {
+        let c = CommInfo {
+            base_context: 3,
+            group: g(&[0, 1]),
+            my_rank: 0,
+        };
+        assert_eq!(c.pt2pt_context(), 6);
+        assert_eq!(c.coll_context(), 7);
+        assert_ne!(c.pt2pt_context(), c.coll_context());
+    }
+}

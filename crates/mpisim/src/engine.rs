@@ -1,0 +1,932 @@
+//! The per-rank progress engine: MPI point-to-point semantics (matching,
+//! eager and rendezvous protocols, requests) over a fabric endpoint.
+//!
+//! ## Protocols
+//!
+//! * **Eager** (payload ≤ path threshold): the sender copies the payload
+//!   into a bounce buffer (charged per byte), injects one message, and
+//!   completes immediately. The receiver pays a copy-out when it consumes
+//!   the message — plus an extra touch if the message arrived before the
+//!   receive was posted (unexpected queue).
+//! * **Rendezvous** (payload > threshold): the sender injects a small RTS
+//!   and completes only after the receiver's CTS arrives; the payload then
+//!   moves zero-copy (RDMA-style) — no per-byte CPU charge, only wire
+//!   serialization time.
+//!
+//! ## Virtual-time discipline
+//!
+//! The engine never advances its clock just because a message *popped out
+//! of the channel*; costs attach to the operation that consumes the
+//! message. This matters because the underlying channel delivers in real
+//! time order, which may interleave messages whose virtual arrivals are
+//! far apart. Control traffic (RTS/CTS) is handled "asynchronously" — the
+//! modern hardware-offloaded rendezvous — so it never inflates the
+//! receiver's application-visible clock.
+
+use std::collections::HashMap;
+
+use simfabric::{Delivery, Endpoint};
+use vtime::{Clock, VDur, VTime};
+
+use crate::error::{MpiError, MpiResult};
+use crate::profile::{PathParams, Profile};
+
+/// Wildcard source (MPI_ANY_SOURCE) for receive matching.
+pub const ANY_SOURCE: i32 = -1;
+/// Wildcard tag (MPI_ANY_TAG) for receive matching.
+pub const ANY_TAG: i32 = -2;
+/// Largest user tag; the collective layer uses tags above this.
+pub const TAG_UB: i32 = 1 << 24;
+
+/// Message envelope used for matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sender's world rank.
+    pub src: usize,
+    /// Message tag.
+    pub tag: i32,
+    /// Communication context (communicator id × pt2pt/collective stream).
+    pub context: u32,
+}
+
+/// Fabric payload exchanged between engines.
+#[derive(Debug, Clone)]
+pub enum Wire {
+    /// Eagerly sent message with inline payload.
+    Eager { env: Envelope, data: Box<[u8]> },
+    /// Rendezvous request-to-send.
+    Rts {
+        env: Envelope,
+        sender_req: u64,
+        nbytes: usize,
+    },
+    /// Clear-to-send, answering an RTS.
+    Cts { sender_req: u64 },
+    /// Rendezvous payload (conceptually an RDMA write).
+    RndvData { env: Envelope, data: Box<[u8]> },
+}
+
+/// Completion information for a receive (subset of MPI_Status).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// World rank of the sender.
+    pub source: usize,
+    /// Tag of the matched message.
+    pub tag: i32,
+    /// Payload bytes received.
+    pub bytes: usize,
+}
+
+/// Opaque request handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request(u64);
+
+/// What a posted receive is willing to match.
+#[derive(Debug, Clone, Copy)]
+struct MatchSpec {
+    context: u32,
+    src: Option<usize>,
+    tag: Option<i32>,
+}
+
+impl MatchSpec {
+    fn matches(&self, env: &Envelope) -> bool {
+        env.context == self.context
+            && self.src.map_or(true, |s| s == env.src)
+            && self.tag.map_or(true, |t| t == env.tag)
+    }
+}
+
+/// A message that arrived before a matching receive was posted.
+#[derive(Debug)]
+enum Unexpected {
+    Eager {
+        env: Envelope,
+        arrival: VTime,
+        data: Box<[u8]>,
+    },
+    Rts {
+        env: Envelope,
+        arrival: VTime,
+        sender_req: u64,
+        nbytes: usize,
+    },
+}
+
+impl Unexpected {
+    fn env(&self) -> &Envelope {
+        match self {
+            Unexpected::Eager { env, .. } | Unexpected::Rts { env, .. } => env,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum SendState {
+    /// Eager send: already complete at this instant.
+    EagerDone { complete_at: VTime },
+    /// Rendezvous: RTS injected, waiting for CTS.
+    AwaitCts { dst: usize, data: Box<[u8]>, env: Envelope },
+    /// Rendezvous payload injected.
+    RndvDone { complete_at: VTime },
+}
+
+#[derive(Debug)]
+enum RecvState {
+    /// Posted, nothing matched yet (records the posting instant so that
+    /// control responses are timed deterministically).
+    Posted { posted_at: VTime },
+    /// Matched an RTS and answered CTS; waiting for the payload.
+    AwaitData { src: usize },
+    /// Payload is here (not yet consumed by `wait`).
+    Ready {
+        env: Envelope,
+        arrival: VTime,
+        data: Box<[u8]>,
+        /// True if the message took the unexpected path (extra copy).
+        was_unexpected: bool,
+    },
+}
+
+#[derive(Debug)]
+enum ReqState {
+    Send(SendState),
+    Recv {
+        spec: MatchSpec,
+        capacity: usize,
+        state: RecvState,
+    },
+}
+
+/// A completed receive, returned by [`Engine::wait`].
+#[derive(Debug)]
+pub struct Completion {
+    /// Receive payload (empty for send requests).
+    pub data: Box<[u8]>,
+    /// Matching metadata.
+    pub status: Status,
+}
+
+/// The per-rank MPI progress engine.
+pub struct Engine {
+    ep: Endpoint<Wire>,
+    clock: Clock,
+    profile: Profile,
+    requests: HashMap<u64, ReqState>,
+    next_req: u64,
+    /// Receive requests in post order (for arrival-side matching).
+    posted: Vec<u64>,
+    /// Arrived-but-unmatched messages in arrival order.
+    unexpected: Vec<Unexpected>,
+}
+
+impl Engine {
+    /// Wrap a fabric endpoint with MPI semantics under `profile`.
+    pub fn new(ep: Endpoint<Wire>, profile: Profile) -> Self {
+        Engine {
+            ep,
+            clock: Clock::new(),
+            profile,
+            requests: HashMap::new(),
+            next_req: 1,
+            posted: Vec::new(),
+            unexpected: Vec::new(),
+        }
+    }
+
+    /// World rank of this engine.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.ep.rank()
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn world_size(&self) -> usize {
+        self.ep.size()
+    }
+
+    /// The library profile in force.
+    #[inline]
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// The fabric topology.
+    pub fn topology(&self) -> &simfabric::Topology {
+        self.ep.topology()
+    }
+
+    /// Mutable access to the rank's virtual clock (the bindings layer
+    /// charges JNI and copy costs here).
+    #[inline]
+    pub fn clock_mut(&mut self) -> &mut Clock {
+        &mut self.clock
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> VTime {
+        self.clock.now()
+    }
+
+    fn path_to(&self, dst: usize) -> &PathParams {
+        self.profile.path(self.ep.is_local(dst))
+    }
+
+    fn alloc_req(&mut self, st: ReqState) -> Request {
+        let id = self.next_req;
+        self.next_req += 1;
+        self.requests.insert(id, st);
+        Request(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Posting
+    // ------------------------------------------------------------------
+
+    /// Non-blocking send of a contiguous byte payload.
+    ///
+    /// The payload is captured immediately (MPI buffer-reuse semantics for
+    /// the simulation); timing follows the eager or rendezvous protocol.
+    pub fn isend_bytes(&mut self, data: &[u8], dst: usize, tag: i32, context: u32) -> MpiResult<Request> {
+        if dst >= self.world_size() {
+            return Err(MpiError::InvalidRank {
+                rank: dst as i32,
+                comm_size: self.world_size(),
+            });
+        }
+        let path = *self.path_to(dst);
+        let env = Envelope {
+            src: self.rank(),
+            tag,
+            context,
+        };
+        if data.len() <= path.eager_threshold {
+            // Eager: CPU copy into the bounce buffer, inject, done.
+            self.clock.charge(path.eager_copy(data.len()));
+            self.clock.charge(path.loggp.o_send());
+            let wire = path.header_bytes + data.len();
+            self.ep.send(
+                dst,
+                self.clock.now(),
+                wire,
+                &path.loggp,
+                Wire::Eager {
+                    env,
+                    data: data.into(),
+                },
+            );
+            Ok(self.alloc_req(ReqState::Send(SendState::EagerDone {
+                complete_at: self.clock.now(),
+            })))
+        } else {
+            // Rendezvous: inject RTS, park the payload until CTS.
+            self.clock.charge(path.loggp.o_send());
+            let req = self.alloc_req(ReqState::Send(SendState::AwaitCts {
+                dst,
+                data: data.into(),
+                env,
+            }));
+            let Request(id) = req;
+            self.ep.send(
+                dst,
+                self.clock.now(),
+                path.header_bytes,
+                &path.loggp,
+                Wire::Rts {
+                    env,
+                    sender_req: id,
+                    nbytes: data.len(),
+                },
+            );
+            Ok(req)
+        }
+    }
+
+    /// Non-blocking receive of up to `capacity` bytes.
+    ///
+    /// `src < 0` means [`ANY_SOURCE`]; `tag == ANY_TAG` matches any tag.
+    pub fn irecv_bytes(&mut self, capacity: usize, src: i32, tag: i32, context: u32) -> MpiResult<Request> {
+        if src >= self.world_size() as i32 {
+            return Err(MpiError::InvalidRank {
+                rank: src,
+                comm_size: self.world_size(),
+            });
+        }
+        // Note: internal collective traffic uses tags above TAG_UB; the
+        // user-facing tag range check lives in the `Mpi` facade.
+        if tag != ANY_TAG && tag < 0 {
+            return Err(MpiError::InvalidTag { tag });
+        }
+        let spec = MatchSpec {
+            context,
+            src: (src >= 0).then_some(src as usize),
+            tag: (tag != ANY_TAG).then_some(tag),
+        };
+        // First look at the unexpected queue (arrival order).
+        if let Some(pos) = self.unexpected.iter().position(|u| spec.matches(u.env())) {
+            let u = self.unexpected.remove(pos);
+            return self.match_unexpected(spec, capacity, u);
+        }
+        let posted_at = self.clock.now();
+        let req = self.alloc_req(ReqState::Recv {
+            spec,
+            capacity,
+            state: RecvState::Posted { posted_at },
+        });
+        self.posted.push(req.0);
+        Ok(req)
+    }
+
+    /// Consume a previously-unmatched message for a newly posted receive.
+    fn match_unexpected(&mut self, spec: MatchSpec, capacity: usize, u: Unexpected) -> MpiResult<Request> {
+        match u {
+            Unexpected::Eager { env, arrival, data } => {
+                if data.len() > capacity {
+                    return Err(MpiError::Truncated {
+                        incoming: data.len(),
+                        capacity,
+                    });
+                }
+                let was_unexpected = arrival < self.clock.now();
+                Ok(self.alloc_req(ReqState::Recv {
+                    spec,
+                    capacity,
+                    state: RecvState::Ready {
+                        env,
+                        arrival,
+                        data,
+                        was_unexpected,
+                    },
+                }))
+            }
+            Unexpected::Rts {
+                env,
+                arrival,
+                sender_req,
+                nbytes,
+            } => {
+                if nbytes > capacity {
+                    return Err(MpiError::Truncated {
+                        incoming: nbytes,
+                        capacity,
+                    });
+                }
+                // The sender has been waiting for us: CTS goes out at
+                // max(now, rts arrival) + handling.
+                let path = *self.path_to(env.src);
+                self.clock.merge(arrival);
+                self.clock.charge(VDur::from_nanos(path.cts_handling_ns));
+                let req = self.alloc_req(ReqState::Recv {
+                    spec,
+                    capacity,
+                    state: RecvState::AwaitData { src: env.src },
+                });
+                // The request must be findable when the payload arrives.
+                self.posted.push(req.0);
+                self.ep.send(
+                    env.src,
+                    self.clock.now(),
+                    path.header_bytes,
+                    &path.loggp,
+                    Wire::Cts { sender_req },
+                );
+                Ok(req)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Progress
+    // ------------------------------------------------------------------
+
+    /// Handle one delivery. Control traffic is processed "offloaded" (no
+    /// application clock charge); payload timing attaches at consumption.
+    fn handle(&mut self, d: Delivery<Wire>) {
+        match d.msg {
+            Wire::Eager { env, data } => {
+                if let Some(rid) = self.find_posted(&env) {
+                    let Some(ReqState::Recv { capacity, state, .. }) = self.requests.get_mut(&rid) else {
+                        unreachable!("posted list holds recv requests");
+                    };
+                    let RecvState::Posted { posted_at } = *state else {
+                        unreachable!("find_posted only returns Posted requests");
+                    };
+                    // Truncation surfaces at wait(); record ready state.
+                    // Whether the message took the unexpected path is a
+                    // *virtual-time* predicate (arrival before the receive
+                    // was posted), so it cannot depend on OS scheduling.
+                    let _ = capacity;
+                    *state = RecvState::Ready {
+                        env,
+                        arrival: d.arrival,
+                        data,
+                        was_unexpected: d.arrival < posted_at,
+                    };
+                } else {
+                    self.unexpected.push(Unexpected::Eager {
+                        env,
+                        arrival: d.arrival,
+                        data,
+                    });
+                }
+            }
+            Wire::Rts {
+                env,
+                sender_req,
+                nbytes,
+            } => {
+                if let Some(rid) = self.find_posted(&env) {
+                    // Receive already posted: answer CTS now. Handled as
+                    // offloaded progress: timed from the RTS arrival, not
+                    // from the application clock.
+                    let path = *self.path_to(env.src);
+                    let Some(ReqState::Recv { capacity, state, .. }) = self.requests.get_mut(&rid) else {
+                        unreachable!("posted list holds recv requests");
+                    };
+                    let RecvState::Posted { posted_at } = *state else {
+                        unreachable!("find_posted only returns Posted requests");
+                    };
+                    // Offloaded rendezvous: the CTS goes out when both the
+                    // RTS has arrived and the receive was posted —
+                    // independent of what the CPU happens to be doing.
+                    let t = posted_at.max(d.arrival) + VDur::from_nanos(path.cts_handling_ns);
+                    let _ = nbytes.min(*capacity); // truncation checked at data arrival
+                    *state = RecvState::AwaitData { src: env.src };
+                    self.ep.send(
+                        env.src,
+                        t,
+                        path.header_bytes,
+                        &path.loggp,
+                        Wire::Cts { sender_req },
+                    );
+                } else {
+                    self.unexpected.push(Unexpected::Rts {
+                        env,
+                        arrival: d.arrival,
+                        sender_req,
+                        nbytes,
+                    });
+                }
+            }
+            Wire::Cts { sender_req } => {
+                let Some(ReqState::Send(st)) = self.requests.get_mut(&sender_req) else {
+                    panic!("CTS for unknown send request {sender_req}");
+                };
+                let SendState::AwaitCts { dst, data, env } = std::mem::replace(
+                    st,
+                    SendState::RndvDone {
+                        complete_at: VTime::ZERO,
+                    },
+                ) else {
+                    panic!("CTS for send request not awaiting CTS");
+                };
+                // Inject the payload. With hardware-offloaded rendezvous
+                // (RDMA read/write) the transfer starts when the CTS
+                // arrives at the NIC, independent of the CPU.
+                let path = *self.path_to(dst);
+                let t = d.arrival + path.loggp.o_send();
+                let wire = path.header_bytes + data.len();
+                self.ep.send(dst, t, wire, &path.loggp, Wire::RndvData { env, data });
+                let Some(ReqState::Send(st)) = self.requests.get_mut(&sender_req) else {
+                    unreachable!();
+                };
+                *st = SendState::RndvDone { complete_at: t };
+            }
+            Wire::RndvData { env, data } => {
+                // Find the AwaitData receive matching this source/context.
+                let rid = self
+                    .posted
+                    .iter()
+                    .copied()
+                    .find(|id| {
+                        matches!(
+                            self.requests.get(id),
+                            Some(ReqState::Recv {
+                                spec,
+                                state: RecvState::AwaitData { src },
+                                ..
+                            }) if *src == env.src && spec.matches(&env)
+                        )
+                    })
+                    .expect("rendezvous data without a matching posted receive");
+                let Some(ReqState::Recv { state, .. }) = self.requests.get_mut(&rid) else {
+                    unreachable!();
+                };
+                *state = RecvState::Ready {
+                    env,
+                    arrival: d.arrival,
+                    data,
+                    was_unexpected: false,
+                };
+            }
+        }
+    }
+
+    /// Find the oldest posted receive matching `env` and detach it from
+    /// the posted list if it is still in `Posted` state.
+    fn find_posted(&mut self, env: &Envelope) -> Option<u64> {
+        let idx = self.posted.iter().position(|id| {
+            matches!(
+                self.requests.get(id),
+                Some(ReqState::Recv {
+                    spec,
+                    state: RecvState::Posted { .. },
+                    ..
+                }) if spec.matches(env)
+            )
+        })?;
+        Some(self.posted[idx])
+    }
+
+    fn is_complete(&self, req: Request) -> bool {
+        match self.requests.get(&req.0) {
+            Some(ReqState::Send(SendState::EagerDone { .. }))
+            | Some(ReqState::Send(SendState::RndvDone { .. }))
+            | Some(ReqState::Recv {
+                state: RecvState::Ready { .. },
+                ..
+            }) => true,
+            _ => false,
+        }
+    }
+
+    /// Block until `req` completes; consume it and charge its costs.
+    pub fn wait(&mut self, req: Request) -> MpiResult<Completion> {
+        if !self.requests.contains_key(&req.0) {
+            return Err(MpiError::InvalidRequest);
+        }
+        while !self.is_complete(req) {
+            let d = self.ep.recv_blocking();
+            self.handle(d);
+        }
+        self.finish(req)
+    }
+
+    /// Non-blocking completion check. Drains any pending deliveries, then
+    /// returns the completion if `req` is done.
+    pub fn test(&mut self, req: Request) -> MpiResult<Option<Completion>> {
+        if !self.requests.contains_key(&req.0) {
+            return Err(MpiError::InvalidRequest);
+        }
+        while let Some(d) = self.ep.try_recv() {
+            self.handle(d);
+        }
+        if self.is_complete(req) {
+            self.finish(req).map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Consume a completed request: charge consumption costs, advance the
+    /// clock, and return the payload.
+    fn finish(&mut self, req: Request) -> MpiResult<Completion> {
+        let state = self.requests.remove(&req.0).ok_or(MpiError::InvalidRequest)?;
+        match state {
+            ReqState::Send(SendState::EagerDone { complete_at })
+            | ReqState::Send(SendState::RndvDone { complete_at }) => {
+                self.clock.merge(complete_at);
+                Ok(Completion {
+                    data: Box::new([]),
+                    status: Status {
+                        source: self.rank(),
+                        tag: 0,
+                        bytes: 0,
+                    },
+                })
+            }
+            ReqState::Send(SendState::AwaitCts { .. }) => {
+                unreachable!("wait loop returned before send completion")
+            }
+            ReqState::Recv {
+                capacity,
+                state:
+                    RecvState::Ready {
+                        env,
+                        arrival,
+                        data,
+                        was_unexpected,
+                    },
+                ..
+            } => {
+                self.posted.retain(|&id| id != req.0);
+                if data.len() > capacity {
+                    return Err(MpiError::Truncated {
+                        incoming: data.len(),
+                        capacity,
+                    });
+                }
+                let path = *self.path_to(env.src);
+                self.clock.merge(arrival);
+                self.clock.charge(path.loggp.o_recv());
+                if data.len() <= path.eager_threshold {
+                    // Eager copy-out of the bounce buffer.
+                    self.clock.charge(path.recv_copy(data.len()));
+                    if was_unexpected {
+                        self.clock.charge(path.unexpected_extra(data.len()));
+                    }
+                }
+                Ok(Completion {
+                    data,
+                    status: Status {
+                        source: env.src,
+                        tag: env.tag,
+                        bytes: 0, // filled by caller from data.len()
+                    },
+                })
+            }
+            ReqState::Recv { .. } => unreachable!("wait loop returned before recv completion"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Blocking conveniences
+    // ------------------------------------------------------------------
+
+    /// Blocking send.
+    pub fn send_bytes(&mut self, data: &[u8], dst: usize, tag: i32, context: u32) -> MpiResult<()> {
+        let r = self.isend_bytes(data, dst, tag, context)?;
+        self.wait(r).map(|_| ())
+    }
+
+    /// Blocking receive; returns the payload and its status.
+    pub fn recv_bytes(&mut self, capacity: usize, src: i32, tag: i32, context: u32) -> MpiResult<(Box<[u8]>, Status)> {
+        let r = self.irecv_bytes(capacity, src, tag, context)?;
+        let c = self.wait(r)?;
+        let bytes = c.data.len();
+        Ok((
+            c.data,
+            Status {
+                bytes,
+                ..c.status
+            },
+        ))
+    }
+
+    /// Fabric-level injection counters (for tests/ablations).
+    pub fn fabric_stats(&self) -> simfabric::SendStats {
+        self.ep.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+    use simfabric::{run_cluster, Topology};
+
+    fn run2<R: Send>(f: impl Fn(&mut Engine) -> R + Sync) -> Vec<R> {
+        run_cluster(Topology::new(2, 1), |ep| {
+            let mut e = Engine::new(ep, Profile::mvapich2());
+            f(&mut e)
+        })
+    }
+
+    #[test]
+    fn eager_roundtrip() {
+        let data: Vec<u8> = (0..64).collect();
+        let expect = data.clone();
+        run2(move |e| {
+            if e.rank() == 0 {
+                e.send_bytes(&data, 1, 7, 0).unwrap();
+            } else {
+                let (got, st) = e.recv_bytes(1024, 0, 7, 0).unwrap();
+                assert_eq!(&got[..], &expect[..]);
+                assert_eq!(st.source, 0);
+                assert_eq!(st.tag, 7);
+                assert_eq!(st.bytes, 64);
+                assert!(e.now() > VTime::ZERO);
+            }
+        });
+    }
+
+    #[test]
+    fn rendezvous_roundtrip() {
+        // Force rendezvous by exceeding every eager threshold.
+        let n = 1 << 20;
+        run2(move |e| {
+            if e.rank() == 0 {
+                let data = vec![0xA5u8; n];
+                e.send_bytes(&data, 1, 0, 0).unwrap();
+            } else {
+                let (got, st) = e.recv_bytes(n, 0, 0, 0).unwrap();
+                assert_eq!(got.len(), n);
+                assert!(got.iter().all(|&b| b == 0xA5));
+                assert_eq!(st.bytes, n);
+            }
+        });
+    }
+
+    #[test]
+    fn unexpected_message_is_matched_later() {
+        run2(|e| {
+            if e.rank() == 0 {
+                e.send_bytes(&[1, 2, 3], 1, 5, 0).unwrap();
+                e.send_bytes(&[9], 1, 6, 0).unwrap();
+            } else {
+                // Receive the *second* message first: the first lands in
+                // the unexpected queue, then is matched by the later recv.
+                let (b, _) = e.recv_bytes(16, 0, 6, 0).unwrap();
+                assert_eq!(&b[..], &[9]);
+                let (a, _) = e.recv_bytes(16, 0, 5, 0).unwrap();
+                assert_eq!(&a[..], &[1, 2, 3]);
+            }
+        });
+    }
+
+    #[test]
+    fn tag_and_source_wildcards() {
+        run2(|e| {
+            if e.rank() == 0 {
+                e.send_bytes(&[42], 1, 17, 0).unwrap();
+            } else {
+                let (b, st) = e.recv_bytes(8, ANY_SOURCE, ANY_TAG, 0).unwrap();
+                assert_eq!(&b[..], &[42]);
+                assert_eq!(st.source, 0);
+                assert_eq!(st.tag, 17);
+            }
+        });
+    }
+
+    #[test]
+    fn non_overtaking_same_tag() {
+        run2(|e| {
+            if e.rank() == 0 {
+                for i in 0..10u8 {
+                    e.send_bytes(&[i], 1, 3, 0).unwrap();
+                }
+            } else {
+                for i in 0..10u8 {
+                    let (b, _) = e.recv_bytes(8, 0, 3, 0).unwrap();
+                    assert_eq!(b[0], i, "messages must not overtake");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn truncation_error_eager() {
+        run2(|e| {
+            if e.rank() == 0 {
+                e.send_bytes(&[0u8; 100], 1, 0, 0).unwrap();
+            } else {
+                let err = e.recv_bytes(10, 0, 0, 0).unwrap_err();
+                assert!(matches!(err, MpiError::Truncated { incoming: 100, capacity: 10 }));
+            }
+        });
+    }
+
+    #[test]
+    fn nonblocking_overlap() {
+        run2(|e| {
+            if e.rank() == 0 {
+                let r1 = e.isend_bytes(&[1], 1, 1, 0).unwrap();
+                let r2 = e.isend_bytes(&[2], 1, 2, 0).unwrap();
+                e.wait(r1).unwrap();
+                e.wait(r2).unwrap();
+            } else {
+                let r2 = e.irecv_bytes(8, 0, 2, 0).unwrap();
+                let r1 = e.irecv_bytes(8, 0, 1, 0).unwrap();
+                let c2 = e.wait(r2).unwrap();
+                let c1 = e.wait(r1).unwrap();
+                assert_eq!(&c1.data[..], &[1]);
+                assert_eq!(&c2.data[..], &[2]);
+            }
+        });
+    }
+
+    #[test]
+    fn test_polls_without_blocking() {
+        run2(|e| {
+            if e.rank() == 0 {
+                // Wait until rank 1 signals, then send.
+                let (_, _) = e.recv_bytes(1, 1, 9, 0).unwrap();
+                e.send_bytes(&[7], 1, 0, 0).unwrap();
+            } else {
+                let r = e.irecv_bytes(8, 0, 0, 0).unwrap();
+                assert!(e.test(r).unwrap().is_none(), "nothing sent yet");
+                e.send_bytes(&[], 0, 9, 0).unwrap();
+                // Spin on test until completion.
+                let c = loop {
+                    if let Some(c) = e.test(r).unwrap() {
+                        break c;
+                    }
+                    std::thread::yield_now();
+                };
+                assert_eq!(&c.data[..], &[7]);
+            }
+        });
+    }
+
+    #[test]
+    fn wait_on_consumed_request_errors() {
+        run2(|e| {
+            if e.rank() == 0 {
+                let r = e.isend_bytes(&[1], 1, 0, 0).unwrap();
+                e.wait(r).unwrap();
+                assert!(matches!(e.wait(r), Err(MpiError::InvalidRequest)));
+            } else {
+                let _ = e.recv_bytes(8, 0, 0, 0).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn invalid_rank_rejected() {
+        run2(|e| {
+            assert!(matches!(
+                e.isend_bytes(&[1], 99, 0, 0),
+                Err(MpiError::InvalidRank { .. })
+            ));
+        });
+    }
+
+    #[test]
+    fn rendezvous_sender_blocks_until_recv_posted() {
+        // Timing property: sender completion time must be at least one
+        // round trip after the receiver posts.
+        let n = 1 << 20;
+        let times = run2(move |e| {
+            if e.rank() == 0 {
+                let data = vec![1u8; n];
+                e.send_bytes(&data, 1, 0, 0).unwrap();
+                e.now().as_nanos()
+            } else {
+                // Delay posting the receive by 1 ms of virtual compute.
+                e.clock_mut().charge(VDur::from_micros(1000.0));
+                let _ = e.recv_bytes(n, 0, 0, 0).unwrap();
+                e.now().as_nanos()
+            }
+        });
+        assert!(
+            times[0] > 1_000_000.0,
+            "sender should not complete before receiver posted (got {}ns)",
+            times[0]
+        );
+    }
+
+    #[test]
+    fn eager_sender_does_not_block() {
+        let times = run2(|e| {
+            if e.rank() == 0 {
+                e.send_bytes(&[0u8; 16], 1, 0, 0).unwrap();
+                e.now().as_nanos()
+            } else {
+                e.clock_mut().charge(VDur::from_micros(1000.0));
+                let _ = e.recv_bytes(16, 0, 0, 0).unwrap();
+                e.now().as_nanos()
+            }
+        });
+        assert!(
+            times[0] < 10_000.0,
+            "eager sender must complete locally (got {}ns)",
+            times[0]
+        );
+    }
+
+    #[test]
+    fn contexts_isolate_traffic() {
+        run2(|e| {
+            if e.rank() == 0 {
+                e.send_bytes(&[1], 1, 0, 42).unwrap();
+                e.send_bytes(&[2], 1, 0, 43).unwrap();
+            } else {
+                // Same tag, different contexts: matching must respect the
+                // context even when posted in reverse order.
+                let (b43, _) = e.recv_bytes(8, 0, 0, 43).unwrap();
+                let (b42, _) = e.recv_bytes(8, 0, 0, 42).unwrap();
+                assert_eq!(&b43[..], &[2]);
+                assert_eq!(&b42[..], &[1]);
+            }
+        });
+    }
+
+    #[test]
+    fn ping_pong_latency_is_symmetric_and_deterministic() {
+        let run = || {
+            run2(|e| {
+                let iters = 10;
+                if e.rank() == 0 {
+                    let t0 = e.now();
+                    for _ in 0..iters {
+                        e.send_bytes(&[0u8; 8], 1, 0, 0).unwrap();
+                        let _ = e.recv_bytes(8, 1, 0, 0).unwrap();
+                    }
+                    (e.now() - t0).as_nanos() / iters as f64
+                } else {
+                    for _ in 0..iters {
+                        let _ = e.recv_bytes(8, 0, 0, 0).unwrap();
+                        e.send_bytes(&[0u8; 8], 0, 0, 0).unwrap();
+                    }
+                    0.0
+                }
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "virtual timing must be deterministic");
+        assert!(a[0] > 0.0);
+    }
+}

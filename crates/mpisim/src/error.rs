@@ -1,0 +1,105 @@
+//! Error classes mirroring the MPI error classes the bindings surface.
+
+use std::fmt;
+
+/// Errors raised by the simulated native MPI library (and surfaced by the
+/// Java-style bindings as `MPIException`s).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// Receive buffer too small for the matched message (MPI_ERR_TRUNCATE).
+    Truncated {
+        /// Bytes in the incoming message.
+        incoming: usize,
+        /// Bytes the posted receive could hold.
+        capacity: usize,
+    },
+    /// Rank argument outside the communicator (MPI_ERR_RANK).
+    InvalidRank { rank: i32, comm_size: usize },
+    /// Negative or otherwise invalid count (MPI_ERR_COUNT).
+    InvalidCount { count: i32 },
+    /// Tag outside the valid range (MPI_ERR_TAG).
+    InvalidTag { tag: i32 },
+    /// Buffer too small for `count` elements of the datatype
+    /// (MPI_ERR_BUFFER).
+    BufferTooSmall { needed: usize, available: usize },
+    /// Operation/datatype combination not defined (MPI_ERR_OP), e.g.
+    /// bitwise AND on FLOAT.
+    InvalidOpForType { op: &'static str, datatype: &'static str },
+    /// The feature exists in the MPI standard but this library (profile)
+    /// does not support it — used to model Open MPI-J's missing
+    /// array/non-blocking combination.
+    Unsupported(&'static str),
+    /// Request handle already completed/freed (MPI_ERR_REQUEST).
+    InvalidRequest,
+    /// Communicator handle unknown (MPI_ERR_COMM).
+    InvalidComm,
+    /// Group operation given inconsistent arguments (MPI_ERR_GROUP).
+    InvalidGroup(&'static str),
+    /// Mismatched collective participation detected (programming error in
+    /// the simulated application).
+    CollectiveMismatch(&'static str),
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::Truncated { incoming, capacity } => write!(
+                f,
+                "MPI_ERR_TRUNCATE: message of {incoming} bytes does not fit posted receive of {capacity} bytes"
+            ),
+            MpiError::InvalidRank { rank, comm_size } => {
+                write!(f, "MPI_ERR_RANK: rank {rank} invalid in communicator of size {comm_size}")
+            }
+            MpiError::InvalidCount { count } => write!(f, "MPI_ERR_COUNT: invalid count {count}"),
+            MpiError::InvalidTag { tag } => write!(f, "MPI_ERR_TAG: invalid tag {tag}"),
+            MpiError::BufferTooSmall { needed, available } => write!(
+                f,
+                "MPI_ERR_BUFFER: operation needs {needed} bytes but buffer holds {available}"
+            ),
+            MpiError::InvalidOpForType { op, datatype } => {
+                write!(f, "MPI_ERR_OP: reduction {op} undefined for {datatype}")
+            }
+            MpiError::Unsupported(what) => write!(f, "unsupported by this library: {what}"),
+            MpiError::InvalidRequest => write!(f, "MPI_ERR_REQUEST: invalid or completed request"),
+            MpiError::InvalidComm => write!(f, "MPI_ERR_COMM: invalid communicator"),
+            MpiError::InvalidGroup(why) => write!(f, "MPI_ERR_GROUP: {why}"),
+            MpiError::CollectiveMismatch(why) => {
+                write!(f, "collective participation mismatch: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// Result alias used across the native library and the bindings.
+pub type MpiResult<T> = Result<T, MpiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MpiError::Truncated {
+            incoming: 100,
+            capacity: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100"));
+        assert!(s.contains("10"));
+        assert!(s.contains("TRUNCATE"));
+    }
+
+    #[test]
+    fn errors_compare() {
+        assert_eq!(
+            MpiError::Unsupported("x"),
+            MpiError::Unsupported("x")
+        );
+        assert_ne!(
+            MpiError::InvalidRank { rank: 1, comm_size: 1 },
+            MpiError::InvalidRank { rank: 2, comm_size: 1 }
+        );
+    }
+}

@@ -1,0 +1,629 @@
+//! The per-rank native MPI facade: typed point-to-point over the progress
+//! engine, communicator management, and entry points to the collectives.
+//!
+//! This is the API surface the Java-style bindings call through the
+//! JNI-analog boundary — the equivalent of `MPI_Send`, `MPI_Irecv`,
+//! `MPI_Bcast`, `MPI_Comm_split`, … in the native library.
+
+use simfabric::{run_cluster, Endpoint, Topology};
+use vtime::{Clock, VDur, VTime};
+
+use crate::coll;
+use crate::comm::{CommHandle, CommInfo, Group, COMM_WORLD};
+use crate::datatype::Datatype;
+use crate::engine::{Engine, Request, Status, Wire};
+use crate::error::{MpiError, MpiResult};
+use crate::op::ReduceOp;
+use crate::profile::Profile;
+
+/// A request returned by the non-blocking typed operations.
+#[derive(Debug)]
+pub struct MpiRequest {
+    raw: Request,
+    /// For receives: the datatype/count needed to unpack at completion.
+    recv: Option<(Datatype, usize)>,
+    /// Communicator the operation was posted on (status translation).
+    comm: CommHandle,
+}
+
+impl MpiRequest {
+    /// Whether this is a receive request (completion carries data).
+    pub fn is_recv(&self) -> bool {
+        self.recv.is_some()
+    }
+}
+
+/// The per-rank native MPI library instance.
+pub struct Mpi {
+    eng: Engine,
+    comms: Vec<Option<CommInfo>>,
+    next_context: u32,
+}
+
+/// Run an MPI "job": one thread per rank under `topo`, each executing `f`
+/// with its own [`Mpi`] instance configured with `profile`.
+pub fn run_mpi<R, F>(topo: Topology, profile: Profile, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Mpi) -> R + Sync,
+{
+    run_cluster::<Wire, R, _>(topo, |ep| {
+        let mut mpi = Mpi::new(ep, profile);
+        f(&mut mpi)
+    })
+}
+
+impl Mpi {
+    /// Wrap a fabric endpoint. `MPI_COMM_WORLD` covers all ranks.
+    pub fn new(ep: Endpoint<Wire>, profile: Profile) -> Self {
+        let world = CommInfo {
+            base_context: 0,
+            group: Group::new((0..ep.size()).collect()).expect("world ranks are distinct"),
+            my_rank: ep.rank(),
+        };
+        Mpi {
+            eng: Engine::new(ep, profile),
+            comms: vec![Some(world)],
+            next_context: 1,
+        }
+    }
+
+    /// MPI_COMM_WORLD.
+    #[inline]
+    pub fn world(&self) -> CommHandle {
+        COMM_WORLD
+    }
+
+    pub(crate) fn info(&self, comm: CommHandle) -> MpiResult<&CommInfo> {
+        self.comms
+            .get(comm.0)
+            .and_then(|c| c.as_ref())
+            .ok_or(MpiError::InvalidComm)
+    }
+
+    pub(crate) fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.eng
+    }
+
+    /// This process's rank in `comm`.
+    pub fn rank(&self, comm: CommHandle) -> MpiResult<usize> {
+        Ok(self.info(comm)?.my_rank)
+    }
+
+    /// Size of `comm`.
+    pub fn size(&self, comm: CommHandle) -> MpiResult<usize> {
+        Ok(self.info(comm)?.group.size())
+    }
+
+    /// The group of `comm` (MPI_Comm_group).
+    pub fn comm_group(&self, comm: CommHandle) -> MpiResult<Group> {
+        Ok(self.info(comm)?.group.clone())
+    }
+
+    /// The library profile in force.
+    pub fn profile(&self) -> &Profile {
+        self.eng.profile()
+    }
+
+    /// The fabric topology (nodes × ppn).
+    pub fn topology(&self) -> &Topology {
+        self.eng.topology()
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> VTime {
+        self.eng.now()
+    }
+
+    /// MPI_Wtime in (virtual) seconds.
+    #[inline]
+    pub fn wtime(&self) -> f64 {
+        self.eng.now().as_secs()
+    }
+
+    /// Mutable clock access for layers above (JNI/runtime costs).
+    #[inline]
+    pub fn clock_mut(&mut self) -> &mut Clock {
+        self.eng.clock_mut()
+    }
+
+    // ------------------------------------------------------------------
+    // Typed point-to-point
+    // ------------------------------------------------------------------
+
+    fn check_count(count: i32) -> MpiResult<usize> {
+        if count < 0 {
+            Err(MpiError::InvalidCount { count })
+        } else {
+            Ok(count as usize)
+        }
+    }
+
+    fn world_dst(&self, comm: CommHandle, dst: usize) -> MpiResult<usize> {
+        let info = self.info(comm)?;
+        info.group.world_rank(dst).map_err(|_| MpiError::InvalidRank {
+            rank: dst as i32,
+            comm_size: info.group.size(),
+        })
+    }
+
+    /// Prepare the dense payload for `count` elements of `dt` from `buf`,
+    /// charging the native pack engine for non-contiguous layouts.
+    fn pack_payload(&mut self, buf: &[u8], count: usize, dt: &Datatype) -> MpiResult<Vec<u8>> {
+        let payload = dt.pack(buf, count)?;
+        if !dt.is_contiguous() {
+            let per_byte = self.eng.profile().pack_per_byte_ns;
+            self.eng
+                .clock_mut()
+                .charge(VDur::from_nanos(payload.len() as f64 * per_byte));
+        }
+        Ok(payload)
+    }
+
+    /// Blocking standard-mode send (MPI_Send).
+    pub fn send(
+        &mut self,
+        buf: &[u8],
+        count: i32,
+        dt: &Datatype,
+        dst: usize,
+        tag: i32,
+        comm: CommHandle,
+    ) -> MpiResult<()> {
+        let r = self.isend(buf, count, dt, dst, tag, comm)?;
+        self.wait(r, None).map(|_| ())
+    }
+
+    /// Blocking receive (MPI_Recv). Returns a status with the source as a
+    /// communicator rank.
+    pub fn recv(
+        &mut self,
+        buf: &mut [u8],
+        count: i32,
+        dt: &Datatype,
+        src: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> MpiResult<Status> {
+        let r = self.irecv(count, dt, src, tag, comm)?;
+        self.wait(r, Some(buf))
+    }
+
+    /// Non-blocking send (MPI_Isend).
+    pub fn isend(
+        &mut self,
+        buf: &[u8],
+        count: i32,
+        dt: &Datatype,
+        dst: usize,
+        tag: i32,
+        comm: CommHandle,
+    ) -> MpiResult<MpiRequest> {
+        let count = Self::check_count(count)?;
+        if !(0..=crate::engine::TAG_UB).contains(&tag) {
+            return Err(MpiError::InvalidTag { tag });
+        }
+        let wdst = self.world_dst(comm, dst)?;
+        let ctx = self.info(comm)?.pt2pt_context();
+        let payload = self.pack_payload(buf, count, dt)?;
+        let raw = self.eng.isend_bytes(&payload, wdst, tag, ctx)?;
+        Ok(MpiRequest {
+            raw,
+            recv: None,
+            comm,
+        })
+    }
+
+    /// Non-blocking receive (MPI_Irecv). `src < 0` is MPI_ANY_SOURCE
+    /// (communicator-relative otherwise).
+    pub fn irecv(
+        &mut self,
+        count: i32,
+        dt: &Datatype,
+        src: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> MpiResult<MpiRequest> {
+        let count = Self::check_count(count)?;
+        if tag != crate::engine::ANY_TAG && !(0..=crate::engine::TAG_UB).contains(&tag) {
+            return Err(MpiError::InvalidTag { tag });
+        }
+        let info = self.info(comm)?;
+        let ctx = info.pt2pt_context();
+        let wsrc = if src < 0 {
+            -1
+        } else {
+            info.group.world_rank(src as usize)? as i32
+        };
+        let cap = dt.size() * count;
+        let raw = self.eng.irecv_bytes(cap, wsrc, tag, ctx)?;
+        Ok(MpiRequest {
+            raw,
+            recv: Some((dt.clone(), count)),
+            comm,
+        })
+    }
+
+    /// Wait for completion (MPI_Wait). Receive requests require the
+    /// destination buffer; send requests ignore it.
+    pub fn wait(&mut self, req: MpiRequest, buf: Option<&mut [u8]>) -> MpiResult<Status> {
+        let completion = self.eng.wait(req.raw)?;
+        let source = self
+            .info(req.comm)?
+            .group
+            .rank_of(completion.status.source)
+            .unwrap_or(usize::MAX);
+        let completion = crate::engine::Completion {
+            data: completion.data,
+            status: Status {
+                source,
+                ..completion.status
+            },
+        };
+        match req.recv {
+            None => Ok(completion.status),
+            Some((dt, count)) => {
+                let bytes = completion.data.len();
+                let out = buf.ok_or(MpiError::BufferTooSmall {
+                    needed: bytes,
+                    available: 0,
+                })?;
+                dt.unpack(&completion.data, count, out)?;
+                if !dt.is_contiguous() {
+                    let per_byte = self.eng.profile().pack_per_byte_ns;
+                    self.eng
+                        .clock_mut()
+                        .charge(VDur::from_nanos(bytes as f64 * per_byte));
+                }
+                Ok(Status {
+                    bytes,
+                    ..completion.status
+                })
+            }
+        }
+    }
+
+    /// Non-blocking completion test (MPI_Test). On completion of a
+    /// receive, the payload is unpacked into `buf`.
+    pub fn test(&mut self, req: &MpiRequest, buf: Option<&mut [u8]>) -> MpiResult<Option<Status>> {
+        match self.eng.test(req.raw)? {
+            None => Ok(None),
+            Some(completion) => {
+                let source = self
+                    .info(req.comm)?
+                    .group
+                    .rank_of(completion.status.source)
+                    .unwrap_or(usize::MAX);
+                let completion = crate::engine::Completion {
+                    data: completion.data,
+                    status: Status {
+                        source,
+                        ..completion.status
+                    },
+                };
+                match &req.recv {
+                    None => Ok(Some(completion.status)),
+                    Some((dt, count)) => {
+                        let bytes = completion.data.len();
+                        let out = buf.ok_or(MpiError::BufferTooSmall {
+                            needed: bytes,
+                            available: 0,
+                        })?;
+                        dt.unpack(&completion.data, *count, out)?;
+                        Ok(Some(Status {
+                            bytes,
+                            ..completion.status
+                        }))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Translate a world rank in a status to a communicator rank.
+    pub fn comm_rank_of_world(&self, comm: CommHandle, world: usize) -> MpiResult<Option<usize>> {
+        Ok(self.info(comm)?.group.rank_of(world))
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives (algorithm selection lives in `coll`)
+    // ------------------------------------------------------------------
+
+    /// MPI_Barrier.
+    pub fn barrier(&mut self, comm: CommHandle) -> MpiResult<()> {
+        coll::barrier(self, comm)
+    }
+
+    /// MPI_Bcast over `count` elements of `dt` in `buf`.
+    pub fn bcast(
+        &mut self,
+        buf: &mut [u8],
+        count: i32,
+        dt: &Datatype,
+        root: usize,
+        comm: CommHandle,
+    ) -> MpiResult<()> {
+        let count = Self::check_count(count)?;
+        coll::bcast(self, buf, count, dt, root, comm)
+    }
+
+    /// MPI_Reduce. `recv` must be `Some` on the root.
+    pub fn reduce(
+        &mut self,
+        send: &[u8],
+        recv: Option<&mut [u8]>,
+        count: i32,
+        dt: &Datatype,
+        op: ReduceOp,
+        root: usize,
+        comm: CommHandle,
+    ) -> MpiResult<()> {
+        let count = Self::check_count(count)?;
+        coll::reduce(self, send, recv, count, dt, op, root, comm)
+    }
+
+    /// MPI_Allreduce.
+    pub fn allreduce(
+        &mut self,
+        send: &[u8],
+        recv: &mut [u8],
+        count: i32,
+        dt: &Datatype,
+        op: ReduceOp,
+        comm: CommHandle,
+    ) -> MpiResult<()> {
+        let count = Self::check_count(count)?;
+        coll::allreduce(self, send, recv, count, dt, op, comm)
+    }
+
+    /// MPI_Gather (equal contributions). `recv` significant at root.
+    pub fn gather(
+        &mut self,
+        send: &[u8],
+        recv: Option<&mut [u8]>,
+        count: i32,
+        dt: &Datatype,
+        root: usize,
+        comm: CommHandle,
+    ) -> MpiResult<()> {
+        let count = Self::check_count(count)?;
+        coll::gather(self, send, recv, count, dt, root, comm)
+    }
+
+    /// MPI_Gatherv. `recvcounts`/`displs` are in elements, significant at
+    /// root.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gatherv(
+        &mut self,
+        send: &[u8],
+        sendcount: i32,
+        recv: Option<&mut [u8]>,
+        recvcounts: &[i32],
+        displs: &[i32],
+        dt: &Datatype,
+        root: usize,
+        comm: CommHandle,
+    ) -> MpiResult<()> {
+        let sendcount = Self::check_count(sendcount)?;
+        coll::gatherv(self, send, sendcount, recv, recvcounts, displs, dt, root, comm)
+    }
+
+    /// MPI_Scatter (equal blocks). `send` significant at root.
+    pub fn scatter(
+        &mut self,
+        send: Option<&[u8]>,
+        recv: &mut [u8],
+        count: i32,
+        dt: &Datatype,
+        root: usize,
+        comm: CommHandle,
+    ) -> MpiResult<()> {
+        let count = Self::check_count(count)?;
+        coll::scatter(self, send, recv, count, dt, root, comm)
+    }
+
+    /// MPI_Scatterv.
+    #[allow(clippy::too_many_arguments)]
+    pub fn scatterv(
+        &mut self,
+        send: Option<&[u8]>,
+        sendcounts: &[i32],
+        displs: &[i32],
+        recv: &mut [u8],
+        recvcount: i32,
+        dt: &Datatype,
+        root: usize,
+        comm: CommHandle,
+    ) -> MpiResult<()> {
+        let recvcount = Self::check_count(recvcount)?;
+        coll::scatterv(self, send, sendcounts, displs, recv, recvcount, dt, root, comm)
+    }
+
+    /// MPI_Allgather (equal contributions).
+    pub fn allgather(
+        &mut self,
+        send: &[u8],
+        recv: &mut [u8],
+        count: i32,
+        dt: &Datatype,
+        comm: CommHandle,
+    ) -> MpiResult<()> {
+        let count = Self::check_count(count)?;
+        coll::allgather(self, send, recv, count, dt, comm)
+    }
+
+    /// MPI_Allgatherv.
+    pub fn allgatherv(
+        &mut self,
+        send: &[u8],
+        sendcount: i32,
+        recv: &mut [u8],
+        recvcounts: &[i32],
+        displs: &[i32],
+        dt: &Datatype,
+        comm: CommHandle,
+    ) -> MpiResult<()> {
+        let sendcount = Self::check_count(sendcount)?;
+        coll::allgatherv(self, send, sendcount, recv, recvcounts, displs, dt, comm)
+    }
+
+    /// MPI_Alltoall (equal blocks).
+    pub fn alltoall(
+        &mut self,
+        send: &[u8],
+        recv: &mut [u8],
+        count: i32,
+        dt: &Datatype,
+        comm: CommHandle,
+    ) -> MpiResult<()> {
+        let count = Self::check_count(count)?;
+        coll::alltoall(self, send, recv, count, dt, comm)
+    }
+
+    /// MPI_Alltoallv.
+    #[allow(clippy::too_many_arguments)]
+    pub fn alltoallv(
+        &mut self,
+        send: &[u8],
+        sendcounts: &[i32],
+        sdispls: &[i32],
+        recv: &mut [u8],
+        recvcounts: &[i32],
+        rdispls: &[i32],
+        dt: &Datatype,
+        comm: CommHandle,
+    ) -> MpiResult<()> {
+        coll::alltoallv(self, send, sendcounts, sdispls, recv, recvcounts, rdispls, dt, comm)
+    }
+
+    // ------------------------------------------------------------------
+    // Communicator management
+    // ------------------------------------------------------------------
+
+    fn push_comm(&mut self, info: CommInfo) -> CommHandle {
+        self.comms.push(Some(info));
+        CommHandle(self.comms.len() - 1)
+    }
+
+    /// Agree on a fresh base context across the members of `comm`
+    /// (allreduce-MAX of the local proposals, like real MPI's context-id
+    /// agreement).
+    fn agree_context(&mut self, comm: CommHandle) -> MpiResult<u32> {
+        let mine = self.next_context;
+        let mut out = [0u8; 4];
+        self.allreduce(
+            &mine.to_le_bytes(),
+            &mut out,
+            1,
+            &crate::datatype::INT,
+            ReduceOp::Max,
+            comm,
+        )?;
+        let agreed = u32::from_le_bytes(out);
+        self.next_context = agreed + 1;
+        Ok(agreed)
+    }
+
+    /// MPI_Comm_dup: same group, fresh context.
+    pub fn comm_dup(&mut self, comm: CommHandle) -> MpiResult<CommHandle> {
+        let ctx = self.agree_context(comm)?;
+        let info = self.info(comm)?;
+        let dup = CommInfo {
+            base_context: ctx,
+            group: info.group.clone(),
+            my_rank: info.my_rank,
+        };
+        Ok(self.push_comm(dup))
+    }
+
+    /// MPI_Comm_split. `color < 0` means MPI_UNDEFINED (no communicator
+    /// for this process). Members are ordered by `(key, parent rank)`.
+    pub fn comm_split(
+        &mut self,
+        comm: CommHandle,
+        color: i32,
+        key: i32,
+    ) -> MpiResult<Option<CommHandle>> {
+        let (my_rank, size) = {
+            let info = self.info(comm)?;
+            (info.my_rank, info.group.size())
+        };
+        // Allgather (color, key) over the parent communicator.
+        let mut mine = [0u8; 8];
+        mine[..4].copy_from_slice(&color.to_le_bytes());
+        mine[4..].copy_from_slice(&key.to_le_bytes());
+        let mut all = vec![0u8; 8 * size];
+        self.allgather(&mine, &mut all, 8, &crate::datatype::BYTE, comm)?;
+        let ctx = self.agree_context(comm)?;
+        if color < 0 {
+            return Ok(None);
+        }
+        // Members with my color, sorted by (key, parent rank).
+        let mut members: Vec<(i32, usize)> = (0..size)
+            .filter_map(|r| {
+                let c = i32::from_le_bytes(all[8 * r..8 * r + 4].try_into().unwrap());
+                let k = i32::from_le_bytes(all[8 * r + 4..8 * r + 8].try_into().unwrap());
+                (c == color).then_some((k, r))
+            })
+            .collect();
+        members.sort_unstable();
+        let parent_group = self.info(comm)?.group.clone();
+        let world_ranks: Vec<usize> = members
+            .iter()
+            .map(|&(_, r)| parent_group.world_rank(r).expect("member of parent"))
+            .collect();
+        let my_new = members
+            .iter()
+            .position(|&(_, r)| r == my_rank)
+            .expect("caller has this color");
+        let info = CommInfo {
+            base_context: ctx,
+            group: Group::new(world_ranks)?,
+            my_rank: my_new,
+        };
+        Ok(Some(self.push_comm(info)))
+    }
+
+    /// MPI_Comm_create: collective over `comm`; returns a communicator
+    /// only on members of `group`.
+    pub fn comm_create(
+        &mut self,
+        comm: CommHandle,
+        group: &Group,
+    ) -> MpiResult<Option<CommHandle>> {
+        let ctx = self.agree_context(comm)?;
+        let my_world = {
+            let info = self.info(comm)?;
+            info.group.world_rank(info.my_rank)?
+        };
+        match group.rank_of(my_world) {
+            None => Ok(None),
+            Some(my_rank) => {
+                let info = CommInfo {
+                    base_context: ctx,
+                    group: group.clone(),
+                    my_rank,
+                };
+                Ok(Some(self.push_comm(info)))
+            }
+        }
+    }
+
+    /// MPI_Comm_free. The world communicator cannot be freed.
+    pub fn comm_free(&mut self, comm: CommHandle) -> MpiResult<()> {
+        if comm == COMM_WORLD {
+            return Err(MpiError::InvalidComm);
+        }
+        let slot = self.comms.get_mut(comm.0).ok_or(MpiError::InvalidComm)?;
+        if slot.take().is_none() {
+            return Err(MpiError::InvalidComm);
+        }
+        Ok(())
+    }
+
+    /// Fabric-level traffic counters for this rank.
+    pub fn fabric_stats(&self) -> simfabric::SendStats {
+        self.eng.fabric_stats()
+    }
+}

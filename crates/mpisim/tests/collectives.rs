@@ -1,0 +1,395 @@
+//! Cross-algorithm correctness tests for the collective operations: every
+//! profile (and therefore every algorithm family) must produce the same
+//! results as a sequential reference, across communicator sizes that hit
+//! power-of-two and non-power-of-two paths, and payload sizes that hit
+//! the small/large algorithm switchovers.
+
+use mpisim::datatype::{DOUBLE, INT};
+use mpisim::{run_mpi, BasicType, Datatype, Profile, ReduceOp};
+use simfabric::Topology;
+
+fn ints(v: &[i32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+fn to_ints(b: &[u8]) -> Vec<i32> {
+    b.chunks_exact(4)
+        .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn doubles(v: &[f64]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+fn to_doubles(b: &[u8]) -> Vec<f64> {
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn profiles() -> [Profile; 2] {
+    [Profile::mvapich2(), Profile::openmpi_ucx()]
+}
+
+/// Topologies covering single-node, multi-node, and non-power-of-two
+/// shapes (both with and without full nodes).
+fn topologies() -> Vec<Topology> {
+    vec![
+        Topology::new(1, 2),
+        Topology::new(1, 5),
+        Topology::new(2, 2),
+        Topology::new(2, 3),
+        Topology::new(3, 4),
+        Topology::new(4, 4),
+    ]
+}
+
+#[test]
+fn bcast_matches_reference_all_profiles() {
+    for profile in profiles() {
+        for topo in topologies() {
+            // Cover binomial (small), scatter-allgather / chain (large),
+            // and two-level paths.
+            for count in [1usize, 7, 64, 3000, 20000] {
+                for root in [0usize, topo.size() - 1] {
+                    let want: Vec<i32> = (0..count as i32).map(|i| i * 3 + 1).collect();
+                    let want2 = want.clone();
+                    let res = run_mpi(topo, profile, move |mpi| {
+                        let w = mpi.world();
+                        let me = mpi.rank(w).unwrap();
+                        let mut buf = if me == root {
+                            ints(&want2)
+                        } else {
+                            vec![0u8; 4 * count]
+                        };
+                        mpi.bcast(&mut buf, count as i32, &INT, root, w).unwrap();
+                        to_ints(&buf)
+                    });
+                    for (r, got) in res.iter().enumerate() {
+                        assert_eq!(
+                            got, &want,
+                            "bcast {} nodes={} ppn={} count={count} root={root} rank={r}",
+                            profile.name,
+                            topo.nodes(),
+                            topo.ppn()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn allreduce_sum_matches_reference_all_profiles() {
+    for profile in profiles() {
+        for topo in topologies() {
+            let p = topo.size() as i32;
+            // Cover recursive doubling (small) and Rabenseifner (large).
+            for count in [1usize, 13, 4096, 40000] {
+                let res = run_mpi(topo, profile, move |mpi| {
+                    let w = mpi.world();
+                    let me = mpi.rank(w).unwrap() as i32;
+                    let mine: Vec<i32> = (0..count as i32).map(|i| me * 1000 + i).collect();
+                    let send = ints(&mine);
+                    let mut recv = vec![0u8; 4 * count];
+                    mpi.allreduce(&send, &mut recv, count as i32, &INT, ReduceOp::Sum, w)
+                        .unwrap();
+                    to_ints(&recv)
+                });
+                let want: Vec<i32> = (0..count as i32)
+                    .map(|i| (0..p).map(|r| r * 1000 + i).sum())
+                    .collect();
+                for (r, got) in res.iter().enumerate() {
+                    assert_eq!(
+                        got, &want,
+                        "allreduce {} nodes={} ppn={} count={count} rank={r}",
+                        profile.name,
+                        topo.nodes(),
+                        topo.ppn()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn allreduce_all_ops_small_cluster() {
+    let ops = [
+        ReduceOp::Sum,
+        ReduceOp::Prod,
+        ReduceOp::Min,
+        ReduceOp::Max,
+        ReduceOp::Band,
+        ReduceOp::Bor,
+        ReduceOp::Bxor,
+        ReduceOp::Land,
+        ReduceOp::Lor,
+    ];
+    let topo = Topology::new(2, 3);
+    let p = topo.size();
+    for op in ops {
+        let res = run_mpi(topo, Profile::mvapich2(), move |mpi| {
+            let w = mpi.world();
+            let me = mpi.rank(w).unwrap() as i32;
+            let mine = [me + 1, me % 2, 7 - me];
+            let send = ints(&mine);
+            let mut recv = vec![0u8; 12];
+            mpi.allreduce(&send, &mut recv, 3, &INT, op, w).unwrap();
+            to_ints(&recv)
+        });
+        // Sequential reference.
+        let inputs: Vec<[i32; 3]> = (0..p as i32).map(|me| [me + 1, me % 2, 7 - me]).collect();
+        let mut want = inputs[0].to_vec();
+        for inp in &inputs[1..] {
+            for (a, &b) in want.iter_mut().zip(inp.iter()) {
+                *a = match op {
+                    ReduceOp::Sum => a.wrapping_add(b),
+                    ReduceOp::Prod => a.wrapping_mul(b),
+                    ReduceOp::Min => (*a).min(b),
+                    ReduceOp::Max => (*a).max(b),
+                    ReduceOp::Band => *a & b,
+                    ReduceOp::Bor => *a | b,
+                    ReduceOp::Bxor => *a ^ b,
+                    ReduceOp::Land => ((*a != 0) && (b != 0)) as i32,
+                    ReduceOp::Lor => ((*a != 0) || (b != 0)) as i32,
+                };
+            }
+        }
+        for got in &res {
+            assert_eq!(got, &want, "op {:?}", op);
+        }
+    }
+}
+
+#[test]
+fn reduce_doubles_to_root() {
+    for profile in profiles() {
+        let topo = Topology::new(2, 4);
+        let p = topo.size();
+        let res = run_mpi(topo, profile, move |mpi| {
+            let w = mpi.world();
+            let me = mpi.rank(w).unwrap();
+            let mine = [me as f64, 0.5];
+            let send = doubles(&mine);
+            let mut recv = vec![0u8; 16];
+            let out = (me == 2).then_some(&mut recv[..]);
+            mpi.reduce(&send, out, 2, &DOUBLE, ReduceOp::Sum, 2, w).unwrap();
+            (me == 2).then(|| to_doubles(&recv))
+        });
+        let got = res[2].clone().unwrap();
+        let n = p as f64;
+        assert!((got[0] - n * (n - 1.0) / 2.0).abs() < 1e-9);
+        assert!((got[1] - 0.5 * n).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn allgather_assembles_rank_order() {
+    for profile in profiles() {
+        for topo in [Topology::new(1, 4), Topology::new(2, 3)] {
+            let p = topo.size();
+            let res = run_mpi(topo, profile, move |mpi| {
+                let w = mpi.world();
+                let me = mpi.rank(w).unwrap() as i32;
+                let send = ints(&[me, -me]);
+                let mut recv = vec![0u8; 8 * p];
+                mpi.allgather(&send, &mut recv, 2, &INT, w).unwrap();
+                to_ints(&recv)
+            });
+            let want: Vec<i32> = (0..p as i32).flat_map(|r| [r, -r]).collect();
+            for got in &res {
+                assert_eq!(got, &want);
+            }
+        }
+    }
+}
+
+#[test]
+fn allgatherv_uneven_blocks() {
+    let topo = Topology::new(2, 2);
+    let res = run_mpi(topo, Profile::openmpi_ucx(), |mpi| {
+        let w = mpi.world();
+        let me = mpi.rank(w).unwrap();
+        let mine: Vec<i32> = (0..=me as i32).collect(); // me+1 elements
+        let send = ints(&mine);
+        let recvcounts = [1i32, 2, 3, 4];
+        let displs = [0i32, 1, 3, 6];
+        let mut recv = vec![0u8; 40];
+        mpi.allgatherv(&send, me as i32 + 1, &mut recv, &recvcounts, &displs, &INT, w)
+            .unwrap();
+        to_ints(&recv)
+    });
+    let want = vec![0, 0, 1, 0, 1, 2, 0, 1, 2, 3];
+    for got in &res {
+        assert_eq!(got, &want);
+    }
+}
+
+#[test]
+fn alltoall_transposes_blocks() {
+    for topo in [Topology::new(1, 3), Topology::new(2, 2)] {
+        let p = topo.size();
+        let res = run_mpi(topo, Profile::mvapich2(), move |mpi| {
+            let w = mpi.world();
+            let me = mpi.rank(w).unwrap() as i32;
+            // Block for destination d: [me*100 + d].
+            let send: Vec<i32> = (0..p as i32).map(|d| me * 100 + d).collect();
+            let mut recv = vec![0u8; 4 * p];
+            mpi.alltoall(&ints(&send), &mut recv, 1, &INT, w).unwrap();
+            to_ints(&recv)
+        });
+        for (r, got) in res.iter().enumerate() {
+            let want: Vec<i32> = (0..p as i32).map(|s| s * 100 + r as i32).collect();
+            assert_eq!(got, &want);
+        }
+    }
+}
+
+#[test]
+fn alltoallv_irregular() {
+    let topo = Topology::new(1, 3);
+    // Rank r sends r+1 copies of (100*r + d) to each destination d.
+    let res = run_mpi(topo, Profile::openmpi_ucx(), |mpi| {
+        let w = mpi.world();
+        let me = mpi.rank(w).unwrap() as i32;
+        let p = 3i32;
+        let cnt = me + 1;
+        let mut send = Vec::new();
+        for d in 0..p {
+            for _ in 0..cnt {
+                send.push(100 * me + d);
+            }
+        }
+        let sendcounts = [cnt; 3];
+        let sdispls = [0, cnt, 2 * cnt];
+        let recvcounts = [1i32, 2, 3];
+        let rdispls = [0i32, 1, 3];
+        let mut recv = vec![0u8; 4 * 6];
+        mpi.alltoallv(
+            &ints(&send),
+            &sendcounts,
+            &sdispls,
+            &mut recv,
+            &recvcounts,
+            &rdispls,
+            &INT,
+            w,
+        )
+        .unwrap();
+        to_ints(&recv)
+    });
+    // Rank r receives from s: (s+1) copies of 100*s + r.
+    for (r, got) in res.iter().enumerate() {
+        let mut want = Vec::new();
+        for s in 0..3i32 {
+            for _ in 0..=s {
+                want.push(100 * s + r as i32);
+            }
+        }
+        assert_eq!(got, &want, "rank {r}");
+    }
+}
+
+#[test]
+fn barrier_roughly_aligns_clocks() {
+    let topo = Topology::new(2, 4);
+    let times = run_mpi(topo, Profile::mvapich2(), |mpi| {
+        let w = mpi.world();
+        let me = mpi.rank(w).unwrap();
+        // Skew the ranks heavily before the barrier.
+        mpi.clock_mut()
+            .charge(vtime::VDur::from_micros(me as f64 * 50.0));
+        mpi.barrier(w).unwrap();
+        mpi.now().as_micros()
+    });
+    let slowest_entry = 7.0 * 50.0;
+    for t in &times {
+        assert!(
+            *t >= slowest_entry,
+            "no rank may leave the barrier before the slowest entered (t={t})"
+        );
+        assert!(*t < slowest_entry + 100.0, "barrier overhead is bounded (t={t})");
+    }
+}
+
+#[test]
+fn bcast_with_vector_datatype() {
+    // Derived-datatype broadcast: a strided column.
+    let vec_dt = Datatype::vector(4, 1, 3, Datatype::Basic(BasicType::Int)).unwrap();
+    let ext_ints = 10; // ((4-1)*3 + 1) = 10 ints per element
+    let res = run_mpi(Topology::new(2, 2), Profile::mvapich2(), move |mpi| {
+        let w = mpi.world();
+        let me = mpi.rank(w).unwrap();
+        let mut region = vec![-1i32; ext_ints];
+        if me == 0 {
+            for k in 0..4 {
+                region[k * 3] = (k as i32 + 1) * 11;
+            }
+        }
+        let mut buf = ints(&region);
+        mpi.bcast(&mut buf, 1, &vec_dt, 0, w).unwrap();
+        to_ints(&buf)
+    });
+    for (r, got) in res.iter().enumerate() {
+        for k in 0..4 {
+            assert_eq!(got[k * 3], (k as i32 + 1) * 11, "rank {r} stride slot {k}");
+        }
+        if r != 0 {
+            // Gaps must be untouched on receivers.
+            assert_eq!(got[1], -1);
+            assert_eq!(got[2], -1);
+        }
+    }
+}
+
+#[test]
+fn collectives_are_deterministic() {
+    let run = || {
+        run_mpi(Topology::new(2, 4), Profile::mvapich2(), |mpi| {
+            let w = mpi.world();
+            let me = mpi.rank(w).unwrap() as i32;
+            let send = ints(&vec![me; 2048]);
+            let mut recv = vec![0u8; 4 * 2048];
+            mpi.allreduce(&send, &mut recv, 2048, &INT, ReduceOp::Sum, w)
+                .unwrap();
+            let mut b = ints(&vec![me; 512]);
+            mpi.bcast(&mut b, 512, &INT, 0, w).unwrap();
+            mpi.barrier(w).unwrap();
+            mpi.now().as_nanos()
+        })
+    };
+    assert_eq!(run(), run(), "collective timing must be bit-deterministic");
+}
+
+#[test]
+fn hierarchical_collectives_beat_flat_on_multinode() {
+    // The structural property behind Figures 14-17: with everything else
+    // equal, the MVAPICH2 profile's collectives finish faster on a
+    // 4x16 cluster.
+    let topo = Topology::new(4, 8); // 32 ranks (test-sized)
+    let time_for = |profile: Profile| {
+        let times = run_mpi(topo, profile, move |mpi| {
+            let w = mpi.world();
+            let me = mpi.rank(w).unwrap() as i32;
+            mpi.barrier(w).unwrap();
+            let t0 = mpi.now();
+            for _ in 0..5 {
+                let send = ints(&vec![me; 256]);
+                let mut recv = vec![0u8; 4 * 256];
+                mpi.allreduce(&send, &mut recv, 256, &INT, ReduceOp::Sum, w)
+                    .unwrap();
+            }
+            (mpi.now() - t0).as_nanos()
+        });
+        times.iter().copied().fold(0.0f64, f64::max)
+    };
+    let mv = time_for(Profile::mvapich2());
+    let om = time_for(Profile::openmpi_ucx());
+    assert!(
+        om > 1.3 * mv,
+        "Open MPI profile should be clearly slower on multi-node allreduce: mv={mv} om={om}"
+    );
+}

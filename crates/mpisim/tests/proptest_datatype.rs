@@ -1,0 +1,148 @@
+//! Property tests for the datatype pack engine and reduction ops.
+
+use mpisim::datatype::{BasicType, Datatype};
+use mpisim::{op, ReduceOp};
+use proptest::prelude::*;
+
+fn arb_basic() -> impl Strategy<Value = BasicType> {
+    prop_oneof![
+        Just(BasicType::Byte),
+        Just(BasicType::Char),
+        Just(BasicType::Short),
+        Just(BasicType::Int),
+        Just(BasicType::Long),
+        Just(BasicType::Float),
+        Just(BasicType::Double),
+    ]
+}
+
+/// Arbitrary (possibly derived) datatype with bounded nesting.
+fn arb_datatype() -> impl Strategy<Value = Datatype> {
+    let basic = arb_basic().prop_map(Datatype::Basic);
+    basic.prop_recursive(2, 8, 4, |inner| {
+        prop_oneof![
+            (1usize..4, inner.clone())
+                .prop_map(|(count, base)| Datatype::contiguous(count, base)),
+            (1usize..4, 1usize..3, 0usize..4, inner.clone()).prop_filter_map(
+                "valid vector",
+                |(count, blocklength, extra, base)| {
+                    let stride = blocklength + extra;
+                    Datatype::vector(count, blocklength, stride, base).ok()
+                }
+            ),
+            proptest::collection::vec((0usize..3, 1usize..3), 1..4).prop_flat_map(
+                move |blocks| {
+                    // Convert (gap, len) pairs into non-overlapping
+                    // (displacement, len) blocks.
+                    let mut disp = 0;
+                    let mut out = Vec::new();
+                    for (gap, len) in blocks {
+                        disp += gap;
+                        out.push((disp, len));
+                        disp += len;
+                    }
+                    let inner = inner.clone();
+                    inner.prop_map(move |base| {
+                        Datatype::indexed(out.clone(), base).expect("non-overlapping")
+                    })
+                }
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn segments_are_sorted_disjoint_and_sum_to_size(dt in arb_datatype()) {
+        let segs = dt.segments();
+        let mut end = 0usize;
+        let mut total = 0usize;
+        for &(off, len) in &segs {
+            prop_assert!(off >= end, "segments must not overlap or go backwards");
+            prop_assert!(len > 0);
+            end = off + len;
+            total += len;
+        }
+        prop_assert_eq!(total, dt.size());
+        prop_assert!(end <= dt.extent().max(end));
+    }
+
+    #[test]
+    fn pack_unpack_roundtrips(dt in arb_datatype(), count in 0usize..5, seed in any::<u64>()) {
+        let span = dt.span(count).max(dt.extent() * count);
+        let mut src = vec![0u8; span.max(1)];
+        let mut s = seed;
+        for b in src.iter_mut() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *b = (s >> 56) as u8;
+        }
+        let packed = dt.pack(&src, count).unwrap();
+        prop_assert_eq!(packed.len(), dt.size() * count);
+        let mut dst = vec![0u8; src.len()];
+        dt.unpack(&packed, count, &mut dst).unwrap();
+        // Every byte covered by the typemap roundtrips.
+        let ext = dt.extent();
+        for i in 0..count {
+            for &(off, len) in &dt.segments() {
+                let a = &src[i * ext + off..i * ext + off + len];
+                let b = &dst[i * ext + off..i * ext + off + len];
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_ops_match_scalar_reference(
+        a in proptest::collection::vec(any::<i32>(), 1..16),
+        b_seed in any::<u64>(),
+        op in prop_oneof![
+            Just(ReduceOp::Sum), Just(ReduceOp::Prod), Just(ReduceOp::Min),
+            Just(ReduceOp::Max), Just(ReduceOp::Band), Just(ReduceOp::Bor),
+            Just(ReduceOp::Bxor), Just(ReduceOp::Land), Just(ReduceOp::Lor),
+        ],
+    ) {
+        let mut s = b_seed;
+        let b: Vec<i32> = a.iter().map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 33) as i32
+        }).collect();
+        let mut acc: Vec<u8> = a.iter().flat_map(|x| x.to_le_bytes()).collect();
+        let src: Vec<u8> = b.iter().flat_map(|x| x.to_le_bytes()).collect();
+        op::apply(op, &mpisim::datatype::INT, &mut acc, &src).unwrap();
+        let got: Vec<i32> = acc.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect();
+        for i in 0..a.len() {
+            let want = match op {
+                ReduceOp::Sum => a[i].wrapping_add(b[i]),
+                ReduceOp::Prod => a[i].wrapping_mul(b[i]),
+                ReduceOp::Min => a[i].min(b[i]),
+                ReduceOp::Max => a[i].max(b[i]),
+                ReduceOp::Band => a[i] & b[i],
+                ReduceOp::Bor => a[i] | b[i],
+                ReduceOp::Bxor => a[i] ^ b[i],
+                ReduceOp::Land => ((a[i] != 0) && (b[i] != 0)) as i32,
+                ReduceOp::Lor => ((a[i] != 0) || (b[i] != 0)) as i32,
+            };
+            prop_assert_eq!(got[i], want);
+        }
+    }
+
+    #[test]
+    fn commutative_ops_commute(
+        a in proptest::collection::vec(any::<i64>(), 1..8),
+        b in proptest::collection::vec(any::<i64>(), 1..8),
+        op in prop_oneof![
+            Just(ReduceOp::Sum), Just(ReduceOp::Min), Just(ReduceOp::Max),
+            Just(ReduceOp::Band), Just(ReduceOp::Bor), Just(ReduceOp::Bxor),
+        ],
+    ) {
+        let n = a.len().min(b.len());
+        let bytes = |v: &[i64]| -> Vec<u8> { v[..n].iter().flat_map(|x| x.to_le_bytes()).collect() };
+        let mut ab = bytes(&a);
+        op::apply(op, &mpisim::datatype::LONG, &mut ab, &bytes(&b)).unwrap();
+        let mut ba = bytes(&b);
+        op::apply(op, &mpisim::datatype::LONG, &mut ba, &bytes(&a)).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+}

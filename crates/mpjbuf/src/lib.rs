@@ -1,0 +1,19 @@
+//! `mpjbuf` — the buffering layer (Section IV-A of the paper).
+//!
+//! MVAPICH2-J communicates Java arrays by staging them through pooled
+//! direct ByteBuffers: the pool ([`BufferPool`]) amortizes the high cost
+//! of `allocateDirect`, and the staging buffer ([`Buffer`]) provides the
+//! paper's Listing-1 interface — `write`/`read` for all primitive types,
+//! section headers, encodings, and `commit`/`clear`/`free` — plus the
+//! raw-staging fast path the bindings use for ordinary array messages.
+//!
+//! Because staging copies are *explicit*, subsets of arrays and scattered
+//! (derived-datatype) element layouts can be gathered into contiguous
+//! wire bytes — the two capabilities the paper highlights over the
+//! `Get<Type>ArrayElements` approach.
+
+pub mod buffer;
+pub mod pool;
+
+pub use buffer::{Buffer, SECTION_HEADER_BYTES};
+pub use pool::{BufferPool, PoolStats};

@@ -1,0 +1,215 @@
+//! The direct-buffer pool.
+//!
+//! "The proposed buffering layer avoids the overhead of creating a
+//! ByteBuffer every time a message comprising of Java arrays is
+//! communicated" — direct buffers are expensive to create
+//! (`MemCosts::direct_alloc_fixed_ns`), so the pool keeps freed buffers on
+//! power-of-two free lists and reuses them for the cost of a list pop.
+
+use mrt::{DirectBuffer, Runtime};
+use vtime::{Clock, VDur};
+
+/// Pool behaviour counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquisitions served from a free list.
+    pub hits: u64,
+    /// Acquisitions that had to allocate a fresh direct buffer.
+    pub misses: u64,
+    /// Buffers returned to the pool.
+    pub releases: u64,
+    /// Buffers currently lent out.
+    pub outstanding: u64,
+    /// Bytes currently parked on free lists.
+    pub pooled_bytes: usize,
+}
+
+/// Smallest size class: 256 B.
+const MIN_CLASS: u32 = 8;
+/// Largest size class: 64 MiB.
+const MAX_CLASS: u32 = 26;
+
+/// A pool of direct ByteBuffers in power-of-two size classes.
+pub struct BufferPool {
+    classes: Vec<Vec<DirectBuffer>>,
+    /// Cap on buffers parked per class (excess is freed on release).
+    per_class_limit: usize,
+    stats: PoolStats,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BufferPool {
+    /// Empty pool with the default per-class retention limit (8).
+    pub fn new() -> Self {
+        Self::with_limit(8)
+    }
+
+    /// Empty pool retaining at most `per_class_limit` buffers per class.
+    pub fn with_limit(per_class_limit: usize) -> Self {
+        BufferPool {
+            classes: vec![Vec::new(); (MAX_CLASS - MIN_CLASS + 1) as usize],
+            per_class_limit,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    fn class_of(size: usize) -> u32 {
+        let bits = usize::BITS - size.max(1).saturating_sub(1).leading_zeros();
+        bits.clamp(MIN_CLASS, MAX_CLASS)
+    }
+
+    /// Capacity a request of `size` bytes is rounded up to.
+    pub fn rounded(size: usize) -> usize {
+        1usize << Self::class_of(size)
+    }
+
+    /// Acquire a direct buffer of at least `size` bytes.
+    pub fn acquire(&mut self, rt: &mut Runtime, clock: &mut Clock, size: usize) -> DirectBuffer {
+        assert!(
+            size <= 1 << MAX_CLASS,
+            "message of {size} bytes exceeds the largest pool class"
+        );
+        let class = Self::class_of(size);
+        let idx = (class - MIN_CLASS) as usize;
+        self.stats.outstanding += 1;
+        if let Some(buf) = self.classes[idx].pop() {
+            self.stats.hits += 1;
+            self.stats.pooled_bytes -= buf.capacity();
+            clock.charge(VDur::from_nanos(rt.cost().pool.acquire_hit_ns));
+            buf
+        } else {
+            self.stats.misses += 1;
+            rt.allocate_direct(1usize << class, clock)
+        }
+    }
+
+    /// Return a buffer to the pool (or free it if the class is full).
+    pub fn release(&mut self, rt: &mut Runtime, clock: &mut Clock, buf: DirectBuffer) {
+        let class = Self::class_of(buf.capacity());
+        debug_assert_eq!(1usize << class, buf.capacity(), "pool only sees its own buffers");
+        let idx = (class - MIN_CLASS) as usize;
+        self.stats.releases += 1;
+        self.stats.outstanding = self.stats.outstanding.saturating_sub(1);
+        clock.charge(VDur::from_nanos(rt.cost().pool.release_ns));
+        if self.classes[idx].len() < self.per_class_limit {
+            self.stats.pooled_bytes += buf.capacity();
+            self.classes[idx].push(buf);
+        } else {
+            rt.free_direct(buf, clock).expect("pool buffer is live");
+        }
+    }
+
+    /// Free every parked buffer (shutdown).
+    pub fn drain(&mut self, rt: &mut Runtime, clock: &mut Clock) {
+        for list in &mut self.classes {
+            for buf in list.drain(..) {
+                rt.free_direct(buf, clock).expect("pool buffer is live");
+            }
+        }
+        self.stats.pooled_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtime::CostModel;
+
+    fn setup() -> (Runtime, Clock) {
+        (Runtime::new(CostModel::default()), Clock::new())
+    }
+
+    #[test]
+    fn size_classes_round_up_to_powers_of_two() {
+        assert_eq!(BufferPool::rounded(1), 256);
+        assert_eq!(BufferPool::rounded(256), 256);
+        assert_eq!(BufferPool::rounded(257), 512);
+        assert_eq!(BufferPool::rounded(100_000), 1 << 17);
+    }
+
+    #[test]
+    fn reuse_hits_after_release() {
+        let (mut rt, mut c) = setup();
+        let mut pool = BufferPool::new();
+        let b1 = pool.acquire(&mut rt, &mut c, 1000);
+        assert_eq!(b1.capacity(), 1024);
+        pool.release(&mut rt, &mut c, b1);
+        let b2 = pool.acquire(&mut rt, &mut c, 900);
+        assert_eq!(b1, b2, "same class buffer is reused");
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.releases, s.outstanding), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn reuse_is_much_cheaper_than_allocation() {
+        let (mut rt, mut c) = setup();
+        let mut pool = BufferPool::new();
+        let t0 = c.now();
+        let b = pool.acquire(&mut rt, &mut c, 65536);
+        let t_miss = c.now() - t0;
+        pool.release(&mut rt, &mut c, b);
+        let t1 = c.now();
+        let _b2 = pool.acquire(&mut rt, &mut c, 65536);
+        let t_hit = c.now() - t1;
+        assert!(
+            t_miss.as_nanos() > 10.0 * t_hit.as_nanos(),
+            "pooling must amortize allocateDirect: miss={t_miss:?} hit={t_hit:?}"
+        );
+    }
+
+    #[test]
+    fn distinct_classes_do_not_share() {
+        let (mut rt, mut c) = setup();
+        let mut pool = BufferPool::new();
+        let small = pool.acquire(&mut rt, &mut c, 300);
+        pool.release(&mut rt, &mut c, small);
+        let big = pool.acquire(&mut rt, &mut c, 5000);
+        assert_ne!(small, big);
+        assert_eq!(big.capacity(), 8192);
+    }
+
+    #[test]
+    fn per_class_limit_frees_excess() {
+        let (mut rt, mut c) = setup();
+        let mut pool = BufferPool::with_limit(1);
+        let a = pool.acquire(&mut rt, &mut c, 256);
+        let b = pool.acquire(&mut rt, &mut c, 256);
+        let before = rt.direct_allocated_bytes();
+        pool.release(&mut rt, &mut c, a);
+        pool.release(&mut rt, &mut c, b); // over the limit: freed
+        assert_eq!(rt.direct_allocated_bytes(), before - 256);
+        assert_eq!(pool.stats().pooled_bytes, 256);
+    }
+
+    #[test]
+    fn drain_frees_everything() {
+        let (mut rt, mut c) = setup();
+        let mut pool = BufferPool::new();
+        let bufs: Vec<_> = (0..4).map(|_| pool.acquire(&mut rt, &mut c, 512)).collect();
+        for b in bufs {
+            pool.release(&mut rt, &mut c, b);
+        }
+        assert!(rt.direct_allocated_bytes() >= 4 * 512);
+        pool.drain(&mut rt, &mut c);
+        assert_eq!(rt.direct_allocated_bytes(), 0);
+        assert_eq!(pool.stats().pooled_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the largest pool class")]
+    fn oversized_request_panics() {
+        let (mut rt, mut c) = setup();
+        let mut pool = BufferPool::new();
+        let _ = pool.acquire(&mut rt, &mut c, (1 << 26) + 1);
+    }
+}

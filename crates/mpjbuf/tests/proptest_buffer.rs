@@ -1,0 +1,147 @@
+//! Property tests for the buffering layer: sectioned write/read
+//! roundtrips over arbitrary type sequences, and pool accounting.
+
+use mpjbuf::{Buffer, BufferPool};
+use mrt::prim::PrimType;
+use mrt::Runtime;
+use proptest::prelude::*;
+use vtime::{Clock, CostModel};
+
+#[derive(Debug, Clone)]
+enum Section {
+    Bytes(Vec<i8>),
+    Shorts(Vec<i16>),
+    Ints(Vec<i32>),
+    Longs(Vec<i64>),
+    Floats(Vec<f32>),
+    Doubles(Vec<f64>),
+    Chars(Vec<u16>),
+}
+
+fn arb_section() -> impl Strategy<Value = Section> {
+    prop_oneof![
+        proptest::collection::vec(any::<i8>(), 1..16).prop_map(Section::Bytes),
+        proptest::collection::vec(any::<i16>(), 1..16).prop_map(Section::Shorts),
+        proptest::collection::vec(any::<i32>(), 1..16).prop_map(Section::Ints),
+        proptest::collection::vec(any::<i64>(), 1..16).prop_map(Section::Longs),
+        proptest::collection::vec(any::<f32>(), 1..16).prop_map(Section::Floats),
+        proptest::collection::vec(any::<f64>(), 1..16).prop_map(Section::Doubles),
+        proptest::collection::vec(any::<u16>(), 1..16).prop_map(Section::Chars),
+    ]
+}
+
+macro_rules! write_section {
+    ($env:expr, $buf:expr, $vals:expr, $ty:ty) => {{
+        let (rt, clock, buf) = $env;
+        let arr = rt.alloc_array::<$ty>($vals.len(), clock).unwrap();
+        rt.array_write(arr, 0, $vals, clock).unwrap();
+        buf.write(rt, clock, arr, 0, $vals.len()).unwrap();
+        let _ = $buf;
+    }};
+}
+
+macro_rules! read_section {
+    ($rt:expr, $clock:expr, $buf:expr, $vals:expr, $ty:ty) => {{
+        let arr = $rt.alloc_array::<$ty>($vals.len(), $clock).unwrap();
+        $buf.read($rt, $clock, arr, 0, $vals.len()).unwrap();
+        let mut got = vec![<$ty>::default(); $vals.len()];
+        $rt.array_read(arr, 0, &mut got, $clock).unwrap();
+        prop_assert!(
+            got.iter().zip($vals.iter()).all(|(a, b)| a == b || (a != a && b != b)),
+            "section roundtrip mismatch"
+        );
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sectioned_roundtrip_arbitrary_type_sequence(sections in proptest::collection::vec(arb_section(), 1..8)) {
+        let mut rt = Runtime::new(CostModel::default());
+        let mut clock = Clock::new();
+        let mut pool = BufferPool::new();
+        let mut buf = Buffer::from_pool(&mut pool, &mut rt, &mut clock, 16 * 1024);
+
+        for s in &sections {
+            match s {
+                Section::Bytes(v) => write_section!((&mut rt, &mut clock, &mut buf), &mut buf, v, i8),
+                Section::Shorts(v) => write_section!((&mut rt, &mut clock, &mut buf), &mut buf, v, i16),
+                Section::Ints(v) => write_section!((&mut rt, &mut clock, &mut buf), &mut buf, v, i32),
+                Section::Longs(v) => write_section!((&mut rt, &mut clock, &mut buf), &mut buf, v, i64),
+                Section::Floats(v) => write_section!((&mut rt, &mut clock, &mut buf), &mut buf, v, f32),
+                Section::Doubles(v) => write_section!((&mut rt, &mut clock, &mut buf), &mut buf, v, f64),
+                Section::Chars(v) => write_section!((&mut rt, &mut clock, &mut buf), &mut buf, v, u16),
+            }
+        }
+        prop_assert_eq!(buf.sections() as usize, sections.len());
+        buf.commit();
+        for s in &sections {
+            match s {
+                Section::Bytes(v) => read_section!(&mut rt, &mut clock, &mut buf, v, i8),
+                Section::Shorts(v) => read_section!(&mut rt, &mut clock, &mut buf, v, i16),
+                Section::Ints(v) => read_section!(&mut rt, &mut clock, &mut buf, v, i32),
+                Section::Longs(v) => read_section!(&mut rt, &mut clock, &mut buf, v, i64),
+                Section::Floats(v) => read_section!(&mut rt, &mut clock, &mut buf, v, f32),
+                Section::Doubles(v) => read_section!(&mut rt, &mut clock, &mut buf, v, f64),
+                Section::Chars(v) => read_section!(&mut rt, &mut clock, &mut buf, v, u16),
+            }
+        }
+        buf.free(&mut pool, &mut rt, &mut clock);
+    }
+
+    #[test]
+    fn section_headers_describe_their_sections(
+        ints in proptest::collection::vec(any::<i32>(), 1..10),
+        doubles in proptest::collection::vec(any::<f64>(), 1..10),
+    ) {
+        let mut rt = Runtime::new(CostModel::default());
+        let mut clock = Clock::new();
+        let mut pool = BufferPool::new();
+        let mut buf = Buffer::from_pool(&mut pool, &mut rt, &mut clock, 4096);
+        let ia = rt.alloc_array::<i32>(ints.len(), &mut clock).unwrap();
+        rt.array_write(ia, 0, &ints, &mut clock).unwrap();
+        let da = rt.alloc_array::<f64>(doubles.len(), &mut clock).unwrap();
+        rt.array_write(da, 0, &doubles, &mut clock).unwrap();
+        buf.write(&mut rt, &mut clock, ia, 0, ints.len()).unwrap();
+        buf.write(&mut rt, &mut clock, da, 0, doubles.len()).unwrap();
+        buf.commit();
+        let (t1, n1) = buf.get_section_header(&rt, &mut clock).unwrap();
+        prop_assert_eq!(t1, PrimType::Int);
+        prop_assert_eq!(n1, ints.len());
+        // Skip the data by unstaging it.
+        let skip = rt.alloc_array::<i32>(n1, &mut clock).unwrap();
+        buf.unstage_array(&mut rt, &mut clock, skip, 0, n1).unwrap();
+        let (t2, n2) = buf.get_section_header(&rt, &mut clock).unwrap();
+        prop_assert_eq!(t2, PrimType::Double);
+        prop_assert_eq!(n2, doubles.len());
+        buf.free(&mut pool, &mut rt, &mut clock);
+    }
+
+    #[test]
+    fn pool_accounting_balances(sizes in proptest::collection::vec(1usize..65536, 1..24)) {
+        let mut rt = Runtime::new(CostModel::default());
+        let mut clock = Clock::new();
+        let mut pool = BufferPool::new();
+        let mut held = Vec::new();
+        for (i, &sz) in sizes.iter().enumerate() {
+            held.push(pool.acquire(&mut rt, &mut clock, sz));
+            if i % 3 == 2 {
+                let b = held.remove(0);
+                pool.release(&mut rt, &mut clock, b);
+            }
+        }
+        let n = held.len();
+        for b in held.drain(..) {
+            pool.release(&mut rt, &mut clock, b);
+        }
+        let s = pool.stats();
+        prop_assert_eq!(s.outstanding, 0);
+        prop_assert_eq!(s.hits + s.misses, sizes.len() as u64);
+        prop_assert_eq!(s.releases as usize, sizes.len());
+        let _ = n;
+        // Drain returns every pooled byte to the allocator.
+        pool.drain(&mut rt, &mut clock);
+        prop_assert_eq!(pool.stats().pooled_bytes, 0);
+    }
+}

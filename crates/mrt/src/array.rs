@@ -1,0 +1,115 @@
+//! Managed primitive arrays: typed, bounds-checked views over heap
+//! objects (the analogue of Java's `int[]`, `double[]`, …).
+//!
+//! An [`JArray<T>`] is a typed handle; element accesses go through the
+//! runtime so the per-element cost (`MemCosts::array_elem_rw_ns`) and GC
+//! interactions are modelled. Elements are stored in the platform's
+//! little-endian order, as a JVM would store them natively.
+
+use std::marker::PhantomData;
+
+use crate::heap::Handle;
+use crate::prim::{ByteOrder, Prim, PrimType};
+
+/// Typed handle to a managed primitive array.
+///
+/// Copyable like a Java reference; the referent lives in the managed heap
+/// and is reclaimed when [`crate::Runtime::release_array`] drops the last
+/// conceptual reference (explicit in this simulation).
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub struct JArray<T: Prim> {
+    pub(crate) handle: Handle,
+    pub(crate) len: usize,
+    pub(crate) _ty: PhantomData<fn() -> T>,
+}
+
+// Manual impls: derive would bound T: Clone/Copy unnecessarily.
+impl<T: Prim> Clone for JArray<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Prim> Copy for JArray<T> {}
+
+impl<T: Prim> JArray<T> {
+    pub(crate) fn new(handle: Handle, len: usize) -> Self {
+        JArray {
+            handle,
+            len,
+            _ty: PhantomData,
+        }
+    }
+
+    /// Element count (`arr.length`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size in bytes of the backing storage.
+    #[inline]
+    pub fn byte_len(&self) -> usize {
+        self.len * T::SIZE
+    }
+
+    /// The element type tag.
+    #[inline]
+    pub fn prim_type(&self) -> PrimType {
+        T::TYPE
+    }
+
+    /// The underlying heap handle (for the JNI-analog layer).
+    #[inline]
+    pub fn handle(&self) -> Handle {
+        self.handle
+    }
+}
+
+/// Encode a Rust slice of primitives into LE bytes (helper shared by the
+/// runtime and the JNI-analog boundary).
+pub(crate) fn encode_slice<T: Prim>(src: &[T], out: &mut [u8]) {
+    debug_assert!(out.len() >= src.len() * T::SIZE);
+    for (i, &v) in src.iter().enumerate() {
+        v.encode(&mut out[i * T::SIZE..], ByteOrder::Little);
+    }
+}
+
+/// Decode LE bytes into a Rust slice of primitives.
+pub(crate) fn decode_slice<T: Prim>(src: &[u8], out: &mut [T]) {
+    debug_assert!(src.len() >= out.len() * T::SIZE);
+    for (i, v) in out.iter_mut().enumerate() {
+        *v = T::decode(&src[i * T::SIZE..], ByteOrder::Little);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_metadata() {
+        let a: JArray<i32> = JArray::new(crate::heap::Handle(7), 10);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a.byte_len(), 40);
+        assert_eq!(a.prim_type(), PrimType::Int);
+        assert!(!a.is_empty());
+        let b = a; // Copy
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slice_encode_decode_roundtrip() {
+        let src = [1i64, -2, i64::MAX, i64::MIN];
+        let mut bytes = vec![0u8; 32];
+        encode_slice(&src, &mut bytes);
+        let mut back = [0i64; 4];
+        decode_slice(&bytes, &mut back);
+        assert_eq!(src, back);
+    }
+}

@@ -1,0 +1,144 @@
+//! ByteBuffers: direct (off-heap, address-stable) and heap (on-heap,
+//! movable) — the two NIO buffer kinds the paper's API distinguishes.
+//!
+//! Direct buffers live in a separate native region whose allocations
+//! never move, so the JNI-analog boundary can hand out their storage
+//! without copying or disabling the GC. They are deliberately costly to
+//! create (`MemCosts::direct_alloc_fixed_ns`) — the reason the buffering
+//! layer pools them.
+
+use crate::error::{MrtError, MrtResult};
+use crate::heap::Handle;
+use crate::prim::ByteOrder;
+
+/// Handle to a direct (off-heap) ByteBuffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirectBuffer {
+    pub(crate) id: u32,
+    pub(crate) capacity: usize,
+}
+
+impl DirectBuffer {
+    /// Capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Handle to a heap (non-direct) ByteBuffer — an ordinary managed object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HeapBuffer {
+    pub(crate) handle: Handle,
+    pub(crate) capacity: usize,
+    pub(crate) order: ByteOrder,
+}
+
+impl HeapBuffer {
+    /// Capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The underlying heap handle.
+    #[inline]
+    pub fn handle(&self) -> Handle {
+        self.handle
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct DirectBuf {
+    pub data: Box<[u8]>,
+    pub order: ByteOrder,
+}
+
+/// The native (off-heap) memory region backing direct buffers.
+#[derive(Default)]
+pub(crate) struct DirectRegion {
+    bufs: Vec<Option<DirectBuf>>,
+    free: Vec<u32>,
+    pub allocated_bytes: usize,
+    pub total_allocations: u64,
+}
+
+impl DirectRegion {
+    pub fn allocate(&mut self, capacity: usize, order: ByteOrder) -> DirectBuffer {
+        let buf = DirectBuf {
+            data: vec![0u8; capacity].into_boxed_slice(),
+            order,
+        };
+        self.allocated_bytes += capacity;
+        self.total_allocations += 1;
+        let id = match self.free.pop() {
+            Some(i) => {
+                self.bufs[i as usize] = Some(buf);
+                i
+            }
+            None => {
+                self.bufs.push(Some(buf));
+                (self.bufs.len() - 1) as u32
+            }
+        };
+        DirectBuffer { id, capacity }
+    }
+
+    pub fn free(&mut self, b: DirectBuffer) -> MrtResult<()> {
+        let slot = self
+            .bufs
+            .get_mut(b.id as usize)
+            .ok_or(MrtError::UseAfterFree)?;
+        if slot.take().is_none() {
+            return Err(MrtError::UseAfterFree);
+        }
+        self.allocated_bytes -= b.capacity;
+        self.free.push(b.id);
+        Ok(())
+    }
+
+    pub fn get(&self, b: DirectBuffer) -> MrtResult<&DirectBuf> {
+        self.bufs
+            .get(b.id as usize)
+            .and_then(|s| s.as_ref())
+            .ok_or(MrtError::UseAfterFree)
+    }
+
+    pub fn get_mut(&mut self, b: DirectBuffer) -> MrtResult<&mut DirectBuf> {
+        self.bufs
+            .get_mut(b.id as usize)
+            .and_then(|s| s.as_mut())
+            .ok_or(MrtError::UseAfterFree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_use_free() {
+        let mut r = DirectRegion::default();
+        let b = r.allocate(64, ByteOrder::Little);
+        assert_eq!(b.capacity(), 64);
+        assert_eq!(r.allocated_bytes, 64);
+        r.get_mut(b).unwrap().data[0] = 42;
+        assert_eq!(r.get(b).unwrap().data[0], 42);
+        r.free(b).unwrap();
+        assert_eq!(r.allocated_bytes, 0);
+        assert_eq!(r.get(b).unwrap_err(), MrtError::UseAfterFree);
+        assert_eq!(r.free(b).unwrap_err(), MrtError::UseAfterFree);
+    }
+
+    #[test]
+    fn ids_are_recycled_but_slots_reset() {
+        let mut r = DirectRegion::default();
+        let a = r.allocate(16, ByteOrder::Little);
+        r.get_mut(a).unwrap().data.fill(9);
+        r.free(a).unwrap();
+        let b = r.allocate(16, ByteOrder::Little);
+        assert_eq!(a.id, b.id, "slot is recycled");
+        assert!(r.get(b).unwrap().data.iter().all(|&x| x == 0), "fresh zeroed storage");
+        assert_eq!(r.total_allocations, 2);
+    }
+}

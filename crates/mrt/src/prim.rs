@@ -1,0 +1,177 @@
+//! The Java primitive types as Rust types, with explicit byte-order
+//! encoding (ByteBuffers in Java default to big-endian; the JVM and the
+//! wire use the platform's little-endian order).
+
+/// Tag identifying a Java primitive type at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimType {
+    /// `byte`.
+    Byte,
+    /// `boolean` (one byte in array form).
+    Boolean,
+    /// `char` (UTF-16 code unit).
+    Char,
+    /// `short`.
+    Short,
+    /// `int`.
+    Int,
+    /// `long`.
+    Long,
+    /// `float`.
+    Float,
+    /// `double`.
+    Double,
+}
+
+impl PrimType {
+    /// Element size in bytes.
+    pub const fn size(self) -> usize {
+        match self {
+            PrimType::Byte | PrimType::Boolean => 1,
+            PrimType::Char | PrimType::Short => 2,
+            PrimType::Int | PrimType::Float => 4,
+            PrimType::Long | PrimType::Double => 8,
+        }
+    }
+
+    /// Java name, for diagnostics.
+    pub const fn name(self) -> &'static str {
+        match self {
+            PrimType::Byte => "byte",
+            PrimType::Boolean => "boolean",
+            PrimType::Char => "char",
+            PrimType::Short => "short",
+            PrimType::Int => "int",
+            PrimType::Long => "long",
+            PrimType::Float => "float",
+            PrimType::Double => "double",
+        }
+    }
+}
+
+/// Byte order of a buffer view (java.nio.ByteOrder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ByteOrder {
+    /// Network order — the `ByteBuffer` default in Java.
+    Big,
+    /// The simulated platform's native order.
+    #[default]
+    Little,
+}
+
+/// A Java primitive type usable in managed arrays and buffer views.
+pub trait Prim: Copy + PartialEq + std::fmt::Debug + Default + Send + 'static {
+    /// Runtime type tag.
+    const TYPE: PrimType;
+    /// Element size in bytes.
+    const SIZE: usize;
+    /// Encode into `out[..SIZE]` with the given byte order.
+    fn encode(self, out: &mut [u8], order: ByteOrder);
+    /// Decode from `b[..SIZE]` with the given byte order.
+    fn decode(b: &[u8], order: ByteOrder) -> Self;
+}
+
+macro_rules! impl_prim {
+    ($ty:ty, $tag:expr) => {
+        impl Prim for $ty {
+            const TYPE: PrimType = $tag;
+            const SIZE: usize = std::mem::size_of::<$ty>();
+            #[inline]
+            fn encode(self, out: &mut [u8], order: ByteOrder) {
+                let bytes = match order {
+                    ByteOrder::Little => self.to_le_bytes(),
+                    ByteOrder::Big => self.to_be_bytes(),
+                };
+                out[..Self::SIZE].copy_from_slice(&bytes);
+            }
+            #[inline]
+            fn decode(b: &[u8], order: ByteOrder) -> Self {
+                let arr = b[..Self::SIZE].try_into().expect("decode slice too short");
+                match order {
+                    ByteOrder::Little => <$ty>::from_le_bytes(arr),
+                    ByteOrder::Big => <$ty>::from_be_bytes(arr),
+                }
+            }
+        }
+    };
+}
+
+impl_prim!(i8, PrimType::Byte);
+impl_prim!(u16, PrimType::Char);
+impl_prim!(i16, PrimType::Short);
+impl_prim!(i32, PrimType::Int);
+impl_prim!(i64, PrimType::Long);
+impl_prim!(f32, PrimType::Float);
+impl_prim!(f64, PrimType::Double);
+
+impl Prim for bool {
+    const TYPE: PrimType = PrimType::Boolean;
+    const SIZE: usize = 1;
+    #[inline]
+    fn encode(self, out: &mut [u8], _order: ByteOrder) {
+        out[0] = self as u8;
+    }
+    #[inline]
+    fn decode(b: &[u8], _order: ByteOrder) -> Self {
+        b[0] != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_java() {
+        assert_eq!(PrimType::Byte.size(), 1);
+        assert_eq!(PrimType::Boolean.size(), 1);
+        assert_eq!(PrimType::Char.size(), 2);
+        assert_eq!(PrimType::Short.size(), 2);
+        assert_eq!(PrimType::Int.size(), 4);
+        assert_eq!(PrimType::Float.size(), 4);
+        assert_eq!(PrimType::Long.size(), 8);
+        assert_eq!(PrimType::Double.size(), 8);
+        assert_eq!(<i32 as Prim>::SIZE, 4);
+    }
+
+    #[test]
+    fn little_endian_roundtrip() {
+        let mut buf = [0u8; 8];
+        0x1122_3344i32.encode(&mut buf, ByteOrder::Little);
+        assert_eq!(&buf[..4], &[0x44, 0x33, 0x22, 0x11]);
+        assert_eq!(i32::decode(&buf, ByteOrder::Little), 0x1122_3344);
+    }
+
+    #[test]
+    fn big_endian_roundtrip() {
+        let mut buf = [0u8; 8];
+        0x1122_3344i32.encode(&mut buf, ByteOrder::Big);
+        assert_eq!(&buf[..4], &[0x11, 0x22, 0x33, 0x44]);
+        assert_eq!(i32::decode(&buf, ByteOrder::Big), 0x1122_3344);
+    }
+
+    #[test]
+    fn float_and_double_roundtrip_both_orders() {
+        for order in [ByteOrder::Little, ByteOrder::Big] {
+            let mut buf = [0u8; 8];
+            1.5f32.encode(&mut buf, order);
+            assert_eq!(f32::decode(&buf, order), 1.5);
+            (-2.25f64).encode(&mut buf, order);
+            assert_eq!(f64::decode(&buf, order), -2.25);
+        }
+    }
+
+    #[test]
+    fn bool_and_char_roundtrip() {
+        let mut buf = [0u8; 2];
+        true.encode(&mut buf, ByteOrder::Little);
+        assert!(bool::decode(&buf, ByteOrder::Big));
+        0x2603u16.encode(&mut buf, ByteOrder::Big);
+        assert_eq!(u16::decode(&buf, ByteOrder::Big), 0x2603);
+    }
+
+    #[test]
+    fn default_order_is_little() {
+        assert_eq!(ByteOrder::default(), ByteOrder::Little);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the managed heap: arbitrary allocate / free /
+//! write / collect interleavings must never corrupt live objects, and
+//! direct buffers must be unaffected by the collector.
+
+use mrt::{MrtError, Runtime};
+use proptest::prelude::*;
+use vtime::{Clock, CostModel};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate an array of this many i32 elements (bounded).
+    Alloc(usize),
+    /// Free the live array at (index % live count).
+    Free(usize),
+    /// Overwrite the live array at index with a seeded pattern.
+    Write(usize, i32),
+    /// Force a collection.
+    Gc,
+    /// Allocate-and-free churn to trigger organic collections.
+    Churn(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1usize..64).prop_map(Op::Alloc),
+        any::<usize>().prop_map(Op::Free),
+        (any::<usize>(), any::<i32>()).prop_map(|(i, v)| Op::Write(i, v)),
+        Just(Op::Gc),
+        (1usize..256).prop_map(Op::Churn),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn live_arrays_survive_arbitrary_heap_activity(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let mut rt = Runtime::with_heap(CostModel::default(), 1 << 12, 1 << 16);
+        let mut clock = Clock::new();
+        // (array, expected contents)
+        let mut live: Vec<(mrt::JArray<i32>, Vec<i32>)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc(n) => {
+                    match rt.alloc_array::<i32>(n, &mut clock) {
+                        Ok(arr) => live.push((arr, vec![0; n])),
+                        Err(MrtError::OutOfMemory { .. }) => {} // legal under churn
+                        Err(e) => prop_assert!(false, "unexpected alloc error {e}"),
+                    }
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let (arr, _) = live.remove(i % live.len());
+                        rt.release_array(arr).unwrap();
+                    }
+                }
+                Op::Write(i, v) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        let (arr, expect) = &mut live[idx];
+                        let vals: Vec<i32> = (0..expect.len()).map(|k| v.wrapping_add(k as i32)).collect();
+                        if !vals.is_empty() {
+                            rt.array_write(*arr, 0, &vals, &mut clock).unwrap();
+                            expect.copy_from_slice(&vals);
+                        }
+                    }
+                }
+                Op::Gc => rt.gc(&mut clock),
+                Op::Churn(n) => {
+                    if let Ok(junk) = rt.alloc_array::<i8>(n, &mut clock) {
+                        rt.release_array(junk).unwrap();
+                    }
+                }
+            }
+            // Invariant: every live array holds exactly what we wrote.
+            for (arr, expect) in &live {
+                let mut got = vec![0i32; expect.len()];
+                if !got.is_empty() {
+                    rt.array_read(*arr, 0, &mut got, &mut clock).unwrap();
+                }
+                prop_assert_eq!(&got, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn direct_buffers_are_immune_to_gc(
+        writes in proptest::collection::vec((0usize..128, any::<u8>()), 1..32),
+        churn_rounds in 1usize..8,
+    ) {
+        let mut rt = Runtime::with_heap(CostModel::default(), 1 << 12, 1 << 15);
+        let mut clock = Clock::new();
+        let buf = rt.allocate_direct(128, &mut clock);
+        let mut expect = [0u8; 128];
+        for &(idx, v) in &writes {
+            rt.direct_put::<i8>(buf, idx, v as i8, &mut clock).unwrap();
+            expect[idx] = v;
+        }
+        for _ in 0..churn_rounds {
+            if let Ok(junk) = rt.alloc_array::<i64>(256, &mut clock) {
+                rt.release_array(junk).unwrap();
+            }
+            rt.gc(&mut clock);
+        }
+        for i in 0..128 {
+            prop_assert_eq!(rt.direct_get::<i8>(buf, i, &mut clock).unwrap() as u8, expect[i]);
+        }
+    }
+
+    #[test]
+    fn clock_is_monotone_under_all_operations(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let mut rt = Runtime::with_heap(CostModel::default(), 1 << 12, 1 << 16);
+        let mut clock = Clock::new();
+        let mut last = clock.now();
+        let mut live = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(n) => {
+                    if let Ok(a) = rt.alloc_array::<i32>(n, &mut clock) {
+                        live.push(a);
+                    }
+                }
+                Op::Free(i) if !live.is_empty() => {
+                    let a = live.remove(i % live.len());
+                    rt.release_array(a).unwrap();
+                }
+                Op::Write(i, v) if !live.is_empty() => {
+                    let idx = i % live.len();
+                    let arr = live[idx];
+                    if !arr.is_empty() {
+                        rt.array_set(arr, 0, v, &mut clock).unwrap();
+                    }
+                }
+                Op::Gc => rt.gc(&mut clock),
+                Op::Churn(n) => {
+                    if let Ok(j) = rt.alloc_array::<i8>(n, &mut clock) {
+                        rt.release_array(j).unwrap();
+                    }
+                }
+                _ => {}
+            }
+            prop_assert!(clock.now() >= last, "virtual time must never go backwards");
+            last = clock.now();
+        }
+    }
+}

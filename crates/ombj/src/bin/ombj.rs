@@ -1,0 +1,157 @@
+//! OMB-J command-line driver.
+//!
+//! ```text
+//! ombj <benchmark> [options]
+//!
+//! benchmarks:
+//!   latency | bw | bibw | bcast | reduce | allreduce | allgather |
+//!   allgatherv | gather | gatherv | scatter | scatterv | alltoall |
+//!   alltoallv | barrier
+//!
+//! options:
+//!   --lib mvapich2j|openmpij    library under test (default mvapich2j)
+//!   --api buffer|arrays         user-buffer kind   (default buffer)
+//!   --nodes N --ppn P           topology           (default 1x2; 4x16 for collectives)
+//!   --min B --max B             message size range
+//!   --iters N --warmup N        iteration counts (small messages)
+//!   --validate                  populate + verify inside the timed loop
+//!   --compare                   run all four library×API series side by side
+//! ```
+
+use ombj::{run, Api, BenchOptions, Benchmark, CollOp, Library, RunSpec};
+use simfabric::Topology;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ombj <latency|bw|bibw|bcast|reduce|allreduce|allgather|allgatherv|gather|gatherv|scatter|scatterv|alltoall|alltoallv|barrier> \
+         [--lib mvapich2j|openmpij] [--api buffer|arrays] [--nodes N] [--ppn P] \
+         [--min B] [--max B] [--iters N] [--warmup N] [--validate] [--compare]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_benchmark(name: &str) -> Benchmark {
+    match name {
+        "latency" => Benchmark::Latency,
+        "bw" => Benchmark::Bandwidth,
+        "bibw" => Benchmark::BiBandwidth,
+        "bcast" => Benchmark::Collective(CollOp::Bcast),
+        "reduce" => Benchmark::Collective(CollOp::Reduce),
+        "allreduce" => Benchmark::Collective(CollOp::Allreduce),
+        "allgather" => Benchmark::Collective(CollOp::Allgather),
+        "allgatherv" => Benchmark::Collective(CollOp::Allgatherv),
+        "gather" => Benchmark::Collective(CollOp::Gather),
+        "gatherv" => Benchmark::Collective(CollOp::Gatherv),
+        "scatter" => Benchmark::Collective(CollOp::Scatter),
+        "scatterv" => Benchmark::Collective(CollOp::Scatterv),
+        "alltoall" => Benchmark::Collective(CollOp::Alltoall),
+        "alltoallv" => Benchmark::Collective(CollOp::Alltoallv),
+        "barrier" => Benchmark::Collective(CollOp::Barrier),
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let benchmark = parse_benchmark(&args[0]);
+    let is_collective = matches!(benchmark, Benchmark::Collective(_));
+
+    let mut library = Library::Mvapich2J;
+    let mut api = Api::Buffer;
+    let (mut nodes, mut ppn) = if is_collective { (4, 16) } else { (1, 2) };
+    let mut opts = BenchOptions::default();
+    if is_collective {
+        // Collective sweeps on 64 ranks: trim the default range a bit.
+        opts.max_size = 1 << 20;
+        opts.iterations = 40;
+        opts.iterations_large = 8;
+    }
+    let mut compare = false;
+
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        let val = |it: &mut std::slice::Iter<String>| -> String {
+            it.next().cloned().unwrap_or_else(|| usage())
+        };
+        match a.as_str() {
+            "--lib" => {
+                library = match val(&mut it).as_str() {
+                    "mvapich2j" => Library::Mvapich2J,
+                    "openmpij" => Library::OpenMpiJ,
+                    _ => usage(),
+                }
+            }
+            "--api" => {
+                api = match val(&mut it).as_str() {
+                    "buffer" => Api::Buffer,
+                    "arrays" => Api::Arrays,
+                    _ => usage(),
+                }
+            }
+            "--nodes" => nodes = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--ppn" => ppn = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--min" => opts.min_size = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--max" => opts.max_size = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--iters" => opts.iterations = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--warmup" => opts.warmup = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--validate" => opts.validate = true,
+            "--compare" => compare = true,
+            _ => usage(),
+        }
+    }
+
+    let topo = Topology::new(nodes, ppn);
+    if compare {
+        let mut series = Vec::new();
+        for lib in [Library::Mvapich2J, Library::OpenMpiJ] {
+            for api in [Api::Buffer, Api::Arrays] {
+                if let Some(s) = run(RunSpec {
+                    library: lib,
+                    benchmark,
+                    api,
+                    topo,
+                    opts,
+                }) {
+                    series.push(s);
+                } else {
+                    eprintln!(
+                        "note: {} {} unsupported for {} — series omitted (as in the paper)",
+                        lib.label(),
+                        api.label(),
+                        benchmark.name()
+                    );
+                }
+            }
+        }
+        let refs: Vec<&ombj::Series> = series.iter().collect();
+        print!(
+            "{}",
+            ombj::report::render_comparison(
+                &format!("{} on {}x{} ({})", benchmark.name(), nodes, ppn, benchmark.unit()),
+                &refs
+            )
+        );
+    } else {
+        match run(RunSpec {
+            library,
+            benchmark,
+            api,
+            topo,
+            opts,
+        }) {
+            Some(s) => print!("{}", ombj::report::render_series(&s)),
+            None => {
+                eprintln!(
+                    "{} does not support {} with the {} API",
+                    library.label(),
+                    benchmark.name(),
+                    api.label()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Collective benchmarks: `osu_bcast`, `osu_allreduce`, `osu_reduce`,
+//! `osu_allgather`, `osu_alltoall`, `osu_gather`, `osu_scatter`, their
+//! vectored variants, and `osu_barrier`.
+//!
+//! Each reports the latency per message size, **averaged across all
+//! ranks** (the per-rank elapsed totals are combined with a reduction,
+//! exactly as the paper describes for `osu_bcast`).
+
+use mvapich2j::datatype::{BYTE, DOUBLE};
+use mvapich2j::{BindResult, DirectBuffer, Env, JArray, ReduceOp};
+
+use crate::options::{Api, BenchOptions, SizeValue};
+
+/// The blocking collectives OMB-J covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollOp {
+    Bcast,
+    Reduce,
+    Allreduce,
+    Allgather,
+    Allgatherv,
+    Gather,
+    Gatherv,
+    Scatter,
+    Scatterv,
+    Alltoall,
+    Alltoallv,
+    Barrier,
+}
+
+impl CollOp {
+    /// OMB benchmark name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollOp::Bcast => "osu_bcast",
+            CollOp::Reduce => "osu_reduce",
+            CollOp::Allreduce => "osu_allreduce",
+            CollOp::Allgather => "osu_allgather",
+            CollOp::Allgatherv => "osu_allgatherv",
+            CollOp::Gather => "osu_gather",
+            CollOp::Gatherv => "osu_gatherv",
+            CollOp::Scatter => "osu_scatter",
+            CollOp::Scatterv => "osu_scatterv",
+            CollOp::Alltoall => "osu_alltoall",
+            CollOp::Alltoallv => "osu_alltoallv",
+            CollOp::Barrier => "osu_barrier",
+        }
+    }
+
+    /// Whether the recv side needs `p ×` the per-rank size.
+    fn recv_scales_with_p(self) -> bool {
+        matches!(
+            self,
+            CollOp::Allgather
+                | CollOp::Allgatherv
+                | CollOp::Gather
+                | CollOp::Gatherv
+                | CollOp::Alltoall
+                | CollOp::Alltoallv
+        )
+    }
+
+    /// Whether the send side needs `p ×` the per-rank size.
+    fn send_scales_with_p(self) -> bool {
+        matches!(self, CollOp::Alltoall | CollOp::Alltoallv | CollOp::Scatter | CollOp::Scatterv)
+    }
+}
+
+enum Bufs {
+    Buffer { send: DirectBuffer, recv: DirectBuffer },
+    Arrays { send: JArray<i8>, recv: JArray<i8> },
+}
+
+/// Average the per-rank elapsed nanoseconds and convert to µs/op.
+fn avg_latency_us(env: &mut Env, local_ns: f64, iters: usize) -> BindResult<f64> {
+    let w = env.world();
+    let p = env.size() as f64;
+    let send = env.new_direct(8);
+    let recv = env.new_direct(8);
+    env.direct_put::<f64>(send, 0, local_ns)?;
+    env.allreduce_buffer(send, recv, 1, &DOUBLE, ReduceOp::Sum, w)?;
+    let total = env.direct_get::<f64>(recv, 0)?;
+    env.free_direct(send)?;
+    env.free_direct(recv)?;
+    Ok(total / p / iters as f64 / 1_000.0)
+}
+
+/// Run one collective benchmark; every rank gets the same result vector.
+pub fn collective(env: &mut Env, opts: &BenchOptions, api: Api, op: CollOp) -> BindResult<Vec<SizeValue>> {
+    let w = env.world();
+    let p = env.size();
+    let me = env.rank();
+
+    if op == CollOp::Barrier {
+        let (warmup, iters) = (opts.warmup, opts.iterations);
+        env.barrier(w)?;
+        let mut local = 0.0;
+        for i in 0..warmup + iters {
+            let t0 = env.now();
+            env.barrier(w)?;
+            if i >= warmup {
+                local += (env.now() - t0).as_nanos();
+            }
+        }
+        let v = avg_latency_us(env, local, iters)?;
+        return Ok(vec![SizeValue { size: 0, value: v }]);
+    }
+
+    let send_max = if op.send_scales_with_p() {
+        opts.max_size * p
+    } else {
+        opts.max_size
+    };
+    let recv_max = if op.recv_scales_with_p() {
+        opts.max_size * p
+    } else {
+        opts.max_size
+    };
+    let bufs = match api {
+        Api::Buffer => Bufs::Buffer {
+            send: env.new_direct(send_max),
+            recv: env.new_direct(recv_max),
+        },
+        Api::Arrays => Bufs::Arrays {
+            send: env.new_array::<i8>(send_max)?,
+            recv: env.new_array::<i8>(recv_max)?,
+        },
+    };
+
+    let mut out = Vec::new();
+    for size in opts.sizes() {
+        let (warmup, iters) = opts.iters_for(size);
+        let counts = vec![size as i32; p];
+        let displs: Vec<i32> = (0..p).map(|r| (r * size) as i32).collect();
+        env.barrier(w)?;
+        let mut local = 0.0;
+        for i in 0..warmup + iters {
+            let t0 = env.now();
+            run_one(env, &bufs, op, size, me, p, &counts, &displs)?;
+            if i >= warmup {
+                local += (env.now() - t0).as_nanos();
+            }
+            env.barrier(w)?;
+        }
+        let v = avg_latency_us(env, local, iters)?;
+        out.push(SizeValue { size, value: v });
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_one(
+    env: &mut Env,
+    bufs: &Bufs,
+    op: CollOp,
+    size: usize,
+    me: usize,
+    p: usize,
+    counts: &[i32],
+    displs: &[i32],
+) -> BindResult<()> {
+    let w = env.world();
+    let n = size as i32;
+    let root = 0usize;
+    match bufs {
+        Bufs::Buffer { send, recv } => match op {
+            CollOp::Bcast => env.bcast_buffer(*send, n, &BYTE, root, w),
+            CollOp::Reduce => {
+                let out = (me == root).then_some(*recv);
+                env.reduce_buffer(*send, out, n, &BYTE, ReduceOp::Sum, root, w)
+            }
+            CollOp::Allreduce => env.allreduce_buffer(*send, *recv, n, &BYTE, ReduceOp::Sum, w),
+            CollOp::Allgather => env.allgather_buffer(*send, *recv, n, &BYTE, w),
+            CollOp::Allgatherv => env.allgatherv_buffer(*send, n, *recv, counts, displs, &BYTE, w),
+            CollOp::Gather => {
+                let out = (me == root).then_some(*recv);
+                env.gather_buffer(*send, out, n, &BYTE, root, w)
+            }
+            CollOp::Gatherv => {
+                let out = (me == root).then_some(*recv);
+                env.gatherv_buffer(*send, n, out, counts, displs, &BYTE, root, w)
+            }
+            CollOp::Scatter => {
+                let src = (me == root).then_some(*send);
+                env.scatter_buffer(src, *recv, n, &BYTE, root, w)
+            }
+            CollOp::Scatterv => {
+                let src = (me == root).then_some(*send);
+                env.scatterv_buffer(src, counts, displs, *recv, n, &BYTE, root, w)
+            }
+            CollOp::Alltoall => env.alltoall_buffer(*send, *recv, n, &BYTE, w),
+            CollOp::Alltoallv => {
+                env.alltoallv_buffer(*send, counts, displs, *recv, counts, displs, &BYTE, w)
+            }
+            CollOp::Barrier => unreachable!("handled above"),
+        },
+        Bufs::Arrays { send, recv } => match op {
+            CollOp::Bcast => env.bcast_array(*send, n, root, w),
+            CollOp::Reduce => {
+                let out = (me == root).then_some(*recv);
+                env.reduce_array(*send, out, n, ReduceOp::Sum, root, w)
+            }
+            CollOp::Allreduce => env.allreduce_array(*send, *recv, n, ReduceOp::Sum, w),
+            CollOp::Allgather => env.allgather_array(*send, *recv, n, w),
+            CollOp::Allgatherv => env.allgatherv_array(*send, n, *recv, counts, displs, w),
+            CollOp::Gather => {
+                let out = (me == root).then_some(*recv);
+                env.gather_array(*send, out, n, root, w)
+            }
+            CollOp::Gatherv => {
+                let out = (me == root).then_some(*recv);
+                env.gatherv_array(*send, n, out, counts, displs, root, w)
+            }
+            CollOp::Scatter => {
+                let src = (me == root).then_some(*send);
+                env.scatter_array(src, *recv, n, root, w)
+            }
+            CollOp::Scatterv => {
+                let src = (me == root).then_some(*send);
+                env.scatterv_array(src, counts, displs, *recv, n, root, w)
+            }
+            CollOp::Alltoall => env.alltoall_array(*send, *recv, n, w),
+            CollOp::Alltoallv => {
+                env.alltoallv_array(*send, counts, displs, *recv, counts, displs, w)
+            }
+            CollOp::Barrier => unreachable!("handled above"),
+        },
+    }?;
+    let _ = p;
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! **OMB-J** — the OSU Micro-Benchmark suite for Java-style MPI
+//! libraries, as designed in Section V of the paper.
+//!
+//! Supported benchmarks:
+//!
+//! * point-to-point: `osu_latency`, `osu_bw`, `osu_bibw` — each over
+//!   direct ByteBuffers or Java arrays, with optional in-loop data
+//!   validation (the Section VI-F experiment);
+//! * blocking collectives: `osu_bcast`, `osu_reduce`, `osu_allreduce`,
+//!   `osu_allgather`, `osu_gather`, `osu_scatter`, `osu_alltoall`,
+//!   `osu_barrier`;
+//! * vectored blocking collectives: `osu_allgatherv`, `osu_gatherv`,
+//!   `osu_scatterv`, `osu_alltoallv`;
+//! * native baselines (no Java layer) for the Figure-11 overhead plot.
+//!
+//! Because timing is virtual, every reported number is deterministic —
+//! rerunning a benchmark reproduces it bit-for-bit.
+
+pub mod coll;
+pub mod data;
+pub mod native;
+pub mod options;
+pub mod pt2pt;
+pub mod report;
+pub mod runner;
+
+pub use coll::CollOp;
+pub use options::{Api, BenchOptions, SizeValue};
+pub use runner::{run, Benchmark, Library, RunSpec, Series};

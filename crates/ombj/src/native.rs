@@ -1,0 +1,98 @@
+//! Native-library baselines: the same `osu_latency`/`osu_bw` loops run
+//! directly against the simulated native MPI libraries (no Java layer,
+//! no JNI, no managed heap). Figure 11 plots the gap between these and
+//! the bindings.
+
+use mpisim::datatype::BYTE;
+use mpisim::{run_mpi, Profile};
+use simfabric::Topology;
+
+use crate::options::{BenchOptions, SizeValue};
+
+/// Native `osu_latency` between ranks 0 and 1.
+pub fn native_latency(topo: Topology, profile: Profile, opts: &BenchOptions) -> Vec<SizeValue> {
+    let opts = *opts;
+    let results = run_mpi(topo, profile, move |mpi| {
+        let w = mpi.world();
+        let me = mpi.rank(w).unwrap();
+        let mut buf = vec![0u8; opts.max_size];
+        let mut out = Vec::new();
+        for size in opts.sizes() {
+            let (warmup, iters) = opts.iters_for(size);
+            mpi.barrier(w).unwrap();
+            let mut elapsed = 0.0f64;
+            for i in 0..warmup + iters {
+                let t0 = mpi.now();
+                if me == 0 {
+                    mpi.send(&buf[..size], size as i32, &BYTE, 1, 1, w).unwrap();
+                    mpi.recv(&mut buf[..size], size as i32, &BYTE, 1, 1, w).unwrap();
+                } else if me == 1 {
+                    mpi.recv(&mut buf[..size], size as i32, &BYTE, 0, 1, w).unwrap();
+                    mpi.send(&buf[..size], size as i32, &BYTE, 0, 1, w).unwrap();
+                }
+                if me == 0 && i >= warmup {
+                    elapsed += (mpi.now() - t0).as_nanos();
+                }
+            }
+            if me == 0 {
+                out.push(SizeValue {
+                    size,
+                    value: elapsed / (2.0 * iters as f64) / 1_000.0,
+                });
+            }
+            mpi.barrier(w).unwrap();
+        }
+        out
+    });
+    results.into_iter().next().expect("rank 0 exists")
+}
+
+/// Native windowed bandwidth (MB/s).
+pub fn native_bandwidth(topo: Topology, profile: Profile, opts: &BenchOptions) -> Vec<SizeValue> {
+    let opts = *opts;
+    let results = run_mpi(topo, profile, move |mpi| {
+        let w = mpi.world();
+        let me = mpi.rank(w).unwrap();
+        let buf = vec![0u8; opts.max_size];
+        let mut scratch = vec![0u8; opts.max_size];
+        let mut out = Vec::new();
+        for size in opts.sizes() {
+            let (warmup, iters) = opts.iters_for(size);
+            mpi.barrier(w).unwrap();
+            let mut t_start = mpi.now();
+            for i in 0..warmup + iters {
+                if i == warmup {
+                    mpi.barrier(w).unwrap();
+                    t_start = mpi.now();
+                }
+                if me == 0 {
+                    let reqs: Vec<_> = (0..opts.window_size)
+                        .map(|_| mpi.isend(&buf[..size], size as i32, &BYTE, 1, 2, w).unwrap())
+                        .collect();
+                    for r in reqs {
+                        mpi.wait(r, None).unwrap();
+                    }
+                    mpi.recv(&mut scratch[..4], 4, &BYTE, 1, 3, w).unwrap();
+                } else if me == 1 {
+                    let reqs: Vec<_> = (0..opts.window_size)
+                        .map(|_| mpi.irecv(size as i32, &BYTE, 0, 2, w).unwrap())
+                        .collect();
+                    for r in reqs {
+                        mpi.wait(r, Some(&mut scratch[..size])).unwrap();
+                    }
+                    mpi.send(&buf[..4], 4, &BYTE, 0, 3, w).unwrap();
+                }
+            }
+            if me == 0 {
+                let secs = (mpi.now() - t_start).as_secs();
+                out.push(SizeValue {
+                    size,
+                    value: (size * opts.window_size * iters) as f64 / secs / 1e6,
+                });
+            }
+            mpi.barrier(w).unwrap();
+        }
+        out
+    });
+    results.into_iter().next().expect("rank 0 exists")
+}

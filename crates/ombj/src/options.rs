@@ -1,0 +1,139 @@
+//! Benchmark options, mirroring the OMB command-line knobs the paper's
+//! OMB-J supports (message-size range, iteration counts, validation).
+
+/// Which user-buffer API a benchmark exercises (the paper's central
+/// comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Api {
+    /// Direct NIO ByteBuffers.
+    Buffer,
+    /// Java arrays (through the buffering layer).
+    Arrays,
+}
+
+impl Api {
+    /// Label used in series names ("buffer" / "arrays", as in the
+    /// figures).
+    pub fn label(self) -> &'static str {
+        match self {
+            Api::Buffer => "buffer",
+            Api::Arrays => "arrays",
+        }
+    }
+}
+
+/// Options shared by all benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOptions {
+    /// Smallest message size in bytes (power of two).
+    pub min_size: usize,
+    /// Largest message size in bytes (power of two).
+    pub max_size: usize,
+    /// Iterations per size below [`BenchOptions::large_threshold`].
+    pub iterations: usize,
+    /// Warmup iterations per size (small messages).
+    pub warmup: usize,
+    /// Sizes ≥ this use the reduced large-message iteration counts, like
+    /// OMB.
+    pub large_threshold: usize,
+    /// Iterations for large sizes.
+    pub iterations_large: usize,
+    /// Warmup for large sizes.
+    pub warmup_large: usize,
+    /// Populate data at the sender and verify it at the receiver inside
+    /// the timed region (Section VI-F / Figure 18).
+    pub validate: bool,
+    /// Window size for the bandwidth benchmarks (OMB default 64).
+    pub window_size: usize,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        // OMB defaults are 10000/1000 iterations; the virtual-time
+        // simulation converges with far fewer because there is no OS
+        // noise — timing is exact.
+        BenchOptions {
+            min_size: 1,
+            max_size: 4 << 20,
+            iterations: 100,
+            warmup: 10,
+            large_threshold: 8 * 1024,
+            iterations_large: 20,
+            warmup_large: 2,
+            validate: false,
+            window_size: 64,
+        }
+    }
+}
+
+impl BenchOptions {
+    /// Quick options for tests: tiny ranges and counts.
+    pub fn quick() -> Self {
+        BenchOptions {
+            min_size: 1,
+            max_size: 1 << 14,
+            iterations: 10,
+            warmup: 2,
+            iterations_large: 4,
+            warmup_large: 1,
+            ..Default::default()
+        }
+    }
+
+    /// The message sizes this run sweeps (powers of two, inclusive).
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut v = Vec::new();
+        let mut s = self.min_size.max(1);
+        while s <= self.max_size {
+            v.push(s);
+            s *= 2;
+        }
+        v
+    }
+
+    /// (warmup, iterations) for a given message size.
+    pub fn iters_for(&self, size: usize) -> (usize, usize) {
+        if size >= self.large_threshold {
+            (self.warmup_large, self.iterations_large)
+        } else {
+            (self.warmup, self.iterations)
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeValue {
+    /// Message size in bytes.
+    pub size: usize,
+    /// Metric value: latency in µs or bandwidth in MB/s.
+    pub value: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_powers_of_two_inclusive() {
+        let o = BenchOptions {
+            min_size: 4,
+            max_size: 64,
+            ..Default::default()
+        };
+        assert_eq!(o.sizes(), vec![4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn iteration_scaling_switches_at_threshold() {
+        let o = BenchOptions::default();
+        assert_eq!(o.iters_for(1024), (o.warmup, o.iterations));
+        assert_eq!(o.iters_for(8 * 1024), (o.warmup_large, o.iterations_large));
+    }
+
+    #[test]
+    fn api_labels_match_figures() {
+        assert_eq!(Api::Buffer.label(), "buffer");
+        assert_eq!(Api::Arrays.label(), "arrays");
+    }
+}

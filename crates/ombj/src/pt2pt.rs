@@ -1,0 +1,230 @@
+//! Point-to-point benchmarks: `osu_latency`, `osu_bw`, `osu_bibw`
+//! (Section V / Algorithm 1), with optional data validation
+//! (Section VI-F).
+
+use mvapich2j::datatype::BYTE;
+use mvapich2j::{BindResult, DirectBuffer, Env, JArray};
+
+use crate::data::{fill_array, fill_direct, validate_array, validate_direct};
+use crate::options::{Api, BenchOptions, SizeValue};
+
+const LAT_TAG: i32 = 1;
+const BW_TAG: i32 = 2;
+const ACK_TAG: i32 = 3;
+
+/// User-side buffers for one benchmark run.
+enum Bufs {
+    Buffer { send: DirectBuffer, recv: DirectBuffer },
+    Arrays { send: JArray<i8>, recv: JArray<i8> },
+}
+
+fn alloc_bufs(env: &mut Env, api: Api, max: usize) -> BindResult<Bufs> {
+    Ok(match api {
+        Api::Buffer => Bufs::Buffer {
+            send: env.new_direct(max),
+            recv: env.new_direct(max),
+        },
+        Api::Arrays => Bufs::Arrays {
+            send: env.new_array::<i8>(max)?,
+            recv: env.new_array::<i8>(max)?,
+        },
+    })
+}
+
+/// `osu_latency`: ping-pong between ranks 0 and 1; reports the one-way
+/// latency in µs per message size (measured on rank 0).
+pub fn latency(env: &mut Env, opts: &BenchOptions) -> BindResult<Vec<SizeValue>> {
+    lat_impl(env, opts, Api::Buffer)
+}
+
+/// `osu_latency` over Java arrays.
+pub fn latency_arrays(env: &mut Env, opts: &BenchOptions) -> BindResult<Vec<SizeValue>> {
+    lat_impl(env, opts, Api::Arrays)
+}
+
+/// Latency with an explicit API choice.
+pub fn lat_impl(env: &mut Env, opts: &BenchOptions, api: Api) -> BindResult<Vec<SizeValue>> {
+    assert!(env.size() >= 2, "osu_latency needs two ranks");
+    let w = env.world();
+    let me = env.rank();
+    let bufs = alloc_bufs(env, api, opts.max_size)?;
+    let mut out = Vec::new();
+
+    for size in opts.sizes() {
+        let (warmup, iters) = opts.iters_for(size);
+        env.barrier(w)?;
+        let mut elapsed = 0.0f64;
+        for i in 0..warmup + iters {
+            let t0 = env.now();
+            match (me, &bufs) {
+                (0, Bufs::Buffer { send, recv }) => {
+                    if opts.validate {
+                        fill_direct(env, *send, size, i);
+                    }
+                    env.send_buffer(*send, size as i32, &BYTE, 1, LAT_TAG, w)?;
+                    env.recv_buffer(*recv, size as i32, &BYTE, 1, LAT_TAG, w)?;
+                    if opts.validate {
+                        assert_eq!(validate_direct(env, *recv, size, i), 0, "corrupt echo");
+                    }
+                }
+                (0, Bufs::Arrays { send, recv }) => {
+                    if opts.validate {
+                        fill_array(env, *send, size, i);
+                    }
+                    env.send_array(*send, size as i32, 1, LAT_TAG, w)?;
+                    env.recv_array(*recv, size as i32, 1, LAT_TAG, w)?;
+                    if opts.validate {
+                        assert_eq!(validate_array(env, *recv, size, i), 0, "corrupt echo");
+                    }
+                }
+                (1, Bufs::Buffer { send, recv }) => {
+                    env.recv_buffer(*recv, size as i32, &BYTE, 0, LAT_TAG, w)?;
+                    if opts.validate {
+                        assert_eq!(validate_direct(env, *recv, size, i), 0, "corrupt message");
+                        fill_direct(env, *send, size, i);
+                        env.send_buffer(*send, size as i32, &BYTE, 0, LAT_TAG, w)?;
+                    } else {
+                        env.send_buffer(*recv, size as i32, &BYTE, 0, LAT_TAG, w)?;
+                    }
+                }
+                (1, Bufs::Arrays { send, recv }) => {
+                    env.recv_array(*recv, size as i32, 0, LAT_TAG, w)?;
+                    if opts.validate {
+                        assert_eq!(validate_array(env, *recv, size, i), 0, "corrupt message");
+                        fill_array(env, *send, size, i);
+                        env.send_array(*send, size as i32, 0, LAT_TAG, w)?;
+                    } else {
+                        env.send_array(*recv, size as i32, 0, LAT_TAG, w)?;
+                    }
+                }
+                _ => {} // ranks > 1 idle
+            }
+            if me == 0 && i >= warmup {
+                elapsed += (env.now() - t0).as_nanos();
+            }
+        }
+        if me == 0 {
+            out.push(SizeValue {
+                size,
+                value: elapsed / (2.0 * iters as f64) / 1_000.0, // one-way µs
+            });
+        }
+        env.barrier(w)?;
+    }
+    Ok(out)
+}
+
+/// `osu_bw`: windowed unidirectional bandwidth in MB/s (rank 0 reports).
+pub fn bandwidth(env: &mut Env, opts: &BenchOptions, api: Api) -> BindResult<Vec<SizeValue>> {
+    bw_impl(env, opts, api, false)
+}
+
+/// `osu_bibw`: bidirectional bandwidth in MB/s.
+pub fn bibandwidth(env: &mut Env, opts: &BenchOptions, api: Api) -> BindResult<Vec<SizeValue>> {
+    bw_impl(env, opts, api, true)
+}
+
+fn bw_impl(env: &mut Env, opts: &BenchOptions, api: Api, bidir: bool) -> BindResult<Vec<SizeValue>> {
+    assert!(env.size() >= 2, "osu_bw needs two ranks");
+    let w = env.world();
+    let me = env.rank();
+    let window = opts.window_size;
+    let bufs = alloc_bufs(env, api, opts.max_size)?;
+    let ack = alloc_bufs(env, api, 4)?;
+    let mut out = Vec::new();
+
+    // Probe the non-blocking path once so unsupported API combinations
+    // (Open MPI-J with arrays) fail fast, before any traffic.
+    if let Bufs::Arrays { send, .. } = &bufs {
+        if me == 0 {
+            let probe = env.isend_array(*send, 0, 1, ACK_TAG, w)?;
+            env.wait(probe)?;
+        } else if me == 1 {
+            let probe = env.irecv_array(*send, 0, 0, ACK_TAG, w)?;
+            env.wait(probe)?;
+        }
+    }
+
+    for size in opts.sizes() {
+        let (warmup, iters) = opts.iters_for(size);
+        env.barrier(w)?;
+        let mut t_start = env.now();
+        for i in 0..warmup + iters {
+            if i == warmup {
+                env.barrier(w)?;
+                t_start = env.now();
+            }
+            if me > 1 {
+                continue; // extra ranks sit out pt2pt benchmarks
+            }
+            let sender_turn = me == 0 || (bidir && me == 1);
+            let receiver_turn = me == 1 || (bidir && me == 0);
+            let mut reqs = Vec::with_capacity(2 * window);
+            if receiver_turn {
+                for _ in 0..window {
+                    match &bufs {
+                        Bufs::Buffer { recv, .. } => {
+                            reqs.push(env.irecv_buffer(*recv, size as i32, &BYTE, (1 - me) as i32, BW_TAG, w)?)
+                        }
+                        Bufs::Arrays { recv, .. } => {
+                            reqs.push(env.irecv_array(*recv, size as i32, (1 - me) as i32, BW_TAG, w)?)
+                        }
+                    }
+                }
+            }
+            if sender_turn {
+                for _ in 0..window {
+                    match &bufs {
+                        Bufs::Buffer { send, .. } => {
+                            reqs.push(env.isend_buffer(*send, size as i32, &BYTE, 1 - me, BW_TAG, w)?)
+                        }
+                        Bufs::Arrays { send, .. } => {
+                            reqs.push(env.isend_array(*send, size as i32, 1 - me, BW_TAG, w)?)
+                        }
+                    }
+                }
+            }
+            env.waitall(reqs)?;
+            // Window-close ack: receiver(s) tell the sender the window
+            // fully arrived.
+            if bidir {
+                // Symmetric: both ack.
+                match &ack {
+                    Bufs::Buffer { send, recv } => {
+                        env.send_buffer(*send, 4, &BYTE, 1 - me, ACK_TAG, w)?;
+                        env.recv_buffer(*recv, 4, &BYTE, (1 - me) as i32, ACK_TAG, w)?;
+                    }
+                    Bufs::Arrays { send, recv } => {
+                        env.send_array(*send, 4, 1 - me, ACK_TAG, w)?;
+                        env.recv_array(*recv, 4, (1 - me) as i32, ACK_TAG, w)?;
+                    }
+                }
+            } else if me == 1 {
+                match &ack {
+                    Bufs::Buffer { send, .. } => env.send_buffer(*send, 4, &BYTE, 0, ACK_TAG, w)?,
+                    Bufs::Arrays { send, .. } => env.send_array(*send, 4, 0, ACK_TAG, w)?,
+                }
+            } else if me == 0 {
+                match &ack {
+                    Bufs::Buffer { recv, .. } => {
+                        env.recv_buffer(*recv, 4, &BYTE, 1, ACK_TAG, w)?;
+                    }
+                    Bufs::Arrays { recv, .. } => {
+                        env.recv_array(*recv, 4, 1, ACK_TAG, w)?;
+                    }
+                }
+            }
+        }
+        if me == 0 {
+            let elapsed_s = (env.now() - t_start).as_secs();
+            let dirs = if bidir { 2.0 } else { 1.0 };
+            let bytes = dirs * (size * window * iters) as f64;
+            out.push(SizeValue {
+                size,
+                value: bytes / elapsed_s / 1e6, // MB/s
+            });
+        }
+        env.barrier(w)?;
+    }
+    Ok(out)
+}

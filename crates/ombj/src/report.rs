@@ -1,0 +1,122 @@
+//! OMB-style text reports.
+
+use crate::options::SizeValue;
+use crate::runner::Series;
+
+/// Render one series the way OMB prints its tables.
+pub fn render_series(s: &Series) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# OMB-J {} — {}\n", s.benchmark, s.label));
+    out.push_str(&format!("{:>12}  {:>14}\n", "Size (bytes)", heading(s.unit)));
+    for p in &s.points {
+        out.push_str(&format!("{:>12}  {:>14.2}\n", p.size, p.value));
+    }
+    out
+}
+
+fn heading(unit: &str) -> String {
+    match unit {
+        "us" => "Latency (us)".to_string(),
+        "MB/s" => "Bandwidth (MB/s)".to_string(),
+        other => format!("Value ({other})"),
+    }
+}
+
+/// Render several series side-by-side (one row per size), as the figures
+/// compare them.
+pub fn render_comparison(title: &str, series: &[&Series]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    out.push_str(&format!("{:>12}", "Size"));
+    for s in series {
+        out.push_str(&format!("  {:>22}", s.label));
+    }
+    out.push('\n');
+    let sizes: Vec<usize> = series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.size).collect())
+        .unwrap_or_default();
+    for (row, size) in sizes.iter().enumerate() {
+        out.push_str(&format!("{size:>12}"));
+        for s in series {
+            match s.points.get(row) {
+                Some(p) if p.size == *size => out.push_str(&format!("  {:>22.2}", p.value)),
+                _ => out.push_str(&format!("  {:>22}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Geometric-mean ratio of two series over their common sizes — how the
+/// paper summarizes "X× better on average over all message sizes".
+pub fn mean_ratio(numerator: &[SizeValue], denominator: &[SizeValue]) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for a in numerator {
+        if let Some(b) = denominator.iter().find(|b| b.size == a.size) {
+            if a.value > 0.0 && b.value > 0.0 {
+                log_sum += (a.value / b.value).ln();
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(label: &str, vals: &[(usize, f64)]) -> Series {
+        Series {
+            label: label.into(),
+            benchmark: "osu_latency",
+            unit: "us",
+            points: vals
+                .iter()
+                .map(|&(size, value)| SizeValue { size, value })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn render_contains_all_points() {
+        let s = series("MVAPICH2-J buffer", &[(1, 0.5), (2, 0.6)]);
+        let r = render_series(&s);
+        assert!(r.contains("osu_latency"));
+        assert!(r.contains("0.50"));
+        assert!(r.contains("0.60"));
+    }
+
+    #[test]
+    fn comparison_renders_columns() {
+        let a = series("A", &[(1, 1.0), (2, 2.0)]);
+        let b = series("B", &[(1, 3.0), (2, 4.0)]);
+        let r = render_comparison("Fig X", &[&a, &b]);
+        assert!(r.lines().count() >= 4);
+        assert!(r.contains("Fig X"));
+        assert!(r.contains("3.00"));
+    }
+
+    #[test]
+    fn mean_ratio_is_geometric() {
+        let a = series("A", &[(1, 2.0), (2, 8.0)]).points;
+        let b = series("B", &[(1, 1.0), (2, 2.0)]).points;
+        // ratios 2 and 4 => geomean sqrt(8) ≈ 2.828
+        let r = mean_ratio(&a, &b);
+        assert!((r - 8.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_ratio_skips_missing_sizes() {
+        let a = series("A", &[(1, 2.0), (4, 10.0)]).points;
+        let b = series("B", &[(1, 1.0), (2, 5.0)]).points;
+        assert_eq!(mean_ratio(&a, &b), 2.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Benchmark runner: resolve a (library, benchmark, API, topology)
+//! specification into a measured series.
+
+use mvapich2j::{run_job, BindError, BindResult, Env, JobConfig, Topology};
+
+use crate::coll::{collective, CollOp};
+use crate::options::{Api, BenchOptions, SizeValue};
+use crate::pt2pt::{bandwidth, bibandwidth, lat_impl};
+
+/// The libraries OMB-J can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Library {
+    /// MVAPICH2-J over the MVAPICH2 native profile.
+    Mvapich2J,
+    /// Open MPI-J over the Open MPI + UCX native profile.
+    OpenMpiJ,
+}
+
+impl Library {
+    /// Label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Library::Mvapich2J => "MVAPICH2-J",
+            Library::OpenMpiJ => "Open MPI-J",
+        }
+    }
+
+    /// Job configuration on `topo`.
+    pub fn config(self, topo: Topology) -> JobConfig {
+        match self {
+            Library::Mvapich2J => JobConfig::mvapich2j(topo),
+            Library::OpenMpiJ => openmpij_config(topo),
+        }
+    }
+}
+
+/// Open MPI-J configuration (kept here so `ombj` does not depend on the
+/// comparator crate's re-exports).
+fn openmpij_config(topo: Topology) -> JobConfig {
+    JobConfig::mvapich2j(topo).with_flavor(mvapich2j::OPENMPIJ, mpisim::Profile::openmpi_ucx())
+}
+
+/// The benchmarks OMB-J implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Benchmark {
+    /// `osu_latency`.
+    Latency,
+    /// `osu_bw`.
+    Bandwidth,
+    /// `osu_bibw`.
+    BiBandwidth,
+    /// A blocking (possibly vectored) collective.
+    Collective(CollOp),
+}
+
+impl Benchmark {
+    /// OMB benchmark name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Latency => "osu_latency",
+            Benchmark::Bandwidth => "osu_bw",
+            Benchmark::BiBandwidth => "osu_bibw",
+            Benchmark::Collective(op) => op.name(),
+        }
+    }
+
+    /// Metric unit.
+    pub fn unit(self) -> &'static str {
+        match self {
+            Benchmark::Latency | Benchmark::Collective(_) => "us",
+            Benchmark::Bandwidth | Benchmark::BiBandwidth => "MB/s",
+        }
+    }
+}
+
+/// A fully-specified benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec {
+    pub library: Library,
+    pub benchmark: Benchmark,
+    pub api: Api,
+    pub topo: Topology,
+    pub opts: BenchOptions,
+}
+
+/// A measured series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// e.g. "MVAPICH2-J buffer".
+    pub label: String,
+    /// Benchmark name, e.g. "osu_latency".
+    pub benchmark: &'static str,
+    /// Metric unit.
+    pub unit: &'static str,
+    /// Measured points.
+    pub points: Vec<SizeValue>,
+}
+
+/// Execute a run. Returns `None` when the combination is unsupported by
+/// the library (Open MPI-J + arrays + non-blocking benchmarks), matching
+/// the missing series in the paper's figures.
+pub fn run(spec: RunSpec) -> Option<Series> {
+    let opts = spec.opts;
+    let api = spec.api;
+    let bench = spec.benchmark;
+    let f = move |env: &mut Env| -> BindResult<Vec<SizeValue>> {
+        match bench {
+            Benchmark::Latency => lat_impl(env, &opts, api),
+            Benchmark::Bandwidth => bandwidth(env, &opts, api),
+            Benchmark::BiBandwidth => bibandwidth(env, &opts, api),
+            Benchmark::Collective(op) => collective(env, &opts, api, op),
+        }
+    };
+    let results = run_job(spec.library.config(spec.topo), f);
+    match results.into_iter().next().expect("rank 0 exists") {
+        Ok(points) => Some(Series {
+            label: format!("{} {}", spec.library.label(), spec.api.label()),
+            benchmark: spec.benchmark.name(),
+            unit: spec.benchmark.unit(),
+            points,
+        }),
+        Err(BindError::Unsupported(_)) => None,
+        Err(e) => panic!("benchmark {} failed: {e}", spec.benchmark.name()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec(library: Library, benchmark: Benchmark, api: Api) -> RunSpec {
+        RunSpec {
+            library,
+            benchmark,
+            api,
+            topo: Topology::single_node(2),
+            opts: BenchOptions::quick(),
+        }
+    }
+
+    #[test]
+    fn latency_produces_monotonic_sizes() {
+        let s = run(quick_spec(Library::Mvapich2J, Benchmark::Latency, Api::Buffer)).unwrap();
+        assert_eq!(s.unit, "us");
+        assert!(!s.points.is_empty());
+        assert!(s.points.windows(2).all(|w| w[0].size < w[1].size));
+        assert!(s.points.iter().all(|p| p.value > 0.0));
+        // Large messages cost more than small ones.
+        assert!(s.points.last().unwrap().value > s.points[0].value);
+    }
+
+    #[test]
+    fn bandwidth_grows_with_message_size() {
+        let s = run(quick_spec(Library::Mvapich2J, Benchmark::Bandwidth, Api::Buffer)).unwrap();
+        assert!(s.points.last().unwrap().value > s.points[0].value * 5.0);
+    }
+
+    #[test]
+    fn openmpij_arrays_bandwidth_is_missing() {
+        // The paper's missing series.
+        assert!(run(quick_spec(Library::OpenMpiJ, Benchmark::Bandwidth, Api::Arrays)).is_none());
+        assert!(run(quick_spec(Library::OpenMpiJ, Benchmark::BiBandwidth, Api::Arrays)).is_none());
+        // But buffers work.
+        assert!(run(quick_spec(Library::OpenMpiJ, Benchmark::Bandwidth, Api::Buffer)).is_some());
+        // And MVAPICH2-J arrays work.
+        assert!(run(quick_spec(Library::Mvapich2J, Benchmark::Bandwidth, Api::Arrays)).is_some());
+    }
+
+    #[test]
+    fn collective_benchmark_runs_on_multinode() {
+        let spec = RunSpec {
+            library: Library::Mvapich2J,
+            benchmark: Benchmark::Collective(CollOp::Bcast),
+            api: Api::Arrays,
+            topo: Topology::new(2, 2),
+            opts: BenchOptions {
+                max_size: 1 << 10,
+                ..BenchOptions::quick()
+            },
+        };
+        let s = run(spec).unwrap();
+        assert_eq!(s.benchmark, "osu_bcast");
+        assert!(s.points.iter().all(|p| p.value > 0.0));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let spec = quick_spec(Library::Mvapich2J, Benchmark::Latency, Api::Arrays);
+        assert_eq!(run(spec).unwrap().points, run(spec).unwrap().points);
+    }
+}

@@ -1,0 +1,133 @@
+//! **Open MPI-J** — the comparator library of the paper's evaluation: the
+//! same Java-bindings API, bound to the simulated Open MPI 4.1.2 + UCX
+//! 1.13 native library.
+//!
+//! The API surface is shared with `mvapich2j` (both follow the Open MPI
+//! Java bindings); what differs is the [`flavor`] and the native profile:
+//!
+//! * flat, topology-unaware collective defaults with heavier software
+//!   overheads (Figures 14–17);
+//! * a slower small-message shared-memory path (Figure 5);
+//! * slightly better large-message network bandwidth (Figure 13);
+//! * **no support for Java arrays with non-blocking point-to-point
+//!   operations** — `isend_array`/`irecv_array` raise
+//!   [`mvapich2j::BindError::Unsupported`], which is why the paper's
+//!   bandwidth plots have no "Open MPI-J arrays" series.
+//!
+//! ```
+//! use openmpij::job_config;
+//! use mvapich2j::{run_job, Topology};
+//!
+//! let results = run_job(job_config(Topology::single_node(2)), |env| {
+//!     assert_eq!(env.flavor().name, "Open MPI-J");
+//!     let arr = env.new_array::<i32>(4).unwrap();
+//!     // The documented restriction:
+//!     assert!(env.isend_array(arr, 4, (env.rank() + 1) % 2, 0, env.world()).is_err());
+//!     env.rank()
+//! });
+//! assert_eq!(results, vec![0, 1]);
+//! ```
+
+pub use mvapich2j::{
+    run_job, BindError, BindResult, Env, JRequest, JStatus, JobConfig, TestOutcome, OPENMPIJ,
+};
+
+use mvapich2j::Topology;
+
+/// Job configuration for an Open MPI-J run: the Open MPI-J flavor over
+/// the Open MPI + UCX native profile.
+pub fn job_config(topo: Topology) -> JobConfig {
+    JobConfig::mvapich2j(topo).with_flavor(OPENMPIJ, mpisim::Profile::openmpi_ucx())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvapich2j::datatype::INT;
+    use mvapich2j::Topology;
+
+    #[test]
+    fn identity_and_profile() {
+        let cfg = job_config(Topology::single_node(2));
+        assert_eq!(cfg.flavor.name, "Open MPI-J");
+        assert_eq!(cfg.profile.name, "Open MPI");
+        assert!(!cfg.flavor.arrays_with_nonblocking);
+    }
+
+    #[test]
+    fn blocking_array_communication_works() {
+        run_job(job_config(Topology::single_node(2)), |env| {
+            let w = env.world();
+            if env.rank() == 0 {
+                let arr = env.new_array::<i32>(16).unwrap();
+                for i in 0..16 {
+                    env.array_set(arr, i, i as i32).unwrap();
+                }
+                env.send_array(arr, 16, 1, 0, w).unwrap();
+            } else {
+                let arr = env.new_array::<i32>(16).unwrap();
+                env.recv_array(arr, 16, 0, 0, w).unwrap();
+                assert_eq!(env.array_get(arr, 15).unwrap(), 15);
+            }
+        });
+    }
+
+    #[test]
+    fn nonblocking_arrays_rejected() {
+        run_job(job_config(Topology::single_node(2)), |env| {
+            let w = env.world();
+            let arr = env.new_array::<f64>(8).unwrap();
+            let dst = (env.rank() + 1) % 2;
+            assert!(matches!(
+                env.isend_array(arr, 8, dst, 0, w),
+                Err(BindError::Unsupported(_))
+            ));
+            assert!(matches!(
+                env.irecv_array(arr, 8, dst as i32, 0, w),
+                Err(BindError::Unsupported(_))
+            ));
+        });
+    }
+
+    #[test]
+    fn nonblocking_buffers_still_work() {
+        run_job(job_config(Topology::single_node(2)), |env| {
+            let w = env.world();
+            if env.rank() == 0 {
+                let buf = env.new_direct(32);
+                let r = env.isend_buffer(buf, 8, &INT, 1, 0, w).unwrap();
+                env.wait(r).unwrap();
+            } else {
+                let buf = env.new_direct(32);
+                let r = env.irecv_buffer(buf, 8, &INT, 0, 0, w).unwrap();
+                let st = env.wait(r).unwrap();
+                assert_eq!(st.bytes, 32);
+            }
+        });
+    }
+
+    #[test]
+    fn openmpij_collectives_slower_than_mvapich2j_on_multinode() {
+        // The native gap the paper measures in Figures 14-17, visible
+        // through the Java layer.
+        let topo = Topology::new(4, 4);
+        let time_with = |cfg: JobConfig| {
+            let t = run_job(cfg, |env| {
+                let w = env.world();
+                let send = env.new_direct(1024);
+                let recv = env.new_direct(1024);
+                env.barrier(w).unwrap();
+                let t0 = env.now();
+                for _ in 0..10 {
+                    env.allreduce_buffer(send, recv, 256, &INT, mvapich2j::ReduceOp::Sum, w)
+                        .unwrap();
+                }
+                (env.now() - t0).as_nanos()
+            });
+            t.into_iter().fold(0.0f64, f64::max)
+        };
+        let mv = time_with(JobConfig::mvapich2j(topo));
+        let om = time_with(job_config(topo));
+        assert!(om > 1.5 * mv, "mv={mv} om={om}");
+    }
+}

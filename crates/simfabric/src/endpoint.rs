@@ -1,0 +1,285 @@
+//! Per-rank fabric endpoints.
+//!
+//! An [`Endpoint`] is the one object through which a simulated rank talks
+//! to the cluster: it owns the rank's injection ports (sender-side
+//! serialization state), the sender handles to every other rank's mailbox,
+//! and its own mailbox receiver. Endpoints are created by
+//! [`crate::run_cluster`] and moved into the rank's thread; they are not
+//! `Sync` and never shared.
+
+use crossbeam::channel::{Receiver, Sender, TryRecvError};
+use vtime::{LinkState, LogGp, VTime};
+
+use crate::topology::Topology;
+
+/// A message delivered through the fabric, stamped with its (virtual)
+/// arrival time at the destination NIC.
+#[derive(Debug, Clone)]
+pub struct Delivery<M> {
+    /// Sending rank.
+    pub src: usize,
+    /// Virtual arrival instant at the destination (before `o_recv`).
+    pub arrival: VTime,
+    /// Library-defined payload.
+    pub msg: M,
+}
+
+/// Counters describing what an endpoint has injected so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SendStats {
+    /// Messages injected.
+    pub messages: u64,
+    /// Sum of the wire sizes passed to [`Endpoint::send`].
+    pub wire_bytes: u64,
+}
+
+/// One rank's attachment point to the fabric.
+pub struct Endpoint<M> {
+    rank: usize,
+    topo: Topology,
+    /// Mailbox senders, indexed by destination rank.
+    txs: Vec<Sender<Delivery<M>>>,
+    /// This rank's mailbox.
+    rx: Receiver<Delivery<M>>,
+    /// Per-destination injection serialization. Keyed by (src, dst) pair —
+    /// never shared across destinations — so arrival times are a pure
+    /// function of the per-pair message sequence, which is FIFO. This is
+    /// what makes the whole simulation deterministic even when a progress
+    /// engine emits messages in real-time pop order.
+    links: Vec<LinkState>,
+    stats: SendStats,
+}
+
+impl<M> Endpoint<M> {
+    pub(crate) fn new(
+        rank: usize,
+        topo: Topology,
+        txs: Vec<Sender<Delivery<M>>>,
+        rx: Receiver<Delivery<M>>,
+    ) -> Self {
+        let n = topo.size();
+        Endpoint {
+            rank,
+            topo,
+            txs,
+            rx,
+            links: (0..n).map(|_| LinkState::new()).collect(),
+            stats: SendStats::default(),
+        }
+    }
+
+    /// This endpoint's rank.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The cluster topology.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of ranks in the cluster.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.topo.size()
+    }
+
+    /// Whether `dst` shares this rank's node.
+    #[inline]
+    pub fn is_local(&self, dst: usize) -> bool {
+        self.topo.same_node(self.rank, dst)
+    }
+
+    /// Inject a message towards `dst`.
+    ///
+    /// * `now` — the sender's clock *after* charging `o_send`;
+    /// * `wire_bytes` — the size used for serialization timing (headers +
+    ///   payload as the library chooses to model them);
+    /// * `params` — the LogGP parameters of the path the library selected
+    ///   (its shm path or its network path).
+    ///
+    /// Returns the virtual arrival instant at `dst`. Serialization state
+    /// is per (src, dst) pair: back-to-back messages to one destination
+    /// queue behind each other, while traffic to distinct destinations
+    /// only serializes through the CPU-time charges of the layers above.
+    pub fn send(&mut self, dst: usize, now: VTime, wire_bytes: usize, params: &LogGp, msg: M) -> VTime {
+        assert!(dst < self.topo.size(), "destination rank {dst} out of range");
+        let arrival = self.links[dst].inject(now, wire_bytes, params);
+        self.stats.messages += 1;
+        self.stats.wire_bytes += wire_bytes as u64;
+        self.txs[dst]
+            .send(Delivery {
+                src: self.rank,
+                arrival,
+                msg,
+            })
+            .expect("fabric mailbox closed: a rank thread exited early");
+        arrival
+    }
+
+    /// Block until the next message is delivered to this rank's mailbox.
+    ///
+    /// Blocking here is *real* (thread parking) but carries no timing
+    /// meaning: virtual time is read from the returned
+    /// [`Delivery::arrival`].
+    pub fn recv_blocking(&self) -> Delivery<M> {
+        self.rx
+            .recv()
+            .expect("fabric mailbox closed: all sender handles dropped")
+    }
+
+    /// Non-blocking poll of the mailbox.
+    pub fn try_recv(&self) -> Option<Delivery<M>> {
+        match self.rx.try_recv() {
+            Ok(d) => Some(d),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => {
+                panic!("fabric mailbox closed: all sender handles dropped")
+            }
+        }
+    }
+
+    /// Injection counters.
+    pub fn stats(&self) -> SendStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use vtime::VDur;
+
+    fn params() -> LogGp {
+        LogGp {
+            latency_ns: 1000.0,
+            o_send_ns: 100.0,
+            o_recv_ns: 100.0,
+            gap_msg_ns: 50.0,
+            gap_per_byte_ns: 0.1,
+        }
+    }
+
+    /// Build a 2-rank, 2-node loop-back pair of endpoints for unit tests.
+    fn pair(topo: Topology) -> (Endpoint<u32>, Endpoint<u32>) {
+        let (t0, r0) = unbounded();
+        let (t1, r1) = unbounded();
+        let e0 = Endpoint::new(0, topo, vec![t0.clone(), t1.clone()], r0);
+        let e1 = Endpoint::new(1, topo, vec![t0, t1], r1);
+        (e0, e1)
+    }
+
+    #[test]
+    fn send_delivers_with_arrival_time() {
+        let (mut e0, e1) = pair(Topology::new(2, 1));
+        let arr = e0.send(1, VTime::ZERO, 100, &params(), 7);
+        let d = e1.recv_blocking();
+        assert_eq!(d.src, 0);
+        assert_eq!(d.msg, 7);
+        assert_eq!(d.arrival, arr);
+        // 50 + 100*0.1 + 1000 = 1060
+        assert_eq!(arr.as_nanos(), 1060.0);
+    }
+
+    #[test]
+    fn per_sender_fifo_is_preserved() {
+        let (mut e0, e1) = pair(Topology::new(2, 1));
+        for i in 0..64u32 {
+            e0.send(1, VTime::ZERO, 1, &params(), i);
+        }
+        for i in 0..64u32 {
+            assert_eq!(e1.recv_blocking().msg, i);
+        }
+    }
+
+    #[test]
+    fn shm_and_net_ports_do_not_serialize_against_each_other() {
+        // 3 ranks: 0 and 1 on node 0, rank 2 on node 1.
+        let topo = Topology::new(2, 2); // ranks 0,1 node0; 2,3 node1
+        let (t0, _r0) = unbounded::<Delivery<u32>>();
+        let (t1, r1) = unbounded();
+        let (t2, r2) = unbounded();
+        let (t3, _r3) = unbounded();
+        let mut e0 = Endpoint::new(
+            0,
+            topo,
+            vec![t0, t1, t2, t3],
+            unbounded().1,
+        );
+        let p = params();
+        // Saturate the shm port with a large local message...
+        let a_local = e0.send(1, VTime::ZERO, 1_000_000, &p, 1);
+        // ...then a remote message at the same instant must NOT queue
+        // behind it, because it leaves through the NIC port.
+        let a_remote = e0.send(2, VTime::ZERO, 1, &p, 2);
+        assert!(a_remote < a_local);
+        assert_eq!(r1.recv().unwrap().msg, 1);
+        assert_eq!(r2.recv().unwrap().msg, 2);
+    }
+
+    #[test]
+    fn same_port_messages_serialize() {
+        let (mut e0, _e1) = pair(Topology::new(2, 1));
+        let p = params();
+        let a1 = e0.send(1, VTime::ZERO, 10_000, &p, 1);
+        let a2 = e0.send(1, VTime::ZERO, 10_000, &p, 2);
+        let ser = p.serialize(10_000);
+        assert_eq!((a2 - a1), ser);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut e0, _e1) = pair(Topology::new(2, 1));
+        e0.send(1, VTime::ZERO, 10, &params(), 1);
+        e0.send(1, VTime::ZERO, 20, &params(), 2);
+        assert_eq!(
+            e0.stats(),
+            SendStats {
+                messages: 2,
+                wire_bytes: 30
+            }
+        );
+    }
+
+    #[test]
+    fn try_recv_empty_then_some() {
+        let (mut e0, e1) = pair(Topology::new(2, 1));
+        assert!(e1.try_recv().is_none());
+        e0.send(1, VTime::ZERO, 1, &params(), 9);
+        // crossbeam channels make the send visible immediately.
+        let d = e1.try_recv().expect("message should be queued");
+        assert_eq!(d.msg, 9);
+    }
+
+    #[test]
+    fn self_send_is_allowed() {
+        let topo = Topology::single_node(1);
+        let (t0, r0) = unbounded();
+        let mut e0 = Endpoint::<u32>::new(0, topo, vec![t0], r0);
+        e0.send(0, VTime::ZERO, 8, &params(), 42);
+        assert_eq!(e0.recv_blocking().msg, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_out_of_range_panics() {
+        let (mut e0, _e1) = pair(Topology::new(2, 1));
+        e0.send(5, VTime::ZERO, 1, &params(), 0);
+    }
+
+    #[test]
+    fn arrival_monotone_per_link_even_with_clock_skew() {
+        // Even if the sender's clock jumps backwards between sends (it
+        // cannot in practice, but the port must still be safe), arrivals
+        // on one port never reorder.
+        let (mut e0, _e1) = pair(Topology::new(2, 1));
+        let p = params();
+        let a1 = e0.send(1, VTime::from_nanos(5000.0), 100, &p, 1);
+        let a2 = e0.send(1, VTime::from_nanos(0.0), 100, &p, 2);
+        assert!(a2 >= a1);
+        let _ = VDur::ZERO;
+    }
+}

@@ -1,0 +1,30 @@
+//! Deterministic virtual-time cluster fabric.
+//!
+//! `simfabric` provides the physical substrate of the reproduction: a
+//! cluster of `nodes × ppn` MPI ranks, each running as one OS thread,
+//! exchanging messages through per-rank mailboxes with LogGP-timed
+//! arrivals. The fabric is *payload-generic* (`Endpoint<M>`): the native
+//! MPI simulation (`mpisim`) defines what a message is; the fabric defines
+//! when it arrives.
+//!
+//! ## Determinism
+//!
+//! All timing state is owned by exactly one thread:
+//!
+//! * each sender owns its own injection port ([`vtime::LinkState`]), so the
+//!   arrival time of a message is a pure function of program order on the
+//!   sending rank;
+//! * receivers observe arrival *timestamps* carried in the message, never
+//!   real time.
+//!
+//! Consequently any program whose receive operations name their source
+//! rank (i.e. no wildcard-source receives) produces bit-identical virtual
+//! times on every run, regardless of OS scheduling.
+
+pub mod endpoint;
+pub mod runner;
+pub mod topology;
+
+pub use endpoint::{Delivery, Endpoint, SendStats};
+pub use runner::run_cluster;
+pub use topology::Topology;

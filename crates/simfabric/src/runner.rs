@@ -1,0 +1,157 @@
+//! The cluster runner: spawn one thread per rank, wire up mailboxes, run a
+//! rank program, and collect per-rank results.
+
+use crossbeam::channel::unbounded;
+
+use crate::endpoint::{Delivery, Endpoint};
+use crate::topology::Topology;
+
+/// Run `f` once per rank, each on its own OS thread, with a fully wired
+/// [`Endpoint`]. Returns the per-rank results in rank order.
+///
+/// Panics in any rank propagate out of `run_cluster` (the whole simulated
+/// job aborts, like a real MPI job with an uncaught error).
+///
+/// `M` is the library-defined message payload; `R` the per-rank result.
+pub fn run_cluster<M, R, F>(topo: Topology, f: F) -> Vec<R>
+where
+    M: Send + 'static,
+    R: Send,
+    F: Fn(Endpoint<M>) -> R + Sync,
+{
+    let n = topo.size();
+    let mut txs = Vec::with_capacity(n);
+    let mut rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded::<Delivery<M>>();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    let mut endpoints: Vec<Endpoint<M>> = rxs
+        .into_iter()
+        .enumerate()
+        .map(|(rank, rx)| Endpoint::new(rank, topo, txs.clone(), rx))
+        .collect();
+    // The runner keeps no sender handles: each endpoint holds clones, so
+    // mailboxes stay open exactly as long as some rank might still send.
+    drop(txs);
+
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for ep in endpoints.drain(..) {
+            handles.push(scope.spawn(move || f(ep)));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtime::{LogGp, VTime};
+
+    fn params() -> LogGp {
+        LogGp {
+            latency_ns: 1000.0,
+            o_send_ns: 100.0,
+            o_recv_ns: 100.0,
+            gap_msg_ns: 0.0,
+            gap_per_byte_ns: 0.1,
+        }
+    }
+
+    #[test]
+    fn ring_passes_a_token_around() {
+        let topo = Topology::new(2, 4); // 8 ranks
+        let results = run_cluster::<u64, u64, _>(topo, |mut ep| {
+            let n = ep.size();
+            let rank = ep.rank();
+            let next = (rank + 1) % n;
+            if rank == 0 {
+                ep.send(next, VTime::ZERO, 8, &params(), 1);
+                let d = ep.recv_blocking();
+                d.msg
+            } else {
+                let d = ep.recv_blocking();
+                ep.send(next, d.arrival, 8, &params(), d.msg + 1);
+                d.msg
+            }
+        });
+        // Rank 0 receives the token after it was incremented by ranks 1..7.
+        assert_eq!(results[0], 8);
+        for (r, v) in results.iter().enumerate().skip(1) {
+            assert_eq!(*v, r as u64);
+        }
+    }
+
+    #[test]
+    fn virtual_time_accumulates_over_hops() {
+        // Token ring timing: each hop adds serialization + latency.
+        let topo = Topology::new(4, 1);
+        let arrivals = run_cluster::<(), VTime, _>(topo, |mut ep| {
+            let n = ep.size();
+            let rank = ep.rank();
+            let next = (rank + 1) % n;
+            if rank == 0 {
+                ep.send(next, VTime::ZERO, 0, &params(), ());
+                ep.recv_blocking().arrival
+            } else {
+                let d = ep.recv_blocking();
+                ep.send(next, d.arrival, 0, &params(), ());
+                d.arrival
+            }
+        });
+        // Hop cost = 0 gap + 0 bytes + L = 1000ns each.
+        assert_eq!(arrivals[1].as_nanos(), 1000.0);
+        assert_eq!(arrivals[2].as_nanos(), 2000.0);
+        assert_eq!(arrivals[3].as_nanos(), 3000.0);
+        assert_eq!(arrivals[0].as_nanos(), 4000.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            run_cluster::<u32, f64, _>(Topology::new(2, 2), |mut ep| {
+                let rank = ep.rank();
+                let n = ep.size();
+                let mut t = VTime::ZERO;
+                // All-to-all chatter with data-dependent timing.
+                for dst in 0..n {
+                    if dst != rank {
+                        ep.send(dst, t, 64 * (rank + 1), &params(), rank as u32);
+                    }
+                }
+                for _ in 0..n - 1 {
+                    let d = ep.recv_blocking();
+                    t = t.max(d.arrival);
+                }
+                t.as_nanos()
+            })
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 failed")]
+    fn rank_panic_propagates() {
+        run_cluster::<(), (), _>(Topology::new(4, 1), |ep| {
+            if ep.rank() == 2 {
+                panic!("rank 2 failed");
+            }
+        });
+    }
+
+    #[test]
+    fn results_are_in_rank_order() {
+        let r = run_cluster::<(), usize, _>(Topology::new(2, 3), |ep| ep.rank());
+        assert_eq!(r, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

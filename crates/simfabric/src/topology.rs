@@ -1,0 +1,124 @@
+//! Cluster topology: how ranks map onto nodes.
+//!
+//! The paper's experiments use two layouts: 2 ranks on 1 node (intra-node
+//! pt2pt), 2 ranks on 2 nodes (inter-node pt2pt), and 4 nodes × 16 ppn
+//! (collectives). Ranks are assigned to nodes in *block* order, matching
+//! the default `mpirun` mapping used by both MVAPICH2 and Open MPI
+//! (`--map-by core` within a node first).
+
+/// A cluster of `nodes` nodes with `ppn` ranks per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    nodes: usize,
+    ppn: usize,
+}
+
+impl Topology {
+    /// Create a topology. Panics if either dimension is zero.
+    pub fn new(nodes: usize, ppn: usize) -> Self {
+        assert!(nodes > 0, "topology needs at least one node");
+        assert!(ppn > 0, "topology needs at least one rank per node");
+        Topology { nodes, ppn }
+    }
+
+    /// Convenience: `n` ranks all on one node.
+    pub fn single_node(ppn: usize) -> Self {
+        Self::new(1, ppn)
+    }
+
+    /// Total number of ranks in the cluster.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.nodes * self.ppn
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Ranks per node.
+    #[inline]
+    pub fn ppn(&self) -> usize {
+        self.ppn
+    }
+
+    /// The node hosting `rank` (block mapping).
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        debug_assert!(rank < self.size(), "rank {rank} out of range");
+        rank / self.ppn
+    }
+
+    /// Whether two ranks share a node (and therefore the shared-memory
+    /// transport).
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// The lowest rank on `rank`'s node — the conventional "node leader"
+    /// used by hierarchical collective algorithms.
+    #[inline]
+    pub fn node_leader(&self, rank: usize) -> usize {
+        self.node_of(rank) * self.ppn
+    }
+
+    /// Iterator over the ranks on the same node as `rank`.
+    pub fn node_peers(&self, rank: usize) -> impl Iterator<Item = usize> {
+        let leader = self.node_leader(rank);
+        leader..leader + self.ppn
+    }
+
+    /// Iterator over all node-leader ranks.
+    pub fn leaders(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.nodes).map(move |n| n * self.ppn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_mapping() {
+        let t = Topology::new(4, 16);
+        assert_eq!(t.size(), 64);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(15), 0);
+        assert_eq!(t.node_of(16), 1);
+        assert_eq!(t.node_of(63), 3);
+    }
+
+    #[test]
+    fn same_node_and_leader() {
+        let t = Topology::new(2, 4);
+        assert!(t.same_node(0, 3));
+        assert!(!t.same_node(3, 4));
+        assert_eq!(t.node_leader(5), 4);
+        assert_eq!(t.node_leader(3), 0);
+        assert_eq!(t.node_peers(6).collect::<Vec<_>>(), vec![4, 5, 6, 7]);
+        assert_eq!(t.leaders().collect::<Vec<_>>(), vec![0, 4]);
+    }
+
+    #[test]
+    fn single_node_helper() {
+        let t = Topology::single_node(2);
+        assert_eq!(t.nodes(), 1);
+        assert_eq!(t.size(), 2);
+        assert!(t.same_node(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = Topology::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ppn_rejected() {
+        let _ = Topology::new(1, 0);
+    }
+}

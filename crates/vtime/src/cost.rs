@@ -1,0 +1,259 @@
+//! The calibrated cost model.
+//!
+//! Every virtual-time charge in the managed runtime, the JNI-analog
+//! boundary, and the buffering layer comes from a named constant in this
+//! file, so the whole calibration of the reproduction lives in one place.
+//! The defaults are calibrated so the regenerated figures match the
+//! *shape* of the paper's evaluation on TACC Frontera (who wins, by what
+//! rough factor, where crossovers fall) — see `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison.
+//!
+//! Network-path parameters (LogGP per library profile) intentionally do
+//! *not* live here: they are properties of the simulated native MPI
+//! libraries and are defined by `mpisim::profile`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::VDur;
+
+/// Costs of the managed runtime's memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemCosts {
+    /// Bulk copy cost per byte (System.arraycopy / ByteBuffer bulk put —
+    /// an optimized memcpy, ~40 GB/s).
+    pub memcpy_per_byte_ns: f64,
+    /// Fixed cost of any bulk copy (call + bounds checks).
+    pub memcpy_fixed_ns: f64,
+    /// Per-element read/write of an on-heap primitive array inside a
+    /// "Java" loop (bounds check + direct addressing; JIT-friendly).
+    pub array_elem_rw_ns: f64,
+    /// Per-element absolute get/put on a *direct* ByteBuffer. Slower than
+    /// array access on real JVMs (limit checks + unsafe access through the
+    /// Buffer abstraction defeat vectorization) — this constant is what
+    /// makes Figure 18 meaningful.
+    pub direct_bb_elem_rw_ns: f64,
+    /// Per-element get/put on a heap (non-direct) ByteBuffer.
+    pub heap_bb_elem_rw_ns: f64,
+    /// Fixed cost of allocating a managed object / array on the heap
+    /// (bump-pointer allocation).
+    pub heap_alloc_fixed_ns: f64,
+    /// Per-byte zeroing cost of heap allocation.
+    pub heap_alloc_per_byte_ns: f64,
+    /// Fixed cost of `ByteBuffer.allocateDirect` (malloc + alignment +
+    /// registration — "costly to create", per the paper).
+    pub direct_alloc_fixed_ns: f64,
+    /// Per-byte cost of direct allocation (page touching).
+    pub direct_alloc_per_byte_ns: f64,
+    /// Fixed cost of freeing a direct buffer.
+    pub direct_free_fixed_ns: f64,
+}
+
+impl Default for MemCosts {
+    fn default() -> Self {
+        MemCosts {
+            memcpy_per_byte_ns: 0.025,
+            memcpy_fixed_ns: 30.0,
+            array_elem_rw_ns: 0.40,
+            direct_bb_elem_rw_ns: 1.30,
+            heap_bb_elem_rw_ns: 0.85,
+            heap_alloc_fixed_ns: 25.0,
+            heap_alloc_per_byte_ns: 0.010,
+            direct_alloc_fixed_ns: 2_000.0,
+            direct_alloc_per_byte_ns: 0.050,
+            direct_free_fixed_ns: 600.0,
+        }
+    }
+}
+
+/// Costs of crossing the JNI-analog boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JniCosts {
+    /// One Java→C→Java call transition (argument marshalling, handle
+    /// pinning bookkeeping, stack switch).
+    pub transition_ns: f64,
+    /// `GetDirectBufferAddress` — reading the address field.
+    pub get_direct_buffer_address_ns: f64,
+    /// Fixed part of `Get<Type>ArrayElements` (always copies on JVMs
+    /// without pinning); the per-byte part is `MemCosts::memcpy_per_byte_ns`.
+    pub get_array_elements_fixed_ns: f64,
+    /// Fixed part of `Release<Type>ArrayElements` (copy-back governed by
+    /// the release mode).
+    pub release_array_elements_fixed_ns: f64,
+    /// `GetPrimitiveArrayCritical` / release pair — no copy, but flips the
+    /// GC lock.
+    pub critical_fixed_ns: f64,
+}
+
+impl Default for JniCosts {
+    fn default() -> Self {
+        JniCosts {
+            transition_ns: 110.0,
+            get_direct_buffer_address_ns: 25.0,
+            get_array_elements_fixed_ns: 180.0,
+            release_array_elements_fixed_ns: 120.0,
+            critical_fixed_ns: 55.0,
+        }
+    }
+}
+
+/// Costs of the managed runtime's garbage collector (semispace copying,
+/// stop-the-world).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GcCosts {
+    /// Fixed pause per collection (root scan, flip).
+    pub pause_fixed_ns: f64,
+    /// Per-live-byte evacuation cost.
+    pub pause_per_live_byte_ns: f64,
+}
+
+impl Default for GcCosts {
+    fn default() -> Self {
+        GcCosts {
+            pause_fixed_ns: 18_000.0,
+            pause_per_live_byte_ns: 0.035,
+        }
+    }
+}
+
+/// Costs of the `mpjbuf` buffering layer's direct-buffer pool.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolCosts {
+    /// Acquiring a pooled buffer that is already available (free-list hit).
+    pub acquire_hit_ns: f64,
+    /// Returning a buffer to the pool.
+    pub release_ns: f64,
+}
+
+impl Default for PoolCosts {
+    fn default() -> Self {
+        PoolCosts {
+            acquire_hit_ns: 150.0,
+            release_ns: 95.0,
+        }
+    }
+}
+
+/// The complete calibrated cost model. Cloned into every simulated rank.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostModel {
+    pub mem: MemCosts,
+    pub jni: JniCosts,
+    pub gc: GcCosts,
+    pub pool: PoolCosts,
+}
+
+impl CostModel {
+    /// Bulk copy of `n` bytes (arraycopy/memcpy class).
+    #[inline]
+    pub fn memcpy(&self, n: usize) -> VDur {
+        VDur::from_nanos(self.mem.memcpy_fixed_ns + n as f64 * self.mem.memcpy_per_byte_ns)
+    }
+
+    /// A loop of `n` on-heap array element accesses.
+    #[inline]
+    pub fn array_loop(&self, n: usize) -> VDur {
+        VDur::from_nanos(n as f64 * self.mem.array_elem_rw_ns)
+    }
+
+    /// A loop of `n` direct-ByteBuffer element accesses.
+    #[inline]
+    pub fn direct_bb_loop(&self, n: usize) -> VDur {
+        VDur::from_nanos(n as f64 * self.mem.direct_bb_elem_rw_ns)
+    }
+
+    /// A loop of `n` heap-ByteBuffer element accesses.
+    #[inline]
+    pub fn heap_bb_loop(&self, n: usize) -> VDur {
+        VDur::from_nanos(n as f64 * self.mem.heap_bb_elem_rw_ns)
+    }
+
+    /// Heap allocation of an `n`-byte object.
+    #[inline]
+    pub fn heap_alloc(&self, n: usize) -> VDur {
+        VDur::from_nanos(self.mem.heap_alloc_fixed_ns + n as f64 * self.mem.heap_alloc_per_byte_ns)
+    }
+
+    /// `allocateDirect` of `n` bytes.
+    #[inline]
+    pub fn direct_alloc(&self, n: usize) -> VDur {
+        VDur::from_nanos(
+            self.mem.direct_alloc_fixed_ns + n as f64 * self.mem.direct_alloc_per_byte_ns,
+        )
+    }
+
+    /// GC pause with `live` live bytes in the from-space.
+    #[inline]
+    pub fn gc_pause(&self, live: usize) -> VDur {
+        VDur::from_nanos(self.gc.pause_fixed_ns + live as f64 * self.gc.pause_per_live_byte_ns)
+    }
+
+    /// One JNI call transition.
+    #[inline]
+    pub fn jni_transition(&self) -> VDur {
+        VDur::from_nanos(self.jni.transition_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive_and_finite() {
+        let c = CostModel::default();
+        for v in [
+            c.mem.memcpy_per_byte_ns,
+            c.mem.array_elem_rw_ns,
+            c.mem.direct_bb_elem_rw_ns,
+            c.mem.heap_bb_elem_rw_ns,
+            c.mem.direct_alloc_fixed_ns,
+            c.jni.transition_ns,
+            c.gc.pause_fixed_ns,
+            c.pool.acquire_hit_ns,
+        ] {
+            assert!(v.is_finite() && v > 0.0);
+        }
+    }
+
+    #[test]
+    fn bytebuffer_element_access_slower_than_array() {
+        // The invariant Figure 18 depends on.
+        let c = CostModel::default();
+        assert!(c.mem.direct_bb_elem_rw_ns > c.mem.array_elem_rw_ns);
+        assert!(c.direct_bb_loop(1000) > c.array_loop(1000));
+    }
+
+    #[test]
+    fn bulk_copy_much_cheaper_than_element_loop() {
+        // The reason the buffering layer copies in bulk.
+        let c = CostModel::default();
+        let n = 1 << 20;
+        assert!(c.memcpy(n) < c.array_loop(n) / 4.0);
+    }
+
+    #[test]
+    fn direct_alloc_much_costlier_than_heap_alloc() {
+        // "Direct ByteBuffers are costly to create" — why the pool exists.
+        let c = CostModel::default();
+        assert!(c.direct_alloc(4096) > c.heap_alloc(4096) * 10.0);
+        assert!(
+            c.direct_alloc(4096).as_nanos() > (c.pool.acquire_hit_ns + c.pool.release_ns) * 5.0,
+            "a pooled round-trip must stay far cheaper than allocateDirect"
+        );
+    }
+
+    #[test]
+    fn cost_helpers_scale_linearly() {
+        let c = CostModel::default();
+        let small = c.memcpy(1000).as_nanos() - c.mem.memcpy_fixed_ns;
+        let large = c.memcpy(2000).as_nanos() - c.mem.memcpy_fixed_ns;
+        assert!((large - 2.0 * small).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_model_is_copy_and_comparable() {
+        let c = CostModel::default();
+        let d = c;
+        assert_eq!(c, d);
+    }
+}

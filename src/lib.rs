@@ -1,0 +1,12 @@
+//! Workspace-level umbrella crate: hosts the runnable `examples/` and the
+//! cross-crate integration tests in `tests/`. Re-exports the public crates
+//! for convenience.
+pub use mpisim;
+pub use mpjbuf;
+pub use mrt;
+pub use mvapich2j;
+pub use nif;
+pub use ombj;
+pub use openmpij;
+pub use simfabric;
+pub use vtime;

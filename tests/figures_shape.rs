@@ -1,0 +1,180 @@
+//! Shape assertions over the regenerated figures (quick scale): who wins,
+//! where the crossovers fall, which series are missing — the qualitative
+//! content of the paper's evaluation, enforced in CI.
+//!
+//! Quick scale uses smaller sweeps and a 2×4 cluster for the collectives,
+//! so the asserted factors are looser than the full-scale numbers in
+//! `EXPERIMENTS.md` — the *directions* are the invariants.
+
+use ombj_bench::{run_figure, Scale};
+
+fn series<'a>(fig: &'a ombj_bench::Figure, label: &str) -> &'a ombj::Series {
+    fig.series
+        .iter()
+        .find(|s| s.label.contains(label))
+        .unwrap_or_else(|| panic!("{} missing series {label}", fig.id))
+}
+
+#[test]
+fn fig5_mvapich2j_wins_intra_node_small_latency() {
+    let fig = run_figure("fig5", Scale::Quick);
+    let mv = series(&fig, "MVAPICH2-J buffer");
+    let om = series(&fig, "Open MPI-J buffer");
+    for (m, o) in mv.points.iter().zip(&om.points) {
+        assert!(
+            o.value > 1.5 * m.value,
+            "OMPI-J must clearly trail at {} B: {} vs {}",
+            m.size,
+            o.value,
+            m.value
+        );
+    }
+}
+
+#[test]
+fn fig5_buffers_beat_arrays_at_omb_level() {
+    // "At the OMB-J level, ByteBuffers are superior in performance."
+    let fig = run_figure("fig5", Scale::Quick);
+    let buf = series(&fig, "MVAPICH2-J buffer");
+    let arr = series(&fig, "MVAPICH2-J arrays");
+    for (b, a) in buf.points.iter().zip(&arr.points) {
+        assert!(a.value > b.value, "arrays pay the buffering layer at {} B", b.size);
+    }
+}
+
+#[test]
+fn fig7_openmpij_arrays_series_is_missing() {
+    let fig = run_figure("fig7", Scale::Quick);
+    assert!(
+        fig.series.iter().all(|s| !s.label.contains("Open MPI-J arrays")),
+        "Open MPI-J cannot produce an arrays bandwidth series"
+    );
+    assert!(
+        fig.notes.iter().any(|n| n.contains("does not support")),
+        "the omission must be recorded as a note"
+    );
+    assert_eq!(fig.series.len(), 3);
+}
+
+#[test]
+fn fig9_inter_node_buffers_are_comparable() {
+    // Paper: "MVAPICH2-J buffer performs comparably to Open MPI-J buffer"
+    // inter-node.
+    let fig = run_figure("fig9", Scale::Quick);
+    let mv = series(&fig, "MVAPICH2-J buffer");
+    let om = series(&fig, "Open MPI-J buffer");
+    for (m, o) in mv.points.iter().zip(&om.points) {
+        let ratio = o.value / m.value;
+        assert!(
+            (0.7..1.6).contains(&ratio),
+            "inter-node buffers should be within ~1.6x at {} B (ratio {ratio:.2})",
+            m.size
+        );
+    }
+}
+
+#[test]
+fn fig11_overhead_is_submicrosecond_ballpark_and_ordered() {
+    let fig = run_figure("fig11", Scale::Quick);
+    let mv = series(&fig, "MVAPICH2-J overhead");
+    let om = series(&fig, "Open MPI-J overhead");
+    let mean = |s: &ombj::Series| {
+        s.points.iter().map(|p| p.value).sum::<f64>() / s.points.len() as f64
+    };
+    let (m, o) = (mean(mv), mean(om));
+    assert!(m > 0.1 && m < 2.0, "MVAPICH2-J overhead in the ~1 us ballpark: {m}");
+    assert!(o > 0.1 && o < 2.5, "Open MPI-J overhead in the ~1 us ballpark: {o}");
+    assert!(o > m, "MVAPICH2-J has the smaller Java overhead ({m} vs {o})");
+}
+
+#[test]
+fn fig13_openmpij_slightly_ahead_on_large_internode_bandwidth() {
+    let fig = run_figure("fig13", Scale::Quick);
+    let mv = series(&fig, "MVAPICH2-J buffer");
+    let om = series(&fig, "Open MPI-J buffer");
+    let (m, o) = (
+        mv.points.last().unwrap().value,
+        om.points.last().unwrap().value,
+    );
+    assert!(
+        o > m && o < 1.3 * m,
+        "Open MPI-J buffer slightly ahead at the largest size: {o} vs {m}"
+    );
+}
+
+#[test]
+fn fig14_collective_gap_direction_and_magnitude() {
+    let fig = run_figure("fig14", Scale::Quick);
+    let mv = series(&fig, "MVAPICH2-J buffer");
+    let om = series(&fig, "Open MPI-J buffer");
+    for (m, o) in mv.points.iter().zip(&om.points) {
+        assert!(
+            o.value > 2.0 * m.value,
+            "bcast gap must be large at {} B: {} vs {}",
+            m.size,
+            o.value,
+            m.value
+        );
+    }
+}
+
+#[test]
+fn fig16_allreduce_gap_direction() {
+    let fig = run_figure("fig16", Scale::Quick);
+    let mv = series(&fig, "MVAPICH2-J buffer");
+    let om = series(&fig, "Open MPI-J buffer");
+    for (m, o) in mv.points.iter().zip(&om.points) {
+        assert!(
+            o.value > 1.2 * m.value,
+            "allreduce gap at {} B: {} vs {}",
+            m.size,
+            o.value,
+            m.value
+        );
+    }
+}
+
+#[test]
+fn fig18_validation_flips_the_winner() {
+    let fig = run_figure("fig18", Scale::Quick);
+    let buf = series(&fig, "buffer");
+    let arr = series(&fig, "arrays");
+    // Small messages: buffers win (staging overhead dominates).
+    assert!(
+        arr.points[0].value > buf.points[0].value,
+        "buffers must win at {} B",
+        buf.points[0].size
+    );
+    // Large messages: arrays win (element access dominates).
+    let (b, a) = (buf.points.last().unwrap(), arr.points.last().unwrap());
+    assert!(
+        a.value < b.value,
+        "arrays must win at {} B: {} vs {}",
+        b.size,
+        a.value,
+        b.value
+    );
+    // There is exactly one crossover: once arrays win, they keep winning.
+    let mut crossed = false;
+    for (b, a) in buf.points.iter().zip(&arr.points) {
+        if crossed {
+            assert!(
+                a.value < b.value,
+                "arrays must stay ahead past the crossover (size {})",
+                b.size
+            );
+        } else if a.value < b.value {
+            crossed = true;
+        }
+    }
+    assert!(crossed, "a crossover must exist");
+}
+
+#[test]
+fn figures_are_deterministic_across_runs() {
+    let a = run_figure("fig5", Scale::Quick);
+    let b = run_figure("fig5", Scale::Quick);
+    for (sa, sb) in a.series.iter().zip(&b.series) {
+        assert_eq!(sa.points, sb.points, "series {} must be bit-identical", sa.label);
+    }
+}
