@@ -1,8 +1,10 @@
-//! Criterion benches over the collective figures (Figures 14–17) at
+//! Wall-clock benches over the collective figures (Figures 14–17) at
 //! test scale (2×4 ranks), plus the vectored collectives the paper's
 //! OMB-J supports.
+//!
+//! Harness-free (`harness = false`): plain timing loops, run via
+//! `cargo bench` (no-op without the `--bench` flag cargo passes).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ombj::{run, Api, BenchOptions, Benchmark, CollOp, Library, RunSpec};
 use simfabric::Topology;
 
@@ -18,13 +20,25 @@ fn opts() -> BenchOptions {
     }
 }
 
-fn bench_figures_14_17(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig14_fig16_collectives");
-    g.sample_size(10);
+fn time<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per_ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    println!("{name:<48} {per_ms:>10.3} ms/iter");
+}
+
+fn bench_figures_14_17() {
     for (op, oname) in [(CollOp::Bcast, "bcast"), (CollOp::Allreduce, "allreduce")] {
-        for (lib, lname) in [(Library::Mvapich2J, "mvapich2j"), (Library::OpenMpiJ, "openmpij")] {
-            g.bench_function(BenchmarkId::new(oname, lname), |b| {
-                b.iter(|| {
+        for (lib, lname) in [
+            (Library::Mvapich2J, "mvapich2j"),
+            (Library::OpenMpiJ, "openmpij"),
+        ] {
+            time(
+                &format!("fig14_fig16_collectives/{oname}/{lname}"),
+                10,
+                || {
                     run(RunSpec {
                         library: lib,
                         benchmark: Benchmark::Collective(op),
@@ -33,37 +47,36 @@ fn bench_figures_14_17(c: &mut Criterion) {
                         opts: opts(),
                     })
                     .expect("collective runs")
-                })
-            });
+                },
+            );
         }
     }
-    g.finish();
 }
 
-fn bench_vectored(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vectored_collectives");
-    g.sample_size(10);
+fn bench_vectored() {
     for (op, name) in [
         (CollOp::Allgatherv, "allgatherv"),
         (CollOp::Gatherv, "gatherv"),
         (CollOp::Scatterv, "scatterv"),
         (CollOp::Alltoallv, "alltoallv"),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                run(RunSpec {
-                    library: Library::Mvapich2J,
-                    benchmark: Benchmark::Collective(op),
-                    api: Api::Arrays,
-                    topo: Topology::new(2, 2),
-                    opts: opts(),
-                })
-                .expect("vectored collective runs")
+        time(&format!("vectored_collectives/{name}"), 10, || {
+            run(RunSpec {
+                library: Library::Mvapich2J,
+                benchmark: Benchmark::Collective(op),
+                api: Api::Arrays,
+                topo: Topology::new(2, 2),
+                opts: opts(),
             })
+            .expect("vectored collective runs")
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_figures_14_17, bench_vectored);
-criterion_main!(benches);
+fn main() {
+    if !std::env::args().any(|a| a == "--bench") {
+        return;
+    }
+    bench_figures_14_17();
+    bench_vectored();
+}

@@ -1,70 +1,78 @@
-//! Criterion micro-benches of the substrate layers: how fast does the
+//! Wall-clock micro-benches of the substrate layers: how fast does the
 //! *simulator* execute managed-heap operations, staging copies, GC, and
 //! datatype packing? These guard the real-time cost of the reproduction
 //! (virtual-time results are deterministic and covered by tests).
+//!
+//! Harness-free (`harness = false`): plain timing loops, run via
+//! `cargo bench` (no-op without the `--bench` flag cargo passes).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mpisim::datatype::{Datatype, INT};
 use mrt::Runtime;
 use std::hint::black_box;
 use vtime::{Clock, CostModel};
 
-fn bench_heap(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mrt_heap");
-    g.bench_function("alloc_release_1k", |b| {
+fn time<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    println!("{name:<48} {per_us:>10.3} us/iter");
+}
+
+fn bench_heap() {
+    {
         let mut rt = Runtime::new(CostModel::default());
         let mut clock = Clock::new();
-        b.iter(|| {
+        time("mrt_heap/alloc_release_1k", 10_000, || {
             let a = rt.alloc_array::<i8>(1024, &mut clock).unwrap();
             rt.release_array(a).unwrap();
-        })
-    });
-    g.bench_function("gc_64k_live", |b| {
+        });
+    }
+    {
         let mut rt = Runtime::with_heap(CostModel::default(), 1 << 20, 1 << 22);
         let mut clock = Clock::new();
         let _live: Vec<_> = (0..64)
             .map(|_| rt.alloc_array::<i8>(1024, &mut clock).unwrap())
             .collect();
-        b.iter(|| rt.gc(&mut clock))
-    });
-    g.finish();
+        time("mrt_heap/gc_64k_live", 1_000, || rt.gc(&mut clock));
+    }
 }
 
-fn bench_staging(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mpjbuf_staging");
+fn bench_staging() {
     let n = 64 << 10;
-    g.throughput(Throughput::Bytes(n as u64));
-    g.bench_function("stage_unstage_64k", |b| {
-        let mut rt = Runtime::new(CostModel::default());
-        let mut clock = Clock::new();
-        let mut pool = mpjbuf::BufferPool::new();
-        let arr = rt.alloc_array::<i8>(n, &mut clock).unwrap();
-        b.iter(|| {
-            let mut buf = mpjbuf::Buffer::from_pool(&mut pool, &mut rt, &mut clock, n);
-            buf.stage_array(&mut rt, &mut clock, arr, 0, n).unwrap();
-            buf.commit();
-            buf.unstage_array(&mut rt, &mut clock, arr, 0, n).unwrap();
-            buf.free(&mut pool, &mut rt, &mut clock);
-        })
+    let mut rt = Runtime::new(CostModel::default());
+    let mut clock = Clock::new();
+    let mut pool = mpjbuf::BufferPool::new();
+    let arr = rt.alloc_array::<i8>(n, &mut clock).unwrap();
+    time("mpjbuf_staging/stage_unstage_64k", 1_000, || {
+        let mut buf = mpjbuf::Buffer::from_pool(&mut pool, &mut rt, &mut clock, n);
+        buf.stage_array(&mut rt, &mut clock, arr, 0, n).unwrap();
+        buf.commit();
+        buf.unstage_array(&mut rt, &mut clock, arr, 0, n).unwrap();
+        buf.free(&mut pool, &mut rt, &mut clock);
     });
-    g.finish();
 }
 
-fn bench_datatype(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mpisim_datatype");
+fn bench_datatype() {
     let dt = Datatype::vector(64, 4, 8, INT).unwrap();
     let src = vec![7u8; dt.span(16)];
-    g.throughput(Throughput::Bytes((dt.size() * 16) as u64));
-    g.bench_function("pack_vector_16", |b| {
-        b.iter(|| black_box(dt.pack(black_box(&src), 16).unwrap()))
+    time("mpisim_datatype/pack_vector_16", 10_000, || {
+        black_box(dt.pack(black_box(&src), 16).unwrap())
     });
     let packed = dt.pack(&src, 16).unwrap();
     let mut dst = vec![0u8; src.len()];
-    g.bench_function("unpack_vector_16", |b| {
-        b.iter(|| dt.unpack(black_box(&packed), 16, black_box(&mut dst)).unwrap())
+    time("mpisim_datatype/unpack_vector_16", 10_000, || {
+        dt.unpack(black_box(&packed), 16, black_box(&mut dst))
+            .unwrap()
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_heap, bench_staging, bench_datatype);
-criterion_main!(benches);
+fn main() {
+    if !std::env::args().any(|a| a == "--bench") {
+        return;
+    }
+    bench_heap();
+    bench_staging();
+    bench_datatype();
+}

@@ -1,10 +1,12 @@
-//! Criterion benches over the point-to-point figures (Figures 5–13):
+//! Wall-clock benches over the point-to-point figures (Figures 5–13):
 //! each target regenerates one figure's workload at reduced iteration
 //! counts and reports the wall-clock cost of the full simulation — a
 //! regression guard for the simulator itself. Virtual-time results are
 //! asserted non-empty so a silent benchmark break fails loudly.
+//!
+//! Harness-free (`harness = false`): plain timing loops, run via
+//! `cargo bench` (no-op without the `--bench` flag cargo passes).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ombj::{run, Api, BenchOptions, Benchmark, Library, RunSpec};
 use simfabric::Topology;
 
@@ -20,40 +22,46 @@ fn opts() -> BenchOptions {
     }
 }
 
-fn bench_latency(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_fig9_latency");
-    g.sample_size(10);
-    for (name, topo) in [("intra", Topology::single_node(2)), ("inter", Topology::new(2, 1))] {
-        for (api, alabel) in [(Api::Buffer, "buffer"), (Api::Arrays, "arrays")] {
-            g.bench_with_input(
-                BenchmarkId::new(name, alabel),
-                &(topo, api),
-                |b, &(topo, api)| {
-                    b.iter(|| {
-                        let s = run(RunSpec {
-                            library: Library::Mvapich2J,
-                            benchmark: Benchmark::Latency,
-                            api,
-                            topo,
-                            opts: opts(),
-                        })
-                        .expect("latency runs");
-                        assert!(!s.points.is_empty());
-                        s
-                    })
-                },
-            );
-        }
+fn time<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
     }
-    g.finish();
+    let per_ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    println!("{name:<48} {per_ms:>10.3} ms/iter");
 }
 
-fn bench_bandwidth(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_fig12_bandwidth");
-    g.sample_size(10);
-    for (name, lib) in [("mvapich2j", Library::Mvapich2J), ("openmpij", Library::OpenMpiJ)] {
-        g.bench_function(BenchmarkId::new("bw_buffer", name), |b| {
-            b.iter(|| {
+fn bench_latency() {
+    for (name, topo) in [
+        ("intra", Topology::single_node(2)),
+        ("inter", Topology::new(2, 1)),
+    ] {
+        for (api, alabel) in [(Api::Buffer, "buffer"), (Api::Arrays, "arrays")] {
+            time(&format!("fig5_fig9_latency/{name}/{alabel}"), 10, || {
+                let s = run(RunSpec {
+                    library: Library::Mvapich2J,
+                    benchmark: Benchmark::Latency,
+                    api,
+                    topo,
+                    opts: opts(),
+                })
+                .expect("latency runs");
+                assert!(!s.points.is_empty());
+                s
+            });
+        }
+    }
+}
+
+fn bench_bandwidth() {
+    for (name, lib) in [
+        ("mvapich2j", Library::Mvapich2J),
+        ("openmpij", Library::OpenMpiJ),
+    ] {
+        time(
+            &format!("fig7_fig12_bandwidth/bw_buffer/{name}"),
+            10,
+            || {
                 run(RunSpec {
                     library: lib,
                     benchmark: Benchmark::Bandwidth,
@@ -62,36 +70,38 @@ fn bench_bandwidth(c: &mut Criterion) {
                     opts: opts(),
                 })
                 .expect("bw runs")
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_validation_mode(c: &mut Criterion) {
+fn bench_validation_mode() {
     // Figure 18's workload.
-    let mut g = c.benchmark_group("fig18_validation");
-    g.sample_size(10);
     for (api, label) in [(Api::Buffer, "buffer"), (Api::Arrays, "arrays")] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let o = BenchOptions {
-                    validate: true,
-                    ..opts()
-                };
-                run(RunSpec {
-                    library: Library::Mvapich2J,
-                    benchmark: Benchmark::Latency,
-                    api,
-                    topo: Topology::new(2, 1),
-                    opts: o,
-                })
-                .expect("validated latency runs")
+        time(&format!("fig18_validation/{label}"), 10, || {
+            let o = BenchOptions {
+                validate: true,
+                ..opts()
+            };
+            run(RunSpec {
+                library: Library::Mvapich2J,
+                benchmark: Benchmark::Latency,
+                api,
+                topo: Topology::new(2, 1),
+                opts: o,
             })
+            .expect("validated latency runs")
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_latency, bench_bandwidth, bench_validation_mode);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` invokes bench targets with `--bench`; anything else
+    // (plain builds, test sweeps) should not pay for the timing loops.
+    if !std::env::args().any(|a| a == "--bench") {
+        return;
+    }
+    bench_latency();
+    bench_bandwidth();
+    bench_validation_mode();
+}

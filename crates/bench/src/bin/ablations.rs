@@ -29,7 +29,10 @@ fn main() {
 fn pool_ablation() {
     println!("== ablation 1: buffering-layer pool vs allocateDirect per message");
     println!("   (array ping-pong, intra-node, one-way latency in us)\n");
-    println!("{:>9}  {:>10}  {:>12}  {:>8}", "size", "pooled", "unpooled", "saving");
+    println!(
+        "{:>9}  {:>10}  {:>12}  {:>8}",
+        "size", "pooled", "unpooled", "saving"
+    );
     for size in [64usize, 1024, 16 << 10, 256 << 10] {
         let lat = |pool_limit: usize| -> f64 {
             let mut cfg = JobConfig::mvapich2j(Topology::single_node(2));
@@ -77,8 +80,14 @@ fn jni_strategy_ablation() {
     let arr = rt.alloc_array::<i8>(n, &mut clock).unwrap();
     let t0 = clock.now();
     let native = nif::get_array_elements(&rt, &mut clock, arr).unwrap();
-    nif::release_array_elements(&mut rt, &mut clock, arr, &native, nif::ReleaseMode::CopyBack)
-        .unwrap();
+    nif::release_array_elements(
+        &mut rt,
+        &mut clock,
+        arr,
+        &native,
+        nif::ReleaseMode::CopyBack,
+    )
+    .unwrap();
     let copy_us = (clock.now() - t0).as_micros();
 
     // b) GetPrimitiveArrayCritical: zero copy, GC locked.
@@ -115,7 +124,10 @@ fn hierarchy_ablation() {
     let topo = Topology::new(4, 8);
     let mut flat = Profile::mvapich2();
     flat.coll.hierarchical = false;
-    println!("{:>12} {:>9}  {:>12}  {:>9}", "collective", "size", "two-level", "flat");
+    println!(
+        "{:>12} {:>9}  {:>12}  {:>9}",
+        "collective", "size", "two-level", "flat"
+    );
     for (label, size) in [
         ("allreduce", 256usize),
         ("allreduce", 64 << 10),

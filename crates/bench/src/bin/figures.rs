@@ -1,14 +1,18 @@
 //! Regenerate the paper's figures.
 //!
 //! ```text
-//! figures [--only figN[,figM...]] [--quick] [--summary]
+//! figures [--only figN[,figM...]] [--quick] [--summary] [--trace]
 //! ```
 //!
 //! * default: regenerate all of Figures 5–18 at full scale and print the
 //!   headline summary;
 //! * `--only`: restrict to specific figures;
 //! * `--quick`: test-sized sweeps (same shapes, much faster);
-//! * `--summary`: print only the headline summary.
+//! * `--summary`: print only the headline summary;
+//! * `--trace`: record virtual-time trace events during every run —
+//!   instrumentation has zero virtual cost, so the printed figures are
+//!   bit-identical with or without this flag (a workspace test enforces
+//!   it).
 
 use ombj::report::render_comparison;
 use ombj_bench::figures::summary_from;
@@ -40,9 +44,10 @@ fn main() {
             }
             "--quick" => scale = Scale::Quick,
             "--summary" => summary_only = true,
+            "--trace" => ombj_bench::figures::set_tracing(true),
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: figures [--only figN[,figM...]] [--quick] [--summary]");
+                eprintln!("usage: figures [--only figN[,figM...]] [--quick] [--summary] [--trace]");
                 std::process::exit(2);
             }
         }

@@ -19,13 +19,37 @@
 //! | fig17 | allreduce latency, large                   | osu_allreduce 4×16  |
 //! | fig18 | latency with validation, arrays vs buffers | osu_latency -validate 2×1 |
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use mpisim::Profile;
 use ombj::report::mean_ratio;
 use ombj::{
-    native::native_latency, run, Api, BenchOptions, Benchmark, CollOp, Library, RunSpec, Series,
-    SizeValue,
+    native::native_latency, run_with_obs, Api, BenchOptions, Benchmark, CollOp, Library, RunSpec,
+    Series, SizeValue,
 };
 use simfabric::Topology;
+
+/// Process-wide switch: when on, every figure run records trace events.
+/// Exists to demonstrate (and let tests assert) that observability has
+/// zero virtual cost — figure output is bit-identical either way.
+static TRACE_FIGURES: AtomicBool = AtomicBool::new(false);
+
+/// Turn event tracing on/off for subsequent figure runs (`--trace`).
+pub fn set_tracing(on: bool) {
+    TRACE_FIGURES.store(on, Ordering::SeqCst);
+}
+
+fn obs_opts() -> obs::ObsOptions {
+    obs::ObsOptions {
+        tracing: TRACE_FIGURES.load(Ordering::SeqCst),
+        ..Default::default()
+    }
+}
+
+/// `ombj::run` under the figure-wide tracing switch.
+fn run(spec: RunSpec) -> Option<Series> {
+    run_with_obs(spec, obs_opts()).0
+}
 
 /// How big a run to perform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,28 +182,94 @@ pub fn run_figure(id: &str, scale: Scale) -> Figure {
     let mut notes = Vec::new();
     match id {
         "fig5" => {
-            let series = four_series(Benchmark::Latency, intra(), sw.opts(sw.p2p_small), &mut notes);
-            Figure { id: "fig5", title: "Intra-node latency, small messages", unit: "us", series, notes }
+            let series = four_series(
+                Benchmark::Latency,
+                intra(),
+                sw.opts(sw.p2p_small),
+                &mut notes,
+            );
+            Figure {
+                id: "fig5",
+                title: "Intra-node latency, small messages",
+                unit: "us",
+                series,
+                notes,
+            }
         }
         "fig6" => {
-            let series = four_series(Benchmark::Latency, intra(), sw.opts(sw.p2p_large), &mut notes);
-            Figure { id: "fig6", title: "Intra-node latency, large messages", unit: "us", series, notes }
+            let series = four_series(
+                Benchmark::Latency,
+                intra(),
+                sw.opts(sw.p2p_large),
+                &mut notes,
+            );
+            Figure {
+                id: "fig6",
+                title: "Intra-node latency, large messages",
+                unit: "us",
+                series,
+                notes,
+            }
         }
         "fig7" => {
-            let series = four_series(Benchmark::Bandwidth, intra(), sw.opts(sw.bw_small), &mut notes);
-            Figure { id: "fig7", title: "Intra-node bandwidth, small messages", unit: "MB/s", series, notes }
+            let series = four_series(
+                Benchmark::Bandwidth,
+                intra(),
+                sw.opts(sw.bw_small),
+                &mut notes,
+            );
+            Figure {
+                id: "fig7",
+                title: "Intra-node bandwidth, small messages",
+                unit: "MB/s",
+                series,
+                notes,
+            }
         }
         "fig8" => {
-            let series = four_series(Benchmark::Bandwidth, intra(), sw.opts(sw.bw_large), &mut notes);
-            Figure { id: "fig8", title: "Intra-node bandwidth, large messages", unit: "MB/s", series, notes }
+            let series = four_series(
+                Benchmark::Bandwidth,
+                intra(),
+                sw.opts(sw.bw_large),
+                &mut notes,
+            );
+            Figure {
+                id: "fig8",
+                title: "Intra-node bandwidth, large messages",
+                unit: "MB/s",
+                series,
+                notes,
+            }
         }
         "fig9" => {
-            let series = four_series(Benchmark::Latency, inter(), sw.opts(sw.p2p_small), &mut notes);
-            Figure { id: "fig9", title: "Inter-node latency, small messages", unit: "us", series, notes }
+            let series = four_series(
+                Benchmark::Latency,
+                inter(),
+                sw.opts(sw.p2p_small),
+                &mut notes,
+            );
+            Figure {
+                id: "fig9",
+                title: "Inter-node latency, small messages",
+                unit: "us",
+                series,
+                notes,
+            }
         }
         "fig10" => {
-            let series = four_series(Benchmark::Latency, inter(), sw.opts(sw.p2p_large), &mut notes);
-            Figure { id: "fig10", title: "Inter-node latency, large messages", unit: "us", series, notes }
+            let series = four_series(
+                Benchmark::Latency,
+                inter(),
+                sw.opts(sw.p2p_large),
+                &mut notes,
+            );
+            Figure {
+                id: "fig10",
+                title: "Inter-node latency, large messages",
+                unit: "us",
+                series,
+                notes,
+            }
         }
         "fig11" => {
             // Java-vs-native overhead for direct ByteBuffers, inter-node.
@@ -204,7 +294,10 @@ pub fn run_figure(id: &str, scale: Scale) -> Figure {
                     .zip(native.iter())
                     .map(|(j, n)| {
                         debug_assert_eq!(j.size, n.size);
-                        SizeValue { size: j.size, value: (j.value - n.value).max(0.0) }
+                        SizeValue {
+                            size: j.size,
+                            value: (j.value - n.value).max(0.0),
+                        }
                     })
                     .collect();
                 series.push(Series {
@@ -212,6 +305,7 @@ pub fn run_figure(id: &str, scale: Scale) -> Figure {
                     benchmark: "osu_latency",
                     unit: "us",
                     points,
+                    pool: None,
                 });
             }
             Figure {
@@ -223,12 +317,34 @@ pub fn run_figure(id: &str, scale: Scale) -> Figure {
             }
         }
         "fig12" => {
-            let series = four_series(Benchmark::Bandwidth, inter(), sw.opts(sw.bw_small), &mut notes);
-            Figure { id: "fig12", title: "Inter-node bandwidth, small messages", unit: "MB/s", series, notes }
+            let series = four_series(
+                Benchmark::Bandwidth,
+                inter(),
+                sw.opts(sw.bw_small),
+                &mut notes,
+            );
+            Figure {
+                id: "fig12",
+                title: "Inter-node bandwidth, small messages",
+                unit: "MB/s",
+                series,
+                notes,
+            }
         }
         "fig13" => {
-            let series = four_series(Benchmark::Bandwidth, inter(), sw.opts(sw.bw_large), &mut notes);
-            Figure { id: "fig13", title: "Inter-node bandwidth, large messages", unit: "MB/s", series, notes }
+            let series = four_series(
+                Benchmark::Bandwidth,
+                inter(),
+                sw.opts(sw.bw_large),
+                &mut notes,
+            );
+            Figure {
+                id: "fig13",
+                title: "Inter-node bandwidth, large messages",
+                unit: "MB/s",
+                series,
+                notes,
+            }
         }
         "fig14" => {
             let series = four_series(
@@ -237,7 +353,13 @@ pub fn run_figure(id: &str, scale: Scale) -> Figure {
                 sw.opts(sw.coll_small),
                 &mut notes,
             );
-            Figure { id: "fig14", title: "Broadcast latency, small messages (4x16)", unit: "us", series, notes }
+            Figure {
+                id: "fig14",
+                title: "Broadcast latency, small messages (4x16)",
+                unit: "us",
+                series,
+                notes,
+            }
         }
         "fig15" => {
             let series = four_series(
@@ -246,7 +368,13 @@ pub fn run_figure(id: &str, scale: Scale) -> Figure {
                 sw.opts(sw.coll_large),
                 &mut notes,
             );
-            Figure { id: "fig15", title: "Broadcast latency, large messages (4x16)", unit: "us", series, notes }
+            Figure {
+                id: "fig15",
+                title: "Broadcast latency, large messages (4x16)",
+                unit: "us",
+                series,
+                notes,
+            }
         }
         "fig16" => {
             let series = four_series(
@@ -255,7 +383,13 @@ pub fn run_figure(id: &str, scale: Scale) -> Figure {
                 sw.opts(sw.coll_small),
                 &mut notes,
             );
-            Figure { id: "fig16", title: "Allreduce latency, small messages (4x16)", unit: "us", series, notes }
+            Figure {
+                id: "fig16",
+                title: "Allreduce latency, small messages (4x16)",
+                unit: "us",
+                series,
+                notes,
+            }
         }
         "fig17" => {
             let series = four_series(
@@ -264,7 +398,13 @@ pub fn run_figure(id: &str, scale: Scale) -> Figure {
                 sw.opts(sw.coll_large),
                 &mut notes,
             );
-            Figure { id: "fig17", title: "Allreduce latency, large messages (4x16)", unit: "us", series, notes }
+            Figure {
+                id: "fig17",
+                title: "Allreduce latency, large messages (4x16)",
+                unit: "us",
+                series,
+                notes,
+            }
         }
         "fig18" => {
             // Validation experiment: MVAPICH2-J only, full size sweep.
@@ -285,7 +425,8 @@ pub fn run_figure(id: &str, scale: Scale) -> Figure {
             }
             Figure {
                 id: "fig18",
-                title: "Inter-node latency with data validation: ByteBuffers vs arrays (MVAPICH2-J)",
+                title:
+                    "Inter-node latency with data validation: ByteBuffers vs arrays (MVAPICH2-J)",
                 unit: "us",
                 series,
                 notes,
@@ -319,6 +460,27 @@ pub struct Summary {
     /// (paper: "ballpark of 1 µs", MVAPICH2-J smaller).
     pub overhead_mv2j_us: f64,
     pub overhead_ompij_us: f64,
+    /// Buffering-layer pool counters summed over every rank-0 series the
+    /// summary figures produced (hits come from the arrays API; buffer
+    /// series contribute zeros).
+    pub pool: mpjbuf::PoolStats,
+}
+
+/// Sum rank-0 pool counters across all series of the given figures.
+fn aggregate_pool(figs: &[&Figure]) -> mpjbuf::PoolStats {
+    let mut total = mpjbuf::PoolStats::default();
+    for f in figs {
+        for s in &f.series {
+            if let Some(p) = s.pool {
+                total.hits += p.hits;
+                total.misses += p.misses;
+                total.releases += p.releases;
+                total.outstanding += p.outstanding;
+                total.pooled_bytes += p.pooled_bytes;
+            }
+        }
+    }
+    total
 }
 
 fn find<'a>(figure: &'a Figure, label_contains: &str) -> &'a [SizeValue] {
@@ -405,6 +567,7 @@ pub fn summary_from(
         validate_ratio_at_max,
         overhead_mv2j_us,
         overhead_ompij_us,
+        pool: aggregate_pool(&[fig5, fig11, fig14, fig15, fig16, fig17, fig18]),
     }
 }
 
@@ -457,6 +620,18 @@ impl std::fmt::Display for Summary {
             f,
             "  Java-vs-native overhead Open MPI-J             : {:5.2} us (larger than MVAPICH2-J)",
             self.overhead_ompij_us
+        )?;
+        let p = self.pool;
+        let served = p.hits + p.misses;
+        let hit_rate = if served > 0 {
+            100.0 * p.hits as f64 / served as f64
+        } else {
+            0.0
+        };
+        writeln!(
+            f,
+            "  buffering-layer pool (rank 0, array series)    : hits={} misses={} hit-rate={:.1}%",
+            p.hits, p.misses, hit_rate
         )
     }
 }

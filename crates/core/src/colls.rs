@@ -39,7 +39,11 @@ impl Env {
     /// buffer: returns the staging buffer and a byte snapshot for the
     /// native call. One charged bulk copy of exactly the participating
     /// region.
-    fn stage_region<T: Prim>(&mut self, arr: JArray<T>, elems: usize) -> BindResult<(Buffer, Vec<u8>)> {
+    fn stage_region<T: Prim>(
+        &mut self,
+        arr: JArray<T>,
+        elems: usize,
+    ) -> BindResult<(Buffer, Vec<u8>)> {
         let nbytes = (elems * T::SIZE).max(1);
         let clock = self.mpi.clock_mut();
         let staging = Buffer::from_pool(&mut self.pool, &mut self.rt, clock, nbytes);
@@ -62,7 +66,12 @@ impl Env {
     fn stage_empty<T: Prim>(&mut self, _arr: JArray<T>, elems: usize) -> BindResult<Buffer> {
         let nbytes = (elems * T::SIZE).max(1);
         let clock = self.mpi.clock_mut();
-        Ok(Buffer::from_pool(&mut self.pool, &mut self.rt, clock, nbytes))
+        Ok(Buffer::from_pool(
+            &mut self.pool,
+            &mut self.rt,
+            clock,
+            nbytes,
+        ))
     }
 
     /// Deposit `bytes` into the staging buffer (uncharged: native DMA),
@@ -107,7 +116,9 @@ impl Env {
         let cost = *self.rt.cost();
         let clock = self.mpi.clock_mut();
         clock.charge(cost.jni_transition());
-        clock.charge(vtime::VDur::from_nanos(cost.jni.get_direct_buffer_address_ns));
+        clock.charge(vtime::VDur::from_nanos(
+            cost.jni.get_direct_buffer_address_ns,
+        ));
     }
 
     // ------------------------------------------------------------------
@@ -199,7 +210,8 @@ impl Env {
                 .reduce(&sendbytes, Some(&mut temp), count, dt, op, root, comm)?;
             self.deposit(out, &temp)?;
         } else {
-            self.mpi.reduce(&sendbytes, None, count, dt, op, root, comm)?;
+            self.mpi
+                .reduce(&sendbytes, None, count, dt, op, root, comm)?;
         }
         Ok(())
     }
@@ -232,7 +244,8 @@ impl Env {
                 .reduce(&sendbytes, Some(&mut temp), count, &dt, op, root, comm)?;
             self.unstage_region(rstaging, out, &temp)?;
         } else {
-            self.mpi.reduce(&sendbytes, None, count, &dt, op, root, comm)?;
+            self.mpi
+                .reduce(&sendbytes, None, count, &dt, op, root, comm)?;
         }
         self.release_staging(staging);
         Ok(())
@@ -252,7 +265,8 @@ impl Env {
         self.charge_addr();
         let sendbytes = self.snapshot(send)?;
         let mut temp = self.snapshot(recv)?;
-        self.mpi.allreduce(&sendbytes, &mut temp, count, dt, op, comm)?;
+        self.mpi
+            .allreduce(&sendbytes, &mut temp, count, dt, op, comm)?;
         self.deposit(recv, &temp)
     }
 
@@ -272,7 +286,8 @@ impl Env {
         let rstaging = self.stage_empty(recv, elems)?;
         self.charge_addr();
         let mut temp = vec![0u8; elems * T::SIZE];
-        self.mpi.allreduce(&sendbytes, &mut temp, count, &dt, op, comm)?;
+        self.mpi
+            .allreduce(&sendbytes, &mut temp, count, &dt, op, comm)?;
         self.unstage_region(rstaging, recv, &temp)?;
         self.release_staging(staging);
         Ok(())
@@ -382,8 +397,9 @@ impl Env {
             )?;
             self.deposit(out, &temp)?;
         } else {
-            self.mpi
-                .gatherv(&sendbytes, sendcount, None, recvcounts, displs, dt, root, comm)?;
+            self.mpi.gatherv(
+                &sendbytes, sendcount, None, recvcounts, displs, dt, root, comm,
+            )?;
         }
         Ok(())
     }
@@ -425,8 +441,9 @@ impl Env {
             )?;
             self.unstage_region(rstaging, out, &temp)?;
         } else {
-            self.mpi
-                .gatherv(&sendbytes, sendcount, None, recvcounts, displs, &dt, root, comm)?;
+            self.mpi.gatherv(
+                &sendbytes, sendcount, None, recvcounts, displs, &dt, root, comm,
+            )?;
         }
         self.release_staging(staging);
         Ok(())
@@ -532,8 +549,9 @@ impl Env {
                 comm,
             )?;
         } else {
-            self.mpi
-                .scatterv(None, sendcounts, displs, &mut temp, recvcount, dt, root, comm)?;
+            self.mpi.scatterv(
+                None, sendcounts, displs, &mut temp, recvcount, dt, root, comm,
+            )?;
         }
         self.deposit(recv, &temp)
     }
@@ -575,8 +593,9 @@ impl Env {
             self.release_staging(staging);
         } else {
             self.charge_addr();
-            self.mpi
-                .scatterv(None, sendcounts, displs, &mut temp, recvcount, &dt, root, comm)?;
+            self.mpi.scatterv(
+                None, sendcounts, displs, &mut temp, recvcount, &dt, root, comm,
+            )?;
         }
         self.unstage_region(rstaging, recv, &temp)
     }
@@ -618,7 +637,8 @@ impl Env {
         let rstaging = self.stage_empty(recv, elems * p)?;
         self.charge_addr();
         let mut temp = vec![0u8; elems * p * T::SIZE];
-        self.mpi.allgather(&sendbytes, &mut temp, count, &dt, comm)?;
+        self.mpi
+            .allgather(&sendbytes, &mut temp, count, &dt, comm)?;
         self.unstage_region(rstaging, recv, &temp)?;
         self.release_staging(staging);
         Ok(())
@@ -640,8 +660,9 @@ impl Env {
         self.charge_addr();
         let sendbytes = self.snapshot(send)?;
         let mut temp = self.snapshot(recv)?;
-        self.mpi
-            .allgatherv(&sendbytes, sendcount, &mut temp, recvcounts, displs, dt, comm)?;
+        self.mpi.allgatherv(
+            &sendbytes, sendcount, &mut temp, recvcounts, displs, dt, comm,
+        )?;
         self.deposit(recv, &temp)
     }
 
@@ -662,8 +683,9 @@ impl Env {
         let rstaging = self.stage_empty(recv, recv.len())?;
         self.charge_addr();
         let mut temp = self.array_snapshot(recv)?;
-        self.mpi
-            .allgatherv(&sendbytes, sendcount, &mut temp, recvcounts, displs, &dt, comm)?;
+        self.mpi.allgatherv(
+            &sendbytes, sendcount, &mut temp, recvcounts, displs, &dt, comm,
+        )?;
         self.unstage_region(rstaging, recv, &temp)?;
         self.release_staging(staging);
         Ok(())

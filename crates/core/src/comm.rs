@@ -39,7 +39,11 @@ impl Env {
     }
 
     /// `Comm.create(group)` — collective over `comm`.
-    pub fn comm_create(&mut self, comm: CommHandle, group: &Group) -> BindResult<Option<CommHandle>> {
+    pub fn comm_create(
+        &mut self,
+        comm: CommHandle,
+        group: &Group,
+    ) -> BindResult<Option<CommHandle>> {
         self.binding_call();
         Ok(self.native_mut().comm_create(comm, group)?)
     }

@@ -36,6 +36,9 @@ pub struct JobConfig {
     /// disables pooling entirely (every message allocates a fresh direct
     /// buffer — the configuration the pool exists to avoid).
     pub pool_limit: usize,
+    /// Observability switches (pvar collection is always on under
+    /// [`run_job_with_obs`]; this controls the per-rank event tracer).
+    pub obs: obs::ObsOptions,
 }
 
 impl JobConfig {
@@ -49,6 +52,7 @@ impl JobConfig {
             heap_initial: mrt::runtime::DEFAULT_HEAP,
             heap_max: mrt::runtime::DEFAULT_MAX_HEAP,
             pool_limit: 8,
+            obs: obs::ObsOptions::default(),
         }
     }
 
@@ -56,6 +60,12 @@ impl JobConfig {
     pub fn with_flavor(mut self, flavor: BindingFlavor, profile: Profile) -> Self {
         self.flavor = flavor;
         self.profile = profile;
+        self
+    }
+
+    /// Same job, different observability switches.
+    pub fn with_obs(mut self, obs: obs::ObsOptions) -> Self {
+        self.obs = obs;
         self
     }
 }
@@ -76,7 +86,23 @@ where
     R: Send,
     F: Fn(&mut Env) -> R + Sync,
 {
-    run_cluster::<Wire, R, _>(cfg.topo, |ep| {
+    run_job_with_obs(cfg, f).0
+}
+
+/// Like [`run_job`], but also harvest each rank's observability recorder
+/// (pvars, and trace events when `cfg.obs.tracing` is on) into a
+/// [`obs::JobReport`] with ranks in rank order.
+pub fn run_job_with_obs<R, F>(cfg: JobConfig, f: F) -> (Vec<R>, obs::JobReport)
+where
+    R: Send,
+    F: Fn(&mut Env) -> R + Sync,
+{
+    use std::sync::Mutex;
+    let reports: Mutex<Vec<obs::RankReport>> = Mutex::new(Vec::new());
+    let results = run_cluster::<Wire, R, _>(cfg.topo, |ep| {
+        let rank = ep.rank();
+        obs::install(rank, cfg.obs);
+        obs::set_process_label(format!("rank {rank} ({})", cfg.flavor.name));
         let mut env = Env {
             rt: Runtime::with_heap(cfg.cost, cfg.heap_initial, cfg.heap_max),
             mpi: Mpi::new(ep, cfg.profile),
@@ -84,8 +110,15 @@ where
             flavor: cfg.flavor,
             binding_calls: 0,
         };
-        f(&mut env)
-    })
+        let out = f(&mut env);
+        if let Some(rep) = obs::uninstall() {
+            reports.lock().expect("report sink").push(rep);
+        }
+        out
+    });
+    let mut ranks = reports.into_inner().expect("report sink");
+    ranks.sort_by_key(|r| r.rank);
+    (results, obs::JobReport { ranks })
 }
 
 impl Env {
@@ -99,6 +132,7 @@ impl Env {
     /// collector honest.
     pub(crate) fn binding_call(&mut self) {
         self.binding_calls += 1;
+        obs::count("bind.calls", 1);
         let garbage = self.flavor.garbage_per_call;
         let overhead = self.flavor.call_overhead_ns;
         let clock = self.mpi.clock_mut();
@@ -181,7 +215,12 @@ impl Env {
     }
 
     /// Bulk read from an array.
-    pub fn array_read<T: Prim>(&mut self, arr: JArray<T>, off: usize, out: &mut [T]) -> MrtResult<()> {
+    pub fn array_read<T: Prim>(
+        &mut self,
+        arr: JArray<T>,
+        off: usize,
+        out: &mut [T],
+    ) -> MrtResult<()> {
         let clock = self.mpi.clock_mut();
         self.rt.array_read(arr, off, out, clock)
     }

@@ -56,7 +56,7 @@ pub mod pt2pt;
 pub mod request;
 pub mod stage;
 
-pub use env::{run_job, Env, JobConfig};
+pub use env::{run_job, run_job_with_obs, Env, JobConfig};
 pub use error::{BindError, BindResult};
 pub use flavor::{BindingFlavor, MVAPICH2J, OPENMPIJ};
 pub use request::{JRequest, JStatus, TestOutcome};

@@ -188,7 +188,9 @@ impl Env {
         let base_dt = datatype_of::<T>();
         let elems = (packed / T::SIZE) as i32;
         let bytes = self.rt.direct_bytes(staging.store())?;
-        let native = self.mpi.isend(&bytes[..packed], elems, &base_dt, dst, tag, comm)?;
+        let native = self
+            .mpi
+            .isend(&bytes[..packed], elems, &base_dt, dst, tag, comm)?;
         Ok(JRequest {
             native,
             post: PostAction::SendStaged { staging },
@@ -419,7 +421,15 @@ impl Env {
                     .copy_from_slice(&temp[..st.bytes]);
                 // Buffering layer scatters into the managed array.
                 let clock = self.mpi.clock_mut();
-                unstage_to_array(&mut self.rt, clock, staging.store(), &dest, count, &dt, st.bytes)?;
+                unstage_to_array(
+                    &mut self.rt,
+                    clock,
+                    staging.store(),
+                    &dest,
+                    count,
+                    &dt,
+                    st.bytes,
+                )?;
                 let clock = self.mpi.clock_mut();
                 staging.free(&mut self.pool, &mut self.rt, clock);
             }

@@ -179,7 +179,7 @@ mod tests {
         let store = rt.allocate_direct(64, &mut c);
         let n = stage_from_array(&mut rt, &mut c, store, arr.handle(), 0, 2, &dt).unwrap();
         assert_eq!(n, 16); // 2 elements × 2 ints
-        // Packed content must be [0, 3, 4, 7].
+                           // Packed content must be [0, 3, 4, 7].
         let mut packed = vec![0u8; 16];
         rt.direct_read_bytes(store, 0, &mut packed, &mut c).unwrap();
         let vals: Vec<i32> = packed

@@ -219,7 +219,8 @@ fn collectives_buffer_and_array_agree() {
         for i in 0..4 {
             env.array_set(asend, i, me + i as i32).unwrap();
         }
-        env.allreduce_array(asend, arecv, 4, ReduceOp::Sum, w).unwrap();
+        env.allreduce_array(asend, arecv, 4, ReduceOp::Sum, w)
+            .unwrap();
         let arr_result: Vec<i32> = (0..4).map(|i| env.array_get(arecv, i).unwrap()).collect();
 
         assert_eq!(buf_result, arr_result);
@@ -349,7 +350,8 @@ fn comm_split_and_collectives_on_subcomm() {
         let send = env.new_array::<i32>(1).unwrap();
         env.array_set(send, 0, me as i32).unwrap();
         let recv = env.new_array::<i32>(1).unwrap();
-        env.allreduce_array(send, recv, 1, ReduceOp::Sum, sub).unwrap();
+        env.allreduce_array(send, recv, 1, ReduceOp::Sum, sub)
+            .unwrap();
         let want = if color == 0 { 0 + 2 } else { 1 + 3 };
         assert_eq!(env.array_get(recv, 0).unwrap(), want);
         env.comm_free(sub).unwrap();
@@ -390,7 +392,10 @@ fn truncation_surfaces_as_mpi_exception() {
         } else {
             let arr = env.new_array::<i32>(2).unwrap();
             let err = env.recv_array(arr, 2, 0, 0, w).unwrap_err();
-            assert!(matches!(err, BindError::Mpi(mpisim::MpiError::Truncated { .. })));
+            assert!(matches!(
+                err,
+                BindError::Mpi(mpisim::MpiError::Truncated { .. })
+            ));
         }
     });
 }
@@ -425,7 +430,8 @@ fn bindings_runs_are_deterministic() {
             let send = env.new_array::<i32>(512).unwrap();
             let recv = env.new_array::<i32>(512).unwrap();
             for _ in 0..5 {
-                env.allreduce_array(send, recv, 512, ReduceOp::Max, w).unwrap();
+                env.allreduce_array(send, recv, 512, ReduceOp::Max, w)
+                    .unwrap();
             }
             let _ = me;
             env.now().as_nanos()
@@ -449,9 +455,11 @@ fn java_layer_costs_more_than_native() {
         for _ in 0..iters {
             if me == 0 {
                 mpi.send(&buf, 8, &mpisim::datatype::BYTE, 1, 0, w).unwrap();
-                mpi.recv(&mut buf, 8, &mpisim::datatype::BYTE, 1, 0, w).unwrap();
+                mpi.recv(&mut buf, 8, &mpisim::datatype::BYTE, 1, 0, w)
+                    .unwrap();
             } else {
-                mpi.recv(&mut buf, 8, &mpisim::datatype::BYTE, 0, 0, w).unwrap();
+                mpi.recv(&mut buf, 8, &mpisim::datatype::BYTE, 0, 0, w)
+                    .unwrap();
                 mpi.send(&buf, 8, &mpisim::datatype::BYTE, 0, 0, w).unwrap();
             }
         }
@@ -466,11 +474,15 @@ fn java_layer_costs_more_than_native() {
         let t0 = env.now();
         for _ in 0..iters {
             if me == 0 {
-                env.send_buffer(buf, 8, &mvapich2j::datatype::BYTE, 1, 0, w).unwrap();
-                env.recv_buffer(buf, 8, &mvapich2j::datatype::BYTE, 1, 0, w).unwrap();
+                env.send_buffer(buf, 8, &mvapich2j::datatype::BYTE, 1, 0, w)
+                    .unwrap();
+                env.recv_buffer(buf, 8, &mvapich2j::datatype::BYTE, 1, 0, w)
+                    .unwrap();
             } else {
-                env.recv_buffer(buf, 8, &mvapich2j::datatype::BYTE, 0, 0, w).unwrap();
-                env.send_buffer(buf, 8, &mvapich2j::datatype::BYTE, 0, 0, w).unwrap();
+                env.recv_buffer(buf, 8, &mvapich2j::datatype::BYTE, 0, 0, w)
+                    .unwrap();
+                env.send_buffer(buf, 8, &mvapich2j::datatype::BYTE, 0, 0, w)
+                    .unwrap();
             }
         }
         (env.now() - t0).as_nanos() / (2.0 * iters as f64)

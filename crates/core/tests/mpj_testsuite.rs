@@ -69,7 +69,8 @@ fn isend_irecv_overlap_window() {
         for k in 0..window {
             let s = env.new_array::<i32>(16).unwrap();
             for i in 0..16 {
-                env.array_set(s, i, (me * 1000 + k * 16 + i) as i32).unwrap();
+                env.array_set(s, i, (me * 1000 + k * 16 + i) as i32)
+                    .unwrap();
             }
             sends.push(env.isend_array(s, 16, peer, k as i32, w).unwrap());
         }
@@ -199,7 +200,8 @@ fn allgather_and_alltoall_buffers() {
 
         let a2a_send = env.new_direct(4 * p);
         for d in 0..p {
-            env.direct_put::<i32>(a2a_send, d * 4, (me * 10 + d) as i32).unwrap();
+            env.direct_put::<i32>(a2a_send, d * 4, (me * 10 + d) as i32)
+                .unwrap();
         }
         let a2a_recv = env.new_direct(4 * p);
         env.alltoall_buffer(a2a_send, a2a_recv, 1, &INT, w).unwrap();
@@ -258,7 +260,8 @@ fn vectored_collectives_buffers() {
 
         let send = env.new_direct(4 * (me + 1));
         for i in 0..=me {
-            env.direct_put::<i32>(send, i * 4, (me * 100 + i) as i32).unwrap();
+            env.direct_put::<i32>(send, i * 4, (me * 100 + i) as i32)
+                .unwrap();
         }
         let recv = env.new_direct(4 * total as usize);
         env.allgatherv_buffer(send, me as i32 + 1, recv, &counts, &displs, &INT, w)
@@ -266,7 +269,8 @@ fn vectored_collectives_buffers() {
         for r in 0..p {
             for i in 0..=r {
                 assert_eq!(
-                    env.direct_get::<i32>(recv, (displs[r] as usize + i) * 4).unwrap(),
+                    env.direct_get::<i32>(recv, (displs[r] as usize + i) * 4)
+                        .unwrap(),
                     (r * 100 + i) as i32,
                     "allgatherv rank {r} element {i}"
                 );
@@ -297,8 +301,10 @@ fn alltoallv_arrays_square() {
         let displs: Vec<i32> = (0..p).map(|r| 2 * r as i32).collect();
         let send = env.new_array::<i16>(2 * p).unwrap();
         for d in 0..p {
-            env.array_set(send, 2 * d, (me * 100 + d as i32) as i16).unwrap();
-            env.array_set(send, 2 * d + 1, -((me * 100 + d as i32) as i16)).unwrap();
+            env.array_set(send, 2 * d, (me * 100 + d as i32) as i16)
+                .unwrap();
+            env.array_set(send, 2 * d + 1, -((me * 100 + d as i32) as i16))
+                .unwrap();
         }
         let recv = env.new_array::<i16>(2 * p).unwrap();
         env.alltoallv_array(send, &counts, &displs, recv, &counts, &displs, w)

@@ -11,7 +11,13 @@ use crate::error::{MpiError, MpiResult};
 use crate::mpi::Mpi;
 use vtime::VDur;
 
-fn pack_block(mpi: &mut Mpi, buf: &[u8], elem_offset: usize, count: usize, dt: &Datatype) -> MpiResult<Vec<u8>> {
+fn pack_block(
+    mpi: &mut Mpi,
+    buf: &[u8],
+    elem_offset: usize,
+    count: usize,
+    dt: &Datatype,
+) -> MpiResult<Vec<u8>> {
     let start = elem_offset * dt.extent();
     if buf.len() < start + dt.span(count) {
         return Err(MpiError::BufferTooSmall {
@@ -107,22 +113,51 @@ pub fn alltoallv(
     for r in 0..p {
         if sendcounts[r] < 0 || recvcounts[r] < 0 || sdispls[r] < 0 || rdispls[r] < 0 {
             return Err(MpiError::InvalidCount {
-                count: sendcounts[r].min(recvcounts[r]).min(sdispls[r]).min(rdispls[r]),
+                count: sendcounts[r]
+                    .min(recvcounts[r])
+                    .min(sdispls[r])
+                    .min(rdispls[r]),
             });
         }
     }
 
     let own = pack_block(mpi, send, sdispls[me] as usize, sendcounts[me] as usize, dt)?;
-    unpack_block(mpi, &own, recvcounts[me] as usize, dt, recv, rdispls[me] as usize)?;
+    unpack_block(
+        mpi,
+        &own,
+        recvcounts[me] as usize,
+        dt,
+        recv,
+        rdispls[me] as usize,
+    )?;
 
     for s in 1..p {
         let dst = (me + s) % p;
         let src = (me + p - s) % p;
-        let out = pack_block(mpi, send, sdispls[dst] as usize, sendcounts[dst] as usize, dt)?;
+        let out = pack_block(
+            mpi,
+            send,
+            sdispls[dst] as usize,
+            sendcounts[dst] as usize,
+            dt,
+        )?;
         let sreq = cisend(mpi, &c, &out, dst, tags::ALLTOALL + 1)?;
-        let got = crecv(mpi, &c, recvcounts[src] as usize * dt.size(), src, tags::ALLTOALL + 1)?;
+        let got = crecv(
+            mpi,
+            &c,
+            recvcounts[src] as usize * dt.size(),
+            src,
+            tags::ALLTOALL + 1,
+        )?;
         mpi.engine_mut().wait(sreq)?;
-        unpack_block(mpi, &got, recvcounts[src] as usize, dt, recv, rdispls[src] as usize)?;
+        unpack_block(
+            mpi,
+            &got,
+            recvcounts[src] as usize,
+            dt,
+            recv,
+            rdispls[src] as usize,
+        )?;
     }
     Ok(())
 }

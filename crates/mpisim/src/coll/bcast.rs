@@ -9,7 +9,7 @@
 //! * `two_level` — MVAPICH2-style hierarchical: network stage among node
 //!   leaders, shared-memory stage within each node.
 
-use super::{cc, check_root, crecv, csend, cisend, hierarchy, spans_nodes, sub_cc, tags, Cc};
+use super::{cc, check_root, cisend, crecv, csend, hierarchy, spans_nodes, sub_cc, tags, Cc};
 use crate::comm::CommHandle;
 use crate::datatype::Datatype;
 use crate::error::MpiResult;
@@ -49,17 +49,33 @@ pub fn bcast(
     };
 
     let tuning = mpi.profile().coll;
-    if tuning.hierarchical && spans_nodes(mpi, &c) {
+    let begin = mpi.now();
+    let algo = if tuning.hierarchical && spans_nodes(mpi, &c) {
         two_level(mpi, &c, &mut payload, root, tuning.bcast_binomial_max)?;
+        obs::count("coll.bcast.algo.two_level", 1);
+        "two_level"
     } else if nbytes <= tuning.bcast_binomial_max {
         binomial(mpi, &c, &mut payload, root, tags::BCAST)?;
+        obs::count("coll.bcast.algo.binomial", 1);
+        "binomial"
     } else if tuning.hierarchical {
         // MVAPICH2 on a single node: bandwidth-optimal scatter+allgather.
         scatter_allgather(mpi, &c, &mut payload, root, tags::BCAST)?;
+        obs::count("coll.bcast.algo.scatter_allgather", 1);
+        "scatter_allgather"
     } else {
         // Open MPI's tuned module: segmented (pipelined) binomial tree.
-        binomial_segmented(mpi, &c, &mut payload, root, tuning.bcast_segment, tags::BCAST)?;
-    }
+        binomial_segmented(
+            mpi,
+            &c,
+            &mut payload,
+            root,
+            tuning.bcast_segment,
+            tags::BCAST,
+        )?;
+        obs::count("coll.bcast.algo.binomial_segmented", 1);
+        "binomial_segmented"
+    };
 
     if c.me != root {
         dt.unpack(&payload, count, buf)?;
@@ -68,6 +84,20 @@ pub fn bcast(
             mpi.clock_mut()
                 .charge(VDur::from_nanos(payload.len() as f64 * per_byte));
         }
+    }
+    if obs::tracing_enabled() {
+        obs::span(
+            "bcast",
+            "coll",
+            begin,
+            mpi.now(),
+            vec![
+                ("algo", obs::ArgValue::Str(algo)),
+                ("bytes", obs::ArgValue::U64(nbytes as u64)),
+                ("root", obs::ArgValue::U64(root as u64)),
+                ("ranks", obs::ArgValue::U64(c.size() as u64)),
+            ],
+        );
     }
     Ok(())
 }

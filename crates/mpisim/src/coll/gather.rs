@@ -205,7 +205,9 @@ pub fn scatter(
             }
             mask <<= 1;
         }
-        vbuf = got_data.expect("non-root always receives in scatter").into_vec();
+        vbuf = got_data
+            .expect("non-root always receives in scatter")
+            .into_vec();
         owned = got_blocks;
     }
 
@@ -369,15 +371,21 @@ mod tests {
             let displs = [0, 1, 3, 6];
             let mut recv = vec![0u8; 4 * 10];
             let out = (me == 0).then_some(&mut recv[..]);
-            mpi.gatherv(&send, me as i32 + 1, out, &recvcounts.map(|x| x as i32), &displs.map(|x| x as i32), &INT, 0, w)
-                .unwrap();
+            mpi.gatherv(
+                &send,
+                me as i32 + 1,
+                out,
+                &recvcounts.map(|x| x as i32),
+                &displs.map(|x| x as i32),
+                &INT,
+                0,
+                w,
+            )
+            .unwrap();
             (me == 0).then(|| to_ints(&recv))
         });
         let got = res[0].clone().unwrap();
-        assert_eq!(
-            got,
-            vec![0, 100, 101, 200, 201, 202, 300, 301, 302, 303]
-        );
+        assert_eq!(got, vec![0, 100, 101, 200, 201, 202, 300, 301, 302, 303]);
         let _ = p;
     }
 
@@ -393,8 +401,17 @@ mod tests {
             let want = sendcounts[me] as usize;
             let mut recv = vec![0u8; 4 * want];
             let src = (me == 0).then_some(&send[..]);
-            mpi.scatterv(src, &sendcounts, &displs, &mut recv, want as i32, &INT, 0, w)
-                .unwrap();
+            mpi.scatterv(
+                src,
+                &sendcounts,
+                &displs,
+                &mut recv,
+                want as i32,
+                &INT,
+                0,
+                w,
+            )
+            .unwrap();
             to_ints(&recv)
         });
         assert_eq!(res[0], vec![0, 1, 2]);

@@ -27,7 +27,13 @@ fn charge_reduce(mpi: &mut Mpi, bytes: usize) {
 }
 
 /// Combine `src` into `acc` and charge the flops.
-fn combine(mpi: &mut Mpi, op: ReduceOp, dt: &Datatype, acc: &mut [u8], src: &[u8]) -> MpiResult<()> {
+fn combine(
+    mpi: &mut Mpi,
+    op: ReduceOp,
+    dt: &Datatype,
+    acc: &mut [u8],
+    src: &[u8],
+) -> MpiResult<()> {
     op::apply(op, dt, acc, src)?;
     charge_reduce(mpi, src.len());
     Ok(())
@@ -44,7 +50,13 @@ fn pack_charged(mpi: &mut Mpi, buf: &[u8], count: usize, dt: &Datatype) -> MpiRe
     Ok(p)
 }
 
-fn unpack_charged(mpi: &mut Mpi, data: &[u8], count: usize, dt: &Datatype, out: &mut [u8]) -> MpiResult<()> {
+fn unpack_charged(
+    mpi: &mut Mpi,
+    data: &[u8],
+    count: usize,
+    dt: &Datatype,
+    out: &mut [u8],
+) -> MpiResult<()> {
     dt.unpack(data, count, out)?;
     if !dt.is_contiguous() {
         let per_byte = mpi.profile().pack_per_byte_ns;
@@ -118,10 +130,13 @@ pub fn allreduce(
     // Allreduce-specific scheduling overhead (profile tuning).
     c.perhop += VDur::from_nanos(mpi.profile().coll.allreduce_perhop_extra_ns);
     let mut acc = pack_charged(mpi, send, count, dt)?;
+    let begin = mpi.now();
+    let nbytes = acc.len();
 
     if c.size() > 1 && !acc.is_empty() {
         let tuning = mpi.profile().coll;
         if tuning.hierarchical && spans_nodes(mpi, &c) && acc.len() <= tuning.two_level_max {
+            obs::count("coll.allreduce.algo.two_level", 1);
             two_level(mpi, &c, &mut acc, dt, op, tuning.allreduce_rd_max)?;
         } else {
             flat(mpi, &c, &mut acc, dt, op, &tuning)?;
@@ -129,6 +144,18 @@ pub fn allreduce(
     }
 
     unpack_charged(mpi, &acc, count, dt, recv)?;
+    if obs::tracing_enabled() {
+        obs::span(
+            "allreduce",
+            "coll",
+            begin,
+            mpi.now(),
+            vec![
+                ("bytes", obs::ArgValue::U64(nbytes as u64)),
+                ("ranks", obs::ArgValue::U64(c.size() as u64)),
+            ],
+        );
+    }
     Ok(())
 }
 
@@ -149,6 +176,7 @@ pub(super) fn flat(
         && tuning.allreduce_ring_above_rd
         && acc.len() >= c.size() * dt.base_type().size()
     {
+        obs::count("coll.allreduce.algo.ring", 1);
         return ring(mpi, c, acc, dt, op);
     }
     let p = c.size();
@@ -175,8 +203,10 @@ pub(super) fn flat(
         // Map a new rank back to a communicator rank.
         let real = |v: usize| if v < rem { 2 * v + 1 } else { v + rem };
         if acc.len() <= rd_max || acc.len() < pof2 * dt.base_type().size() {
+            obs::count("coll.allreduce.algo.recursive_doubling", 1);
             recursive_doubling(mpi, c, acc, dt, op, nr, pof2, real)?;
         } else {
+            obs::count("coll.allreduce.algo.rabenseifner", 1);
             rabenseifner(mpi, c, acc, dt, op, nr, pof2, real)?;
         }
     }

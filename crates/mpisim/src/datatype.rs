@@ -62,7 +62,12 @@ impl BasicType {
     pub const fn is_integer(self) -> bool {
         matches!(
             self,
-            BasicType::Byte | BasicType::Boolean | BasicType::Char | BasicType::Short | BasicType::Int | BasicType::Long
+            BasicType::Byte
+                | BasicType::Boolean
+                | BasicType::Char
+                | BasicType::Short
+                | BasicType::Int
+                | BasicType::Long
         )
     }
 }
@@ -110,7 +115,12 @@ impl Datatype {
     }
 
     /// MPI_Type_vector. `stride` is in base elements, like the standard.
-    pub fn vector(count: usize, blocklength: usize, stride: usize, base: Datatype) -> MpiResult<Datatype> {
+    pub fn vector(
+        count: usize,
+        blocklength: usize,
+        stride: usize,
+        base: Datatype,
+    ) -> MpiResult<Datatype> {
         if count > 0 && stride < blocklength && count > 1 {
             // Overlapping blocks are legal to *send* in MPI but make
             // receive semantics undefined; we reject them outright.
@@ -148,7 +158,10 @@ impl Datatype {
             Datatype::Basic(b) => b.size(),
             Datatype::Contiguous { count, base } => count * base.size(),
             Datatype::Vector {
-                count, blocklength, base, ..
+                count,
+                blocklength,
+                base,
+                ..
             } => count * blocklength * base.size(),
             Datatype::Indexed { blocks, base } => {
                 blocks.iter().map(|&(_, l)| l).sum::<usize>() * base.size()

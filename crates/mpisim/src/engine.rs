@@ -126,7 +126,11 @@ enum SendState {
     /// Eager send: already complete at this instant.
     EagerDone { complete_at: VTime },
     /// Rendezvous: RTS injected, waiting for CTS.
-    AwaitCts { dst: usize, data: Box<[u8]>, env: Envelope },
+    AwaitCts {
+        dst: usize,
+        data: Box<[u8]>,
+        env: Envelope,
+    },
     /// Rendezvous payload injected.
     RndvDone { complete_at: VTime },
 }
@@ -249,7 +253,13 @@ impl Engine {
     ///
     /// The payload is captured immediately (MPI buffer-reuse semantics for
     /// the simulation); timing follows the eager or rendezvous protocol.
-    pub fn isend_bytes(&mut self, data: &[u8], dst: usize, tag: i32, context: u32) -> MpiResult<Request> {
+    pub fn isend_bytes(
+        &mut self,
+        data: &[u8],
+        dst: usize,
+        tag: i32,
+        context: u32,
+    ) -> MpiResult<Request> {
         if dst >= self.world_size() {
             return Err(MpiError::InvalidRank {
                 rank: dst as i32,
@@ -277,12 +287,42 @@ impl Engine {
                     data: data.into(),
                 },
             );
+            obs::count("pt2pt.eager_msgs", 1);
+            obs::count("pt2pt.eager_bytes", data.len() as u64);
+            if obs::tracing_enabled() {
+                obs::instant(
+                    "send",
+                    "pt2pt",
+                    self.clock.now(),
+                    vec![
+                        ("proto", obs::ArgValue::Str("eager")),
+                        ("dst", obs::ArgValue::U64(dst as u64)),
+                        ("tag", obs::ArgValue::I64(tag as i64)),
+                        ("bytes", obs::ArgValue::U64(data.len() as u64)),
+                    ],
+                );
+            }
             Ok(self.alloc_req(ReqState::Send(SendState::EagerDone {
                 complete_at: self.clock.now(),
             })))
         } else {
             // Rendezvous: inject RTS, park the payload until CTS.
             self.clock.charge(path.loggp.o_send());
+            obs::count("pt2pt.rndv_msgs", 1);
+            obs::count("pt2pt.rndv_bytes", data.len() as u64);
+            if obs::tracing_enabled() {
+                obs::instant(
+                    "send",
+                    "pt2pt",
+                    self.clock.now(),
+                    vec![
+                        ("proto", obs::ArgValue::Str("rndv")),
+                        ("dst", obs::ArgValue::U64(dst as u64)),
+                        ("tag", obs::ArgValue::I64(tag as i64)),
+                        ("bytes", obs::ArgValue::U64(data.len() as u64)),
+                    ],
+                );
+            }
             let req = self.alloc_req(ReqState::Send(SendState::AwaitCts {
                 dst,
                 data: data.into(),
@@ -307,7 +347,13 @@ impl Engine {
     /// Non-blocking receive of up to `capacity` bytes.
     ///
     /// `src < 0` means [`ANY_SOURCE`]; `tag == ANY_TAG` matches any tag.
-    pub fn irecv_bytes(&mut self, capacity: usize, src: i32, tag: i32, context: u32) -> MpiResult<Request> {
+    pub fn irecv_bytes(
+        &mut self,
+        capacity: usize,
+        src: i32,
+        tag: i32,
+        context: u32,
+    ) -> MpiResult<Request> {
         if src >= self.world_size() as i32 {
             return Err(MpiError::InvalidRank {
                 rank: src,
@@ -327,6 +373,8 @@ impl Engine {
         // First look at the unexpected queue (arrival order).
         if let Some(pos) = self.unexpected.iter().position(|u| spec.matches(u.env())) {
             let u = self.unexpected.remove(pos);
+            obs::count("pt2pt.unexpected_hits", 1);
+            obs::gauge_set("pt2pt.unexpected_depth", self.unexpected.len() as i64);
             return self.match_unexpected(spec, capacity, u);
         }
         let posted_at = self.clock.now();
@@ -340,7 +388,12 @@ impl Engine {
     }
 
     /// Consume a previously-unmatched message for a newly posted receive.
-    fn match_unexpected(&mut self, spec: MatchSpec, capacity: usize, u: Unexpected) -> MpiResult<Request> {
+    fn match_unexpected(
+        &mut self,
+        spec: MatchSpec,
+        capacity: usize,
+        u: Unexpected,
+    ) -> MpiResult<Request> {
         match u {
             Unexpected::Eager { env, arrival, data } => {
                 if data.len() > capacity {
@@ -407,7 +460,10 @@ impl Engine {
         match d.msg {
             Wire::Eager { env, data } => {
                 if let Some(rid) = self.find_posted(&env) {
-                    let Some(ReqState::Recv { capacity, state, .. }) = self.requests.get_mut(&rid) else {
+                    let Some(ReqState::Recv {
+                        capacity, state, ..
+                    }) = self.requests.get_mut(&rid)
+                    else {
                         unreachable!("posted list holds recv requests");
                     };
                     let RecvState::Posted { posted_at } = *state else {
@@ -430,6 +486,7 @@ impl Engine {
                         arrival: d.arrival,
                         data,
                     });
+                    obs::gauge_set("pt2pt.unexpected_depth", self.unexpected.len() as i64);
                 }
             }
             Wire::Rts {
@@ -442,7 +499,10 @@ impl Engine {
                     // offloaded progress: timed from the RTS arrival, not
                     // from the application clock.
                     let path = *self.path_to(env.src);
-                    let Some(ReqState::Recv { capacity, state, .. }) = self.requests.get_mut(&rid) else {
+                    let Some(ReqState::Recv {
+                        capacity, state, ..
+                    }) = self.requests.get_mut(&rid)
+                    else {
                         unreachable!("posted list holds recv requests");
                     };
                     let RecvState::Posted { posted_at } = *state else {
@@ -468,6 +528,7 @@ impl Engine {
                         sender_req,
                         nbytes,
                     });
+                    obs::gauge_set("pt2pt.unexpected_depth", self.unexpected.len() as i64);
                 }
             }
             Wire::Cts { sender_req } => {
@@ -488,7 +549,8 @@ impl Engine {
                 let path = *self.path_to(dst);
                 let t = d.arrival + path.loggp.o_send();
                 let wire = path.header_bytes + data.len();
-                self.ep.send(dst, t, wire, &path.loggp, Wire::RndvData { env, data });
+                self.ep
+                    .send(dst, t, wire, &path.loggp, Wire::RndvData { env, data });
                 let Some(ReqState::Send(st)) = self.requests.get_mut(&sender_req) else {
                     unreachable!();
                 };
@@ -557,11 +619,20 @@ impl Engine {
         if !self.requests.contains_key(&req.0) {
             return Err(MpiError::InvalidRequest);
         }
+        let wait_begin = self.clock.now();
         while !self.is_complete(req) {
             let d = self.ep.recv_blocking();
             self.handle(d);
         }
-        self.finish(req)
+        let c = self.finish(req)?;
+        obs::span(
+            "mpi.wait",
+            "pt2pt",
+            wait_begin,
+            self.clock.now(),
+            Vec::new(),
+        );
+        Ok(c)
     }
 
     /// Non-blocking completion check. Drains any pending deliveries, then
@@ -583,7 +654,10 @@ impl Engine {
     /// Consume a completed request: charge consumption costs, advance the
     /// clock, and return the payload.
     fn finish(&mut self, req: Request) -> MpiResult<Completion> {
-        let state = self.requests.remove(&req.0).ok_or(MpiError::InvalidRequest)?;
+        let state = self
+            .requests
+            .remove(&req.0)
+            .ok_or(MpiError::InvalidRequest)?;
         match state {
             ReqState::Send(SendState::EagerDone { complete_at })
             | ReqState::Send(SendState::RndvDone { complete_at }) => {
@@ -628,6 +702,19 @@ impl Engine {
                         self.clock.charge(path.unexpected_extra(data.len()));
                     }
                 }
+                if obs::tracing_enabled() {
+                    obs::instant(
+                        "recv",
+                        "pt2pt",
+                        self.clock.now(),
+                        vec![
+                            ("src", obs::ArgValue::U64(env.src as u64)),
+                            ("tag", obs::ArgValue::I64(env.tag as i64)),
+                            ("bytes", obs::ArgValue::U64(data.len() as u64)),
+                            ("unexpected", obs::ArgValue::Bool(was_unexpected)),
+                        ],
+                    );
+                }
                 Ok(Completion {
                     data,
                     status: Status {
@@ -652,17 +739,17 @@ impl Engine {
     }
 
     /// Blocking receive; returns the payload and its status.
-    pub fn recv_bytes(&mut self, capacity: usize, src: i32, tag: i32, context: u32) -> MpiResult<(Box<[u8]>, Status)> {
+    pub fn recv_bytes(
+        &mut self,
+        capacity: usize,
+        src: i32,
+        tag: i32,
+        context: u32,
+    ) -> MpiResult<(Box<[u8]>, Status)> {
         let r = self.irecv_bytes(capacity, src, tag, context)?;
         let c = self.wait(r)?;
         let bytes = c.data.len();
-        Ok((
-            c.data,
-            Status {
-                bytes,
-                ..c.status
-            },
-        ))
+        Ok((c.data, Status { bytes, ..c.status }))
     }
 
     /// Fabric-level injection counters (for tests/ablations).
@@ -773,7 +860,13 @@ mod tests {
                 e.send_bytes(&[0u8; 100], 1, 0, 0).unwrap();
             } else {
                 let err = e.recv_bytes(10, 0, 0, 0).unwrap_err();
-                assert!(matches!(err, MpiError::Truncated { incoming: 100, capacity: 10 }));
+                assert!(matches!(
+                    err,
+                    MpiError::Truncated {
+                        incoming: 100,
+                        capacity: 10
+                    }
+                ));
             }
         });
     }

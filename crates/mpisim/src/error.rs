@@ -24,7 +24,10 @@ pub enum MpiError {
     BufferTooSmall { needed: usize, available: usize },
     /// Operation/datatype combination not defined (MPI_ERR_OP), e.g.
     /// bitwise AND on FLOAT.
-    InvalidOpForType { op: &'static str, datatype: &'static str },
+    InvalidOpForType {
+        op: &'static str,
+        datatype: &'static str,
+    },
     /// The feature exists in the MPI standard but this library (profile)
     /// does not support it — used to model Open MPI-J's missing
     /// array/non-blocking combination.
@@ -93,13 +96,16 @@ mod tests {
 
     #[test]
     fn errors_compare() {
-        assert_eq!(
-            MpiError::Unsupported("x"),
-            MpiError::Unsupported("x")
-        );
+        assert_eq!(MpiError::Unsupported("x"), MpiError::Unsupported("x"));
         assert_ne!(
-            MpiError::InvalidRank { rank: 1, comm_size: 1 },
-            MpiError::InvalidRank { rank: 2, comm_size: 1 }
+            MpiError::InvalidRank {
+                rank: 1,
+                comm_size: 1
+            },
+            MpiError::InvalidRank {
+                rank: 2,
+                comm_size: 1
+            }
         );
     }
 }

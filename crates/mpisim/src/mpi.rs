@@ -142,10 +142,12 @@ impl Mpi {
 
     fn world_dst(&self, comm: CommHandle, dst: usize) -> MpiResult<usize> {
         let info = self.info(comm)?;
-        info.group.world_rank(dst).map_err(|_| MpiError::InvalidRank {
-            rank: dst as i32,
-            comm_size: info.group.size(),
-        })
+        info.group
+            .world_rank(dst)
+            .map_err(|_| MpiError::InvalidRank {
+                rank: dst as i32,
+                comm_size: info.group.size(),
+            })
     }
 
     /// Prepare the dense payload for `count` elements of `dt` from `buf`,
@@ -406,7 +408,9 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let sendcount = Self::check_count(sendcount)?;
-        coll::gatherv(self, send, sendcount, recv, recvcounts, displs, dt, root, comm)
+        coll::gatherv(
+            self, send, sendcount, recv, recvcounts, displs, dt, root, comm,
+        )
     }
 
     /// MPI_Scatter (equal blocks). `send` significant at root.
@@ -437,7 +441,9 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let recvcount = Self::check_count(recvcount)?;
-        coll::scatterv(self, send, sendcounts, displs, recv, recvcount, dt, root, comm)
+        coll::scatterv(
+            self, send, sendcounts, displs, recv, recvcount, dt, root, comm,
+        )
     }
 
     /// MPI_Allgather (equal contributions).
@@ -494,7 +500,9 @@ impl Mpi {
         dt: &Datatype,
         comm: CommHandle,
     ) -> MpiResult<()> {
-        coll::alltoallv(self, send, sendcounts, sdispls, recv, recvcounts, rdispls, dt, comm)
+        coll::alltoallv(
+            self, send, sendcounts, sdispls, recv, recvcounts, rdispls, dt, comm,
+        )
     }
 
     // ------------------------------------------------------------------

@@ -185,7 +185,10 @@ mod tests {
     #[test]
     fn doubles_sum() {
         let mut acc: Vec<u8> = [1.5f64, 2.5].iter().flat_map(|x| x.to_le_bytes()).collect();
-        let src: Vec<u8> = [0.25f64, 0.75].iter().flat_map(|x| x.to_le_bytes()).collect();
+        let src: Vec<u8> = [0.25f64, 0.75]
+            .iter()
+            .flat_map(|x| x.to_le_bytes())
+            .collect();
         apply(ReduceOp::Sum, &DOUBLE, &mut acc, &src).unwrap();
         let out: Vec<f64> = acc
             .chunks_exact(8)

@@ -68,7 +68,8 @@ fn bcast_matches_reference_all_profiles() {
                     });
                     for (r, got) in res.iter().enumerate() {
                         assert_eq!(
-                            got, &want,
+                            got,
+                            &want,
                             "bcast {} nodes={} ppn={} count={count} root={root} rank={r}",
                             profile.name,
                             topo.nodes(),
@@ -103,7 +104,8 @@ fn allreduce_sum_matches_reference_all_profiles() {
                     .collect();
                 for (r, got) in res.iter().enumerate() {
                     assert_eq!(
-                        got, &want,
+                        got,
+                        &want,
                         "allreduce {} nodes={} ppn={} count={count} rank={r}",
                         profile.name,
                         topo.nodes(),
@@ -176,7 +178,8 @@ fn reduce_doubles_to_root() {
             let send = doubles(&mine);
             let mut recv = vec![0u8; 16];
             let out = (me == 2).then_some(&mut recv[..]);
-            mpi.reduce(&send, out, 2, &DOUBLE, ReduceOp::Sum, 2, w).unwrap();
+            mpi.reduce(&send, out, 2, &DOUBLE, ReduceOp::Sum, 2, w)
+                .unwrap();
             (me == 2).then(|| to_doubles(&recv))
         });
         let got = res[2].clone().unwrap();
@@ -218,8 +221,16 @@ fn allgatherv_uneven_blocks() {
         let recvcounts = [1i32, 2, 3, 4];
         let displs = [0i32, 1, 3, 6];
         let mut recv = vec![0u8; 40];
-        mpi.allgatherv(&send, me as i32 + 1, &mut recv, &recvcounts, &displs, &INT, w)
-            .unwrap();
+        mpi.allgatherv(
+            &send,
+            me as i32 + 1,
+            &mut recv,
+            &recvcounts,
+            &displs,
+            &INT,
+            w,
+        )
+        .unwrap();
         to_ints(&recv)
     });
     let want = vec![0, 0, 1, 0, 1, 2, 0, 1, 2, 3];
@@ -311,7 +322,10 @@ fn barrier_roughly_aligns_clocks() {
             *t >= slowest_entry,
             "no rank may leave the barrier before the slowest entered (t={t})"
         );
-        assert!(*t < slowest_entry + 100.0, "barrier overhead is bounded (t={t})");
+        assert!(
+            *t < slowest_entry + 100.0,
+            "barrier overhead is bounded (t={t})"
+        );
     }
 }
 

@@ -1,85 +1,112 @@
-//! Property tests for the datatype pack engine and reduction ops.
+//! Randomized tests for the datatype pack engine and reduction ops,
+//! driven by a deterministic LCG (no external property-testing crates;
+//! every run replays the same cases).
 
 use mpisim::datatype::{BasicType, Datatype};
 use mpisim::{op, ReduceOp};
-use proptest::prelude::*;
 
-fn arb_basic() -> impl Strategy<Value = BasicType> {
-    prop_oneof![
-        Just(BasicType::Byte),
-        Just(BasicType::Char),
-        Just(BasicType::Short),
-        Just(BasicType::Int),
-        Just(BasicType::Long),
-        Just(BasicType::Float),
-        Just(BasicType::Double),
-    ]
+/// Knuth LCG.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() >> 33) as usize % n
+    }
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo)
+    }
 }
 
-/// Arbitrary (possibly derived) datatype with bounded nesting.
-fn arb_datatype() -> impl Strategy<Value = Datatype> {
-    let basic = arb_basic().prop_map(Datatype::Basic);
-    basic.prop_recursive(2, 8, 4, |inner| {
-        prop_oneof![
-            (1usize..4, inner.clone())
-                .prop_map(|(count, base)| Datatype::contiguous(count, base)),
-            (1usize..4, 1usize..3, 0usize..4, inner.clone()).prop_filter_map(
-                "valid vector",
-                |(count, blocklength, extra, base)| {
-                    let stride = blocklength + extra;
-                    Datatype::vector(count, blocklength, stride, base).ok()
-                }
-            ),
-            proptest::collection::vec((0usize..3, 1usize..3), 1..4).prop_flat_map(
-                move |blocks| {
-                    // Convert (gap, len) pairs into non-overlapping
-                    // (displacement, len) blocks.
-                    let mut disp = 0;
-                    let mut out = Vec::new();
-                    for (gap, len) in blocks {
-                        disp += gap;
-                        out.push((disp, len));
-                        disp += len;
-                    }
-                    let inner = inner.clone();
-                    inner.prop_map(move |base| {
-                        Datatype::indexed(out.clone(), base).expect("non-overlapping")
-                    })
-                }
-            ),
-        ]
-    })
+fn basic(rng: &mut Lcg) -> Datatype {
+    const BASICS: [BasicType; 7] = [
+        BasicType::Byte,
+        BasicType::Char,
+        BasicType::Short,
+        BasicType::Int,
+        BasicType::Long,
+        BasicType::Float,
+        BasicType::Double,
+    ];
+    Datatype::Basic(BASICS[rng.below(BASICS.len())])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// A pseudo-random (possibly derived) datatype with bounded nesting —
+/// the shape space the old proptest strategy covered.
+fn gen_datatype(rng: &mut Lcg, depth: usize) -> Datatype {
+    if depth == 0 || rng.below(3) == 0 {
+        return basic(rng);
+    }
+    match rng.below(3) {
+        0 => Datatype::contiguous(rng.range(1, 4), gen_datatype(rng, depth - 1)),
+        1 => {
+            let count = rng.range(1, 4);
+            let blocklength = rng.range(1, 3);
+            let stride = blocklength + rng.below(4);
+            Datatype::vector(count, blocklength, stride, gen_datatype(rng, depth - 1))
+                .expect("stride >= blocklength is valid")
+        }
+        _ => {
+            // Non-overlapping (displacement, len) blocks from (gap, len)
+            // pairs.
+            let mut disp = 0usize;
+            let mut blocks = Vec::new();
+            for _ in 0..rng.range(1, 4) {
+                disp += rng.below(3);
+                let len = rng.range(1, 3);
+                blocks.push((disp, len));
+                disp += len;
+            }
+            Datatype::indexed(blocks, gen_datatype(rng, depth - 1)).expect("non-overlapping")
+        }
+    }
+}
 
-    #[test]
-    fn segments_are_sorted_disjoint_and_sum_to_size(dt in arb_datatype()) {
+#[test]
+fn segments_are_sorted_disjoint_and_sum_to_size() {
+    let mut rng = Lcg::new(1);
+    for _ in 0..128 {
+        let dt = gen_datatype(&mut rng, 2);
         let segs = dt.segments();
         let mut end = 0usize;
         let mut total = 0usize;
         for &(off, len) in &segs {
-            prop_assert!(off >= end, "segments must not overlap or go backwards");
-            prop_assert!(len > 0);
+            assert!(
+                off >= end,
+                "segments must not overlap or go backwards: {dt:?}"
+            );
+            assert!(len > 0);
             end = off + len;
             total += len;
         }
-        prop_assert_eq!(total, dt.size());
-        prop_assert!(end <= dt.extent().max(end));
+        assert_eq!(total, dt.size());
+        assert!(end <= dt.extent().max(end));
     }
+}
 
-    #[test]
-    fn pack_unpack_roundtrips(dt in arb_datatype(), count in 0usize..5, seed in any::<u64>()) {
+#[test]
+fn pack_unpack_roundtrips() {
+    let mut rng = Lcg::new(2);
+    for _ in 0..128 {
+        let dt = gen_datatype(&mut rng, 2);
+        let count = rng.below(5);
         let span = dt.span(count).max(dt.extent() * count);
         let mut src = vec![0u8; span.max(1)];
-        let mut s = seed;
         for b in src.iter_mut() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            *b = (s >> 56) as u8;
+            *b = (rng.next() >> 56) as u8;
         }
         let packed = dt.pack(&src, count).unwrap();
-        prop_assert_eq!(packed.len(), dt.size() * count);
+        assert_eq!(packed.len(), dt.size() * count);
         let mut dst = vec![0u8; src.len()];
         dt.unpack(&packed, count, &mut dst).unwrap();
         // Every byte covered by the typemap roundtrips.
@@ -88,61 +115,79 @@ proptest! {
             for &(off, len) in &dt.segments() {
                 let a = &src[i * ext + off..i * ext + off + len];
                 let b = &dst[i * ext + off..i * ext + off + len];
-                prop_assert_eq!(a, b);
+                assert_eq!(a, b, "typemap bytes corrupted: {dt:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn reduction_ops_match_scalar_reference(
-        a in proptest::collection::vec(any::<i32>(), 1..16),
-        b_seed in any::<u64>(),
-        op in prop_oneof![
-            Just(ReduceOp::Sum), Just(ReduceOp::Prod), Just(ReduceOp::Min),
-            Just(ReduceOp::Max), Just(ReduceOp::Band), Just(ReduceOp::Bor),
-            Just(ReduceOp::Bxor), Just(ReduceOp::Land), Just(ReduceOp::Lor),
-        ],
-    ) {
-        let mut s = b_seed;
-        let b: Vec<i32> = a.iter().map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            (s >> 33) as i32
-        }).collect();
-        let mut acc: Vec<u8> = a.iter().flat_map(|x| x.to_le_bytes()).collect();
-        let src: Vec<u8> = b.iter().flat_map(|x| x.to_le_bytes()).collect();
-        op::apply(op, &mpisim::datatype::INT, &mut acc, &src).unwrap();
-        let got: Vec<i32> = acc.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect();
-        for i in 0..a.len() {
-            let want = match op {
-                ReduceOp::Sum => a[i].wrapping_add(b[i]),
-                ReduceOp::Prod => a[i].wrapping_mul(b[i]),
-                ReduceOp::Min => a[i].min(b[i]),
-                ReduceOp::Max => a[i].max(b[i]),
-                ReduceOp::Band => a[i] & b[i],
-                ReduceOp::Bor => a[i] | b[i],
-                ReduceOp::Bxor => a[i] ^ b[i],
-                ReduceOp::Land => ((a[i] != 0) && (b[i] != 0)) as i32,
-                ReduceOp::Lor => ((a[i] != 0) || (b[i] != 0)) as i32,
-            };
-            prop_assert_eq!(got[i], want);
+const ALL_OPS: [ReduceOp; 9] = [
+    ReduceOp::Sum,
+    ReduceOp::Prod,
+    ReduceOp::Min,
+    ReduceOp::Max,
+    ReduceOp::Band,
+    ReduceOp::Bor,
+    ReduceOp::Bxor,
+    ReduceOp::Land,
+    ReduceOp::Lor,
+];
+
+#[test]
+fn reduction_ops_match_scalar_reference() {
+    let mut rng = Lcg::new(3);
+    for op in ALL_OPS {
+        for _ in 0..16 {
+            let n = rng.range(1, 16);
+            let a: Vec<i32> = (0..n).map(|_| rng.next() as i32).collect();
+            let b: Vec<i32> = (0..n).map(|_| (rng.next() >> 33) as i32).collect();
+            let mut acc: Vec<u8> = a.iter().flat_map(|x| x.to_le_bytes()).collect();
+            let src: Vec<u8> = b.iter().flat_map(|x| x.to_le_bytes()).collect();
+            op::apply(op, &mpisim::datatype::INT, &mut acc, &src).unwrap();
+            let got: Vec<i32> = acc
+                .chunks_exact(4)
+                .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            for i in 0..n {
+                let want = match op {
+                    ReduceOp::Sum => a[i].wrapping_add(b[i]),
+                    ReduceOp::Prod => a[i].wrapping_mul(b[i]),
+                    ReduceOp::Min => a[i].min(b[i]),
+                    ReduceOp::Max => a[i].max(b[i]),
+                    ReduceOp::Band => a[i] & b[i],
+                    ReduceOp::Bor => a[i] | b[i],
+                    ReduceOp::Bxor => a[i] ^ b[i],
+                    ReduceOp::Land => ((a[i] != 0) && (b[i] != 0)) as i32,
+                    ReduceOp::Lor => ((a[i] != 0) || (b[i] != 0)) as i32,
+                };
+                assert_eq!(got[i], want, "{op:?} lane {i}");
+            }
         }
     }
+}
 
-    #[test]
-    fn commutative_ops_commute(
-        a in proptest::collection::vec(any::<i64>(), 1..8),
-        b in proptest::collection::vec(any::<i64>(), 1..8),
-        op in prop_oneof![
-            Just(ReduceOp::Sum), Just(ReduceOp::Min), Just(ReduceOp::Max),
-            Just(ReduceOp::Band), Just(ReduceOp::Bor), Just(ReduceOp::Bxor),
-        ],
-    ) {
-        let n = a.len().min(b.len());
-        let bytes = |v: &[i64]| -> Vec<u8> { v[..n].iter().flat_map(|x| x.to_le_bytes()).collect() };
-        let mut ab = bytes(&a);
-        op::apply(op, &mpisim::datatype::LONG, &mut ab, &bytes(&b)).unwrap();
-        let mut ba = bytes(&b);
-        op::apply(op, &mpisim::datatype::LONG, &mut ba, &bytes(&a)).unwrap();
-        prop_assert_eq!(ab, ba);
+#[test]
+fn commutative_ops_commute() {
+    let commutative = [
+        ReduceOp::Sum,
+        ReduceOp::Min,
+        ReduceOp::Max,
+        ReduceOp::Band,
+        ReduceOp::Bor,
+        ReduceOp::Bxor,
+    ];
+    let mut rng = Lcg::new(4);
+    for op in commutative {
+        for _ in 0..16 {
+            let n = rng.range(1, 8);
+            let a: Vec<i64> = (0..n).map(|_| rng.next() as i64).collect();
+            let b: Vec<i64> = (0..n).map(|_| rng.next() as i64).collect();
+            let bytes = |v: &[i64]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
+            let mut ab = bytes(&a);
+            op::apply(op, &mpisim::datatype::LONG, &mut ab, &bytes(&b)).unwrap();
+            let mut ba = bytes(&b);
+            op::apply(op, &mpisim::datatype::LONG, &mut ba, &bytes(&a)).unwrap();
+            assert_eq!(ab, ba, "{op:?} must commute");
+        }
     }
 }

@@ -82,7 +82,12 @@ impl Buffer {
     }
 
     /// Acquire a pooled buffer of at least `size` bytes.
-    pub fn from_pool(pool: &mut BufferPool, rt: &mut Runtime, clock: &mut Clock, size: usize) -> Self {
+    pub fn from_pool(
+        pool: &mut BufferPool,
+        rt: &mut Runtime,
+        clock: &mut Clock,
+        size: usize,
+    ) -> Self {
         let store = pool.acquire(rt, clock, size);
         Buffer {
             store,
@@ -195,7 +200,12 @@ impl Buffer {
     }
 
     /// Stage raw bytes (already-packed payloads).
-    pub fn stage_bytes(&mut self, rt: &mut Runtime, clock: &mut Clock, src: &[u8]) -> MrtResult<()> {
+    pub fn stage_bytes(
+        &mut self,
+        rt: &mut Runtime,
+        clock: &mut Clock,
+        src: &[u8],
+    ) -> MrtResult<()> {
         self.ensure(src.len())?;
         rt.direct_write_bytes(self.store, self.write_pos, src, clock)?;
         self.write_pos += src.len();
@@ -240,7 +250,11 @@ impl Buffer {
     }
 
     /// `getSectionHeader()`: read the next section's type and length.
-    pub fn get_section_header(&mut self, rt: &Runtime, clock: &mut Clock) -> MrtResult<(PrimType, usize)> {
+    pub fn get_section_header(
+        &mut self,
+        rt: &Runtime,
+        clock: &mut Clock,
+    ) -> MrtResult<(PrimType, usize)> {
         if self.read_pos + SECTION_HEADER_BYTES > self.write_pos {
             return Err(MrtError::BufferOverflow {
                 needed: SECTION_HEADER_BYTES,
@@ -318,7 +332,8 @@ impl Buffer {
         if self.pooled {
             pool.release(rt, clock, self.store);
         } else {
-            rt.free_direct(self.store, clock).expect("buffer store is live");
+            rt.free_direct(self.store, clock)
+                .expect("buffer store is live");
         }
     }
 }
@@ -458,7 +473,8 @@ mod tests {
         assert_eq!(buf.len(), 3);
         buf.clear();
         // Receive path: data deposited by the native library.
-        rt.direct_write_bytes(buf.store(), 0, &[1, 2, 3, 4], &mut c).unwrap();
+        rt.direct_write_bytes(buf.store(), 0, &[1, 2, 3, 4], &mut c)
+            .unwrap();
         buf.assume_filled(4).unwrap();
         let dst = rt.alloc_array::<i8>(4, &mut c).unwrap();
         buf.unstage_array(&mut rt, &mut c, dst, 0, 4).unwrap();

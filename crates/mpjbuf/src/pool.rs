@@ -82,13 +82,16 @@ impl BufferPool {
         let class = Self::class_of(size);
         let idx = (class - MIN_CLASS) as usize;
         self.stats.outstanding += 1;
+        obs::gauge_set("mpjbuf.pool.outstanding", self.stats.outstanding as i64);
         if let Some(buf) = self.classes[idx].pop() {
             self.stats.hits += 1;
+            obs::count("mpjbuf.pool.hits", 1);
             self.stats.pooled_bytes -= buf.capacity();
             clock.charge(VDur::from_nanos(rt.cost().pool.acquire_hit_ns));
             buf
         } else {
             self.stats.misses += 1;
+            obs::count("mpjbuf.pool.misses", 1);
             rt.allocate_direct(1usize << class, clock)
         }
     }
@@ -96,10 +99,16 @@ impl BufferPool {
     /// Return a buffer to the pool (or free it if the class is full).
     pub fn release(&mut self, rt: &mut Runtime, clock: &mut Clock, buf: DirectBuffer) {
         let class = Self::class_of(buf.capacity());
-        debug_assert_eq!(1usize << class, buf.capacity(), "pool only sees its own buffers");
+        debug_assert_eq!(
+            1usize << class,
+            buf.capacity(),
+            "pool only sees its own buffers"
+        );
         let idx = (class - MIN_CLASS) as usize;
         self.stats.releases += 1;
         self.stats.outstanding = self.stats.outstanding.saturating_sub(1);
+        obs::count("mpjbuf.pool.releases", 1);
+        obs::gauge_set("mpjbuf.pool.outstanding", self.stats.outstanding as i64);
         clock.charge(VDur::from_nanos(rt.cost().pool.release_ns));
         if self.classes[idx].len() < self.per_class_limit {
             self.stats.pooled_bytes += buf.capacity();

@@ -1,11 +1,33 @@
-//! Property tests for the buffering layer: sectioned write/read
+//! Randomized tests for the buffering layer: sectioned write/read
 //! roundtrips over arbitrary type sequences, and pool accounting.
+//! Driven by a deterministic LCG so every run replays the same cases.
 
 use mpjbuf::{Buffer, BufferPool};
 use mrt::prim::PrimType;
 use mrt::Runtime;
-use proptest::prelude::*;
 use vtime::{Clock, CostModel};
+
+/// Knuth LCG.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() >> 33) as usize % n
+    }
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo)
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Section {
@@ -18,25 +40,24 @@ enum Section {
     Chars(Vec<u16>),
 }
 
-fn arb_section() -> impl Strategy<Value = Section> {
-    prop_oneof![
-        proptest::collection::vec(any::<i8>(), 1..16).prop_map(Section::Bytes),
-        proptest::collection::vec(any::<i16>(), 1..16).prop_map(Section::Shorts),
-        proptest::collection::vec(any::<i32>(), 1..16).prop_map(Section::Ints),
-        proptest::collection::vec(any::<i64>(), 1..16).prop_map(Section::Longs),
-        proptest::collection::vec(any::<f32>(), 1..16).prop_map(Section::Floats),
-        proptest::collection::vec(any::<f64>(), 1..16).prop_map(Section::Doubles),
-        proptest::collection::vec(any::<u16>(), 1..16).prop_map(Section::Chars),
-    ]
+fn gen_section(rng: &mut Lcg) -> Section {
+    let n = rng.range(1, 16);
+    match rng.below(7) {
+        0 => Section::Bytes((0..n).map(|_| rng.next() as i8).collect()),
+        1 => Section::Shorts((0..n).map(|_| rng.next() as i16).collect()),
+        2 => Section::Ints((0..n).map(|_| rng.next() as i32).collect()),
+        3 => Section::Longs((0..n).map(|_| rng.next() as i64).collect()),
+        4 => Section::Floats((0..n).map(|_| f32::from_bits(rng.next() as u32)).collect()),
+        5 => Section::Doubles((0..n).map(|_| f64::from_bits(rng.next())).collect()),
+        _ => Section::Chars((0..n).map(|_| rng.next() as u16).collect()),
+    }
 }
 
 macro_rules! write_section {
-    ($env:expr, $buf:expr, $vals:expr, $ty:ty) => {{
-        let (rt, clock, buf) = $env;
-        let arr = rt.alloc_array::<$ty>($vals.len(), clock).unwrap();
-        rt.array_write(arr, 0, $vals, clock).unwrap();
-        buf.write(rt, clock, arr, 0, $vals.len()).unwrap();
-        let _ = $buf;
+    ($rt:expr, $clock:expr, $buf:expr, $vals:expr, $ty:ty) => {{
+        let arr = $rt.alloc_array::<$ty>($vals.len(), $clock).unwrap();
+        $rt.array_write(arr, 0, $vals, $clock).unwrap();
+        $buf.write($rt, $clock, arr, 0, $vals.len()).unwrap();
     }};
 }
 
@@ -46,18 +67,22 @@ macro_rules! read_section {
         $buf.read($rt, $clock, arr, 0, $vals.len()).unwrap();
         let mut got = vec![<$ty>::default(); $vals.len()];
         $rt.array_read(arr, 0, &mut got, $clock).unwrap();
-        prop_assert!(
-            got.iter().zip($vals.iter()).all(|(a, b)| a == b || (a != a && b != b)),
+        assert!(
+            got.iter()
+                .zip($vals.iter())
+                .all(|(a, b)| a == b || (a != a && b != b)),
             "section roundtrip mismatch"
         );
     }};
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn sectioned_roundtrip_arbitrary_type_sequence(sections in proptest::collection::vec(arb_section(), 1..8)) {
+#[test]
+fn sectioned_roundtrip_arbitrary_type_sequence() {
+    let mut rng = Lcg::new(21);
+    for _case in 0..48 {
+        let sections: Vec<Section> = (0..rng.range(1, 8))
+            .map(|_| gen_section(&mut rng))
+            .collect();
         let mut rt = Runtime::new(CostModel::default());
         let mut clock = Clock::new();
         let mut pool = BufferPool::new();
@@ -65,16 +90,16 @@ proptest! {
 
         for s in &sections {
             match s {
-                Section::Bytes(v) => write_section!((&mut rt, &mut clock, &mut buf), &mut buf, v, i8),
-                Section::Shorts(v) => write_section!((&mut rt, &mut clock, &mut buf), &mut buf, v, i16),
-                Section::Ints(v) => write_section!((&mut rt, &mut clock, &mut buf), &mut buf, v, i32),
-                Section::Longs(v) => write_section!((&mut rt, &mut clock, &mut buf), &mut buf, v, i64),
-                Section::Floats(v) => write_section!((&mut rt, &mut clock, &mut buf), &mut buf, v, f32),
-                Section::Doubles(v) => write_section!((&mut rt, &mut clock, &mut buf), &mut buf, v, f64),
-                Section::Chars(v) => write_section!((&mut rt, &mut clock, &mut buf), &mut buf, v, u16),
+                Section::Bytes(v) => write_section!(&mut rt, &mut clock, &mut buf, v, i8),
+                Section::Shorts(v) => write_section!(&mut rt, &mut clock, &mut buf, v, i16),
+                Section::Ints(v) => write_section!(&mut rt, &mut clock, &mut buf, v, i32),
+                Section::Longs(v) => write_section!(&mut rt, &mut clock, &mut buf, v, i64),
+                Section::Floats(v) => write_section!(&mut rt, &mut clock, &mut buf, v, f32),
+                Section::Doubles(v) => write_section!(&mut rt, &mut clock, &mut buf, v, f64),
+                Section::Chars(v) => write_section!(&mut rt, &mut clock, &mut buf, v, u16),
             }
         }
-        prop_assert_eq!(buf.sections() as usize, sections.len());
+        assert_eq!(buf.sections() as usize, sections.len());
         buf.commit();
         for s in &sections {
             match s {
@@ -89,12 +114,16 @@ proptest! {
         }
         buf.free(&mut pool, &mut rt, &mut clock);
     }
+}
 
-    #[test]
-    fn section_headers_describe_their_sections(
-        ints in proptest::collection::vec(any::<i32>(), 1..10),
-        doubles in proptest::collection::vec(any::<f64>(), 1..10),
-    ) {
+#[test]
+fn section_headers_describe_their_sections() {
+    let mut rng = Lcg::new(22);
+    for _case in 0..24 {
+        let ints: Vec<i32> = (0..rng.range(1, 10)).map(|_| rng.next() as i32).collect();
+        let doubles: Vec<f64> = (0..rng.range(1, 10))
+            .map(|_| f64::from_bits(rng.next()))
+            .collect();
         let mut rt = Runtime::new(CostModel::default());
         let mut clock = Clock::new();
         let mut pool = BufferPool::new();
@@ -104,22 +133,27 @@ proptest! {
         let da = rt.alloc_array::<f64>(doubles.len(), &mut clock).unwrap();
         rt.array_write(da, 0, &doubles, &mut clock).unwrap();
         buf.write(&mut rt, &mut clock, ia, 0, ints.len()).unwrap();
-        buf.write(&mut rt, &mut clock, da, 0, doubles.len()).unwrap();
+        buf.write(&mut rt, &mut clock, da, 0, doubles.len())
+            .unwrap();
         buf.commit();
         let (t1, n1) = buf.get_section_header(&rt, &mut clock).unwrap();
-        prop_assert_eq!(t1, PrimType::Int);
-        prop_assert_eq!(n1, ints.len());
+        assert_eq!(t1, PrimType::Int);
+        assert_eq!(n1, ints.len());
         // Skip the data by unstaging it.
         let skip = rt.alloc_array::<i32>(n1, &mut clock).unwrap();
         buf.unstage_array(&mut rt, &mut clock, skip, 0, n1).unwrap();
         let (t2, n2) = buf.get_section_header(&rt, &mut clock).unwrap();
-        prop_assert_eq!(t2, PrimType::Double);
-        prop_assert_eq!(n2, doubles.len());
+        assert_eq!(t2, PrimType::Double);
+        assert_eq!(n2, doubles.len());
         buf.free(&mut pool, &mut rt, &mut clock);
     }
+}
 
-    #[test]
-    fn pool_accounting_balances(sizes in proptest::collection::vec(1usize..65536, 1..24)) {
+#[test]
+fn pool_accounting_balances() {
+    let mut rng = Lcg::new(23);
+    for _case in 0..32 {
+        let sizes: Vec<usize> = (0..rng.range(1, 24)).map(|_| rng.range(1, 65536)).collect();
         let mut rt = Runtime::new(CostModel::default());
         let mut clock = Clock::new();
         let mut pool = BufferPool::new();
@@ -131,17 +165,15 @@ proptest! {
                 pool.release(&mut rt, &mut clock, b);
             }
         }
-        let n = held.len();
         for b in held.drain(..) {
             pool.release(&mut rt, &mut clock, b);
         }
         let s = pool.stats();
-        prop_assert_eq!(s.outstanding, 0);
-        prop_assert_eq!(s.hits + s.misses, sizes.len() as u64);
-        prop_assert_eq!(s.releases as usize, sizes.len());
-        let _ = n;
+        assert_eq!(s.outstanding, 0);
+        assert_eq!(s.hits + s.misses, sizes.len() as u64);
+        assert_eq!(s.releases as usize, sizes.len());
         // Drain returns every pooled byte to the allocator.
         pool.drain(&mut rt, &mut clock);
-        prop_assert_eq!(pool.stats().pooled_bytes, 0);
+        assert_eq!(pool.stats().pooled_bytes, 0);
     }
 }

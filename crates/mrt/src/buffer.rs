@@ -138,7 +138,10 @@ mod tests {
         r.free(a).unwrap();
         let b = r.allocate(16, ByteOrder::Little);
         assert_eq!(a.id, b.id, "slot is recycled");
-        assert!(r.get(b).unwrap().data.iter().all(|&x| x == 0), "fresh zeroed storage");
+        assert!(
+            r.get(b).unwrap().data.iter().all(|&x| x == 0),
+            "fresh zeroed storage"
+        );
         assert_eq!(r.total_allocations, 2);
     }
 }

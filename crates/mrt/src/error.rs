@@ -21,7 +21,10 @@ pub enum MrtError {
     /// (BufferOverflowException / BufferUnderflowException).
     BufferOverflow { needed: usize, available: usize },
     /// Type confusion on a handle (wrong primitive view).
-    TypeMismatch { expected: &'static str, actual: &'static str },
+    TypeMismatch {
+        expected: &'static str,
+        actual: &'static str,
+    },
     /// Direct buffer already freed.
     UseAfterFree,
 }
@@ -29,7 +32,10 @@ pub enum MrtError {
 impl fmt::Display for MrtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MrtError::OutOfMemory { requested, heap_max } => write!(
+            MrtError::OutOfMemory {
+                requested,
+                heap_max,
+            } => write!(
                 f,
                 "OutOfMemoryError: {requested} bytes requested, max heap {heap_max}"
             ),
@@ -62,10 +68,16 @@ mod tests {
 
     #[test]
     fn display_contains_details() {
-        let e = MrtError::IndexOutOfBounds { index: 9, length: 4 };
+        let e = MrtError::IndexOutOfBounds {
+            index: 9,
+            length: 4,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('4'));
-        let o = MrtError::OutOfMemory { requested: 100, heap_max: 50 };
+        let o = MrtError::OutOfMemory {
+            requested: 100,
+            heap_max: 50,
+        };
         assert!(o.to_string().contains("OutOfMemoryError"));
     }
 }

@@ -119,6 +119,9 @@ impl Heap {
             }
         }
         clock.charge(cost.heap_alloc(len));
+        // Allocation pressure: how fast the mutator is filling the heap.
+        obs::count("mrt.heap.allocs", 1);
+        obs::count("mrt.heap.alloc_bytes", len as u64);
         let offset = self.top;
         self.top += len;
         self.space[offset..offset + len].fill(0);
@@ -211,7 +214,26 @@ impl Heap {
         self.top = new_top;
         self.stats.collections += 1;
         self.stats.bytes_copied += copied;
+        let pause_begin = clock.now();
         clock.charge(cost.gc_pause(new_top));
+        obs::count("mrt.gc.collections", 1);
+        obs::count("mrt.gc.bytes_copied", copied);
+        obs::observe(
+            "mrt.gc.pauses_ns",
+            clock.now().saturating_since(pause_begin).as_nanos(),
+        );
+        if obs::tracing_enabled() {
+            obs::span(
+                "gc",
+                "mrt",
+                pause_begin,
+                clock.now(),
+                vec![
+                    ("live_bytes", obs::ArgValue::U64(new_top as u64)),
+                    ("copied", obs::ArgValue::U64(copied)),
+                ],
+            );
+        }
     }
 }
 

@@ -79,7 +79,11 @@ impl Runtime {
 
     /// Allocate an opaque managed object of `len` bytes (small wrapper
     /// objects, boxed values — the garbage ordinary Java code produces).
-    pub fn alloc_object(&mut self, len: usize, clock: &mut Clock) -> MrtResult<crate::heap::Handle> {
+    pub fn alloc_object(
+        &mut self,
+        len: usize,
+        clock: &mut Clock,
+    ) -> MrtResult<crate::heap::Handle> {
         self.heap.alloc(len, clock, &self.cost)
     }
 
@@ -104,7 +108,12 @@ impl Runtime {
     }
 
     /// `arr[idx]` — one bounds-checked element load.
-    pub fn array_get<T: Prim>(&self, arr: JArray<T>, idx: usize, clock: &mut Clock) -> MrtResult<T> {
+    pub fn array_get<T: Prim>(
+        &self,
+        arr: JArray<T>,
+        idx: usize,
+        clock: &mut Clock,
+    ) -> MrtResult<T> {
         if idx >= arr.len {
             return Err(MrtError::IndexOutOfBounds {
                 index: idx,
@@ -230,7 +239,12 @@ impl Runtime {
     }
 
     /// Absolute typed get (`buf.getInt(byteIndex)` etc.).
-    pub fn direct_get<T: Prim>(&self, b: DirectBuffer, byte_idx: usize, clock: &mut Clock) -> MrtResult<T> {
+    pub fn direct_get<T: Prim>(
+        &self,
+        b: DirectBuffer,
+        byte_idx: usize,
+        clock: &mut Clock,
+    ) -> MrtResult<T> {
         let buf = self.direct.get(b)?;
         if byte_idx + T::SIZE > buf.data.len() {
             return Err(MrtError::IndexOutOfBounds {
@@ -386,7 +400,11 @@ impl Runtime {
 
     /// `ByteBuffer.allocate(capacity)` — an ordinary managed object,
     /// movable by the collector.
-    pub fn allocate_heap_buffer(&mut self, capacity: usize, clock: &mut Clock) -> MrtResult<HeapBuffer> {
+    pub fn allocate_heap_buffer(
+        &mut self,
+        capacity: usize,
+        clock: &mut Clock,
+    ) -> MrtResult<HeapBuffer> {
         let h = self.heap.alloc(capacity, clock, &self.cost)?;
         Ok(HeapBuffer {
             handle: h,
@@ -401,7 +419,12 @@ impl Runtime {
     }
 
     /// Absolute typed get on a heap buffer.
-    pub fn heap_get<T: Prim>(&self, b: HeapBuffer, byte_idx: usize, clock: &mut Clock) -> MrtResult<T> {
+    pub fn heap_get<T: Prim>(
+        &self,
+        b: HeapBuffer,
+        byte_idx: usize,
+        clock: &mut Clock,
+    ) -> MrtResult<T> {
         let bytes = self.heap.bytes(b.handle)?;
         if byte_idx + T::SIZE > bytes.len() {
             return Err(MrtError::IndexOutOfBounds {
@@ -439,7 +462,10 @@ mod tests {
     use super::*;
 
     fn setup() -> (Runtime, Clock) {
-        (Runtime::with_heap(CostModel::default(), 1 << 16, 1 << 20), Clock::new())
+        (
+            Runtime::with_heap(CostModel::default(), 1 << 16, 1 << 20),
+            Clock::new(),
+        )
     }
 
     #[test]
@@ -513,7 +539,10 @@ mod tests {
         let (mut rt, mut c) = setup();
         let b = rt.allocate_direct(8, &mut c);
         rt.free_direct(b, &mut c).unwrap();
-        assert_eq!(rt.direct_get::<i32>(b, 0, &mut c).unwrap_err(), MrtError::UseAfterFree);
+        assert_eq!(
+            rt.direct_get::<i32>(b, 0, &mut c).unwrap_err(),
+            MrtError::UseAfterFree
+        );
     }
 
     #[test]

@@ -1,10 +1,32 @@
-//! Property tests for the managed heap: arbitrary allocate / free /
+//! Randomized tests for the managed heap: arbitrary allocate / free /
 //! write / collect interleavings must never corrupt live objects, and
-//! direct buffers must be unaffected by the collector.
+//! direct buffers must be unaffected by the collector. Driven by a
+//! deterministic LCG so every run replays the same interleavings.
 
 use mrt::{MrtError, Runtime};
-use proptest::prelude::*;
 use vtime::{Clock, CostModel};
+
+/// Knuth LCG.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() >> 33) as usize % n
+    }
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo)
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -20,21 +42,25 @@ enum Op {
     Churn(usize),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1usize..64).prop_map(Op::Alloc),
-        any::<usize>().prop_map(Op::Free),
-        (any::<usize>(), any::<i32>()).prop_map(|(i, v)| Op::Write(i, v)),
-        Just(Op::Gc),
-        (1usize..256).prop_map(Op::Churn),
-    ]
+fn gen_op(rng: &mut Lcg) -> Op {
+    match rng.below(5) {
+        0 => Op::Alloc(rng.range(1, 64)),
+        1 => Op::Free(rng.below(1 << 30)),
+        2 => Op::Write(rng.below(1 << 30), rng.next() as i32),
+        3 => Op::Gc,
+        _ => Op::Churn(rng.range(1, 256)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn gen_ops(rng: &mut Lcg, max: usize) -> Vec<Op> {
+    (0..rng.range(1, max)).map(|_| gen_op(rng)).collect()
+}
 
-    #[test]
-    fn live_arrays_survive_arbitrary_heap_activity(ops in proptest::collection::vec(arb_op(), 1..60)) {
+#[test]
+fn live_arrays_survive_arbitrary_heap_activity() {
+    let mut rng = Lcg::new(11);
+    for _case in 0..64 {
+        let ops = gen_ops(&mut rng, 60);
         let mut rt = Runtime::with_heap(CostModel::default(), 1 << 12, 1 << 16);
         let mut clock = Clock::new();
         // (array, expected contents)
@@ -42,13 +68,11 @@ proptest! {
 
         for op in ops {
             match op {
-                Op::Alloc(n) => {
-                    match rt.alloc_array::<i32>(n, &mut clock) {
-                        Ok(arr) => live.push((arr, vec![0; n])),
-                        Err(MrtError::OutOfMemory { .. }) => {} // legal under churn
-                        Err(e) => prop_assert!(false, "unexpected alloc error {e}"),
-                    }
-                }
+                Op::Alloc(n) => match rt.alloc_array::<i32>(n, &mut clock) {
+                    Ok(arr) => live.push((arr, vec![0; n])),
+                    Err(MrtError::OutOfMemory { .. }) => {} // legal under churn
+                    Err(e) => panic!("unexpected alloc error {e}"),
+                },
                 Op::Free(i) => {
                     if !live.is_empty() {
                         let (arr, _) = live.remove(i % live.len());
@@ -59,7 +83,9 @@ proptest! {
                     if !live.is_empty() {
                         let idx = i % live.len();
                         let (arr, expect) = &mut live[idx];
-                        let vals: Vec<i32> = (0..expect.len()).map(|k| v.wrapping_add(k as i32)).collect();
+                        let vals: Vec<i32> = (0..expect.len())
+                            .map(|k| v.wrapping_add(k as i32))
+                            .collect();
                         if !vals.is_empty() {
                             rt.array_write(*arr, 0, &vals, &mut clock).unwrap();
                             expect.copy_from_slice(&vals);
@@ -79,16 +105,20 @@ proptest! {
                 if !got.is_empty() {
                     rt.array_read(*arr, 0, &mut got, &mut clock).unwrap();
                 }
-                prop_assert_eq!(&got, expect);
+                assert_eq!(&got, expect);
             }
         }
     }
+}
 
-    #[test]
-    fn direct_buffers_are_immune_to_gc(
-        writes in proptest::collection::vec((0usize..128, any::<u8>()), 1..32),
-        churn_rounds in 1usize..8,
-    ) {
+#[test]
+fn direct_buffers_are_immune_to_gc() {
+    let mut rng = Lcg::new(12);
+    for _case in 0..32 {
+        let writes: Vec<(usize, u8)> = (0..rng.range(1, 32))
+            .map(|_| (rng.below(128), rng.next() as u8))
+            .collect();
+        let churn_rounds = rng.range(1, 8);
         let mut rt = Runtime::with_heap(CostModel::default(), 1 << 12, 1 << 15);
         let mut clock = Clock::new();
         let buf = rt.allocate_direct(128, &mut clock);
@@ -104,12 +134,19 @@ proptest! {
             rt.gc(&mut clock);
         }
         for i in 0..128 {
-            prop_assert_eq!(rt.direct_get::<i8>(buf, i, &mut clock).unwrap() as u8, expect[i]);
+            assert_eq!(
+                rt.direct_get::<i8>(buf, i, &mut clock).unwrap() as u8,
+                expect[i]
+            );
         }
     }
+}
 
-    #[test]
-    fn clock_is_monotone_under_all_operations(ops in proptest::collection::vec(arb_op(), 1..40)) {
+#[test]
+fn clock_is_monotone_under_all_operations() {
+    let mut rng = Lcg::new(13);
+    for _case in 0..64 {
+        let ops = gen_ops(&mut rng, 40);
         let mut rt = Runtime::with_heap(CostModel::default(), 1 << 12, 1 << 16);
         let mut clock = Clock::new();
         let mut last = clock.now();
@@ -140,7 +177,7 @@ proptest! {
                 }
                 _ => {}
             }
-            prop_assert!(clock.now() >= last, "virtual time must never go backwards");
+            assert!(clock.now() >= last, "virtual time must never go backwards");
             last = clock.now();
         }
     }

@@ -48,6 +48,7 @@ pub struct NativeArray<T: Prim> {
 /// every native MPI invocation).
 pub fn jni_transition(rt: &Runtime, clock: &mut Clock) {
     clock.charge(rt.cost().jni_transition());
+    obs::count("nif.transitions", 1);
 }
 
 /// `Get<Type>ArrayElements`: produce a native copy of a managed array.
@@ -61,10 +62,14 @@ pub fn get_array_elements<T: Prim>(
 ) -> MrtResult<NativeArray<T>> {
     clock.charge(rt.cost().jni_transition());
     clock.charge(VDur::from_nanos(rt.cost().jni.get_array_elements_fixed_ns));
+    obs::count("nif.crossings.copy", 1);
     let mut data = vec![T::default(); arr.len()];
     // Bulk copy out (charged inside array_read as a memcpy).
     rt.array_read(arr, 0, &mut data, clock)?;
-    Ok(NativeArray { data, is_copy: true })
+    Ok(NativeArray {
+        data,
+        is_copy: true,
+    })
 }
 
 /// `Release<Type>ArrayElements`: optionally copy the native buffer back.
@@ -79,10 +84,9 @@ pub fn release_array_elements<T: Prim>(
     clock.charge(VDur::from_nanos(
         rt.cost().jni.release_array_elements_fixed_ns,
     ));
+    obs::count("nif.crossings.copy", 1);
     match mode {
-        ReleaseMode::CopyBack | ReleaseMode::Commit => {
-            rt.array_write(arr, 0, &native.data, clock)
-        }
+        ReleaseMode::CopyBack | ReleaseMode::Commit => rt.array_write(arr, 0, &native.data, clock),
         ReleaseMode::Abort => Ok(()),
     }
 }
@@ -139,6 +143,7 @@ pub fn get_primitive_array_critical<'a, T: Prim>(
 ) -> MrtResult<CriticalGuard<'a, T>> {
     clock.charge(rt.cost().jni_transition());
     clock.charge(VDur::from_nanos(rt.cost().jni.critical_fixed_ns));
+    obs::count("nif.crossings.critical", 1);
     // Validate liveness before locking the collector.
     rt.heap().bytes(arr.handle())?;
     rt.heap_mut().enter_critical();
@@ -152,9 +157,8 @@ pub fn get_direct_buffer_address<'a>(
     buf: DirectBuffer,
 ) -> MrtResult<&'a [u8]> {
     clock.charge(rt.cost().jni_transition());
-    clock.charge(VDur::from_nanos(
-        rt.cost().jni.get_direct_buffer_address_ns,
-    ));
+    clock.charge(VDur::from_nanos(rt.cost().jni.get_direct_buffer_address_ns));
+    obs::count("nif.crossings.direct", 1);
     rt.direct_bytes(buf)
 }
 
@@ -165,9 +169,8 @@ pub fn get_direct_buffer_address_mut<'a>(
     buf: DirectBuffer,
 ) -> MrtResult<&'a mut [u8]> {
     clock.charge(rt.cost().jni_transition());
-    clock.charge(VDur::from_nanos(
-        rt.cost().jni.get_direct_buffer_address_ns,
-    ));
+    clock.charge(VDur::from_nanos(rt.cost().jni.get_direct_buffer_address_ns));
+    obs::count("nif.crossings.direct", 1);
     rt.direct_bytes_mut(buf)
 }
 

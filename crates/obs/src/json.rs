@@ -1,0 +1,205 @@
+//! A tiny deterministic JSON writer.
+//!
+//! The observability layer and the benchmark reports need to emit JSON
+//! (Chrome trace-event files, `--format json` reports) with *byte-stable*
+//! output: two identical virtual-time runs must serialize to identical
+//! bytes. Everything here is plain `std` formatting — field order is
+//! whatever the caller writes, floats use Rust's shortest-roundtrip
+//! formatting, and no timestamps or addresses ever leak in.
+
+/// Append `s` to `out` with JSON string escaping (quotes not included).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Format a finite `f64` as a JSON number. Non-finite values (which the
+/// virtual-time types rule out anyway) degrade to `null`.
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        // `{}` prints integral floats without a fractional part; keep them
+        // valid JSON numbers as-is (JSON allows `3` as well as `3.0`).
+        if s == "-0" {
+            s = "0".to_string();
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental writer for JSON objects/arrays with comma bookkeeping.
+///
+/// ```
+/// let mut w = obs::json::JsonBuf::new();
+/// w.begin_obj();
+/// w.key("name");
+/// w.str_val("osu_latency");
+/// w.key("sizes");
+/// w.begin_arr();
+/// w.num_val(1.0);
+/// w.num_val(2.0);
+/// w.end_arr();
+/// w.end_obj();
+/// assert_eq!(w.finish(), r#"{"name":"osu_latency","sizes":[1,2]}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonBuf {
+    out: String,
+    /// Whether the current nesting level already holds an element.
+    has_elem: Vec<bool>,
+}
+
+impl JsonBuf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn elem_boundary(&mut self) {
+        if let Some(has) = self.has_elem.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+    }
+
+    pub fn begin_obj(&mut self) {
+        self.elem_boundary();
+        self.out.push('{');
+        self.has_elem.push(false);
+    }
+
+    pub fn end_obj(&mut self) {
+        self.has_elem.pop();
+        self.out.push('}');
+    }
+
+    pub fn begin_arr(&mut self) {
+        self.elem_boundary();
+        self.out.push('[');
+        self.has_elem.push(false);
+    }
+
+    pub fn end_arr(&mut self) {
+        self.has_elem.pop();
+        self.out.push(']');
+    }
+
+    /// Object key; the following value call supplies the value.
+    pub fn key(&mut self, k: &str) {
+        self.elem_boundary();
+        self.out.push('"');
+        escape_into(&mut self.out, k);
+        self.out.push_str("\":");
+        // The value that follows must not emit its own comma: mark the
+        // level as "no element yet"; the value marks it back.
+        if let Some(has) = self.has_elem.last_mut() {
+            *has = false;
+        }
+    }
+
+    pub fn str_val(&mut self, s: &str) {
+        self.elem_boundary();
+        self.out.push('"');
+        escape_into(&mut self.out, s);
+        self.out.push('"');
+    }
+
+    pub fn num_val(&mut self, v: f64) {
+        self.elem_boundary();
+        self.out.push_str(&num(v));
+    }
+
+    pub fn int_val(&mut self, v: i64) {
+        self.elem_boundary();
+        self.out.push_str(&v.to_string());
+    }
+
+    pub fn uint_val(&mut self, v: u64) {
+        self.elem_boundary();
+        self.out.push_str(&v.to_string());
+    }
+
+    pub fn bool_val(&mut self, v: bool) {
+        self.elem_boundary();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Insert a raw pre-serialized fragment (caller guarantees validity).
+    pub fn raw_val(&mut self, raw: &str) {
+        self.elem_boundary();
+        self.out.push_str(raw);
+    }
+
+    /// Raw newline, for one-event-per-line trace files.
+    pub fn newline(&mut self) {
+        self.out.push('\n');
+    }
+
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn numbers_are_shortest_roundtrip() {
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(3.0), "3");
+        assert_eq!(num(-0.0), "0");
+        assert_eq!(num(f64::NAN), "null");
+    }
+
+    #[test]
+    fn nested_structure_with_commas() {
+        let mut w = JsonBuf::new();
+        w.begin_obj();
+        w.key("a");
+        w.int_val(1);
+        w.key("b");
+        w.begin_arr();
+        w.str_val("x");
+        w.str_val("y");
+        w.begin_obj();
+        w.key("c");
+        w.bool_val(true);
+        w.end_obj();
+        w.end_arr();
+        w.end_obj();
+        assert_eq!(w.finish(), r#"{"a":1,"b":["x","y",{"c":true}]}"#);
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonBuf::new();
+        w.begin_obj();
+        w.key("e");
+        w.begin_arr();
+        w.end_arr();
+        w.end_obj();
+        assert_eq!(w.finish(), r#"{"e":[]}"#);
+    }
+}

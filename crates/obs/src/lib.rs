@@ -1,0 +1,454 @@
+//! `obs` — the MPI_T-style observability layer of the MVAPICH2-J
+//! reproduction.
+//!
+//! The real MVAPICH2 ships the MPI_T tool-information interface and the
+//! OSU INAM monitoring stack; this crate plays that role for the
+//! simulation: every layer (engine, collectives, managed runtime, JNI
+//! boundary, buffering pool, bindings) reports *performance variables*
+//! (counters / gauges / histograms, see [`pvar`]) and *virtual-time trace
+//! events* (see [`trace`]) through a per-rank recorder.
+//!
+//! ## Design rules
+//!
+//! * **Zero virtual cost.** Instrumentation only ever *reads* virtual
+//!   clocks; it never charges one. Simulated timings are bit-identical
+//!   with observability on or off, and a test in the workspace root
+//!   enforces that.
+//! * **Deterministic output.** Timestamps are virtual, pvar iteration is
+//!   name-ordered, and ranks are assembled in rank order, so two
+//!   identical runs serialize to byte-identical trace files.
+//! * **No plumbing through signatures.** Each rank runs on its own OS
+//!   thread (see `simfabric::run_cluster`), so the recorder is a
+//!   thread-local installed by the job harness around the rank closure.
+//!   Every layer below calls the free functions ([`count`], [`observe`],
+//!   [`span`], …) which no-op (one thread-local read) when no recorder
+//!   is installed — e.g. in unit tests that drive a layer directly.
+
+pub mod json;
+pub mod pvar;
+pub mod trace;
+
+pub use pvar::{bucket_of, Log2Hist, PvarSet, PvarValue, HIST_BUCKETS};
+pub use trace::{ArgValue, TraceEvent, TraceRing};
+
+use std::cell::RefCell;
+
+use vtime::VTime;
+
+/// Per-job observability switches. Carried by the job configuration of
+/// the bindings crates; `Copy` so configs stay `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsOptions {
+    /// Collect trace events (pvars are always collected while a recorder
+    /// is installed; the event ring is the expensive part).
+    pub tracing: bool,
+    /// Ring capacity per rank (newest events win).
+    pub ring_capacity: usize,
+}
+
+impl ObsOptions {
+    pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+    /// Tracing on, default ring.
+    pub fn traced() -> Self {
+        ObsOptions {
+            tracing: true,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ObsOptions {
+    fn default() -> Self {
+        ObsOptions {
+            tracing: false,
+            ring_capacity: Self::DEFAULT_RING_CAPACITY,
+        }
+    }
+}
+
+/// The per-thread (= per-rank) recorder.
+struct Recorder {
+    rank: usize,
+    label: String,
+    tracing: bool,
+    pvars: PvarSet,
+    ring: TraceRing,
+}
+
+thread_local! {
+    static RECORDER: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+}
+
+/// Install a recorder for this thread (one simulated rank). Replaces any
+/// previous recorder.
+pub fn install(rank: usize, opts: ObsOptions) {
+    RECORDER.with(|r| {
+        *r.borrow_mut() = Some(Recorder {
+            rank,
+            label: format!("rank {rank}"),
+            tracing: opts.tracing,
+            pvars: PvarSet::new(),
+            ring: TraceRing::new(opts.ring_capacity),
+        });
+    });
+}
+
+/// Name this rank's process row in trace viewers (e.g.
+/// `"rank 3 (MVAPICH2-J)"`).
+pub fn set_process_label(label: String) {
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow_mut().as_mut() {
+            rec.label = label;
+        }
+    });
+}
+
+/// Remove this thread's recorder and return what it collected.
+pub fn uninstall() -> Option<RankReport> {
+    RECORDER.with(|r| r.borrow_mut().take()).map(|rec| {
+        let (events, dropped_events) = rec.ring.into_events();
+        RankReport {
+            rank: rec.rank,
+            label: rec.label,
+            pvars: rec.pvars,
+            events,
+            dropped_events,
+        }
+    })
+}
+
+/// Whether a recorder is installed on this thread.
+pub fn is_installed() -> bool {
+    RECORDER.with(|r| r.borrow().is_some())
+}
+
+/// Whether event tracing is on (lets callers skip building argument
+/// vectors when nothing would record them).
+#[inline]
+pub fn tracing_enabled() -> bool {
+    RECORDER.with(|r| r.borrow().as_ref().is_some_and(|rec| rec.tracing))
+}
+
+/// Bump counter `name` by `n`.
+#[inline]
+pub fn count(name: &str, n: u64) {
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow_mut().as_mut() {
+            rec.pvars.count(name, n);
+        }
+    });
+}
+
+/// Set gauge `name` to level `v`.
+#[inline]
+pub fn gauge_set(name: &str, v: i64) {
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow_mut().as_mut() {
+            rec.pvars.gauge_set(name, v);
+        }
+    });
+}
+
+/// Record a histogram sample.
+#[inline]
+pub fn observe(name: &str, v: f64) {
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow_mut().as_mut() {
+            rec.pvars.observe(name, v);
+        }
+    });
+}
+
+/// Record a complete span `[begin, end)` (no-op unless tracing).
+#[inline]
+pub fn span(
+    name: &'static str,
+    cat: &'static str,
+    begin: VTime,
+    end: VTime,
+    args: Vec<(&'static str, ArgValue)>,
+) {
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow_mut().as_mut() {
+            if rec.tracing {
+                rec.ring.push(TraceEvent::span(name, cat, begin, end, args));
+            }
+        }
+    });
+}
+
+/// Record an instant event (no-op unless tracing).
+#[inline]
+pub fn instant(
+    name: &'static str,
+    cat: &'static str,
+    at: VTime,
+    args: Vec<(&'static str, ArgValue)>,
+) {
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow_mut().as_mut() {
+            if rec.tracing {
+                rec.ring.push(TraceEvent::instant(name, cat, at, args));
+            }
+        }
+    });
+}
+
+/// Everything one rank's recorder collected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankReport {
+    pub rank: usize,
+    pub label: String,
+    pub pvars: PvarSet,
+    /// Oldest-first trace events that survived the ring.
+    pub events: Vec<TraceEvent>,
+    /// Events evicted by ring overflow.
+    pub dropped_events: u64,
+}
+
+/// A whole job's observability output, ranks in rank order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JobReport {
+    pub ranks: Vec<RankReport>,
+}
+
+impl JobReport {
+    /// Cross-rank pvar aggregation (counters add, gauges max, histograms
+    /// merge).
+    pub fn merged_pvars(&self) -> PvarSet {
+        let mut out = PvarSet::new();
+        for r in &self.ranks {
+            out.merge(&r.pvars);
+        }
+        out
+    }
+
+    /// Total events dropped across all rings.
+    pub fn dropped_events(&self) -> u64 {
+        self.ranks.iter().map(|r| r.dropped_events).sum()
+    }
+
+    /// Serialize every rank's events as a Chrome `trace_event` JSON file
+    /// (the "JSON Object Format"), loadable in Perfetto / chrome://tracing.
+    /// `pid` is the rank; timestamps are virtual microseconds.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut w = json::JsonBuf::new();
+        w.begin_obj();
+        w.key("traceEvents");
+        w.begin_arr();
+        for r in &self.ranks {
+            w.newline();
+            // Process-name metadata row.
+            w.begin_obj();
+            w.key("ph");
+            w.str_val("M");
+            w.key("pid");
+            w.uint_val(r.rank as u64);
+            w.key("tid");
+            w.uint_val(0);
+            w.key("name");
+            w.str_val("process_name");
+            w.key("args");
+            w.begin_obj();
+            w.key("name");
+            w.str_val(&r.label);
+            w.end_obj();
+            w.end_obj();
+            for ev in &r.events {
+                w.newline();
+                w.begin_obj();
+                w.key("ph");
+                w.str_val(if ev.dur_ns.is_some() { "X" } else { "i" });
+                w.key("pid");
+                w.uint_val(r.rank as u64);
+                w.key("tid");
+                w.uint_val(0);
+                w.key("ts");
+                w.num_val(ev.ts_ns / 1_000.0);
+                if let Some(dur) = ev.dur_ns {
+                    w.key("dur");
+                    w.num_val(dur / 1_000.0);
+                } else {
+                    // Thread-scoped instant marker.
+                    w.key("s");
+                    w.str_val("t");
+                }
+                w.key("name");
+                w.str_val(ev.name);
+                w.key("cat");
+                w.str_val(ev.cat);
+                if !ev.args.is_empty() {
+                    w.key("args");
+                    w.begin_obj();
+                    for (k, v) in &ev.args {
+                        w.key(k);
+                        match v {
+                            ArgValue::U64(n) => w.uint_val(*n),
+                            ArgValue::I64(n) => w.int_val(*n),
+                            ArgValue::F64(x) => w.num_val(*x),
+                            ArgValue::Str(s) => w.str_val(s),
+                            ArgValue::Bool(b) => w.bool_val(*b),
+                        }
+                    }
+                    w.end_obj();
+                }
+                w.end_obj();
+            }
+        }
+        w.newline();
+        w.end_arr();
+        w.key("displayTimeUnit");
+        w.str_val("ns");
+        w.end_obj();
+        w.newline();
+        w.finish()
+    }
+
+    /// Human-readable snapshot of the merged pvars (the `--pvar-dump`
+    /// output).
+    pub fn pvar_dump(&self) -> String {
+        let merged = self.merged_pvars();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# pvar snapshot ({} ranks, merged: counters sum, gauges max, hists merge)\n",
+            self.ranks.len()
+        ));
+        for (name, v) in merged.iter() {
+            match v {
+                PvarValue::Counter(n) => out.push_str(&format!("{name:<40} counter {n}\n")),
+                PvarValue::Gauge { last, max } => {
+                    out.push_str(&format!("{name:<40} gauge   last={last} max={max}\n"))
+                }
+                PvarValue::Hist(h) => out.push_str(&format!(
+                    "{name:<40} hist    count={} mean={:.1} max={:.1}\n",
+                    h.count,
+                    h.mean(),
+                    h.max
+                )),
+            }
+        }
+        let dropped = self.dropped_events();
+        if dropped > 0 {
+            out.push_str(&format!("# trace ring dropped {dropped} events\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Run `f` with a recorder installed, returning its report.
+    fn with_recorder(opts: ObsOptions, f: impl FnOnce()) -> RankReport {
+        install(0, opts);
+        f();
+        uninstall().expect("recorder was installed")
+    }
+
+    #[test]
+    fn uninstalled_api_is_a_no_op() {
+        assert!(!is_installed());
+        count("x", 1);
+        gauge_set("g", 2);
+        observe("h", 3.0);
+        span("s", "c", VTime::ZERO, VTime::from_nanos(1.0), vec![]);
+        assert!(uninstall().is_none());
+    }
+
+    #[test]
+    fn recorder_collects_pvars_and_events() {
+        let rep = with_recorder(ObsOptions::traced(), || {
+            count("a.calls", 2);
+            gauge_set("a.depth", 5);
+            observe("a.ns", 12.0);
+            span(
+                "op",
+                "test",
+                VTime::from_nanos(10.0),
+                VTime::from_nanos(30.0),
+                vec![("bytes", ArgValue::U64(64))],
+            );
+            instant("mark", "test", VTime::from_nanos(15.0), vec![]);
+        });
+        assert_eq!(rep.pvars.counter("a.calls"), 2);
+        assert_eq!(rep.events.len(), 2);
+        assert_eq!(rep.events[0].name, "op");
+        assert_eq!(rep.events[0].dur_ns, Some(20.0));
+        assert_eq!(rep.events[1].dur_ns, None);
+        assert_eq!(rep.dropped_events, 0);
+    }
+
+    #[test]
+    fn tracing_off_still_collects_pvars() {
+        let rep = with_recorder(ObsOptions::default(), || {
+            count("a.calls", 1);
+            span("op", "test", VTime::ZERO, VTime::from_nanos(1.0), vec![]);
+        });
+        assert_eq!(rep.pvars.counter("a.calls"), 1);
+        assert!(rep.events.is_empty());
+    }
+
+    #[test]
+    fn ring_overflow_is_reported() {
+        let rep = with_recorder(
+            ObsOptions {
+                tracing: true,
+                ring_capacity: 4,
+            },
+            || {
+                for i in 0..10 {
+                    instant("e", "t", VTime::from_nanos(i as f64), vec![]);
+                }
+            },
+        );
+        assert_eq!(rep.events.len(), 4);
+        assert_eq!(rep.dropped_events, 6);
+        assert_eq!(rep.events[0].ts_ns, 6.0);
+    }
+
+    #[test]
+    fn chrome_trace_shape_and_determinism() {
+        let mk = || {
+            let rep = with_recorder(ObsOptions::traced(), || {
+                set_process_label("rank 0 (TEST)".to_string());
+                span(
+                    "bcast",
+                    "coll",
+                    VTime::from_nanos(1000.0),
+                    VTime::from_nanos(3500.0),
+                    vec![
+                        ("algo", ArgValue::Str("two_level")),
+                        ("bytes", ArgValue::U64(4096)),
+                    ],
+                );
+            });
+            JobReport { ranks: vec![rep] }.chrome_trace_json()
+        };
+        let a = mk();
+        assert_eq!(a, mk(), "trace export must be deterministic");
+        assert!(a.contains(r#""name":"process_name""#));
+        assert!(a.contains(r#""name":"rank 0 (TEST)""#));
+        assert!(a.contains(r#""ph":"X""#));
+        assert!(a.contains(r#""ts":1,"dur":2.5"#));
+        assert!(a.contains(r#""algo":"two_level""#));
+        assert!(a.starts_with('{') && a.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn pvar_dump_lists_merged_values() {
+        let r0 = with_recorder(ObsOptions::default(), || count("c", 1));
+        let r1 = {
+            install(1, ObsOptions::default());
+            count("c", 2);
+            uninstall().unwrap()
+        };
+        let dump = JobReport {
+            ranks: vec![r0, r1],
+        }
+        .pvar_dump();
+        assert!(dump.contains("2 ranks"));
+        assert!(dump.contains("counter 3"));
+    }
+}

@@ -1,0 +1,166 @@
+//! The per-rank virtual-time event tracer.
+//!
+//! Events are stamped with the owning rank's *virtual* clock — reading a
+//! clock never advances it, so tracing is invisible to the simulation.
+//! Events accumulate in a bounded ring: when it fills, the oldest events
+//! are dropped (and counted), so a long run's trace holds its tail — the
+//! part a user debugging a slow benchmark iteration actually wants.
+
+use std::collections::VecDeque;
+
+use vtime::VTime;
+
+/// A typed event argument. `&'static str` everywhere keeps the hot path
+/// allocation-free; algorithm/protocol names are static by construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArgValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(&'static str),
+    Bool(bool),
+}
+
+/// One trace event: a complete span (`dur_ns` present) or an instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    pub name: &'static str,
+    /// Category, e.g. `"pt2pt"`, `"coll"`, `"mrt"` — Perfetto can filter
+    /// on it.
+    pub cat: &'static str,
+    /// Virtual begin time (ns since simulation epoch).
+    pub ts_ns: f64,
+    /// Span length; `None` marks an instant event.
+    pub dur_ns: Option<f64>,
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl TraceEvent {
+    /// A complete span covering `[begin, end)`.
+    pub fn span(
+        name: &'static str,
+        cat: &'static str,
+        begin: VTime,
+        end: VTime,
+        args: Vec<(&'static str, ArgValue)>,
+    ) -> Self {
+        TraceEvent {
+            name,
+            cat,
+            ts_ns: begin.as_nanos(),
+            dur_ns: Some(end.saturating_since(begin).as_nanos()),
+            args,
+        }
+    }
+
+    /// An instant event.
+    pub fn instant(
+        name: &'static str,
+        cat: &'static str,
+        at: VTime,
+        args: Vec<(&'static str, ArgValue)>,
+    ) -> Self {
+        TraceEvent {
+            name,
+            cat,
+            ts_ns: at.as_nanos(),
+            dur_ns: None,
+            args,
+        }
+    }
+}
+
+/// Bounded event ring: keeps the newest `capacity` events.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceRing {
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRing {
+            capacity,
+            buf: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted to make room so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drain into `(events_oldest_first, dropped_count)`.
+    pub fn into_events(self) -> (Vec<TraceEvent>, u64) {
+        (self.buf.into_iter().collect(), self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> TraceEvent {
+        TraceEvent::instant(
+            "e",
+            "t",
+            VTime::from_nanos(i as f64),
+            vec![("i", ArgValue::U64(i))],
+        )
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut r = TraceRing::new(3);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let (evs, dropped) = r.into_events();
+        assert_eq!(dropped, 2);
+        let ts: Vec<f64> = evs.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn ring_capacity_is_at_least_one() {
+        let mut r = TraceRing::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn span_duration_is_end_minus_begin() {
+        let e = TraceEvent::span(
+            "s",
+            "c",
+            VTime::from_nanos(100.0),
+            VTime::from_nanos(350.0),
+            vec![],
+        );
+        assert_eq!(e.ts_ns, 100.0);
+        assert_eq!(e.dur_ns, Some(250.0));
+    }
+}

@@ -16,18 +16,29 @@
 //!   --iters N --warmup N        iteration counts (small messages)
 //!   --validate                  populate + verify inside the timed loop
 //!   --compare                   run all four library×API series side by side
+//!   --format text|json|csv      output format (default text)
+//!   --trace-out PATH            record a virtual-time Chrome trace to PATH
+//!   --pvar-dump                 print the merged pvar snapshot after the table
 //! ```
 
-use ombj::{run, Api, BenchOptions, Benchmark, CollOp, Library, RunSpec};
+use ombj::{run, run_with_obs, Api, BenchOptions, Benchmark, CollOp, Library, RunSpec};
 use simfabric::Topology;
 
 fn usage() -> ! {
     eprintln!(
         "usage: ombj <latency|bw|bibw|bcast|reduce|allreduce|allgather|allgatherv|gather|gatherv|scatter|scatterv|alltoall|alltoallv|barrier> \
          [--lib mvapich2j|openmpij] [--api buffer|arrays] [--nodes N] [--ppn P] \
-         [--min B] [--max B] [--iters N] [--warmup N] [--validate] [--compare]"
+         [--min B] [--max B] [--iters N] [--warmup N] [--validate] [--compare] \
+         [--format text|json|csv] [--trace-out PATH] [--pvar-dump]"
     );
     std::process::exit(2)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Csv,
 }
 
 fn parse_benchmark(name: &str) -> Benchmark {
@@ -70,6 +81,9 @@ fn main() {
         opts.iterations_large = 8;
     }
     let mut compare = false;
+    let mut format = Format::Text;
+    let mut trace_out: Option<String> = None;
+    let mut pvar_dump = false;
 
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
@@ -99,8 +113,22 @@ fn main() {
             "--warmup" => opts.warmup = val(&mut it).parse().unwrap_or_else(|_| usage()),
             "--validate" => opts.validate = true,
             "--compare" => compare = true,
+            "--format" => {
+                format = match val(&mut it).as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "csv" => Format::Csv,
+                    _ => usage(),
+                }
+            }
+            "--trace-out" => trace_out = Some(val(&mut it)),
+            "--pvar-dump" => pvar_dump = true,
             _ => usage(),
         }
+    }
+    if compare && (trace_out.is_some() || pvar_dump) {
+        eprintln!("--trace-out/--pvar-dump apply to a single run; drop --compare");
+        std::process::exit(2);
     }
 
     let topo = Topology::new(nodes, ppn);
@@ -127,22 +155,37 @@ fn main() {
             }
         }
         let refs: Vec<&ombj::Series> = series.iter().collect();
-        print!(
-            "{}",
-            ombj::report::render_comparison(
-                &format!("{} on {}x{} ({})", benchmark.name(), nodes, ppn, benchmark.unit()),
-                &refs
-            )
+        let title = format!(
+            "{} on {}x{} ({})",
+            benchmark.name(),
+            nodes,
+            ppn,
+            benchmark.unit()
         );
+        match format {
+            Format::Text => print!("{}", ombj::report::render_comparison(&title, &refs)),
+            Format::Json => print!("{}", ombj::report::render_comparison_json(&title, &refs)),
+            Format::Csv => print!("{}", ombj::report::render_comparison_csv(&refs)),
+        }
     } else {
-        match run(RunSpec {
+        let spec = RunSpec {
             library,
             benchmark,
             api,
             topo,
             opts,
-        }) {
-            Some(s) => print!("{}", ombj::report::render_series(&s)),
+        };
+        let obs_opts = obs::ObsOptions {
+            tracing: trace_out.is_some(),
+            ..Default::default()
+        };
+        let (series, report) = run_with_obs(spec, obs_opts);
+        match series {
+            Some(s) => match format {
+                Format::Text => print!("{}", ombj::report::render_series(&s)),
+                Format::Json => print!("{}", ombj::report::render_series_json(&s)),
+                Format::Csv => print!("{}", ombj::report::render_series_csv(&s)),
+            },
             None => {
                 eprintln!(
                     "{} does not support {} with the {} API",
@@ -152,6 +195,16 @@ fn main() {
                 );
                 std::process::exit(1);
             }
+        }
+        if let Some(path) = trace_out {
+            if let Err(e) = std::fs::write(&path, report.chrome_trace_json()) {
+                eprintln!("error: writing trace to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote virtual-time trace to {path} (open in Perfetto / chrome://tracing)");
+        }
+        if pvar_dump {
+            print!("{}", report.pvar_dump());
         }
     }
 }

@@ -62,13 +62,22 @@ impl CollOp {
 
     /// Whether the send side needs `p ×` the per-rank size.
     fn send_scales_with_p(self) -> bool {
-        matches!(self, CollOp::Alltoall | CollOp::Alltoallv | CollOp::Scatter | CollOp::Scatterv)
+        matches!(
+            self,
+            CollOp::Alltoall | CollOp::Alltoallv | CollOp::Scatter | CollOp::Scatterv
+        )
     }
 }
 
 enum Bufs {
-    Buffer { send: DirectBuffer, recv: DirectBuffer },
-    Arrays { send: JArray<i8>, recv: JArray<i8> },
+    Buffer {
+        send: DirectBuffer,
+        recv: DirectBuffer,
+    },
+    Arrays {
+        send: JArray<i8>,
+        recv: JArray<i8>,
+    },
 }
 
 /// Average the per-rank elapsed nanoseconds and convert to µs/op.
@@ -86,7 +95,12 @@ fn avg_latency_us(env: &mut Env, local_ns: f64, iters: usize) -> BindResult<f64>
 }
 
 /// Run one collective benchmark; every rank gets the same result vector.
-pub fn collective(env: &mut Env, opts: &BenchOptions, api: Api, op: CollOp) -> BindResult<Vec<SizeValue>> {
+pub fn collective(
+    env: &mut Env,
+    opts: &BenchOptions,
+    api: Api,
+    op: CollOp,
+) -> BindResult<Vec<SizeValue>> {
     let w = env.world();
     let p = env.size();
     let me = env.rank();

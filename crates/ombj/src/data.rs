@@ -86,7 +86,10 @@ mod tests {
             let arr = env.new_array::<i8>(100).unwrap();
             fill_array(env, arr, 100, 3);
             assert_eq!(validate_array(env, arr, 100, 3), 0);
-            assert!(validate_array(env, arr, 100, 4) > 0, "wrong seed must mismatch");
+            assert!(
+                validate_array(env, arr, 100, 4) > 0,
+                "wrong seed must mismatch"
+            );
 
             let buf = env.new_direct(100);
             fill_direct(env, buf, 100, 7);

@@ -26,4 +26,4 @@ pub mod runner;
 
 pub use coll::CollOp;
 pub use options::{Api, BenchOptions, SizeValue};
-pub use runner::{run, Benchmark, Library, RunSpec, Series};
+pub use runner::{run, run_with_obs, Benchmark, Library, RunSpec, Series};

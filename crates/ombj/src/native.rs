@@ -25,9 +25,11 @@ pub fn native_latency(topo: Topology, profile: Profile, opts: &BenchOptions) -> 
                 let t0 = mpi.now();
                 if me == 0 {
                     mpi.send(&buf[..size], size as i32, &BYTE, 1, 1, w).unwrap();
-                    mpi.recv(&mut buf[..size], size as i32, &BYTE, 1, 1, w).unwrap();
+                    mpi.recv(&mut buf[..size], size as i32, &BYTE, 1, 1, w)
+                        .unwrap();
                 } else if me == 1 {
-                    mpi.recv(&mut buf[..size], size as i32, &BYTE, 0, 1, w).unwrap();
+                    mpi.recv(&mut buf[..size], size as i32, &BYTE, 0, 1, w)
+                        .unwrap();
                     mpi.send(&buf[..size], size as i32, &BYTE, 0, 1, w).unwrap();
                 }
                 if me == 0 && i >= warmup {
@@ -67,7 +69,10 @@ pub fn native_bandwidth(topo: Topology, profile: Profile, opts: &BenchOptions) -
                 }
                 if me == 0 {
                     let reqs: Vec<_> = (0..opts.window_size)
-                        .map(|_| mpi.isend(&buf[..size], size as i32, &BYTE, 1, 2, w).unwrap())
+                        .map(|_| {
+                            mpi.isend(&buf[..size], size as i32, &BYTE, 1, 2, w)
+                                .unwrap()
+                        })
                         .collect();
                     for r in reqs {
                         mpi.wait(r, None).unwrap();

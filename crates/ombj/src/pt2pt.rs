@@ -14,8 +14,14 @@ const ACK_TAG: i32 = 3;
 
 /// User-side buffers for one benchmark run.
 enum Bufs {
-    Buffer { send: DirectBuffer, recv: DirectBuffer },
-    Arrays { send: JArray<i8>, recv: JArray<i8> },
+    Buffer {
+        send: DirectBuffer,
+        recv: DirectBuffer,
+    },
+    Arrays {
+        send: JArray<i8>,
+        recv: JArray<i8>,
+    },
 }
 
 fn alloc_bufs(env: &mut Env, api: Api, max: usize) -> BindResult<Bufs> {
@@ -124,7 +130,12 @@ pub fn bibandwidth(env: &mut Env, opts: &BenchOptions, api: Api) -> BindResult<V
     bw_impl(env, opts, api, true)
 }
 
-fn bw_impl(env: &mut Env, opts: &BenchOptions, api: Api, bidir: bool) -> BindResult<Vec<SizeValue>> {
+fn bw_impl(
+    env: &mut Env,
+    opts: &BenchOptions,
+    api: Api,
+    bidir: bool,
+) -> BindResult<Vec<SizeValue>> {
     assert!(env.size() >= 2, "osu_bw needs two ranks");
     let w = env.world();
     let me = env.rank();
@@ -163,21 +174,35 @@ fn bw_impl(env: &mut Env, opts: &BenchOptions, api: Api, bidir: bool) -> BindRes
             if receiver_turn {
                 for _ in 0..window {
                     match &bufs {
-                        Bufs::Buffer { recv, .. } => {
-                            reqs.push(env.irecv_buffer(*recv, size as i32, &BYTE, (1 - me) as i32, BW_TAG, w)?)
-                        }
-                        Bufs::Arrays { recv, .. } => {
-                            reqs.push(env.irecv_array(*recv, size as i32, (1 - me) as i32, BW_TAG, w)?)
-                        }
+                        Bufs::Buffer { recv, .. } => reqs.push(env.irecv_buffer(
+                            *recv,
+                            size as i32,
+                            &BYTE,
+                            (1 - me) as i32,
+                            BW_TAG,
+                            w,
+                        )?),
+                        Bufs::Arrays { recv, .. } => reqs.push(env.irecv_array(
+                            *recv,
+                            size as i32,
+                            (1 - me) as i32,
+                            BW_TAG,
+                            w,
+                        )?),
                     }
                 }
             }
             if sender_turn {
                 for _ in 0..window {
                     match &bufs {
-                        Bufs::Buffer { send, .. } => {
-                            reqs.push(env.isend_buffer(*send, size as i32, &BYTE, 1 - me, BW_TAG, w)?)
-                        }
+                        Bufs::Buffer { send, .. } => reqs.push(env.isend_buffer(
+                            *send,
+                            size as i32,
+                            &BYTE,
+                            1 - me,
+                            BW_TAG,
+                            w,
+                        )?),
                         Bufs::Arrays { send, .. } => {
                             reqs.push(env.isend_array(*send, size as i32, 1 - me, BW_TAG, w)?)
                         }

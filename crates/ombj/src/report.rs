@@ -1,4 +1,7 @@
-//! OMB-style text reports.
+//! OMB-style text reports, plus machine-readable JSON/CSV renderings
+//! (`ombj --format json|csv`).
+
+use obs::json::JsonBuf;
 
 use crate::options::SizeValue;
 use crate::runner::Series;
@@ -7,11 +10,145 @@ use crate::runner::Series;
 pub fn render_series(s: &Series) -> String {
     let mut out = String::new();
     out.push_str(&format!("# OMB-J {} — {}\n", s.benchmark, s.label));
-    out.push_str(&format!("{:>12}  {:>14}\n", "Size (bytes)", heading(s.unit)));
+    out.push_str(&format!(
+        "{:>12}  {:>14}\n",
+        "Size (bytes)",
+        heading(s.unit)
+    ));
     for p in &s.points {
         out.push_str(&format!("{:>12}  {:>14.2}\n", p.size, p.value));
     }
+    if let Some(line) = pool_line(s) {
+        out.push_str(&line);
+    }
     out
+}
+
+/// Buffering-layer footer for series that went through the pool (the
+/// arrays API); buffer-API series never touch it and get no footer.
+fn pool_line(s: &Series) -> Option<String> {
+    let st = s.pool?;
+    if st.hits + st.misses == 0 {
+        return None;
+    }
+    let hit_rate = 100.0 * st.hits as f64 / (st.hits + st.misses) as f64;
+    Some(format!(
+        "# pool (rank 0): hits={} misses={} releases={} hit-rate={hit_rate:.1}%\n",
+        st.hits, st.misses, st.releases
+    ))
+}
+
+/// One series as a JSON document.
+pub fn render_series_json(s: &Series) -> String {
+    let mut w = JsonBuf::new();
+    series_obj(&mut w, s);
+    w.newline();
+    w.finish()
+}
+
+fn series_obj(w: &mut JsonBuf, s: &Series) {
+    w.begin_obj();
+    w.key("benchmark");
+    w.str_val(s.benchmark);
+    w.key("label");
+    w.str_val(&s.label);
+    w.key("unit");
+    w.str_val(s.unit);
+    w.key("points");
+    w.begin_arr();
+    for p in &s.points {
+        w.begin_obj();
+        w.key("size");
+        w.uint_val(p.size as u64);
+        w.key("value");
+        w.num_val(p.value);
+        w.end_obj();
+    }
+    w.end_arr();
+    if let Some(st) = s.pool {
+        w.key("pool");
+        w.begin_obj();
+        w.key("hits");
+        w.uint_val(st.hits);
+        w.key("misses");
+        w.uint_val(st.misses);
+        w.key("releases");
+        w.uint_val(st.releases);
+        w.key("outstanding");
+        w.uint_val(st.outstanding);
+        w.key("pooled_bytes");
+        w.uint_val(st.pooled_bytes as u64);
+        w.end_obj();
+    }
+    w.end_obj();
+}
+
+/// One series as CSV: `size,value` with a header row.
+pub fn render_series_csv(s: &Series) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "size,{}\n",
+        csv_field(&format!("{} ({})", s.label, s.unit))
+    ));
+    for p in &s.points {
+        out.push_str(&format!("{},{}\n", p.size, obs::json::num(p.value)));
+    }
+    out
+}
+
+/// Several series as one JSON document (the `--compare` shape).
+pub fn render_comparison_json(title: &str, series: &[&Series]) -> String {
+    let mut w = JsonBuf::new();
+    w.begin_obj();
+    w.key("title");
+    w.str_val(title);
+    w.key("series");
+    w.begin_arr();
+    for s in series {
+        w.newline();
+        series_obj(&mut w, s);
+    }
+    w.newline();
+    w.end_arr();
+    w.end_obj();
+    w.newline();
+    w.finish()
+}
+
+/// Several series as CSV: one row per size, one column per series.
+pub fn render_comparison_csv(series: &[&Series]) -> String {
+    let mut out = String::new();
+    out.push_str("size");
+    for s in series {
+        out.push(',');
+        out.push_str(&csv_field(&s.label));
+    }
+    out.push('\n');
+    let sizes: Vec<usize> = series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.size).collect())
+        .unwrap_or_default();
+    for (row, size) in sizes.iter().enumerate() {
+        out.push_str(&format!("{size}"));
+        for s in series {
+            out.push(',');
+            match s.points.get(row) {
+                Some(p) if p.size == *size => out.push_str(&obs::json::num(p.value)),
+                _ => {}
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Quote a CSV field if it contains separators.
+fn csv_field(v: &str) -> String {
+    if v.contains([',', '"', '\n']) {
+        format!("\"{}\"", v.replace('"', "\"\""))
+    } else {
+        v.to_string()
+    }
 }
 
 fn heading(unit: &str) -> String {
@@ -82,6 +219,7 @@ mod tests {
                 .iter()
                 .map(|&(size, value)| SizeValue { size, value })
                 .collect(),
+            pool: None,
         }
     }
 
@@ -111,6 +249,55 @@ mod tests {
         // ratios 2 and 4 => geomean sqrt(8) ≈ 2.828
         let r = mean_ratio(&a, &b);
         assert!((r - 8.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pool_footer_appears_only_when_the_pool_was_used() {
+        let mut s = series("MVAPICH2-J arrays", &[(1, 0.5)]);
+        assert!(!render_series(&s).contains("pool"));
+        s.pool = Some(mpjbuf::PoolStats {
+            hits: 3,
+            misses: 1,
+            releases: 4,
+            outstanding: 0,
+            pooled_bytes: 1024,
+        });
+        let r = render_series(&s);
+        assert!(
+            r.contains("hits=3 misses=1 releases=4 hit-rate=75.0%"),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn json_rendering_is_valid_and_complete() {
+        let mut s = series("A,\"q\"", &[(1, 0.5), (2, 1.25)]);
+        s.pool = Some(mpjbuf::PoolStats {
+            hits: 1,
+            ..Default::default()
+        });
+        let j = render_series_json(&s);
+        assert!(j.contains(r#""label":"A,\"q\"""#), "{j}");
+        assert!(j.contains(r#"{"size":2,"value":1.25}"#), "{j}");
+        assert!(j.contains(r#""pool":{"hits":1"#), "{j}");
+        let cmp = render_comparison_json("t", &[&s, &s]);
+        assert_eq!(cmp.matches(r#""benchmark""#).count(), 2);
+    }
+
+    #[test]
+    fn csv_rendering_quotes_and_aligns() {
+        let a = series("A,messy", &[(1, 1.0), (2, 2.0)]);
+        let b = series("B", &[(1, 3.0), (2, 4.0)]);
+        let csv = render_comparison_csv(&[&a, &b]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("size,\"A,messy\",B"));
+        assert_eq!(lines.next(), Some("1,1,3"));
+        assert_eq!(lines.next(), Some("2,2,4"));
+        let single = render_series_csv(&a);
+        assert!(
+            single.starts_with("size,\"A,messy (us)\"\n1,1\n"),
+            "{single}"
+        );
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Benchmark runner: resolve a (library, benchmark, API, topology)
 //! specification into a measured series.
 
-use mvapich2j::{run_job, BindError, BindResult, Env, JobConfig, Topology};
+use mpjbuf::PoolStats;
+use mvapich2j::{run_job_with_obs, BindError, BindResult, Env, JobConfig, Topology};
 
 use crate::coll::{collective, CollOp};
 use crate::options::{Api, BenchOptions, SizeValue};
@@ -94,34 +95,47 @@ pub struct Series {
     pub unit: &'static str,
     /// Measured points.
     pub points: Vec<SizeValue>,
+    /// Rank 0's buffering-layer pool counters at the end of the run
+    /// (`None` for series not produced by the runner, e.g. derived ones).
+    pub pool: Option<PoolStats>,
 }
 
 /// Execute a run. Returns `None` when the combination is unsupported by
 /// the library (Open MPI-J + arrays + non-blocking benchmarks), matching
 /// the missing series in the paper's figures.
 pub fn run(spec: RunSpec) -> Option<Series> {
+    run_with_obs(spec, obs::ObsOptions::default()).0
+}
+
+/// Execute a run and also harvest the per-rank observability recorders
+/// (pvars always; trace events when `o.tracing`). The report covers the
+/// whole job even when the series itself is unsupported.
+pub fn run_with_obs(spec: RunSpec, o: obs::ObsOptions) -> (Option<Series>, obs::JobReport) {
     let opts = spec.opts;
     let api = spec.api;
     let bench = spec.benchmark;
-    let f = move |env: &mut Env| -> BindResult<Vec<SizeValue>> {
-        match bench {
+    let f = move |env: &mut Env| -> BindResult<(Vec<SizeValue>, PoolStats)> {
+        let points = match bench {
             Benchmark::Latency => lat_impl(env, &opts, api),
             Benchmark::Bandwidth => bandwidth(env, &opts, api),
             Benchmark::BiBandwidth => bibandwidth(env, &opts, api),
             Benchmark::Collective(op) => collective(env, &opts, api, op),
-        }
+        }?;
+        Ok((points, env.pool_stats()))
     };
-    let results = run_job(spec.library.config(spec.topo), f);
-    match results.into_iter().next().expect("rank 0 exists") {
-        Ok(points) => Some(Series {
+    let (results, report) = run_job_with_obs(spec.library.config(spec.topo).with_obs(o), f);
+    let series = match results.into_iter().next().expect("rank 0 exists") {
+        Ok((points, pool)) => Some(Series {
             label: format!("{} {}", spec.library.label(), spec.api.label()),
             benchmark: spec.benchmark.name(),
             unit: spec.benchmark.unit(),
             points,
+            pool: Some(pool),
         }),
         Err(BindError::Unsupported(_)) => None,
         Err(e) => panic!("benchmark {} failed: {e}", spec.benchmark.name()),
-    }
+    };
+    (series, report)
 }
 
 #[cfg(test)]
@@ -140,7 +154,12 @@ mod tests {
 
     #[test]
     fn latency_produces_monotonic_sizes() {
-        let s = run(quick_spec(Library::Mvapich2J, Benchmark::Latency, Api::Buffer)).unwrap();
+        let s = run(quick_spec(
+            Library::Mvapich2J,
+            Benchmark::Latency,
+            Api::Buffer,
+        ))
+        .unwrap();
         assert_eq!(s.unit, "us");
         assert!(!s.points.is_empty());
         assert!(s.points.windows(2).all(|w| w[0].size < w[1].size));
@@ -151,19 +170,44 @@ mod tests {
 
     #[test]
     fn bandwidth_grows_with_message_size() {
-        let s = run(quick_spec(Library::Mvapich2J, Benchmark::Bandwidth, Api::Buffer)).unwrap();
+        let s = run(quick_spec(
+            Library::Mvapich2J,
+            Benchmark::Bandwidth,
+            Api::Buffer,
+        ))
+        .unwrap();
         assert!(s.points.last().unwrap().value > s.points[0].value * 5.0);
     }
 
     #[test]
     fn openmpij_arrays_bandwidth_is_missing() {
         // The paper's missing series.
-        assert!(run(quick_spec(Library::OpenMpiJ, Benchmark::Bandwidth, Api::Arrays)).is_none());
-        assert!(run(quick_spec(Library::OpenMpiJ, Benchmark::BiBandwidth, Api::Arrays)).is_none());
+        assert!(run(quick_spec(
+            Library::OpenMpiJ,
+            Benchmark::Bandwidth,
+            Api::Arrays
+        ))
+        .is_none());
+        assert!(run(quick_spec(
+            Library::OpenMpiJ,
+            Benchmark::BiBandwidth,
+            Api::Arrays
+        ))
+        .is_none());
         // But buffers work.
-        assert!(run(quick_spec(Library::OpenMpiJ, Benchmark::Bandwidth, Api::Buffer)).is_some());
+        assert!(run(quick_spec(
+            Library::OpenMpiJ,
+            Benchmark::Bandwidth,
+            Api::Buffer
+        ))
+        .is_some());
         // And MVAPICH2-J arrays work.
-        assert!(run(quick_spec(Library::Mvapich2J, Benchmark::Bandwidth, Api::Arrays)).is_some());
+        assert!(run(quick_spec(
+            Library::Mvapich2J,
+            Benchmark::Bandwidth,
+            Api::Arrays
+        ))
+        .is_some());
     }
 
     #[test]
@@ -187,5 +231,31 @@ mod tests {
     fn runs_are_deterministic() {
         let spec = quick_spec(Library::Mvapich2J, Benchmark::Latency, Api::Arrays);
         assert_eq!(run(spec).unwrap().points, run(spec).unwrap().points);
+    }
+
+    #[test]
+    fn arrays_runs_surface_pool_stats_and_pvars() {
+        let (series, report) = run_with_obs(
+            quick_spec(Library::Mvapich2J, Benchmark::Latency, Api::Arrays),
+            obs::ObsOptions::default(),
+        );
+        let pool = series
+            .unwrap()
+            .pool
+            .expect("runner always records pool stats");
+        assert!(pool.hits > 0, "steady-state staging reuses pooled buffers");
+        assert!(pool.hits > pool.misses);
+        let merged = report.merged_pvars();
+        assert_eq!(merged.counter("mpjbuf.pool.hits"), 2 * pool.hits);
+        assert!(merged.counter("pt2pt.eager_msgs") > 0);
+        // Buffer runs bypass the buffering layer entirely.
+        let s = run(quick_spec(
+            Library::Mvapich2J,
+            Benchmark::Latency,
+            Api::Buffer,
+        ))
+        .unwrap();
+        let pool = s.pool.unwrap();
+        assert_eq!(pool.hits + pool.misses, 0);
     }
 }

@@ -29,7 +29,8 @@
 //! ```
 
 pub use mvapich2j::{
-    run_job, BindError, BindResult, Env, JRequest, JStatus, JobConfig, TestOutcome, OPENMPIJ,
+    run_job, run_job_with_obs, BindError, BindResult, Env, JRequest, JStatus, JobConfig,
+    TestOutcome, OPENMPIJ,
 };
 
 use mvapich2j::Topology;
@@ -129,5 +130,29 @@ mod tests {
         let mv = time_with(JobConfig::mvapich2j(topo));
         let om = time_with(job_config(topo));
         assert!(om > 1.5 * mv, "mv={mv} om={om}");
+    }
+
+    #[test]
+    fn pvars_visible_under_openmpij_flavor() {
+        // The observability layer sees through the comparator flavor too:
+        // flat allreduce algorithms, binding-call counts, process labels.
+        let (_, report) = run_job_with_obs(job_config(Topology::new(2, 2)), |env| {
+            let w = env.world();
+            let send = env.new_direct(1024);
+            let recv = env.new_direct(1024);
+            env.allreduce_buffer(send, recv, 256, &INT, mvapich2j::ReduceOp::Sum, w)
+                .unwrap();
+        });
+        assert_eq!(report.ranks.len(), 4);
+        assert_eq!(report.ranks[1].label, "rank 1 (Open MPI-J)");
+        let merged = report.merged_pvars();
+        // One binding call (the allreduce) per rank, at minimum.
+        assert!(merged.counter("bind.calls") >= 4);
+        // Open MPI's profile is flat: no two-level algorithm fires.
+        assert_eq!(merged.counter("coll.allreduce.algo.two_level"), 0);
+        let flat = merged.counter("coll.allreduce.algo.ring")
+            + merged.counter("coll.allreduce.algo.recursive_doubling")
+            + merged.counter("coll.allreduce.algo.rabenseifner");
+        assert_eq!(flat, 4, "each rank counts its flat allreduce once");
     }
 }

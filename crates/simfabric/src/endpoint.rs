@@ -7,7 +7,7 @@
 //! [`crate::run_cluster`] and moved into the rank's thread; they are not
 //! `Sync` and never shared.
 
-use crossbeam::channel::{Receiver, Sender, TryRecvError};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use vtime::{LinkState, LogGp, VTime};
 
 use crate::topology::Topology;
@@ -104,8 +104,18 @@ impl<M> Endpoint<M> {
     /// is per (src, dst) pair: back-to-back messages to one destination
     /// queue behind each other, while traffic to distinct destinations
     /// only serializes through the CPU-time charges of the layers above.
-    pub fn send(&mut self, dst: usize, now: VTime, wire_bytes: usize, params: &LogGp, msg: M) -> VTime {
-        assert!(dst < self.topo.size(), "destination rank {dst} out of range");
+    pub fn send(
+        &mut self,
+        dst: usize,
+        now: VTime,
+        wire_bytes: usize,
+        params: &LogGp,
+        msg: M,
+    ) -> VTime {
+        assert!(
+            dst < self.topo.size(),
+            "destination rank {dst} out of range"
+        );
         let arrival = self.links[dst].inject(now, wire_bytes, params);
         self.stats.messages += 1;
         self.stats.wire_bytes += wire_bytes as u64;
@@ -150,7 +160,7 @@ impl<M> Endpoint<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel::unbounded;
+    use std::sync::mpsc::channel as unbounded;
     use vtime::VDur;
 
     fn params() -> LogGp {
@@ -203,12 +213,7 @@ mod tests {
         let (t1, r1) = unbounded();
         let (t2, r2) = unbounded();
         let (t3, _r3) = unbounded();
-        let mut e0 = Endpoint::new(
-            0,
-            topo,
-            vec![t0, t1, t2, t3],
-            unbounded().1,
-        );
+        let mut e0 = Endpoint::new(0, topo, vec![t0, t1, t2, t3], unbounded().1);
         let p = params();
         // Saturate the shm port with a large local message...
         let a_local = e0.send(1, VTime::ZERO, 1_000_000, &p, 1);
@@ -249,7 +254,7 @@ mod tests {
         let (mut e0, e1) = pair(Topology::new(2, 1));
         assert!(e1.try_recv().is_none());
         e0.send(1, VTime::ZERO, 1, &params(), 9);
-        // crossbeam channels make the send visible immediately.
+        // mpsc channels make the send visible immediately.
         let d = e1.try_recv().expect("message should be queued");
         assert_eq!(d.msg, 9);
     }

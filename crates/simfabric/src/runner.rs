@@ -1,7 +1,7 @@
 //! The cluster runner: spawn one thread per rank, wire up mailboxes, run a
 //! rank program, and collect per-rank results.
 
-use crossbeam::channel::unbounded;
+use std::sync::mpsc::channel;
 
 use crate::endpoint::{Delivery, Endpoint};
 use crate::topology::Topology;
@@ -23,7 +23,7 @@ where
     let mut txs = Vec::with_capacity(n);
     let mut rxs = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = unbounded::<Delivery<M>>();
+        let (tx, rx) = channel::<Delivery<M>>();
         txs.push(tx);
         rxs.push(rx);
     }

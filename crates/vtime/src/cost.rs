@@ -12,12 +12,10 @@
 //! *not* live here: they are properties of the simulated native MPI
 //! libraries and are defined by `mpisim::profile`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::VDur;
 
 /// Costs of the managed runtime's memory system.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemCosts {
     /// Bulk copy cost per byte (System.arraycopy / ByteBuffer bulk put —
     /// an optimized memcpy, ~40 GB/s).
@@ -66,7 +64,7 @@ impl Default for MemCosts {
 }
 
 /// Costs of crossing the JNI-analog boundary.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JniCosts {
     /// One Java→C→Java call transition (argument marshalling, handle
     /// pinning bookkeeping, stack switch).
@@ -98,7 +96,7 @@ impl Default for JniCosts {
 
 /// Costs of the managed runtime's garbage collector (semispace copying,
 /// stop-the-world).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GcCosts {
     /// Fixed pause per collection (root scan, flip).
     pub pause_fixed_ns: f64,
@@ -116,7 +114,7 @@ impl Default for GcCosts {
 }
 
 /// Costs of the `mpjbuf` buffering layer's direct-buffer pool.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PoolCosts {
     /// Acquiring a pooled buffer that is already available (free-list hit).
     pub acquire_hit_ns: f64,
@@ -134,7 +132,7 @@ impl Default for PoolCosts {
 }
 
 /// The complete calibrated cost model. Cloned into every simulated rank.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CostModel {
     pub mem: MemCosts,
     pub jni: JniCosts,

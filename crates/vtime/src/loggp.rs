@@ -25,13 +25,12 @@
 //! which keeps the whole simulation deterministic.
 
 use crate::time::{VDur, VTime};
-use serde::{Deserialize, Serialize};
 
 /// LogGP parameters for one class of transfers (e.g. the inter-node RDMA
 /// path of one MPI library, or its intra-node shared-memory path).
 ///
 /// All values are in nanoseconds (per byte for `gap_per_byte_ns`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogGp {
     /// Wire/transport latency `L`.
     pub latency_ns: f64,
@@ -184,6 +183,9 @@ mod tests {
         let gbs = bytes / total; // bytes per ns == GB/s
         let model = 1.0 / p.gap_per_byte_ns;
         // Within 5% of the asymptote for 16 MiB of traffic.
-        assert!((gbs - model).abs() / model < 0.05, "gbs={gbs} model={model}");
+        assert!(
+            (gbs - model).abs() / model < 0.05,
+            "gbs={gbs} model={model}"
+        );
     }
 }

@@ -139,7 +139,9 @@ impl PartialOrd for VTime {
 }
 impl Ord for VTime {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).expect("VTime is always finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("VTime is always finite")
     }
 }
 impl Eq for VDur {}

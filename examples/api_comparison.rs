@@ -8,9 +8,9 @@
 //!
 //! Run with: `cargo run --release --example api_comparison`
 
+use mvapich2j::{run_job, JobConfig, Topology};
 use ombj::pt2pt::lat_impl;
 use ombj::{Api, BenchOptions};
-use mvapich2j::{run_job, JobConfig, Topology};
 
 fn main() {
     let topo = Topology::new(2, 1); // inter-node pair, like Figure 18
@@ -58,9 +58,9 @@ fn main() {
     println!();
     println!("communication only : buffers win at every size (no staging copy)");
     match crossover {
-        Some(s) => println!(
-            "with data handling : arrays overtake buffers at {s} B (paper: past 256 B)"
-        ),
+        Some(s) => {
+            println!("with data handling : arrays overtake buffers at {s} B (paper: past 256 B)")
+        }
         None => println!("with data handling : no crossover observed in this sweep"),
     }
     let last = comm_buf.len() - 1;

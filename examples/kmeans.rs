@@ -25,7 +25,9 @@ fn point(global_idx: usize) -> (f64, f64) {
         .wrapping_mul(6364136223846793005)
         .wrapping_add(1442695040888963407);
     let mut next = || {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
     };
     (c.0 + next(), c.1 + next())

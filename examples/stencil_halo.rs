@@ -61,7 +61,10 @@ fn main() {
             let halo_r = env.new_array::<f64>(1).unwrap();
             if me + 1 < p {
                 env.send_array_slice(cur, n, 1, me + 1, 2, world).unwrap();
-                reqs.push(env.irecv_array(halo_r, 1, (me + 1) as i32, 1, world).unwrap());
+                reqs.push(
+                    env.irecv_array(halo_r, 1, (me + 1) as i32, 1, world)
+                        .unwrap(),
+                );
             }
             env.waitall(reqs).unwrap();
             if me > 0 {
@@ -85,7 +88,8 @@ fn main() {
                 let l = env.array_get(cur, i - 1).unwrap();
                 let c = env.array_get(cur, i).unwrap();
                 let r = env.array_get(cur, i + 1).unwrap();
-                env.array_set(next, i, c + ALPHA * (l - 2.0 * c + r)).unwrap();
+                env.array_set(next, i, c + ALPHA * (l - 2.0 * c + r))
+                    .unwrap();
             }
             // Swap by copying next -> cur (references are immutable).
             let mut row = vec![0.0; n];
@@ -109,7 +113,10 @@ fn main() {
 
     // Verify against the sequential reference.
     let total = results[0].2;
-    assert!((total - 1000.0).abs() < 1e-6, "heat must be conserved: {total}");
+    assert!(
+        (total - 1000.0).abs() < 1e-6,
+        "heat must be conserved: {total}"
+    );
     let mut max_err = 0.0f64;
     for (rank, local, _, _) in &results {
         for (i, v) in local.iter().enumerate() {
@@ -117,10 +124,16 @@ fn main() {
             max_err = max_err.max((v - reference[gi]).abs());
         }
     }
-    println!("stencil_halo: {STEPS} steps on {} ranks over {} cells", p, n_global);
+    println!(
+        "stencil_halo: {STEPS} steps on {} ranks over {} cells",
+        p, n_global
+    );
     println!("  conserved heat   : {total:.6}");
     println!("  max |err| vs ref : {max_err:.3e}");
     println!("  virtual time     : {:.1} us per rank", results[0].3);
-    assert!(max_err < 1e-9, "distributed result must match the reference");
+    assert!(
+        max_err < 1e-9,
+        "distributed result must match the reference"
+    );
     println!("stencil_halo OK");
 }

@@ -4,15 +4,37 @@
 
 use mvapich2j::datatype::{Datatype, INT};
 use mvapich2j::{run_job, JobConfig, ReduceOp, Topology};
-use proptest::prelude::*;
+
+/// Deterministic pseudo-random source (Knuth LCG) — replaces the old
+/// proptest strategies so the test needs no external crates and replays
+/// identically every run.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() >> 33) as usize % (hi - lo)
+    }
+}
 
 #[test]
 fn payload_integrity_random_sizes_and_apis() {
-    // Random message sizes across both APIs and both protocol regimes.
-    proptest!(ProptestConfig::with_cases(12), |(
-        sizes in proptest::collection::vec(1usize..40_000, 1..5),
-        seed in any::<u8>(),
-    )| {
+    // Pseudo-random message sizes across both APIs and both protocol
+    // regimes (eager and rendezvous straddle 40 kB).
+    let mut rng = Lcg::new(7);
+    for _case in 0..12 {
+        let sizes: Vec<usize> = (0..rng.range(1, 5)).map(|_| rng.range(1, 40_000)).collect();
+        let seed = (rng.next() >> 24) as u8;
         let sizes2 = sizes.clone();
         run_job(JobConfig::mvapich2j(Topology::new(2, 1)), move |env| {
             let w = env.world();
@@ -41,7 +63,7 @@ fn payload_integrity_random_sizes_and_apis() {
                 }
             }
         });
-    });
+    }
 }
 
 #[test]
@@ -55,7 +77,8 @@ fn whole_job_virtual_times_are_deterministic() {
             for i in 0..1000 {
                 env.array_set(send, i, me * 7 + i as i32).unwrap();
             }
-            env.allreduce_array(send, recv, 1000, ReduceOp::Min, w).unwrap();
+            env.allreduce_array(send, recv, 1000, ReduceOp::Min, w)
+                .unwrap();
             let buf = env.new_direct(4096);
             env.bcast_buffer(buf, 1024, &INT, 2, w).unwrap();
             env.barrier(w).unwrap();
@@ -127,7 +150,8 @@ fn derived_datatype_matrix_column_exchange() {
         if me == 0 {
             for r in 0..ROWS {
                 for c in 0..COLS {
-                    env.array_set(mat, r * COLS + c, (r * 10 + c) as i32).unwrap();
+                    env.array_set(mat, r * COLS + c, (r * 10 + c) as i32)
+                        .unwrap();
                 }
             }
             // One datatype element = the whole strided column.
@@ -161,13 +185,21 @@ fn subcommunicators_compose_with_collectives() {
         let send = env.new_array::<i32>(1).unwrap();
         env.array_set(send, 0, me as i32).unwrap();
         let rsum = env.new_array::<i32>(1).unwrap();
-        env.allreduce_array(send, rsum, 1, ReduceOp::Sum, row_comm).unwrap();
+        env.allreduce_array(send, rsum, 1, ReduceOp::Sum, row_comm)
+            .unwrap();
         let csum = env.new_array::<i32>(1).unwrap();
-        env.allreduce_array(send, csum, 1, ReduceOp::Sum, col_comm).unwrap();
+        env.allreduce_array(send, csum, 1, ReduceOp::Sum, col_comm)
+            .unwrap();
 
         // Row sums: {0+1, 2+3}; column sums: {0+2, 1+3}.
-        assert_eq!(env.array_get(rsum, 0).unwrap(), if row == 0 { 1 } else { 5 });
-        assert_eq!(env.array_get(csum, 0).unwrap(), if col == 0 { 2 } else { 4 });
+        assert_eq!(
+            env.array_get(rsum, 0).unwrap(),
+            if row == 0 { 1 } else { 5 }
+        );
+        assert_eq!(
+            env.array_get(csum, 0).unwrap(),
+            if col == 0 { 2 } else { 4 }
+        );
         env.comm_free(row_comm).unwrap();
         env.comm_free(col_comm).unwrap();
     });
@@ -185,7 +217,8 @@ fn openmpij_and_mvapich2j_compute_identical_results() {
                 env.array_set(send, i, me * 1000 + i as i32).unwrap();
             }
             let recv = env.new_array::<i32>(64).unwrap();
-            env.allreduce_array(send, recv, 64, ReduceOp::Max, w).unwrap();
+            env.allreduce_array(send, recv, 64, ReduceOp::Max, w)
+                .unwrap();
             let mut out = vec![0i32; 64];
             env.array_read(recv, 0, &mut out).unwrap();
             out

@@ -38,7 +38,11 @@ fn fig5_buffers_beat_arrays_at_omb_level() {
     let buf = series(&fig, "MVAPICH2-J buffer");
     let arr = series(&fig, "MVAPICH2-J arrays");
     for (b, a) in buf.points.iter().zip(&arr.points) {
-        assert!(a.value > b.value, "arrays pay the buffering layer at {} B", b.size);
+        assert!(
+            a.value > b.value,
+            "arrays pay the buffering layer at {} B",
+            b.size
+        );
     }
 }
 
@@ -46,7 +50,9 @@ fn fig5_buffers_beat_arrays_at_omb_level() {
 fn fig7_openmpij_arrays_series_is_missing() {
     let fig = run_figure("fig7", Scale::Quick);
     assert!(
-        fig.series.iter().all(|s| !s.label.contains("Open MPI-J arrays")),
+        fig.series
+            .iter()
+            .all(|s| !s.label.contains("Open MPI-J arrays")),
         "Open MPI-J cannot produce an arrays bandwidth series"
     );
     assert!(
@@ -78,13 +84,21 @@ fn fig11_overhead_is_submicrosecond_ballpark_and_ordered() {
     let fig = run_figure("fig11", Scale::Quick);
     let mv = series(&fig, "MVAPICH2-J overhead");
     let om = series(&fig, "Open MPI-J overhead");
-    let mean = |s: &ombj::Series| {
-        s.points.iter().map(|p| p.value).sum::<f64>() / s.points.len() as f64
-    };
+    let mean =
+        |s: &ombj::Series| s.points.iter().map(|p| p.value).sum::<f64>() / s.points.len() as f64;
     let (m, o) = (mean(mv), mean(om));
-    assert!(m > 0.1 && m < 2.0, "MVAPICH2-J overhead in the ~1 us ballpark: {m}");
-    assert!(o > 0.1 && o < 2.5, "Open MPI-J overhead in the ~1 us ballpark: {o}");
-    assert!(o > m, "MVAPICH2-J has the smaller Java overhead ({m} vs {o})");
+    assert!(
+        m > 0.1 && m < 2.0,
+        "MVAPICH2-J overhead in the ~1 us ballpark: {m}"
+    );
+    assert!(
+        o > 0.1 && o < 2.5,
+        "Open MPI-J overhead in the ~1 us ballpark: {o}"
+    );
+    assert!(
+        o > m,
+        "MVAPICH2-J has the smaller Java overhead ({m} vs {o})"
+    );
 }
 
 #[test]
@@ -175,6 +189,10 @@ fn figures_are_deterministic_across_runs() {
     let a = run_figure("fig5", Scale::Quick);
     let b = run_figure("fig5", Scale::Quick);
     for (sa, sb) in a.series.iter().zip(&b.series) {
-        assert_eq!(sa.points, sb.points, "series {} must be bit-identical", sa.label);
+        assert_eq!(
+            sa.points, sb.points,
+            "series {} must be bit-identical",
+            sa.label
+        );
     }
 }

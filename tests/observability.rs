@@ -1,0 +1,158 @@
+//! Workspace-level tests for the observability layer's two contracts:
+//!
+//! * **Determinism** — all trace timestamps are virtual, so two identical
+//!   traced runs serialize to byte-identical Chrome trace files and pvar
+//!   dumps.
+//! * **Zero virtual cost** — instrumentation only reads virtual clocks,
+//!   so every measured number is bit-identical with tracing on or off.
+
+use mvapich2j::{run_job_with_obs, JobConfig, Topology};
+use ombj::{run_with_obs, Api, BenchOptions, Benchmark, Library, RunSpec};
+
+fn latency_spec() -> RunSpec {
+    // Inter-node osu_latency: crosses the eager→rendezvous switch.
+    RunSpec {
+        library: Library::Mvapich2J,
+        benchmark: Benchmark::Latency,
+        api: Api::Buffer,
+        topo: Topology::new(2, 1),
+        opts: BenchOptions {
+            max_size: 1 << 17,
+            ..BenchOptions::quick()
+        },
+    }
+}
+
+#[test]
+fn traced_runs_serialize_byte_identically() {
+    let run_once = || {
+        let (series, report) = run_with_obs(latency_spec(), obs::ObsOptions::traced());
+        (
+            series.expect("latency runs"),
+            report.chrome_trace_json(),
+            report.pvar_dump(),
+        )
+    };
+    let (s1, trace1, pvars1) = run_once();
+    let (s2, trace2, pvars2) = run_once();
+    assert_eq!(s1, s2, "measured series must replay exactly");
+    assert_eq!(trace1, trace2, "trace files must be byte-identical");
+    assert_eq!(pvars1, pvars2, "pvar dumps must be byte-identical");
+
+    // The trace is a Chrome trace_event JSON object with per-rank
+    // process rows and complete spans.
+    assert!(trace1.starts_with('{') && trace1.trim_end().ends_with('}'));
+    assert!(trace1.contains(r#""traceEvents":["#));
+    assert!(trace1.contains(r#""name":"process_name""#));
+    assert!(trace1.contains(r#""name":"rank 1 (MVAPICH2-J)""#));
+    assert!(trace1.contains(r#""ph":"X""#), "complete spans present");
+    assert!(trace1.contains(r#""cat":"pt2pt""#));
+    assert!(trace1.contains(r#""proto":"eager""#));
+    assert!(
+        trace1.contains(r#""proto":"rndv""#),
+        "128 kB sweeps past the rndv threshold"
+    );
+}
+
+#[test]
+fn tracing_has_zero_virtual_cost() {
+    let (with, _) = run_with_obs(latency_spec(), obs::ObsOptions::traced());
+    let (without, _) = run_with_obs(latency_spec(), obs::ObsOptions::default());
+    assert_eq!(
+        with.unwrap().points,
+        without.unwrap().points,
+        "recording trace events must not advance any virtual clock"
+    );
+}
+
+#[test]
+fn fig14_is_bit_identical_with_tracing_on() {
+    let plain = ombj_bench::run_figure("fig14", ombj_bench::Scale::Quick);
+    ombj_bench::figures::set_tracing(true);
+    let traced = ombj_bench::run_figure("fig14", ombj_bench::Scale::Quick);
+    ombj_bench::figures::set_tracing(false);
+    assert_eq!(
+        plain.series, traced.series,
+        "figure output must not depend on tracing"
+    );
+}
+
+#[test]
+fn pvar_snapshot_covers_every_layer() {
+    let spec = RunSpec {
+        api: Api::Arrays,
+        ..latency_spec()
+    };
+    let (_, report) = run_with_obs(spec, obs::ObsOptions::default());
+    let merged = report.merged_pvars();
+    // Engine (pt2pt), bindings, managed runtime, pool — one pvar from
+    // each layer on the benchmark path proves the wiring end to end.
+    for name in [
+        "pt2pt.eager_msgs",
+        "pt2pt.rndv_msgs",
+        "bind.calls",
+        "mrt.heap.allocs",
+        "mpjbuf.pool.hits",
+    ] {
+        assert!(merged.counter(name) > 0, "pvar {name} missing or zero");
+    }
+}
+
+#[test]
+fn nif_crossing_pvars_cover_all_three_access_modes() {
+    // The benchmark path charges JNI costs from the cost model, so the
+    // `nif` crate's pvars are exercised at its own API surface: one
+    // counter per access mode the paper distinguishes.
+    use vtime::{Clock, CostModel};
+    obs::install(0, obs::ObsOptions::default());
+    let mut rt = mrt::Runtime::new(CostModel::default());
+    let mut clock = Clock::new();
+    nif::jni_transition(&rt, &mut clock);
+    let arr = rt.alloc_array::<i32>(16, &mut clock).unwrap();
+    let native = nif::get_array_elements(&rt, &mut clock, arr).unwrap();
+    nif::release_array_elements(&mut rt, &mut clock, arr, &native, nif::ReleaseMode::Abort)
+        .unwrap();
+    {
+        let _g = nif::get_primitive_array_critical(&mut rt, &mut clock, arr).unwrap();
+    }
+    let db = rt.allocate_direct(64, &mut clock);
+    let _ = nif::get_direct_buffer_address(&rt, &mut clock, db).unwrap();
+    let report = obs::uninstall().expect("recorder installed");
+    let pvars = &report.pvars;
+    assert_eq!(pvars.counter("nif.transitions"), 1);
+    assert_eq!(pvars.counter("nif.crossings.copy"), 2);
+    assert_eq!(pvars.counter("nif.crossings.critical"), 1);
+    assert!(pvars.counter("nif.crossings.direct") >= 1);
+}
+
+#[test]
+fn unexpected_message_pvars_fire() {
+    // Rank 1 sends tag 5 then tag 6; rank 0 receives tag 6 *first*.
+    // Draining the mailbox for tag 6 parks the tag-5 message in the
+    // unexpected queue (depth gauge); the second receive then finds it
+    // there (hit counter).
+    let (_, report) = run_job_with_obs(JobConfig::mvapich2j(Topology::new(2, 1)), |env| {
+        let w = env.world();
+        if env.rank() == 0 {
+            let b6 = env.new_direct(64);
+            env.recv_buffer(b6, 64, &mvapich2j::datatype::BYTE, 1, 6, w)
+                .unwrap();
+            let b5 = env.new_direct(64);
+            env.recv_buffer(b5, 64, &mvapich2j::datatype::BYTE, 1, 5, w)
+                .unwrap();
+        } else {
+            let buf = env.new_direct(64);
+            env.send_buffer(buf, 64, &mvapich2j::datatype::BYTE, 0, 5, w)
+                .unwrap();
+            env.send_buffer(buf, 64, &mvapich2j::datatype::BYTE, 0, 6, w)
+                .unwrap();
+        }
+    });
+    let merged = report.merged_pvars();
+    assert!(merged.counter("pt2pt.unexpected_hits") >= 1);
+    let depth_max = merged
+        .get("pt2pt.unexpected_depth")
+        .and_then(|v| v.as_gauge_max())
+        .expect("unexpected-depth gauge present");
+    assert!(depth_max >= 1);
+}
