@@ -412,16 +412,30 @@ pub fn run_figure(id: &str, scale: Scale) -> Figure {
             opts.validate = true;
             let mut series = Vec::new();
             for api in [Api::Buffer, Api::Arrays] {
-                series.push(
-                    run(RunSpec {
+                let (s, report) = run_with_obs(
+                    RunSpec {
                         library: Library::Mvapich2J,
                         benchmark: Benchmark::Latency,
                         api,
                         topo: inter(),
                         opts,
-                    })
-                    .expect("latency always supported"),
+                    },
+                    obs_opts(),
                 );
+                series.push(s.expect("latency always supported"));
+                // With `--trace` on, decompose each series: where does the
+                // wall time of the boundary-heavy arrays path actually go?
+                if TRACE_FIGURES.load(Ordering::SeqCst) {
+                    let a = obs::analyze::analyze(&report);
+                    notes.push(format!(
+                        "{}: copy+staging+gc = {:.1}% of virtual wall time \
+                         (fabric {:.1}%, wait {:.1}%)",
+                        api.label(),
+                        a.boundary_share_pct(),
+                        a.category_share_pct("fabric"),
+                        a.category_share_pct("wait"),
+                    ));
+                }
             }
             Figure {
                 id: "fig18",

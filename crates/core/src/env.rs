@@ -135,6 +135,7 @@ impl Env {
         obs::count("bind.calls", 1);
         let garbage = self.flavor.garbage_per_call;
         let overhead = self.flavor.call_overhead_ns;
+        let t0 = self.mpi.now();
         let clock = self.mpi.clock_mut();
         clock.charge(self.rt.cost().jni_transition());
         clock.charge(VDur::from_nanos(overhead));
@@ -146,6 +147,7 @@ impl Env {
                 let _ = self.rt.release_object(h);
             }
         }
+        obs::span("bind.call", "nif", t0, self.mpi.now(), Vec::new());
     }
 
     /// Number of binding calls made so far (introspection).

@@ -27,9 +27,11 @@ impl Env {
     /// Charge the `GetDirectBufferAddress` JNI cost.
     fn charge_buffer_address(&mut self) {
         let cost = *self.rt.cost();
+        let t0 = self.mpi.now();
         let clock = self.mpi.clock_mut();
         clock.charge(cost.jni_transition());
         clock.charge(VDur::from_nanos(cost.jni.get_direct_buffer_address_ns));
+        obs::span("direct_address", "nif", t0, self.mpi.now(), Vec::new());
     }
 
     fn check_dt_capacity(buf: DirectBuffer, count: i32, dt: &Datatype) -> BindResult<usize> {

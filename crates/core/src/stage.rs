@@ -41,6 +41,7 @@ pub(crate) fn stage_from_array_at(
     dt: &Datatype,
 ) -> MrtResult<usize> {
     let packed = dt.size() * count;
+    let t0 = clock.now();
     let span = dt.span(count);
     let avail = rt.heap().len_of(src)?;
     if src_byte_off + span > avail {
@@ -68,6 +69,13 @@ pub(crate) fn stage_from_array_at(
         }
         debug_assert_eq!(pos, store_off + packed);
     }
+    obs::span(
+        "stage",
+        "mpjbuf",
+        t0,
+        clock.now(),
+        vec![("bytes", obs::ArgValue::U64(packed as u64))],
+    );
     Ok(packed)
 }
 
@@ -103,6 +111,7 @@ pub(crate) fn unstage_to_array_at(
     if elem == 0 || filled == 0 {
         return Ok(());
     }
+    let t0 = clock.now();
     let full = (filled / elem).min(count);
     let span = if full == 0 { 0 } else { dt.span(full) };
     if dest.byte_off + span > dest.byte_len {
@@ -131,6 +140,13 @@ pub(crate) fn unstage_to_array_at(
             }
         }
     }
+    obs::span(
+        "unstage",
+        "mpjbuf",
+        t0,
+        clock.now(),
+        vec![("bytes", obs::ArgValue::U64(filled as u64))],
+    );
     Ok(())
 }
 

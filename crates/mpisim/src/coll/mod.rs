@@ -94,6 +94,10 @@ pub(crate) fn cc(mpi: &mut Mpi, comm: CommHandle) -> MpiResult<Cc> {
         percall: VDur::from_nanos(tuning.percall_ns),
     };
     mpi.clock_mut().charge(c.percall);
+    // Collectives are globally ordered per communicator, so every member
+    // derives the same instance id; internal pt2pt traffic is stamped with
+    // it for cross-rank causal analysis.
+    mpi.engine_mut().begin_collective(ctx);
     Ok(c)
 }
 

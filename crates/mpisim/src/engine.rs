@@ -49,21 +49,41 @@ pub struct Envelope {
     pub context: u32,
 }
 
+/// Causal stamp carried by every payload-bearing wire message: `flow` is
+/// the globally unique flow id tying a send to its matching recv (bits
+/// 40.. hold `src+1`, bits 0..40 a per-sender sequence number, so ids
+/// from the same (src,dst,tag) stream are monotonically increasing);
+/// `coll` is the collective-instance id (0 for plain pt2pt traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlowStamp {
+    pub flow: u64,
+    pub coll: u64,
+}
+
 /// Fabric payload exchanged between engines.
 #[derive(Debug, Clone)]
 pub enum Wire {
     /// Eagerly sent message with inline payload.
-    Eager { env: Envelope, data: Box<[u8]> },
+    Eager {
+        env: Envelope,
+        data: Box<[u8]>,
+        stamp: FlowStamp,
+    },
     /// Rendezvous request-to-send.
     Rts {
         env: Envelope,
         sender_req: u64,
         nbytes: usize,
+        stamp: FlowStamp,
     },
     /// Clear-to-send, answering an RTS.
     Cts { sender_req: u64 },
     /// Rendezvous payload (conceptually an RDMA write).
-    RndvData { env: Envelope, data: Box<[u8]> },
+    RndvData {
+        env: Envelope,
+        data: Box<[u8]>,
+        stamp: FlowStamp,
+    },
 }
 
 /// Completion information for a receive (subset of MPI_Status).
@@ -104,6 +124,7 @@ enum Unexpected {
         env: Envelope,
         arrival: VTime,
         data: Box<[u8]>,
+        stamp: FlowStamp,
     },
     Rts {
         env: Envelope,
@@ -130,6 +151,7 @@ enum SendState {
         dst: usize,
         data: Box<[u8]>,
         env: Envelope,
+        stamp: FlowStamp,
     },
     /// Rendezvous payload injected.
     RndvDone { complete_at: VTime },
@@ -149,6 +171,7 @@ enum RecvState {
         data: Box<[u8]>,
         /// True if the message took the unexpected path (extra copy).
         was_unexpected: bool,
+        stamp: FlowStamp,
     },
 }
 
@@ -182,6 +205,17 @@ pub struct Engine {
     posted: Vec<u64>,
     /// Arrived-but-unmatched messages in arrival order.
     unexpected: Vec<Unexpected>,
+    /// Per-sender flow sequence number (monotonic over all sends, hence
+    /// over every (src,dst,tag) stream).
+    next_flow: u64,
+    /// Collective instance currently in flight, and the context whose
+    /// traffic it labels (stale outside a collective; the context gate
+    /// keeps user pt2pt traffic unlabelled).
+    coll_instance: u64,
+    coll_ctx: Option<u32>,
+    /// Per-context collective call counter; collectives are globally
+    /// ordered per communicator, so every rank derives the same ids.
+    coll_seq: HashMap<u32, u64>,
 }
 
 impl Engine {
@@ -195,6 +229,10 @@ impl Engine {
             next_req: 1,
             posted: Vec::new(),
             unexpected: Vec::new(),
+            next_flow: 0,
+            coll_instance: 0,
+            coll_ctx: None,
+            coll_seq: HashMap::new(),
         }
     }
 
@@ -245,6 +283,39 @@ impl Engine {
         Request(id)
     }
 
+    /// Next flow id: bits 40.. are `src+1`, bits 0..40 the per-sender
+    /// sequence — globally unique and monotonic per (src,dst,tag).
+    fn alloc_flow(&mut self) -> u64 {
+        self.next_flow += 1;
+        ((self.rank() as u64 + 1) << 40) | self.next_flow
+    }
+
+    /// Begin a collective on context `ctx`: derive its deterministic
+    /// instance id (`ctx << 32 | per-context call count`) and label the
+    /// context's traffic with it until the next collective.
+    pub fn begin_collective(&mut self, ctx: u32) -> u64 {
+        let seq = self.coll_seq.entry(ctx).or_insert(0);
+        *seq += 1;
+        let id = ((ctx as u64) << 32) | *seq;
+        self.coll_instance = id;
+        self.coll_ctx = Some(ctx);
+        id
+    }
+
+    /// Instance id of the most recently begun collective (0 if none).
+    pub fn current_collective(&self) -> u64 {
+        self.coll_instance
+    }
+
+    /// Collective-instance label for traffic on `context`.
+    fn coll_of(&self, context: u32) -> u64 {
+        if self.coll_ctx == Some(context) {
+            self.coll_instance
+        } else {
+            0
+        }
+    }
+
     // ------------------------------------------------------------------
     // Posting
     // ------------------------------------------------------------------
@@ -272,35 +343,31 @@ impl Engine {
             tag,
             context,
         };
+        let stamp = FlowStamp {
+            flow: self.alloc_flow(),
+            coll: self.coll_of(context),
+        };
         if data.len() <= path.eager_threshold {
             // Eager: CPU copy into the bounce buffer, inject, done.
             self.clock.charge(path.eager_copy(data.len()));
             self.clock.charge(path.loggp.o_send());
             let wire = path.header_bytes + data.len();
-            self.ep.send(
+            let inject_at = self.clock.now();
+            let arrival = self.ep.send(
                 dst,
-                self.clock.now(),
+                inject_at,
                 wire,
                 &path.loggp,
                 Wire::Eager {
                     env,
                     data: data.into(),
+                    stamp,
                 },
             );
             obs::count("pt2pt.eager_msgs", 1);
             obs::count("pt2pt.eager_bytes", data.len() as u64);
             if obs::tracing_enabled() {
-                obs::instant(
-                    "send",
-                    "pt2pt",
-                    self.clock.now(),
-                    vec![
-                        ("proto", obs::ArgValue::Str("eager")),
-                        ("dst", obs::ArgValue::U64(dst as u64)),
-                        ("tag", obs::ArgValue::I64(tag as i64)),
-                        ("bytes", obs::ArgValue::U64(data.len() as u64)),
-                    ],
-                );
+                self.trace_send(stamp, "eager", dst, tag, data.len(), inject_at, arrival);
             }
             Ok(self.alloc_req(ReqState::Send(SendState::EagerDone {
                 complete_at: self.clock.now(),
@@ -311,22 +378,16 @@ impl Engine {
             obs::count("pt2pt.rndv_msgs", 1);
             obs::count("pt2pt.rndv_bytes", data.len() as u64);
             if obs::tracing_enabled() {
-                obs::instant(
-                    "send",
-                    "pt2pt",
-                    self.clock.now(),
-                    vec![
-                        ("proto", obs::ArgValue::Str("rndv")),
-                        ("dst", obs::ArgValue::U64(dst as u64)),
-                        ("tag", obs::ArgValue::I64(tag as i64)),
-                        ("bytes", obs::ArgValue::U64(data.len() as u64)),
-                    ],
-                );
+                // The fabric span for the payload is emitted when the CTS
+                // triggers the actual transfer.
+                let now = self.clock.now();
+                self.trace_send(stamp, "rndv", dst, tag, data.len(), now, now);
             }
             let req = self.alloc_req(ReqState::Send(SendState::AwaitCts {
                 dst,
                 data: data.into(),
                 env,
+                stamp,
             }));
             let Request(id) = req;
             self.ep.send(
@@ -338,9 +399,64 @@ impl Engine {
                     env,
                     sender_req: id,
                     nbytes: data.len(),
+                    stamp,
                 },
             );
             Ok(req)
+        }
+    }
+
+    /// Trace one send: the "send" instant, the flow-begin arrow anchor,
+    /// and (when `arrival > inject_at`) the sender-side fabric-transfer
+    /// span. Reads clocks only — never charges one.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_send(
+        &self,
+        stamp: FlowStamp,
+        proto: &'static str,
+        dst: usize,
+        tag: i32,
+        bytes: usize,
+        inject_at: VTime,
+        arrival: VTime,
+    ) {
+        obs::instant(
+            "send",
+            "pt2pt",
+            inject_at,
+            vec![
+                ("proto", obs::ArgValue::Str(proto)),
+                ("dst", obs::ArgValue::U64(dst as u64)),
+                ("tag", obs::ArgValue::I64(tag as i64)),
+                ("bytes", obs::ArgValue::U64(bytes as u64)),
+                ("flow", obs::ArgValue::U64(stamp.flow)),
+                ("coll", obs::ArgValue::U64(stamp.coll)),
+            ],
+        );
+        obs::flow(
+            "msg",
+            "flow",
+            inject_at,
+            obs::FlowDir::Begin,
+            stamp.flow,
+            vec![
+                ("bytes", obs::ArgValue::U64(bytes as u64)),
+                ("dst", obs::ArgValue::U64(dst as u64)),
+                ("coll", obs::ArgValue::U64(stamp.coll)),
+            ],
+        );
+        if arrival > inject_at {
+            obs::span(
+                "xfer",
+                "fabric",
+                inject_at,
+                arrival,
+                vec![
+                    ("bytes", obs::ArgValue::U64(bytes as u64)),
+                    ("dst", obs::ArgValue::U64(dst as u64)),
+                    ("flow", obs::ArgValue::U64(stamp.flow)),
+                ],
+            );
         }
     }
 
@@ -395,7 +511,12 @@ impl Engine {
         u: Unexpected,
     ) -> MpiResult<Request> {
         match u {
-            Unexpected::Eager { env, arrival, data } => {
+            Unexpected::Eager {
+                env,
+                arrival,
+                data,
+                stamp,
+            } => {
                 if data.len() > capacity {
                     return Err(MpiError::Truncated {
                         incoming: data.len(),
@@ -411,6 +532,7 @@ impl Engine {
                         arrival,
                         data,
                         was_unexpected,
+                        stamp,
                     },
                 }))
             }
@@ -427,10 +549,14 @@ impl Engine {
                     });
                 }
                 // The sender has been waiting for us: CTS goes out at
-                // max(now, rts arrival) + handling.
+                // max(now, rts arrival) + handling. Offloaded, exactly like
+                // the posted-receive path in `handle()` — whether the RTS
+                // physically beat the `irecv` call is an OS-scheduling
+                // accident, so the two paths must leave the application
+                // clock in the same state or intermediate timestamps
+                // (e.g. the start of a later wait) become nondeterministic.
                 let path = *self.path_to(env.src);
-                self.clock.merge(arrival);
-                self.clock.charge(VDur::from_nanos(path.cts_handling_ns));
+                let t = self.clock.now().max(arrival) + VDur::from_nanos(path.cts_handling_ns);
                 let req = self.alloc_req(ReqState::Recv {
                     spec,
                     capacity,
@@ -440,7 +566,7 @@ impl Engine {
                 self.posted.push(req.0);
                 self.ep.send(
                     env.src,
-                    self.clock.now(),
+                    t,
                     path.header_bytes,
                     &path.loggp,
                     Wire::Cts { sender_req },
@@ -458,7 +584,7 @@ impl Engine {
     /// application clock charge); payload timing attaches at consumption.
     fn handle(&mut self, d: Delivery<Wire>) {
         match d.msg {
-            Wire::Eager { env, data } => {
+            Wire::Eager { env, data, stamp } => {
                 if let Some(rid) = self.find_posted(&env) {
                     let Some(ReqState::Recv {
                         capacity, state, ..
@@ -479,12 +605,14 @@ impl Engine {
                         arrival: d.arrival,
                         data,
                         was_unexpected: d.arrival < posted_at,
+                        stamp,
                     };
                 } else {
                     self.unexpected.push(Unexpected::Eager {
                         env,
                         arrival: d.arrival,
                         data,
+                        stamp,
                     });
                     obs::gauge_set("pt2pt.unexpected_depth", self.unexpected.len() as i64);
                 }
@@ -493,6 +621,7 @@ impl Engine {
                 env,
                 sender_req,
                 nbytes,
+                stamp: _, // the payload (RndvData) re-carries the stamp
             } => {
                 if let Some(rid) = self.find_posted(&env) {
                     // Receive already posted: answer CTS now. Handled as
@@ -535,12 +664,18 @@ impl Engine {
                 let Some(ReqState::Send(st)) = self.requests.get_mut(&sender_req) else {
                     panic!("CTS for unknown send request {sender_req}");
                 };
-                let SendState::AwaitCts { dst, data, env } = std::mem::replace(
+                let SendState::AwaitCts {
+                    dst,
+                    data,
+                    env,
+                    stamp,
+                } = std::mem::replace(
                     st,
                     SendState::RndvDone {
                         complete_at: VTime::ZERO,
                     },
-                ) else {
+                )
+                else {
                     panic!("CTS for send request not awaiting CTS");
                 };
                 // Inject the payload. With hardware-offloaded rendezvous
@@ -549,14 +684,33 @@ impl Engine {
                 let path = *self.path_to(dst);
                 let t = d.arrival + path.loggp.o_send();
                 let wire = path.header_bytes + data.len();
-                self.ep
-                    .send(dst, t, wire, &path.loggp, Wire::RndvData { env, data });
+                let nbytes = data.len();
+                let arrival = self.ep.send(
+                    dst,
+                    t,
+                    wire,
+                    &path.loggp,
+                    Wire::RndvData { env, data, stamp },
+                );
+                if obs::tracing_enabled() && arrival > t {
+                    obs::span(
+                        "xfer",
+                        "fabric",
+                        t,
+                        arrival,
+                        vec![
+                            ("bytes", obs::ArgValue::U64(nbytes as u64)),
+                            ("dst", obs::ArgValue::U64(dst as u64)),
+                            ("flow", obs::ArgValue::U64(stamp.flow)),
+                        ],
+                    );
+                }
                 let Some(ReqState::Send(st)) = self.requests.get_mut(&sender_req) else {
                     unreachable!();
                 };
                 *st = SendState::RndvDone { complete_at: t };
             }
-            Wire::RndvData { env, data } => {
+            Wire::RndvData { env, data, stamp } => {
                 // Find the AwaitData receive matching this source/context.
                 let rid = self
                     .posted
@@ -581,6 +735,7 @@ impl Engine {
                     arrival: d.arrival,
                     data,
                     was_unexpected: false,
+                    stamp,
                 };
             }
         }
@@ -682,6 +837,7 @@ impl Engine {
                         arrival,
                         data,
                         was_unexpected,
+                        stamp,
                     },
                 ..
             } => {
@@ -712,6 +868,19 @@ impl Engine {
                             ("tag", obs::ArgValue::I64(env.tag as i64)),
                             ("bytes", obs::ArgValue::U64(data.len() as u64)),
                             ("unexpected", obs::ArgValue::Bool(was_unexpected)),
+                            ("flow", obs::ArgValue::U64(stamp.flow)),
+                            ("coll", obs::ArgValue::U64(stamp.coll)),
+                        ],
+                    );
+                    obs::flow(
+                        "msg",
+                        "flow",
+                        self.clock.now(),
+                        obs::FlowDir::End,
+                        stamp.flow,
+                        vec![
+                            ("src", obs::ArgValue::U64(env.src as u64)),
+                            ("coll", obs::ArgValue::U64(stamp.coll)),
                         ],
                     );
                 }

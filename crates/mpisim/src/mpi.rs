@@ -128,6 +128,29 @@ impl Mpi {
         self.eng.clock_mut()
     }
 
+    /// Wrap a collective entry point in a cat-`"coll"` trace span tagged
+    /// with the instance id allocated inside `coll::cc`. Zero virtual
+    /// cost: only reads the clock before and after.
+    fn coll_span<T>(
+        &mut self,
+        name: &'static str,
+        f: impl FnOnce(&mut Self) -> MpiResult<T>,
+    ) -> MpiResult<T> {
+        if !obs::tracing_enabled() {
+            return f(self);
+        }
+        let begin = self.eng.now();
+        let out = f(self);
+        obs::span(
+            name,
+            "coll",
+            begin,
+            self.eng.now(),
+            vec![("coll", obs::ArgValue::U64(self.eng.current_collective()))],
+        );
+        out
+    }
+
     // ------------------------------------------------------------------
     // Typed point-to-point
     // ------------------------------------------------------------------
@@ -334,7 +357,7 @@ impl Mpi {
 
     /// MPI_Barrier.
     pub fn barrier(&mut self, comm: CommHandle) -> MpiResult<()> {
-        coll::barrier(self, comm)
+        self.coll_span("barrier", |m| coll::barrier(m, comm))
     }
 
     /// MPI_Bcast over `count` elements of `dt` in `buf`.
@@ -347,7 +370,7 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let count = Self::check_count(count)?;
-        coll::bcast(self, buf, count, dt, root, comm)
+        self.coll_span("bcast", |m| coll::bcast(m, buf, count, dt, root, comm))
     }
 
     /// MPI_Reduce. `recv` must be `Some` on the root.
@@ -362,7 +385,9 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let count = Self::check_count(count)?;
-        coll::reduce(self, send, recv, count, dt, op, root, comm)
+        self.coll_span("reduce", |m| {
+            coll::reduce(m, send, recv, count, dt, op, root, comm)
+        })
     }
 
     /// MPI_Allreduce.
@@ -376,7 +401,9 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let count = Self::check_count(count)?;
-        coll::allreduce(self, send, recv, count, dt, op, comm)
+        self.coll_span("allreduce", |m| {
+            coll::allreduce(m, send, recv, count, dt, op, comm)
+        })
     }
 
     /// MPI_Gather (equal contributions). `recv` significant at root.
@@ -390,7 +417,9 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let count = Self::check_count(count)?;
-        coll::gather(self, send, recv, count, dt, root, comm)
+        self.coll_span("gather", |m| {
+            coll::gather(m, send, recv, count, dt, root, comm)
+        })
     }
 
     /// MPI_Gatherv. `recvcounts`/`displs` are in elements, significant at
@@ -408,9 +437,9 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let sendcount = Self::check_count(sendcount)?;
-        coll::gatherv(
-            self, send, sendcount, recv, recvcounts, displs, dt, root, comm,
-        )
+        self.coll_span("gatherv", |m| {
+            coll::gatherv(m, send, sendcount, recv, recvcounts, displs, dt, root, comm)
+        })
     }
 
     /// MPI_Scatter (equal blocks). `send` significant at root.
@@ -424,7 +453,9 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let count = Self::check_count(count)?;
-        coll::scatter(self, send, recv, count, dt, root, comm)
+        self.coll_span("scatter", |m| {
+            coll::scatter(m, send, recv, count, dt, root, comm)
+        })
     }
 
     /// MPI_Scatterv.
@@ -441,9 +472,9 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let recvcount = Self::check_count(recvcount)?;
-        coll::scatterv(
-            self, send, sendcounts, displs, recv, recvcount, dt, root, comm,
-        )
+        self.coll_span("scatterv", |m| {
+            coll::scatterv(m, send, sendcounts, displs, recv, recvcount, dt, root, comm)
+        })
     }
 
     /// MPI_Allgather (equal contributions).
@@ -456,7 +487,9 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let count = Self::check_count(count)?;
-        coll::allgather(self, send, recv, count, dt, comm)
+        self.coll_span("allgather", |m| {
+            coll::allgather(m, send, recv, count, dt, comm)
+        })
     }
 
     /// MPI_Allgatherv.
@@ -471,7 +504,9 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let sendcount = Self::check_count(sendcount)?;
-        coll::allgatherv(self, send, sendcount, recv, recvcounts, displs, dt, comm)
+        self.coll_span("allgatherv", |m| {
+            coll::allgatherv(m, send, sendcount, recv, recvcounts, displs, dt, comm)
+        })
     }
 
     /// MPI_Alltoall (equal blocks).
@@ -484,7 +519,9 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let count = Self::check_count(count)?;
-        coll::alltoall(self, send, recv, count, dt, comm)
+        self.coll_span("alltoall", |m| {
+            coll::alltoall(m, send, recv, count, dt, comm)
+        })
     }
 
     /// MPI_Alltoallv.
@@ -500,9 +537,11 @@ impl Mpi {
         dt: &Datatype,
         comm: CommHandle,
     ) -> MpiResult<()> {
-        coll::alltoallv(
-            self, send, sendcounts, sdispls, recv, recvcounts, rdispls, dt, comm,
-        )
+        self.coll_span("alltoallv", |m| {
+            coll::alltoallv(
+                m, send, sendcounts, sdispls, recv, recvcounts, rdispls, dt, comm,
+            )
+        })
     }
 
     // ------------------------------------------------------------------

@@ -81,9 +81,10 @@ impl BufferPool {
         );
         let class = Self::class_of(size);
         let idx = (class - MIN_CLASS) as usize;
+        let t0 = clock.now();
         self.stats.outstanding += 1;
         obs::gauge_set("mpjbuf.pool.outstanding", self.stats.outstanding as i64);
-        if let Some(buf) = self.classes[idx].pop() {
+        let buf = if let Some(buf) = self.classes[idx].pop() {
             self.stats.hits += 1;
             obs::count("mpjbuf.pool.hits", 1);
             self.stats.pooled_bytes -= buf.capacity();
@@ -93,7 +94,15 @@ impl BufferPool {
             self.stats.misses += 1;
             obs::count("mpjbuf.pool.misses", 1);
             rt.allocate_direct(1usize << class, clock)
-        }
+        };
+        obs::span(
+            "acquire",
+            "mpjbuf",
+            t0,
+            clock.now(),
+            vec![("bytes", obs::ArgValue::U64(buf.capacity() as u64))],
+        );
+        buf
     }
 
     /// Return a buffer to the pool (or free it if the class is full).
@@ -105,17 +114,26 @@ impl BufferPool {
             "pool only sees its own buffers"
         );
         let idx = (class - MIN_CLASS) as usize;
+        let t0 = clock.now();
         self.stats.releases += 1;
         self.stats.outstanding = self.stats.outstanding.saturating_sub(1);
         obs::count("mpjbuf.pool.releases", 1);
         obs::gauge_set("mpjbuf.pool.outstanding", self.stats.outstanding as i64);
         clock.charge(VDur::from_nanos(rt.cost().pool.release_ns));
+        let cap = buf.capacity();
         if self.classes[idx].len() < self.per_class_limit {
             self.stats.pooled_bytes += buf.capacity();
             self.classes[idx].push(buf);
         } else {
             rt.free_direct(buf, clock).expect("pool buffer is live");
         }
+        obs::span(
+            "release",
+            "mpjbuf",
+            t0,
+            clock.now(),
+            vec![("bytes", obs::ArgValue::U64(cap as u64))],
+        );
     }
 
     /// Free every parked buffer (shutdown).

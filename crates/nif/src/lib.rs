@@ -47,8 +47,10 @@ pub struct NativeArray<T: Prim> {
 /// Charge one Java→C→Java call transition (used by the bindings around
 /// every native MPI invocation).
 pub fn jni_transition(rt: &Runtime, clock: &mut Clock) {
+    let t0 = clock.now();
     clock.charge(rt.cost().jni_transition());
     obs::count("nif.transitions", 1);
+    obs::span("transition", "nif", t0, clock.now(), Vec::new());
 }
 
 /// `Get<Type>ArrayElements`: produce a native copy of a managed array.
@@ -60,12 +62,23 @@ pub fn get_array_elements<T: Prim>(
     clock: &mut Clock,
     arr: JArray<T>,
 ) -> MrtResult<NativeArray<T>> {
+    let t0 = clock.now();
     clock.charge(rt.cost().jni_transition());
     clock.charge(VDur::from_nanos(rt.cost().jni.get_array_elements_fixed_ns));
     obs::count("nif.crossings.copy", 1);
     let mut data = vec![T::default(); arr.len()];
     // Bulk copy out (charged inside array_read as a memcpy).
     rt.array_read(arr, 0, &mut data, clock)?;
+    obs::span(
+        "get_elements",
+        "nif",
+        t0,
+        clock.now(),
+        vec![(
+            "bytes",
+            obs::ArgValue::U64((arr.len() * std::mem::size_of::<T>()) as u64),
+        )],
+    );
     Ok(NativeArray {
         data,
         is_copy: true,
@@ -80,15 +93,27 @@ pub fn release_array_elements<T: Prim>(
     native: &NativeArray<T>,
     mode: ReleaseMode,
 ) -> MrtResult<()> {
+    let t0 = clock.now();
     clock.charge(rt.cost().jni_transition());
     clock.charge(VDur::from_nanos(
         rt.cost().jni.release_array_elements_fixed_ns,
     ));
     obs::count("nif.crossings.copy", 1);
-    match mode {
+    let out = match mode {
         ReleaseMode::CopyBack | ReleaseMode::Commit => rt.array_write(arr, 0, &native.data, clock),
         ReleaseMode::Abort => Ok(()),
-    }
+    };
+    obs::span(
+        "release_elements",
+        "nif",
+        t0,
+        clock.now(),
+        vec![(
+            "bytes",
+            obs::ArgValue::U64((arr.len() * std::mem::size_of::<T>()) as u64),
+        )],
+    );
+    out
 }
 
 /// Zero-copy critical access to a managed array's bytes.
@@ -141,9 +166,11 @@ pub fn get_primitive_array_critical<'a, T: Prim>(
     clock: &mut Clock,
     arr: JArray<T>,
 ) -> MrtResult<CriticalGuard<'a, T>> {
+    let t0 = clock.now();
     clock.charge(rt.cost().jni_transition());
     clock.charge(VDur::from_nanos(rt.cost().jni.critical_fixed_ns));
     obs::count("nif.crossings.critical", 1);
+    obs::span("critical", "nif", t0, clock.now(), Vec::new());
     // Validate liveness before locking the collector.
     rt.heap().bytes(arr.handle())?;
     rt.heap_mut().enter_critical();
@@ -156,9 +183,11 @@ pub fn get_direct_buffer_address<'a>(
     clock: &mut Clock,
     buf: DirectBuffer,
 ) -> MrtResult<&'a [u8]> {
+    let t0 = clock.now();
     clock.charge(rt.cost().jni_transition());
     clock.charge(VDur::from_nanos(rt.cost().jni.get_direct_buffer_address_ns));
     obs::count("nif.crossings.direct", 1);
+    obs::span("direct_address", "nif", t0, clock.now(), Vec::new());
     rt.direct_bytes(buf)
 }
 
@@ -168,9 +197,11 @@ pub fn get_direct_buffer_address_mut<'a>(
     clock: &mut Clock,
     buf: DirectBuffer,
 ) -> MrtResult<&'a mut [u8]> {
+    let t0 = clock.now();
     clock.charge(rt.cost().jni_transition());
     clock.charge(VDur::from_nanos(rt.cost().jni.get_direct_buffer_address_ns));
     obs::count("nif.crossings.direct", 1);
+    obs::span("direct_address", "nif", t0, clock.now(), Vec::new());
     rt.direct_bytes_mut(buf)
 }
 

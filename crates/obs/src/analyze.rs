@@ -1,0 +1,899 @@
+//! Offline trace analysis: causal-graph reconstruction, critical-path
+//! extraction, and automatic latency attribution.
+//!
+//! The paper's §IV explains the array-vs-direct-ByteBuffer gap by hand:
+//! JNI-boundary copies, buffer-pool staging, and GC pauses. This module
+//! reads that story off a virtual-time trace mechanically. It consumes
+//! either an in-memory [`JobReport`] (the `ombj --analyze` path) or
+//! Chrome trace JSON files written earlier (the `obs-analyze` binary),
+//! and produces:
+//!
+//! * a **latency-attribution table** — per message-size bucket, the % of
+//!   virtual wall time spent in GC pauses, JNI copies, pool staging,
+//!   fabric transfer, and wait-for-match, with the unattributed rest
+//!   reported as `other` (application compute);
+//! * **collective skew** — per collective op, the max−min completion
+//!   spread across ranks, the straggler rank, and the length of the
+//!   critical chain walked backwards through the instance's message flows;
+//! * a **flow check** — every recv flow must pair with exactly one send
+//!   flow; violations indicate a truncated ring, never a matching bug.
+//!
+//! Everything is a pure function of the trace, so the output is
+//! byte-identical across identical runs.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, JsonValue};
+use crate::trace::FlowDir;
+use crate::{ArgValue, JobReport};
+
+/// Attribution categories, in report column order.
+pub const NCATS: usize = 6;
+pub const CATEGORY_NAMES: [&str; NCATS] = ["gc", "copy", "staging", "fabric", "wait", "other"];
+const OTHER: usize = 5;
+/// Flattening priority (highest first) for overlapping spans: a GC pause
+/// inside a JNI call is GC time, staging inside a wait is staging time.
+const PRIORITY: [usize; 5] = [0, 2, 1, 3, 4];
+
+/// Map a span to its attribution category.
+fn category_of(cat: &str, name: &str) -> Option<usize> {
+    match cat {
+        "mrt" if name == "gc" => Some(0),
+        "nif" => Some(1),
+        "mpjbuf" => Some(2),
+        "fabric" => Some(3),
+        "pt2pt" if name == "mpi.wait" => Some(4),
+        _ => None,
+    }
+}
+
+/// An owned, source-neutral trace event (from a [`JobReport`] or a parsed
+/// Chrome trace file).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub rank: usize,
+    pub name: String,
+    pub cat: String,
+    pub ts_ns: f64,
+    pub dur_ns: Option<f64>,
+    pub flow: Option<(FlowDir, u64)>,
+    pub args: Vec<(String, Arg)>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl Event {
+    pub fn arg_num(&self, key: &str) -> Option<f64> {
+        self.args.iter().find_map(|(k, v)| match v {
+            Arg::Num(n) if k == key => Some(*n),
+            _ => None,
+        })
+    }
+
+    fn end_ns(&self) -> f64 {
+        self.ts_ns + self.dur_ns.unwrap_or(0.0)
+    }
+}
+
+/// Flatten a [`JobReport`]'s per-rank events into owned analyzer events.
+pub fn events_from_report(report: &JobReport) -> Vec<Event> {
+    let mut out = Vec::new();
+    for r in &report.ranks {
+        for ev in &r.events {
+            out.push(Event {
+                rank: r.rank,
+                name: ev.name.to_string(),
+                cat: ev.cat.to_string(),
+                ts_ns: ev.ts_ns,
+                dur_ns: ev.dur_ns,
+                flow: ev.flow,
+                args: ev
+                    .args
+                    .iter()
+                    .map(|(k, v)| {
+                        let a = match v {
+                            ArgValue::U64(n) => Arg::Num(*n as f64),
+                            ArgValue::I64(n) => Arg::Num(*n as f64),
+                            ArgValue::F64(x) => Arg::Num(*x),
+                            ArgValue::Str(s) => Arg::Str(s.to_string()),
+                            ArgValue::Bool(b) => Arg::Bool(*b),
+                        };
+                        (k.to_string(), a)
+                    })
+                    .collect(),
+            });
+        }
+    }
+    out
+}
+
+/// Load events (and the in-band dropped-event count) from a Chrome trace
+/// JSON document previously written by [`JobReport::chrome_trace_json`].
+pub fn events_from_chrome_trace(text: &str) -> Result<(Vec<Event>, u64), String> {
+    let doc = json::parse(text)?;
+    let rows = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .ok_or("no traceEvents array")?;
+    let dropped = doc
+        .get("droppedEvents")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0) as u64;
+    let mut out = Vec::new();
+    for row in rows {
+        let ph = row.get("ph").and_then(JsonValue::as_str).unwrap_or("");
+        if ph == "M" {
+            continue; // metadata rows carry no timing
+        }
+        let flow = match ph {
+            "s" | "f" => {
+                let id = row
+                    .get("id")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or("flow event without id")? as u64;
+                let dir = if ph == "s" {
+                    FlowDir::Begin
+                } else {
+                    FlowDir::End
+                };
+                Some((dir, id))
+            }
+            _ => None,
+        };
+        let mut args = Vec::new();
+        if let Some(JsonValue::Obj(fields)) = row.get("args") {
+            for (k, v) in fields {
+                let a = match v {
+                    JsonValue::Num(n) => Arg::Num(*n),
+                    JsonValue::Str(s) => Arg::Str(s.clone()),
+                    JsonValue::Bool(b) => Arg::Bool(*b),
+                    _ => continue,
+                };
+                args.push((k.clone(), a));
+            }
+        }
+        out.push(Event {
+            rank: row.get("pid").and_then(JsonValue::as_f64).unwrap_or(0.0) as usize,
+            name: row
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("")
+                .to_string(),
+            cat: row
+                .get("cat")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("")
+                .to_string(),
+            ts_ns: row.get("ts").and_then(JsonValue::as_f64).unwrap_or(0.0) * 1_000.0,
+            dur_ns: row
+                .get("dur")
+                .and_then(JsonValue::as_f64)
+                .map(|d| d * 1_000.0),
+            flow,
+            args,
+        });
+    }
+    Ok((out, dropped))
+}
+
+/// One row of the attribution table: all windows of one message size,
+/// aggregated over every rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeBucket {
+    /// Message size in bytes the window swept.
+    pub size: u64,
+    /// Rank-windows aggregated into this row.
+    pub windows: u64,
+    /// Total virtual wall time across those windows.
+    pub wall_ns: f64,
+    /// Time per category, [`CATEGORY_NAMES`] order. Sums to `wall_ns`
+    /// (the last slot is the unattributed remainder).
+    pub cat_ns: [f64; NCATS],
+}
+
+impl SizeBucket {
+    /// Share of wall time for category `i`, in percent.
+    pub fn share_pct(&self, i: usize) -> f64 {
+        if self.wall_ns > 0.0 {
+            self.cat_ns[i] / self.wall_ns * 100.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Wall time minus every attributed segment (including `other`).
+    /// Zero by construction; the e2e test pins that down.
+    pub fn unattributed_ns(&self) -> f64 {
+        self.wall_ns - self.cat_ns.iter().sum::<f64>()
+    }
+}
+
+/// Per-collective-op skew/straggler summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollStats {
+    /// Collective name as traced (e.g. "bcast").
+    pub op: String,
+    /// Instances observed.
+    pub instances: u64,
+    /// Mean max−min completion spread across ranks.
+    pub mean_skew_ns: f64,
+    /// Worst spread over all instances.
+    pub max_skew_ns: f64,
+    /// Rank finishing last in the worst instance.
+    pub straggler: usize,
+    /// Message hops on the backward critical chain of the worst instance.
+    pub critical_hops: usize,
+}
+
+/// Send↔recv flow pairing check.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FlowCheck {
+    pub sends: u64,
+    pub recvs: u64,
+    /// Recv flows whose id has no send flow (ring truncation).
+    pub unmatched_recvs: u64,
+    /// Send flows never consumed.
+    pub unmatched_sends: u64,
+    /// Flow ids used by more than one send (must be zero).
+    pub duplicate_ids: u64,
+}
+
+/// The full analysis of one traced run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    pub ranks: usize,
+    pub buckets: Vec<SizeBucket>,
+    pub collectives: Vec<CollStats>,
+    pub flows: FlowCheck,
+    pub dropped_events: u64,
+}
+
+/// Analyze an in-memory job report (the `--analyze` path).
+pub fn analyze(report: &JobReport) -> Analysis {
+    analyze_events(&events_from_report(report), report.dropped_events())
+}
+
+/// Analyze a flat event list (the trace-file path).
+pub fn analyze_events(events: &[Event], dropped_events: u64) -> Analysis {
+    let mut by_rank: BTreeMap<usize, Vec<&Event>> = BTreeMap::new();
+    for ev in events {
+        by_rank.entry(ev.rank).or_default().push(ev);
+    }
+    for evs in by_rank.values_mut() {
+        evs.sort_by(|a, b| a.ts_ns.partial_cmp(&b.ts_ns).unwrap());
+    }
+
+    let mut buckets: BTreeMap<u64, SizeBucket> = BTreeMap::new();
+    for evs in by_rank.values() {
+        attribute_rank(evs, &mut buckets);
+    }
+
+    Analysis {
+        ranks: by_rank.len(),
+        buckets: buckets.into_values().collect(),
+        collectives: collective_stats(events),
+        flows: flow_check(events),
+        dropped_events,
+    }
+}
+
+/// Slice one rank's timeline into per-size windows (bounded by the
+/// benchmark's `bench.size` markers) and attribute each window.
+fn attribute_rank(evs: &[&Event], buckets: &mut BTreeMap<u64, SizeBucket>) {
+    let markers: Vec<(f64, u64)> = evs
+        .iter()
+        .filter(|e| e.cat == "bench" && e.name == "bench.size")
+        .filter_map(|e| e.arg_num("bytes").map(|b| (e.ts_ns, b as u64)))
+        .collect();
+    if markers.is_empty() {
+        return;
+    }
+    let rank_end = evs.iter().map(|e| e.end_ns()).fold(0.0f64, f64::max);
+    for (j, &(t0, size)) in markers.iter().enumerate() {
+        let t1 = markers.get(j + 1).map(|m| m.0).unwrap_or(rank_end);
+        if t1 <= t0 {
+            continue;
+        }
+        let b = buckets.entry(size).or_insert(SizeBucket {
+            size,
+            windows: 0,
+            wall_ns: 0.0,
+            cat_ns: [0.0; NCATS],
+        });
+        b.windows += 1;
+        b.wall_ns += t1 - t0;
+        let mut free = vec![(t0, t1)];
+        for &c in &PRIORITY {
+            let clipped: Vec<(f64, f64)> = evs
+                .iter()
+                .filter(|e| e.dur_ns.is_some() && category_of(&e.cat, &e.name) == Some(c))
+                .map(|e| (e.ts_ns.max(t0), e.end_ns().min(t1)))
+                .filter(|(a, z)| z > a)
+                .collect();
+            let owned = intersect(&free, &union(clipped));
+            b.cat_ns[c] += total(&owned);
+            free = subtract(&free, &owned);
+        }
+        b.cat_ns[OTHER] += total(&free);
+    }
+}
+
+/// Merge possibly-overlapping intervals into a sorted disjoint set.
+fn union(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    iv.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
+    for (a, z) in iv {
+        match out.last_mut() {
+            Some(last) if a <= last.1 => last.1 = last.1.max(z),
+            _ => out.push((a, z)),
+        }
+    }
+    out
+}
+
+/// Intersection of two sorted disjoint interval sets.
+fn intersect(a: &[(f64, f64)], b: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo < hi {
+            out.push((lo, hi));
+        }
+        if a[i].1 < b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// `a \ b` for sorted disjoint interval sets.
+fn subtract(a: &[(f64, f64)], b: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    let mut j = 0;
+    for &(mut lo, hi) in a {
+        while j < b.len() && b[j].1 <= lo {
+            j += 1;
+        }
+        let mut k = j;
+        while k < b.len() && b[k].0 < hi {
+            if b[k].0 > lo {
+                out.push((lo, b[k].0));
+            }
+            lo = lo.max(b[k].1);
+            k += 1;
+        }
+        if lo < hi {
+            out.push((lo, hi));
+        }
+    }
+    out
+}
+
+fn total(iv: &[(f64, f64)]) -> f64 {
+    iv.iter().map(|(a, z)| z - a).sum()
+}
+
+fn flow_check(events: &[Event]) -> FlowCheck {
+    let mut ids: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for ev in events {
+        match ev.flow {
+            Some((FlowDir::Begin, id)) => ids.entry(id).or_default().0 += 1,
+            Some((FlowDir::End, id)) => ids.entry(id).or_default().1 += 1,
+            None => {}
+        }
+    }
+    let mut out = FlowCheck::default();
+    for (nb, ne) in ids.values() {
+        out.sends += nb;
+        out.recvs += ne;
+        if *nb == 0 {
+            out.unmatched_recvs += ne;
+        }
+        if *nb > 0 && *ne == 0 {
+            out.unmatched_sends += 1;
+        }
+        if *nb > 1 {
+            out.duplicate_ids += 1;
+        }
+    }
+    out
+}
+
+fn collective_stats(events: &[Event]) -> Vec<CollStats> {
+    // Per-instance completion times, from the "coll"-category spans every
+    // collective entry point records.
+    struct Instance {
+        op: String,
+        ends: BTreeMap<usize, f64>,
+    }
+    let mut instances: BTreeMap<u64, Instance> = BTreeMap::new();
+    for ev in events {
+        if ev.cat != "coll" || ev.dur_ns.is_none() {
+            continue;
+        }
+        let Some(id) = ev.arg_num("coll").map(|v| v as u64) else {
+            continue;
+        };
+        let inst = instances.entry(id).or_insert_with(|| Instance {
+            op: ev.name.clone(),
+            ends: BTreeMap::new(),
+        });
+        let e = inst.ends.entry(ev.rank).or_insert(f64::MIN);
+        *e = e.max(ev.end_ns());
+    }
+    // Message edges of each instance, from the coll-tagged flow events.
+    let mut sends: BTreeMap<u64, (usize, f64)> = BTreeMap::new(); // flow id -> (rank, ts)
+    let mut recvs: BTreeMap<u64, Vec<(usize, f64, u64)>> = BTreeMap::new(); // coll id -> recvs
+    for ev in events {
+        let Some((dir, fid)) = ev.flow else { continue };
+        let Some(coll) = ev.arg_num("coll").map(|v| v as u64) else {
+            continue;
+        };
+        match dir {
+            FlowDir::Begin => {
+                sends.insert(fid, (ev.rank, ev.ts_ns));
+            }
+            FlowDir::End if coll != 0 => {
+                recvs
+                    .entry(coll)
+                    .or_default()
+                    .push((ev.rank, ev.ts_ns, fid));
+            }
+            FlowDir::End => {}
+        }
+    }
+
+    let mut per_op: BTreeMap<String, CollStats> = BTreeMap::new();
+    for (id, inst) in &instances {
+        if inst.ends.is_empty() {
+            continue;
+        }
+        let max_end = inst.ends.values().fold(f64::MIN, |a, &b| a.max(b));
+        let min_end = inst.ends.values().fold(f64::MAX, |a, &b| a.min(b));
+        let skew = (max_end - min_end).max(0.0);
+        let straggler = inst
+            .ends
+            .iter()
+            .filter(|(_, &e)| e == max_end)
+            .map(|(&r, _)| r)
+            .min()
+            .unwrap_or(0);
+        let hops = critical_hops(
+            straggler,
+            max_end,
+            recvs.get(id).map(Vec::as_slice).unwrap_or(&[]),
+            &sends,
+        );
+        let s = per_op.entry(inst.op.clone()).or_insert(CollStats {
+            op: inst.op.clone(),
+            instances: 0,
+            mean_skew_ns: 0.0,
+            max_skew_ns: -1.0,
+            straggler: 0,
+            critical_hops: 0,
+        });
+        s.instances += 1;
+        s.mean_skew_ns += skew; // running sum; divided below
+        if skew > s.max_skew_ns {
+            s.max_skew_ns = skew;
+            s.straggler = straggler;
+            s.critical_hops = hops;
+        }
+    }
+    let mut out: Vec<CollStats> = per_op.into_values().collect();
+    for s in &mut out {
+        s.mean_skew_ns /= s.instances as f64;
+        s.max_skew_ns = s.max_skew_ns.max(0.0);
+    }
+    out
+}
+
+/// Walk the critical chain of one collective instance backwards: from the
+/// straggler's completion, repeatedly jump to the sender of the latest
+/// message the current rank consumed. Returns the hop count.
+fn critical_hops(
+    mut rank: usize,
+    mut t: f64,
+    recvs: &[(usize, f64, u64)],
+    sends: &BTreeMap<u64, (usize, f64)>,
+) -> usize {
+    let mut hops = 0;
+    while hops < 10_000 {
+        // Latest recv on `rank` at or before `t` (ties: largest flow id
+        // for determinism).
+        let Some(&(_, rts, fid)) = recvs
+            .iter()
+            .filter(|&&(r, rts, _)| r == rank && rts <= t)
+            .max_by(|a, b| (a.1, a.2).partial_cmp(&(b.1, b.2)).unwrap())
+        else {
+            break;
+        };
+        let Some(&(srank, sts)) = sends.get(&fid) else {
+            break;
+        };
+        // Guard against non-causal data (truncated traces).
+        if sts > rts || (srank == rank && sts >= t) {
+            break;
+        }
+        rank = srank;
+        t = sts;
+        hops += 1;
+    }
+    hops
+}
+
+impl Analysis {
+    /// Weighted share of wall time in the paper's §IV "managed overhead"
+    /// categories (GC + JNI copy + staging), across all size buckets.
+    pub fn boundary_share_pct(&self) -> f64 {
+        let wall: f64 = self.buckets.iter().map(|b| b.wall_ns).sum();
+        if wall == 0.0 {
+            return 0.0;
+        }
+        let managed: f64 = self
+            .buckets
+            .iter()
+            .map(|b| b.cat_ns[0] + b.cat_ns[1] + b.cat_ns[2])
+            .sum();
+        managed / wall * 100.0
+    }
+
+    /// Weighted share of wall time in one named category (see
+    /// [`CATEGORY_NAMES`]), across all size buckets.
+    pub fn category_share_pct(&self, name: &str) -> f64 {
+        let Some(i) = CATEGORY_NAMES.iter().position(|&c| c == name) else {
+            return 0.0;
+        };
+        let wall: f64 = self.buckets.iter().map(|b| b.wall_ns).sum();
+        if wall == 0.0 {
+            return 0.0;
+        }
+        let ns: f64 = self.buckets.iter().map(|b| b.cat_ns[i]).sum();
+        ns / wall * 100.0
+    }
+
+    /// Human-readable attribution report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# latency attribution (% of virtual wall time; {} ranks)\n",
+            self.ranks
+        ));
+        out.push_str(&format!(
+            "# {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12}\n",
+            "size", "gc%", "copy%", "stage%", "fabric%", "wait%", "other%", "wall-us"
+        ));
+        for b in &self.buckets {
+            out.push_str(&format!(
+                "  {:>10} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>12.2}\n",
+                b.size,
+                b.share_pct(0),
+                b.share_pct(1),
+                b.share_pct(2),
+                b.share_pct(3),
+                b.share_pct(4),
+                b.share_pct(5),
+                b.wall_ns / 1_000.0,
+            ));
+        }
+        if self.buckets.is_empty() {
+            out.push_str("# (no bench.size markers — attribution needs a traced benchmark)\n");
+        }
+        if !self.collectives.is_empty() {
+            out.push_str("# collective skew (max-min completion spread across ranks)\n");
+            out.push_str(&format!(
+                "# {:>12} {:>6} {:>14} {:>14} {:>10} {:>10}\n",
+                "op", "n", "mean-skew-us", "max-skew-us", "straggler", "crit-hops"
+            ));
+            for c in &self.collectives {
+                out.push_str(&format!(
+                    "  {:>12} {:>6} {:>14.3} {:>14.3} {:>10} {:>10}\n",
+                    c.op,
+                    c.instances,
+                    c.mean_skew_ns / 1_000.0,
+                    c.max_skew_ns / 1_000.0,
+                    c.straggler,
+                    c.critical_hops,
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "# flows: {} sends, {} recvs, {} unmatched recvs, {} unmatched sends, {} duplicate ids\n",
+            self.flows.sends,
+            self.flows.recvs,
+            self.flows.unmatched_recvs,
+            self.flows.unmatched_sends,
+            self.flows.duplicate_ids,
+        ));
+        if self.dropped_events > 0 {
+            out.push_str(&format!(
+                "# WARNING: trace ring dropped {} events — attribution is truncated\n",
+                self.dropped_events
+            ));
+        }
+        out
+    }
+
+    /// The analysis as a single JSON object (no trailing newline), for
+    /// embedding into a larger report.
+    pub fn json_fragment(&self) -> String {
+        let mut w = json::JsonBuf::new();
+        w.begin_obj();
+        w.key("ranks");
+        w.uint_val(self.ranks as u64);
+        w.key("buckets");
+        w.begin_arr();
+        for b in &self.buckets {
+            w.begin_obj();
+            w.key("size");
+            w.uint_val(b.size);
+            w.key("windows");
+            w.uint_val(b.windows);
+            w.key("wall_ns");
+            w.num_val(b.wall_ns);
+            w.key("ns");
+            w.begin_obj();
+            for (i, name) in CATEGORY_NAMES.iter().enumerate() {
+                w.key(name);
+                w.num_val(b.cat_ns[i]);
+            }
+            w.end_obj();
+            w.key("pct");
+            w.begin_obj();
+            for (i, name) in CATEGORY_NAMES.iter().enumerate() {
+                w.key(name);
+                w.num_val(b.share_pct(i));
+            }
+            w.end_obj();
+            w.end_obj();
+        }
+        w.end_arr();
+        w.key("collectives");
+        w.begin_arr();
+        for c in &self.collectives {
+            w.begin_obj();
+            w.key("op");
+            w.str_val(&c.op);
+            w.key("instances");
+            w.uint_val(c.instances);
+            w.key("mean_skew_ns");
+            w.num_val(c.mean_skew_ns);
+            w.key("max_skew_ns");
+            w.num_val(c.max_skew_ns);
+            w.key("straggler");
+            w.uint_val(c.straggler as u64);
+            w.key("critical_hops");
+            w.uint_val(c.critical_hops as u64);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.key("flows");
+        w.begin_obj();
+        w.key("sends");
+        w.uint_val(self.flows.sends);
+        w.key("recvs");
+        w.uint_val(self.flows.recvs);
+        w.key("unmatched_recvs");
+        w.uint_val(self.flows.unmatched_recvs);
+        w.key("unmatched_sends");
+        w.uint_val(self.flows.unmatched_sends);
+        w.key("duplicate_ids");
+        w.uint_val(self.flows.duplicate_ids);
+        w.end_obj();
+        w.key("dropped_events");
+        w.uint_val(self.dropped_events);
+        w.end_obj();
+        w.finish()
+    }
+
+    /// The analysis as a standalone JSON document.
+    pub fn render_json(&self) -> String {
+        let mut s = self.json_fragment();
+        s.push('\n');
+        s
+    }
+
+    /// CSV: one attribution row per size, then one skew row per op.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("size,gc_pct,copy_pct,staging_pct,fabric_pct,wait_pct,other_pct,wall_us\n");
+        for b in &self.buckets {
+            out.push_str(&format!(
+                "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+                b.size,
+                b.share_pct(0),
+                b.share_pct(1),
+                b.share_pct(2),
+                b.share_pct(3),
+                b.share_pct(4),
+                b.share_pct(5),
+                b.wall_ns / 1_000.0,
+            ));
+        }
+        if !self.collectives.is_empty() {
+            out.push_str("op,instances,mean_skew_us,max_skew_us,straggler,critical_hops\n");
+            for c in &self.collectives {
+                out.push_str(&format!(
+                    "{},{},{:.4},{:.4},{},{}\n",
+                    c.op,
+                    c.instances,
+                    c.mean_skew_ns / 1_000.0,
+                    c.max_skew_ns / 1_000.0,
+                    c.straggler,
+                    c.critical_hops,
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(rank: usize, name: &str, cat: &str, ts: f64, dur: Option<f64>) -> Event {
+        Event {
+            rank,
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ts_ns: ts,
+            dur_ns: dur,
+            flow: None,
+            args: vec![],
+        }
+    }
+
+    fn marker(rank: usize, ts: f64, size: u64) -> Event {
+        let mut e = ev(rank, "bench.size", "bench", ts, None);
+        e.args.push(("bytes".to_string(), Arg::Num(size as f64)));
+        e
+    }
+
+    #[test]
+    fn interval_algebra() {
+        assert_eq!(
+            union(vec![(3.0, 5.0), (0.0, 2.0), (1.0, 4.0)]),
+            vec![(0.0, 5.0)]
+        );
+        assert_eq!(
+            intersect(&[(0.0, 10.0)], &[(2.0, 3.0), (8.0, 12.0)]),
+            vec![(2.0, 3.0), (8.0, 10.0)]
+        );
+        assert_eq!(
+            subtract(&[(0.0, 10.0)], &[(2.0, 3.0), (8.0, 12.0)]),
+            vec![(0.0, 2.0), (3.0, 8.0)]
+        );
+        assert_eq!(total(&[(1.0, 2.5), (4.0, 5.0)]), 2.5);
+    }
+
+    #[test]
+    fn window_attribution_partitions_wall_time() {
+        // One 100 ns window: GC [10,30) nested inside a nif call [5,40),
+        // a wait [50,90) with fabric [60,70) inside it.
+        let events = vec![
+            marker(0, 0.0, 8),
+            ev(0, "gc", "mrt", 10.0, Some(20.0)),
+            ev(0, "call", "nif", 5.0, Some(35.0)),
+            ev(0, "mpi.wait", "pt2pt", 50.0, Some(40.0)),
+            ev(0, "xfer", "fabric", 60.0, Some(10.0)),
+            ev(0, "end", "bench2", 100.0, None),
+            marker(0, 100.0, 0), // close the window; zero-length tail skipped
+        ];
+        let a = analyze_events(&events, 0);
+        assert_eq!(a.buckets.len(), 1);
+        let b = &a.buckets[0];
+        assert_eq!(b.size, 8);
+        assert_eq!(b.wall_ns, 100.0);
+        assert_eq!(b.cat_ns[0], 20.0); // gc wins over the enclosing nif span
+        assert_eq!(b.cat_ns[1], 15.0); // nif minus the gc overlap
+        assert_eq!(b.cat_ns[3], 10.0); // fabric wins over wait
+        assert_eq!(b.cat_ns[4], 30.0); // wait minus fabric
+        assert_eq!(b.cat_ns[5], 25.0); // the rest
+        assert!(b.unattributed_ns().abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_check_matches_pairs() {
+        let mut send = ev(0, "msg", "flow", 1.0, None);
+        send.flow = Some((FlowDir::Begin, 7));
+        let mut recv = ev(1, "msg", "flow", 2.0, None);
+        recv.flow = Some((FlowDir::End, 7));
+        let mut orphan = ev(1, "msg", "flow", 3.0, None);
+        orphan.flow = Some((FlowDir::End, 8));
+        let a = analyze_events(&[send, recv, orphan], 0);
+        assert_eq!(a.flows.sends, 1);
+        assert_eq!(a.flows.recvs, 2);
+        assert_eq!(a.flows.unmatched_recvs, 1);
+        assert_eq!(a.flows.duplicate_ids, 0);
+    }
+
+    #[test]
+    fn collective_skew_and_critical_chain() {
+        // Instance 5: rank 0 sends to 1 at t=10 (flow 100), rank 1
+        // receives at t=20 and relays to rank 2 at t=25 (flow 101),
+        // consumed at t=40. Spans end at 15/30/45 → skew 30, straggler 2,
+        // two hops on the chain.
+        let mut events = Vec::new();
+        for (rank, end) in [(0usize, 15.0), (1, 30.0), (2, 45.0)] {
+            let mut s = ev(rank, "bcast", "coll", 0.0, Some(end));
+            s.args.push(("coll".to_string(), Arg::Num(5.0)));
+            events.push(s);
+        }
+        for (rank, ts, dir, fid) in [
+            (0usize, 10.0, FlowDir::Begin, 100u64),
+            (1, 20.0, FlowDir::End, 100),
+            (1, 25.0, FlowDir::Begin, 101),
+            (2, 40.0, FlowDir::End, 101),
+        ] {
+            let mut e = ev(rank, "msg", "flow", ts, None);
+            e.flow = Some((dir, fid));
+            e.args.push(("coll".to_string(), Arg::Num(5.0)));
+            events.push(e);
+        }
+        let a = analyze_events(&events, 0);
+        assert_eq!(a.collectives.len(), 1);
+        let c = &a.collectives[0];
+        assert_eq!(c.op, "bcast");
+        assert_eq!(c.instances, 1);
+        assert_eq!(c.max_skew_ns, 30.0);
+        assert_eq!(c.straggler, 2);
+        assert_eq!(c.critical_hops, 2);
+    }
+
+    #[test]
+    fn renderers_are_deterministic_and_flag_drops() {
+        let events = vec![marker(0, 0.0, 4), ev(0, "gc", "mrt", 1.0, Some(2.0))];
+        let a1 = analyze_events(&events, 3);
+        let a2 = analyze_events(&events, 3);
+        assert_eq!(a1.render_text(), a2.render_text());
+        assert_eq!(a1.render_json(), a2.render_json());
+        assert_eq!(a1.render_csv(), a2.render_csv());
+        assert!(a1.render_text().contains("dropped 3 events"));
+        assert!(a1.render_json().contains("\"dropped_events\":3"));
+    }
+
+    #[test]
+    fn analysis_roundtrips_through_chrome_trace_files() {
+        use crate::{install, uninstall, ObsOptions};
+        install(0, ObsOptions::traced());
+        crate::instant(
+            "bench.size",
+            "bench",
+            vtime::VTime::from_nanos(0.0),
+            vec![("bytes", ArgValue::U64(16))],
+        );
+        crate::span(
+            "gc",
+            "mrt",
+            vtime::VTime::from_nanos(5.0),
+            vtime::VTime::from_nanos(25.0),
+            vec![],
+        );
+        crate::flow(
+            "msg",
+            "flow",
+            vtime::VTime::from_nanos(10.0),
+            FlowDir::Begin,
+            12345,
+            vec![("coll", ArgValue::U64(0))],
+        );
+        let report = JobReport {
+            ranks: vec![uninstall().unwrap()],
+        };
+        let direct = analyze(&report);
+        let (events, dropped) = events_from_chrome_trace(&report.chrome_trace_json()).unwrap();
+        let via_file = analyze_events(&events, dropped);
+        assert_eq!(direct, via_file, "file round trip must not change analysis");
+        assert_eq!(direct.flows.sends, 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! `obs-analyze` — offline latency attribution for virtual-time traces.
+//!
+//! ```text
+//! obs-analyze [--format text|json|csv] TRACE.json [TRACE.json ...]
+//! ```
+//!
+//! Loads one or more Chrome trace files written by `ombj --trace-out`
+//! (or any `JobReport::chrome_trace_json` output), reconstructs the
+//! causal message graph, and prints the latency-attribution report:
+//! per-size GC/copy/staging/fabric/wait shares, collective skew and
+//! critical chains, and the send↔recv flow pairing check.
+
+use obs::analyze;
+
+fn usage() -> ! {
+    eprintln!("usage: obs-analyze [--format text|json|csv] TRACE.json [TRACE.json ...]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut format = "text".to_string();
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => format = it.next().cloned().unwrap_or_else(|| usage()),
+            "-h" | "--help" => usage(),
+            _ => paths.push(a.clone()),
+        }
+    }
+    if paths.is_empty() || !matches!(format.as_str(), "text" | "json" | "csv") {
+        usage();
+    }
+
+    let mut events = Vec::new();
+    let mut dropped = 0u64;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: reading {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match analyze::events_from_chrome_trace(&text) {
+            Ok((evs, d)) => {
+                events.extend(evs);
+                dropped += d;
+            }
+            Err(e) => {
+                eprintln!("error: parsing {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let analysis = analyze::analyze_events(&events, dropped);
+    match format.as_str() {
+        "text" => print!("{}", analysis.render_text()),
+        "json" => print!("{}", analysis.render_json()),
+        "csv" => print!("{}", analysis.render_csv()),
+        _ => unreachable!(),
+    }
+}

@@ -154,6 +154,267 @@ impl JsonBuf {
     }
 }
 
+/// A parsed JSON value. Objects keep insertion order so that
+/// parse→inspect pipelines stay deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Accepts exactly what [`JsonBuf`] (and the
+/// Chrome trace writer built on it) produces, plus ordinary hand-written
+/// JSON; the analyzer uses it to reload per-rank trace files.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other, self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let k = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            fields.push((k, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: the low half follows.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err("lone high surrogate".to_string());
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err("invalid low surrogate".to_string());
+                                }
+                                let cp = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                char::from_u32(cp)
+                                    .ok_or_else(|| "invalid surrogate pair".to_string())?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| "invalid \\u escape".to_string())?
+                            };
+                            out.push(c);
+                            continue; // hex4 already advanced
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through unmodified.
+                    let s =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end]).map_err(|e| e.to_string())?;
+        let v = u32::from_str_radix(s, 16).map_err(|e| e.to_string())?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        s.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|e| format!("bad number {s:?}: {e}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,5 +462,96 @@ mod tests {
         w.end_arr();
         w.end_obj();
         assert_eq!(w.finish(), r#"{"e":[]}"#);
+    }
+
+    #[test]
+    fn parse_roundtrips_writer_escapes() {
+        // Every escape class the writer can produce survives a
+        // write→parse round trip.
+        let original = "a\"b\\c\nd\te\rf\u{1}g\u{7f}héллоπ";
+        let mut w = JsonBuf::new();
+        w.begin_obj();
+        w.key("s");
+        w.str_val(original);
+        w.end_obj();
+        let parsed = parse(&w.finish()).unwrap();
+        assert_eq!(parsed.get("s").unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn parse_handles_numbers_and_literals() {
+        let v = parse(r#"{"a":-1.5e3,"b":true,"c":null,"d":[0,2.25],"e":{}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_f64(), Some(-1500.0));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("c"), Some(&JsonValue::Null));
+        let d = v.get("d").unwrap().as_arr().unwrap();
+        assert_eq!(d[1].as_f64(), Some(2.25));
+        assert_eq!(v.get("e"), Some(&JsonValue::Obj(vec![])));
+    }
+
+    #[test]
+    fn parse_handles_unicode_escapes_and_surrogates() {
+        let v = parse(r#"["Aé😀"]"#).unwrap();
+        assert_eq!(v.as_arr().unwrap()[0].as_str(), Some("Aé😀"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [r#"{"a":}"#, "[1,", "\"unterminated", "tru", "{\"a\":1}x"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_report_roundtrips_through_chrome_trace_json() {
+        // An empty job report still serializes as a valid, parseable
+        // Chrome trace document.
+        let text = crate::JobReport::default().chrome_trace_json();
+        let v = parse(&text).unwrap();
+        assert_eq!(v.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+        assert_eq!(v.get("droppedEvents").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn flow_events_roundtrip_through_chrome_trace_json() {
+        use crate::trace::{FlowDir, TraceEvent};
+        use vtime::VTime;
+        let rank = crate::RankReport {
+            rank: 3,
+            label: "rank 3 (T)".to_string(),
+            pvars: crate::PvarSet::new(),
+            events: vec![
+                TraceEvent::flow(
+                    "msg",
+                    "flow",
+                    VTime::from_nanos(1500.0),
+                    FlowDir::Begin,
+                    99,
+                    vec![("bytes", crate::ArgValue::U64(64))],
+                ),
+                TraceEvent::flow(
+                    "msg",
+                    "flow",
+                    VTime::from_nanos(2500.0),
+                    FlowDir::End,
+                    99,
+                    vec![],
+                ),
+            ],
+            dropped_events: 0,
+        };
+        let text = crate::JobReport { ranks: vec![rank] }.chrome_trace_json();
+        let v = parse(&text).unwrap();
+        let evs = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // process_name row + two flow records.
+        assert_eq!(evs.len(), 3);
+        let s = &evs[1];
+        assert_eq!(s.get("ph").unwrap().as_str(), Some("s"));
+        assert_eq!(s.get("id").unwrap().as_f64(), Some(99.0));
+        assert_eq!(s.get("pid").unwrap().as_f64(), Some(3.0));
+        let f = &evs[2];
+        assert_eq!(f.get("ph").unwrap().as_str(), Some("f"));
+        assert_eq!(f.get("bp").unwrap().as_str(), Some("e"));
+        assert_eq!(f.get("id").unwrap().as_f64(), Some(99.0));
     }
 }

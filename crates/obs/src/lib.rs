@@ -24,12 +24,17 @@
 //!   [`span`], …) which no-op (one thread-local read) when no recorder
 //!   is installed — e.g. in unit tests that drive a layer directly.
 
+pub mod analyze;
 pub mod json;
 pub mod pvar;
 pub mod trace;
 
 pub use pvar::{bucket_of, Log2Hist, PvarSet, PvarValue, HIST_BUCKETS};
-pub use trace::{ArgValue, TraceEvent, TraceRing};
+pub use trace::{ArgValue, FlowDir, TraceEvent, TraceRing};
+
+/// Pvar counting trace events evicted from the ring (satellite of the
+/// analyzer: truncated traces are flagged, not silently misread).
+pub const DROPPED_EVENTS_PVAR: &str = "trace.dropped_events";
 
 use std::cell::RefCell;
 
@@ -160,6 +165,16 @@ pub fn observe(name: &str, v: f64) {
     });
 }
 
+impl Recorder {
+    /// Push an event and account ring eviction under
+    /// [`DROPPED_EVENTS_PVAR`].
+    fn record(&mut self, ev: TraceEvent) {
+        if self.ring.push(ev) {
+            self.pvars.count(DROPPED_EVENTS_PVAR, 1);
+        }
+    }
+}
+
 /// Record a complete span `[begin, end)` (no-op unless tracing).
 #[inline]
 pub fn span(
@@ -172,7 +187,7 @@ pub fn span(
     RECORDER.with(|r| {
         if let Some(rec) = r.borrow_mut().as_mut() {
             if rec.tracing {
-                rec.ring.push(TraceEvent::span(name, cat, begin, end, args));
+                rec.record(TraceEvent::span(name, cat, begin, end, args));
             }
         }
     });
@@ -189,7 +204,27 @@ pub fn instant(
     RECORDER.with(|r| {
         if let Some(rec) = r.borrow_mut().as_mut() {
             if rec.tracing {
-                rec.ring.push(TraceEvent::instant(name, cat, at, args));
+                rec.record(TraceEvent::instant(name, cat, at, args));
+            }
+        }
+    });
+}
+
+/// Record a flow begin/end event (no-op unless tracing). Matching ids on
+/// a `Begin` and an `End` across ranks become one Perfetto arrow.
+#[inline]
+pub fn flow(
+    name: &'static str,
+    cat: &'static str,
+    at: VTime,
+    dir: FlowDir,
+    id: u64,
+    args: Vec<(&'static str, ArgValue)>,
+) {
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow_mut().as_mut() {
+            if rec.tracing {
+                rec.record(TraceEvent::flow(name, cat, at, dir, id, args));
             }
         }
     });
@@ -259,14 +294,27 @@ impl JobReport {
                 w.newline();
                 w.begin_obj();
                 w.key("ph");
-                w.str_val(if ev.dur_ns.is_some() { "X" } else { "i" });
+                w.str_val(match (ev.flow, ev.dur_ns.is_some()) {
+                    (Some((FlowDir::Begin, _)), _) => "s",
+                    (Some((FlowDir::End, _)), _) => "f",
+                    (None, true) => "X",
+                    (None, false) => "i",
+                });
                 w.key("pid");
                 w.uint_val(r.rank as u64);
                 w.key("tid");
                 w.uint_val(0);
                 w.key("ts");
                 w.num_val(ev.ts_ns / 1_000.0);
-                if let Some(dur) = ev.dur_ns {
+                if let Some((dir, id)) = ev.flow {
+                    w.key("id");
+                    w.uint_val(id);
+                    if dir == FlowDir::End {
+                        // Bind the arrow head to the enclosing slice.
+                        w.key("bp");
+                        w.str_val("e");
+                    }
+                } else if let Some(dur) = ev.dur_ns {
                     w.key("dur");
                     w.num_val(dur / 1_000.0);
                 } else {
@@ -300,6 +348,10 @@ impl JobReport {
         w.end_arr();
         w.key("displayTimeUnit");
         w.str_val("ns");
+        // Carried in-band so the offline analyzer can flag truncated
+        // traces without the pvar dump.
+        w.key("droppedEvents");
+        w.uint_val(self.dropped_events());
         w.end_obj();
         w.newline();
         w.finish()
@@ -406,6 +458,33 @@ mod tests {
         assert_eq!(rep.events.len(), 4);
         assert_eq!(rep.dropped_events, 6);
         assert_eq!(rep.events[0].ts_ns, 6.0);
+        // Evictions are surfaced as a pvar, not just a field.
+        assert_eq!(rep.pvars.counter(DROPPED_EVENTS_PVAR), 6);
+    }
+
+    #[test]
+    fn flow_events_serialize_as_s_and_f_records() {
+        let rep = with_recorder(ObsOptions::traced(), || {
+            flow(
+                "msg",
+                "flow",
+                VTime::from_nanos(1000.0),
+                FlowDir::Begin,
+                7,
+                vec![("bytes", ArgValue::U64(8))],
+            );
+            flow(
+                "msg",
+                "flow",
+                VTime::from_nanos(2000.0),
+                FlowDir::End,
+                7,
+                vec![],
+            );
+        });
+        let json = JobReport { ranks: vec![rep] }.chrome_trace_json();
+        assert!(json.contains(r#""ph":"s","pid":0,"tid":0,"ts":1,"id":7"#));
+        assert!(json.contains(r#""ph":"f","pid":0,"tid":0,"ts":2,"id":7,"bp":"e""#));
     }
 
     #[test]

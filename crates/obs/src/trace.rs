@@ -21,7 +21,19 @@ pub enum ArgValue {
     Bool(bool),
 }
 
-/// One trace event: a complete span (`dur_ns` present) or an instant.
+/// Which side of a cross-rank flow arrow an event marks (Chrome
+/// trace_event `ph:"s"` / `ph:"f"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowDir {
+    /// Flow begin — the send side (`ph:"s"`).
+    Begin,
+    /// Flow end — the recv side (`ph:"f"`, binding point `"e"`).
+    End,
+}
+
+/// One trace event: a complete span (`dur_ns` present), an instant, or a
+/// flow begin/end (`flow` present) that Perfetto renders as a send→recv
+/// arrow between rank tracks.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     pub name: &'static str,
@@ -30,8 +42,11 @@ pub struct TraceEvent {
     pub cat: &'static str,
     /// Virtual begin time (ns since simulation epoch).
     pub ts_ns: f64,
-    /// Span length; `None` marks an instant event.
+    /// Span length; `None` marks an instant or flow event.
     pub dur_ns: Option<f64>,
+    /// Flow direction and the globally unique flow id tying the two ends
+    /// of one message together.
+    pub flow: Option<(FlowDir, u64)>,
     pub args: Vec<(&'static str, ArgValue)>,
 }
 
@@ -49,6 +64,7 @@ impl TraceEvent {
             cat,
             ts_ns: begin.as_nanos(),
             dur_ns: Some(end.saturating_since(begin).as_nanos()),
+            flow: None,
             args,
         }
     }
@@ -65,6 +81,27 @@ impl TraceEvent {
             cat,
             ts_ns: at.as_nanos(),
             dur_ns: None,
+            flow: None,
+            args,
+        }
+    }
+
+    /// A flow begin/end event. The same `id` on a `Begin` on one rank and
+    /// an `End` on another draws the send→recv arrow.
+    pub fn flow(
+        name: &'static str,
+        cat: &'static str,
+        at: VTime,
+        dir: FlowDir,
+        id: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) -> Self {
+        TraceEvent {
+            name,
+            cat,
+            ts_ns: at.as_nanos(),
+            dur_ns: None,
+            flow: Some((dir, id)),
             args,
         }
     }
@@ -88,12 +125,16 @@ impl TraceRing {
         }
     }
 
-    pub fn push(&mut self, ev: TraceEvent) {
-        if self.buf.len() == self.capacity {
+    /// Push an event; returns `true` when an older event was evicted to
+    /// make room (so the caller can account the drop as a pvar).
+    pub fn push(&mut self, ev: TraceEvent) -> bool {
+        let evicted = self.buf.len() == self.capacity;
+        if evicted {
             self.buf.pop_front();
             self.dropped += 1;
         }
         self.buf.push_back(ev);
+        evicted
     }
 
     pub fn len(&self) -> usize {
@@ -149,6 +190,37 @@ mod tests {
         r.push(ev(2));
         assert_eq!(r.len(), 1);
         assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn push_reports_eviction() {
+        let mut r = TraceRing::new(2);
+        assert!(!r.push(ev(0)));
+        assert!(!r.push(ev(1)));
+        assert!(r.push(ev(2)));
+    }
+
+    #[test]
+    fn flow_events_carry_direction_and_id() {
+        let b = TraceEvent::flow(
+            "msg",
+            "flow",
+            VTime::from_nanos(5.0),
+            FlowDir::Begin,
+            42,
+            vec![],
+        );
+        let e = TraceEvent::flow(
+            "msg",
+            "flow",
+            VTime::from_nanos(9.0),
+            FlowDir::End,
+            42,
+            vec![],
+        );
+        assert_eq!(b.flow, Some((FlowDir::Begin, 42)));
+        assert_eq!(e.flow, Some((FlowDir::End, 42)));
+        assert_eq!(b.dur_ns, None);
     }
 
     #[test]

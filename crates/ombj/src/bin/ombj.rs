@@ -18,6 +18,7 @@
 //!   --compare                   run all four library×API series side by side
 //!   --format text|json|csv      output format (default text)
 //!   --trace-out PATH            record a virtual-time Chrome trace to PATH
+//!   --analyze                   trace the run and append the latency attribution
 //!   --pvar-dump                 print the merged pvar snapshot after the table
 //! ```
 
@@ -29,7 +30,7 @@ fn usage() -> ! {
         "usage: ombj <latency|bw|bibw|bcast|reduce|allreduce|allgather|allgatherv|gather|gatherv|scatter|scatterv|alltoall|alltoallv|barrier> \
          [--lib mvapich2j|openmpij] [--api buffer|arrays] [--nodes N] [--ppn P] \
          [--min B] [--max B] [--iters N] [--warmup N] [--validate] [--compare] \
-         [--format text|json|csv] [--trace-out PATH] [--pvar-dump]"
+         [--format text|json|csv] [--trace-out PATH] [--analyze] [--pvar-dump]"
     );
     std::process::exit(2)
 }
@@ -83,6 +84,7 @@ fn main() {
     let mut compare = false;
     let mut format = Format::Text;
     let mut trace_out: Option<String> = None;
+    let mut analyze = false;
     let mut pvar_dump = false;
 
     let mut it = args[1..].iter();
@@ -122,12 +124,13 @@ fn main() {
                 }
             }
             "--trace-out" => trace_out = Some(val(&mut it)),
+            "--analyze" => analyze = true,
             "--pvar-dump" => pvar_dump = true,
             _ => usage(),
         }
     }
-    if compare && (trace_out.is_some() || pvar_dump) {
-        eprintln!("--trace-out/--pvar-dump apply to a single run; drop --compare");
+    if compare && (trace_out.is_some() || analyze || pvar_dump) {
+        eprintln!("--trace-out/--analyze/--pvar-dump apply to a single run; drop --compare");
         std::process::exit(2);
     }
 
@@ -176,15 +179,29 @@ fn main() {
             opts,
         };
         let obs_opts = obs::ObsOptions {
-            tracing: trace_out.is_some(),
+            tracing: trace_out.is_some() || analyze,
             ..Default::default()
         };
         let (series, report) = run_with_obs(spec, obs_opts);
+        let analysis = analyze.then(|| obs::analyze::analyze(&report));
         match series {
             Some(s) => match format {
-                Format::Text => print!("{}", ombj::report::render_series(&s)),
-                Format::Json => print!("{}", ombj::report::render_series_json(&s)),
-                Format::Csv => print!("{}", ombj::report::render_series_csv(&s)),
+                Format::Text => {
+                    print!("{}", ombj::report::render_series(&s));
+                    if let Some(a) = &analysis {
+                        print!("{}", a.render_text());
+                    }
+                }
+                Format::Json => print!(
+                    "{}",
+                    ombj::report::render_series_json_with(&s, analysis.as_ref())
+                ),
+                Format::Csv => {
+                    print!("{}", ombj::report::render_series_csv(&s));
+                    if let Some(a) = &analysis {
+                        print!("{}", a.render_csv());
+                    }
+                }
             },
             None => {
                 eprintln!(

@@ -108,6 +108,12 @@ pub fn collective(
     if op == CollOp::Barrier {
         let (warmup, iters) = (opts.warmup, opts.iterations);
         env.barrier(w)?;
+        obs::instant(
+            "bench.size",
+            "bench",
+            env.now(),
+            vec![("bytes", obs::ArgValue::U64(0))],
+        );
         let mut local = 0.0;
         for i in 0..warmup + iters {
             let t0 = env.now();
@@ -147,6 +153,12 @@ pub fn collective(
         let counts = vec![size as i32; p];
         let displs: Vec<i32> = (0..p).map(|r| (r * size) as i32).collect();
         env.barrier(w)?;
+        obs::instant(
+            "bench.size",
+            "bench",
+            env.now(),
+            vec![("bytes", obs::ArgValue::U64(size as u64))],
+        );
         let mut local = 0.0;
         for i in 0..warmup + iters {
             let t0 = env.now();

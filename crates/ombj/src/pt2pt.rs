@@ -59,6 +59,12 @@ pub fn lat_impl(env: &mut Env, opts: &BenchOptions, api: Api) -> BindResult<Vec<
     for size in opts.sizes() {
         let (warmup, iters) = opts.iters_for(size);
         env.barrier(w)?;
+        obs::instant(
+            "bench.size",
+            "bench",
+            env.now(),
+            vec![("bytes", obs::ArgValue::U64(size as u64))],
+        );
         let mut elapsed = 0.0f64;
         for i in 0..warmup + iters {
             let t0 = env.now();
@@ -159,6 +165,12 @@ fn bw_impl(
     for size in opts.sizes() {
         let (warmup, iters) = opts.iters_for(size);
         env.barrier(w)?;
+        obs::instant(
+            "bench.size",
+            "bench",
+            env.now(),
+            vec![("bytes", obs::ArgValue::U64(size as u64))],
+        );
         let mut t_start = env.now();
         for i in 0..warmup + iters {
             if i == warmup {

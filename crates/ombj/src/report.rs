@@ -40,13 +40,23 @@ fn pool_line(s: &Series) -> Option<String> {
 
 /// One series as a JSON document.
 pub fn render_series_json(s: &Series) -> String {
+    render_series_json_with(s, None)
+}
+
+/// One series as a JSON document, optionally embedding the latency
+/// attribution produced by `--analyze` as an `"attribution"` member.
+pub fn render_series_json_with(s: &Series, analysis: Option<&obs::analyze::Analysis>) -> String {
     let mut w = JsonBuf::new();
-    series_obj(&mut w, s);
+    series_obj_with(&mut w, s, analysis);
     w.newline();
     w.finish()
 }
 
 fn series_obj(w: &mut JsonBuf, s: &Series) {
+    series_obj_with(w, s, None)
+}
+
+fn series_obj_with(w: &mut JsonBuf, s: &Series, analysis: Option<&obs::analyze::Analysis>) {
     w.begin_obj();
     w.key("benchmark");
     w.str_val(s.benchmark);
@@ -79,6 +89,10 @@ fn series_obj(w: &mut JsonBuf, s: &Series) {
         w.key("pooled_bytes");
         w.uint_val(st.pooled_bytes as u64);
         w.end_obj();
+    }
+    if let Some(a) = analysis {
+        w.key("attribution");
+        w.raw_val(&a.json_fragment());
     }
     w.end_obj();
 }

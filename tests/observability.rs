@@ -126,6 +126,134 @@ fn nif_crossing_pvars_cover_all_three_access_modes() {
 }
 
 #[test]
+fn bcast_recv_flows_pair_with_exactly_one_send() {
+    // Tentpole contract: on a 4-rank bcast, every consumed message (flow
+    // `End`) pairs with exactly one injection (flow `Begin`) — no orphans,
+    // no duplicate flow ids — and the constituent messages carry a
+    // collective instance id the analyzer can group.
+    let spec = RunSpec {
+        library: Library::Mvapich2J,
+        benchmark: Benchmark::Collective(ombj::CollOp::Bcast),
+        api: Api::Buffer,
+        topo: Topology::new(2, 2),
+        opts: BenchOptions {
+            max_size: 1 << 12,
+            ..BenchOptions::quick()
+        },
+    };
+    let (_, report) = run_with_obs(spec, obs::ObsOptions::traced());
+    let a = obs::analyze::analyze(&report);
+    assert!(a.flows.sends > 0, "bcast must inject messages");
+    assert_eq!(a.flows.sends, a.flows.recvs, "every send is consumed");
+    assert_eq!(a.flows.unmatched_recvs, 0, "recv without a matching send");
+    assert_eq!(a.flows.unmatched_sends, 0, "send never consumed");
+    assert_eq!(a.flows.duplicate_ids, 0, "flow ids must be unique");
+    assert_eq!(a.dropped_events, 0, "default ring must hold a quick run");
+    let bcast = a
+        .collectives
+        .iter()
+        .find(|c| c.op == "bcast")
+        .expect("bcast instances grouped by collective id");
+    assert!(bcast.instances > 0);
+    assert!(
+        bcast.critical_hops >= 1,
+        "a bcast critical path crosses at least one message edge"
+    );
+}
+
+#[test]
+fn latency_attribution_has_no_unattributed_gap() {
+    // Tentpole contract: the critical path of each osu_latency iteration
+    // equals the sum of the attributed segments — the per-size category
+    // shares partition wall time exactly (gap == 0 by construction, and
+    // the shares must sum to 100%).
+    let (_, report) = run_with_obs(latency_spec(), obs::ObsOptions::traced());
+    let a = obs::analyze::analyze(&report);
+    assert!(!a.buckets.is_empty(), "size markers must produce buckets");
+    for b in &a.buckets {
+        assert!(
+            b.unattributed_ns().abs() < 1e-6,
+            "size {}: unattributed gap of {} ns",
+            b.size,
+            b.unattributed_ns()
+        );
+        let total: f64 = (0..6).map(|i| b.share_pct(i)).sum();
+        assert!(
+            (total - 100.0).abs() < 1e-6,
+            "size {}: shares sum to {total}%",
+            b.size
+        );
+    }
+}
+
+#[test]
+fn arrays_attribution_shows_more_boundary_cost_than_buffers() {
+    // The paper's headline story, recovered automatically: the arrays API
+    // pays for staging copies and pool traffic that the direct-ByteBuffer
+    // API never incurs.
+    let run_api = |api| {
+        let spec = RunSpec {
+            api,
+            ..latency_spec()
+        };
+        let (_, report) = run_with_obs(spec, obs::ObsOptions::traced());
+        obs::analyze::analyze(&report)
+    };
+    let arrays = run_api(Api::Arrays);
+    let buffer = run_api(Api::Buffer);
+    assert!(
+        arrays.boundary_share_pct() > buffer.boundary_share_pct(),
+        "arrays copy+staging+gc share ({:.2}%) must exceed buffer's ({:.2}%)",
+        arrays.boundary_share_pct(),
+        buffer.boundary_share_pct()
+    );
+    assert!(
+        arrays.category_share_pct("staging") > 0.0,
+        "arrays runs stage through the pool"
+    );
+    assert_eq!(
+        buffer.category_share_pct("staging"),
+        0.0,
+        "buffer runs never touch the staging layer"
+    );
+}
+
+#[test]
+fn analysis_output_is_byte_identical_across_runs() {
+    let run_once = || {
+        let (_, report) = run_with_obs(latency_spec(), obs::ObsOptions::traced());
+        let a = obs::analyze::analyze(&report);
+        (a.render_text(), a.render_json(), a.render_csv())
+    };
+    assert_eq!(run_once(), run_once(), "analysis must replay byte-for-byte");
+}
+
+#[test]
+fn dropped_events_surface_in_pvars_and_analysis() {
+    // A deliberately tiny ring drops events; the loss is recorded as the
+    // `trace.dropped_events` pvar and the analyzer flags the truncation
+    // instead of silently attributing a partial trace.
+    let spec = latency_spec();
+    let (_, report) = run_with_obs(
+        spec,
+        obs::ObsOptions {
+            tracing: true,
+            ring_capacity: 8,
+        },
+    );
+    assert!(
+        report.merged_pvars().counter(obs::DROPPED_EVENTS_PVAR) > 0,
+        "a 8-event ring cannot hold an osu_latency sweep"
+    );
+    let a = obs::analyze::analyze(&report);
+    assert!(a.dropped_events > 0);
+    assert!(
+        a.render_text().contains("WARNING: trace ring dropped"),
+        "analysis must surface the truncation"
+    );
+}
+
+#[test]
 fn unexpected_message_pvars_fire() {
     // Rank 1 sends tag 5 then tag 6; rank 0 receives tag 6 *first*.
     // Draining the mailbox for tag 6 parks the tag-5 message in the
