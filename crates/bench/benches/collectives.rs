@@ -45,6 +45,7 @@ fn bench_figures_14_17() {
                         api: Api::Buffer,
                         topo: Topology::new(2, 4),
                         opts: opts(),
+                        faults: None,
                     })
                     .expect("collective runs")
                 },
@@ -67,6 +68,7 @@ fn bench_vectored() {
                 api: Api::Arrays,
                 topo: Topology::new(2, 2),
                 opts: opts(),
+                faults: None,
             })
             .expect("vectored collective runs")
         });

@@ -44,6 +44,7 @@ fn bench_latency() {
                     api,
                     topo,
                     opts: opts(),
+                    faults: None,
                 })
                 .expect("latency runs");
                 assert!(!s.points.is_empty());
@@ -68,6 +69,7 @@ fn bench_bandwidth() {
                     api: Api::Buffer,
                     topo: Topology::new(2, 1),
                     opts: opts(),
+                    faults: None,
                 })
                 .expect("bw runs")
             },
@@ -89,6 +91,7 @@ fn bench_validation_mode() {
                 api,
                 topo: Topology::new(2, 1),
                 opts: o,
+                faults: None,
             })
             .expect("validated latency runs")
         });

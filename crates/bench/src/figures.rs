@@ -162,6 +162,7 @@ fn four_series(
                 api,
                 topo,
                 opts,
+                faults: None,
             }) {
                 Some(s) => out.push(s),
                 None => notes.push(format!(
@@ -285,6 +286,7 @@ pub fn run_figure(id: &str, scale: Scale) -> Figure {
                     api: Api::Buffer,
                     topo: inter(),
                     opts,
+                    faults: None,
                 })
                 .expect("buffer latency always supported");
                 let native = native_latency(inter(), profile, &opts);
@@ -419,6 +421,7 @@ pub fn run_figure(id: &str, scale: Scale) -> Figure {
                         api,
                         topo: inter(),
                         opts,
+                        faults: None,
                     },
                     obs_opts(),
                 );
@@ -491,6 +494,7 @@ fn aggregate_pool(figs: &[&Figure]) -> mpjbuf::PoolStats {
                 total.releases += p.releases;
                 total.outstanding += p.outstanding;
                 total.pooled_bytes += p.pooled_bytes;
+                total.fallback_allocs += p.fallback_allocs;
             }
         }
     }

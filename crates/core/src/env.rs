@@ -7,11 +7,11 @@
 //! the bindings methods (see the `pt2pt` and `colls` modules), each of
 //! which crosses the JNI-analog boundary into the native library.
 
-use mpisim::{Mpi, Profile, Wire};
+use mpisim::{Frame, Mpi, Profile};
 use mpjbuf::{BufferPool, PoolStats};
 use mrt::prim::Prim;
 use mrt::{DirectBuffer, GcStats, JArray, MrtResult, Runtime};
-use simfabric::{run_cluster, Topology};
+use simfabric::{run_cluster, FaultPlan, Topology};
 use vtime::{CostModel, VDur, VTime};
 
 use crate::flavor::{BindingFlavor, MVAPICH2J};
@@ -39,6 +39,10 @@ pub struct JobConfig {
     /// Observability switches (pvar collection is always on under
     /// [`run_job_with_obs`]; this controls the per-rank event tracer).
     pub obs: obs::ObsOptions,
+    /// Fault plan installed on every rank's endpoint before traffic
+    /// starts; `None` runs on a perfect fabric with the reliability
+    /// sublayer disabled.
+    pub faults: Option<FaultPlan>,
 }
 
 impl JobConfig {
@@ -53,6 +57,7 @@ impl JobConfig {
             heap_max: mrt::runtime::DEFAULT_MAX_HEAP,
             pool_limit: 8,
             obs: obs::ObsOptions::default(),
+            faults: None,
         }
     }
 
@@ -66,6 +71,12 @@ impl JobConfig {
     /// Same job, different observability switches.
     pub fn with_obs(mut self, obs: obs::ObsOptions) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Same job, with a fault plan injected at the fabric.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 }
@@ -99,7 +110,10 @@ where
 {
     use std::sync::Mutex;
     let reports: Mutex<Vec<obs::RankReport>> = Mutex::new(Vec::new());
-    let results = run_cluster::<Wire, R, _>(cfg.topo, |ep| {
+    let results = run_cluster::<Frame, R, _>(cfg.topo, |mut ep| {
+        if let Some(plan) = cfg.faults {
+            ep.install_faults(plan);
+        }
         let rank = ep.rank();
         obs::install(rank, cfg.obs);
         obs::set_process_label(format!("rank {rank} ({})", cfg.flavor.name));

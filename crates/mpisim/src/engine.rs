@@ -23,10 +23,11 @@
 //! modern hardware-offloaded rendezvous — so it never inflates the
 //! receiver's application-visible clock.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
 
-use simfabric::{Delivery, Endpoint};
-use vtime::{Clock, VDur, VTime};
+use simfabric::{Delivery, Endpoint, Fate, FaultPlan};
+use vtime::{Clock, LogGp, VDur, VTime};
 
 use crate::error::{MpiError, MpiResult};
 use crate::profile::{PathParams, Profile};
@@ -84,6 +85,101 @@ pub enum Wire {
         data: Box<[u8]>,
         stamp: FlowStamp,
     },
+    /// Reliability-sublayer positive acknowledgement of frame `seq`
+    /// (only emitted while a fault plan is active).
+    Ack { seq: u64 },
+}
+
+/// The unit the engine actually puts on the fabric: a [`Wire`] message
+/// framed with a per-link sequence number and a checksum. Outside a fault
+/// plan both fields stay zero and are never inspected, so the reliability
+/// sublayer costs nothing on a healthy fabric.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Per-(src,dst) sequence number (1-based; 0 marks control acks).
+    pub seq: u64,
+    /// FNV-1a over `seq` and the wire content (0 when no plan is active).
+    pub checksum: u64,
+    /// The MPI-level message.
+    pub wire: Wire,
+}
+
+impl simfabric::FaultTarget for Frame {
+    /// Bit-flip the frame the way a faulty wire would: payload bytes when
+    /// there are any, otherwise the checksum itself (control frames).
+    /// `seq` is left intact so the receiver can still attribute the frame.
+    fn corrupt(&mut self, salt: u64) {
+        match &mut self.wire {
+            Wire::Eager { data, .. } | Wire::RndvData { data, .. } if !data.is_empty() => {
+                let idx = (salt as usize) % data.len();
+                data[idx] ^= (salt as u8) | 1;
+            }
+            _ => self.checksum ^= salt | 1,
+        }
+    }
+}
+
+/// FNV-1a hasher for frame checksums (checksum field excluded).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn eat_u64(&mut self, v: u64) {
+        self.eat(&v.to_le_bytes());
+    }
+}
+
+/// Checksum of a frame's integrity-relevant content.
+fn frame_checksum(seq: u64, wire: &Wire) -> u64 {
+    let mut h = Fnv::new();
+    h.eat_u64(seq);
+    let env_of = |h: &mut Fnv, env: &Envelope| {
+        h.eat_u64(env.src as u64);
+        h.eat_u64(env.tag as u64);
+        h.eat_u64(env.context as u64);
+    };
+    match wire {
+        Wire::Eager { env, data, stamp } => {
+            h.eat_u64(1);
+            env_of(&mut h, env);
+            h.eat_u64(stamp.flow);
+            h.eat(data);
+        }
+        Wire::Rts {
+            env,
+            sender_req,
+            nbytes,
+            stamp,
+        } => {
+            h.eat_u64(2);
+            env_of(&mut h, env);
+            h.eat_u64(*sender_req);
+            h.eat_u64(*nbytes as u64);
+            h.eat_u64(stamp.flow);
+        }
+        Wire::Cts { sender_req } => {
+            h.eat_u64(3);
+            h.eat_u64(*sender_req);
+        }
+        Wire::RndvData { env, data, stamp } => {
+            h.eat_u64(4);
+            env_of(&mut h, env);
+            h.eat_u64(stamp.flow);
+            h.eat(data);
+        }
+        Wire::Ack { seq } => {
+            h.eat_u64(5);
+            h.eat_u64(*seq);
+        }
+    }
+    h.0
 }
 
 /// Completion information for a receive (subset of MPI_Status).
@@ -196,7 +292,7 @@ pub struct Completion {
 
 /// The per-rank MPI progress engine.
 pub struct Engine {
-    ep: Endpoint<Wire>,
+    ep: Endpoint<Frame>,
     clock: Clock,
     profile: Profile,
     requests: HashMap<u64, ReqState>,
@@ -216,14 +312,30 @@ pub struct Engine {
     /// Per-context collective call counter; collectives are globally
     /// ordered per communicator, so every rank derives the same ids.
     coll_seq: HashMap<u32, u64>,
+    /// Fault plan in force (copied from the endpoint at construction).
+    /// `None` disables the entire reliability sublayer — no checksums,
+    /// no acks, no dedup state — so a healthy fabric pays nothing.
+    plan: Option<FaultPlan>,
+    /// Next frame sequence number per destination (1-based).
+    next_seq: Vec<u64>,
+    /// Accepted frame seqs per source, for duplicate suppression.
+    seen: Vec<HashSet<u64>>,
 }
 
 impl Engine {
     /// Wrap a fabric endpoint with MPI semantics under `profile`.
-    pub fn new(ep: Endpoint<Wire>, profile: Profile) -> Self {
+    pub fn new(ep: Endpoint<Frame>, profile: Profile) -> Self {
+        let plan = ep.fault_plan();
+        let n = ep.size();
+        let mut clock = Clock::new();
+        if let Some((rank, factor)) = plan.and_then(|p| p.slowdown) {
+            if rank == ep.rank() {
+                clock.set_rate(factor);
+            }
+        }
         Engine {
             ep,
-            clock: Clock::new(),
+            clock,
             profile,
             requests: HashMap::new(),
             next_req: 1,
@@ -233,6 +345,9 @@ impl Engine {
             coll_instance: 0,
             coll_ctx: None,
             coll_seq: HashMap::new(),
+            plan,
+            next_seq: vec![1; n],
+            seen: vec![HashSet::new(); n],
         }
     }
 
@@ -317,6 +432,142 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
+    // Reliability sublayer
+    // ------------------------------------------------------------------
+
+    /// Inject `wire` towards `dst`, retransmitting on loss or corruption.
+    ///
+    /// Without a fault plan this is a plain injection (zero-cost framing).
+    /// With one, the frame is sequenced and checksummed, and the sender
+    /// retransmits with exponential backoff until a copy is delivered
+    /// intact or the retry cap is hit. Retransmission is *oracle-timed*:
+    /// the fabric's fault fates are seeded deterministic sender-side
+    /// decisions, so the sender already knows whether a copy will survive
+    /// and can schedule the retransmit at `t + rto·2^attempt` in virtual
+    /// time without a real timer. The application clock is never charged —
+    /// the reliability sublayer is NIC-offloaded, like the RC transport it
+    /// stands in for — so faults surface as later arrivals (wait time),
+    /// with `retransmit` spans recording the cause for attribution.
+    fn inject_reliable(
+        &mut self,
+        dst: usize,
+        t: VTime,
+        wire_bytes: usize,
+        loggp: &LogGp,
+        wire: Wire,
+    ) -> MpiResult<VTime> {
+        let Some(plan) = self.plan else {
+            let frame = Frame {
+                seq: 0,
+                checksum: 0,
+                wire,
+            };
+            let out = self
+                .ep
+                .send(dst, t, wire_bytes, loggp, frame)
+                .unwrap_or_else(|e| panic!("engine routed to invalid destination: {e}"));
+            return Ok(out.arrival);
+        };
+
+        let seq = self.next_seq[dst];
+        self.next_seq[dst] += 1;
+        let checksum = frame_checksum(seq, &wire);
+        let mut attempt = 0u32;
+        let mut t = t;
+        loop {
+            let frame = Frame {
+                seq,
+                checksum,
+                wire: wire.clone(),
+            };
+            let out = self
+                .ep
+                .send(dst, t, wire_bytes, loggp, frame)
+                .unwrap_or_else(|e| panic!("engine routed to invalid destination: {e}"));
+            match out.fate {
+                Fate::Delivered | Fate::Duplicated | Fate::Corrupted => {
+                    // Corrupted copies *are* delivered; the receiver's
+                    // checksum rejects them and the oracle retransmits.
+                }
+                Fate::Dropped => {
+                    obs::count("fabric.drops_injected", 1);
+                }
+            }
+            if matches!(out.fate, Fate::Delivered | Fate::Duplicated) {
+                return Ok(out.arrival);
+            }
+            if attempt >= plan.max_retries {
+                // A destination that is dropping because it crashed is a
+                // failed rank, not a flaky link.
+                if let Some((crashed, _)) = plan.crash {
+                    if crashed == dst {
+                        return Err(MpiError::RankFailed { rank: dst });
+                    }
+                }
+                return Err(MpiError::TransportFailure {
+                    peer: dst,
+                    retries: attempt,
+                });
+            }
+            let backoff = plan.rto_ns * 2f64.powi(attempt as i32);
+            obs::count("fabric.retransmits", 1);
+            obs::count("reliability.backoff_ns", backoff as u64);
+            let resend_at = t + VDur::from_nanos(backoff);
+            if obs::tracing_enabled() {
+                obs::span(
+                    "retransmit",
+                    "retransmit",
+                    t,
+                    resend_at,
+                    vec![
+                        ("dst", obs::ArgValue::U64(dst as u64)),
+                        ("seq", obs::ArgValue::U64(seq)),
+                        ("attempt", obs::ArgValue::U64(attempt as u64 + 1)),
+                    ],
+                );
+            }
+            t = resend_at;
+            attempt += 1;
+        }
+    }
+
+    /// Error out if this rank's own crash time has passed: a crashed rank
+    /// stops initiating MPI operations (its thread then unwinds through
+    /// the errhandler).
+    fn check_self_crash(&self) -> MpiResult<()> {
+        if let Some((rank, at_ns)) = self.plan.and_then(|p| p.crash) {
+            if rank == self.rank() && self.clock.now().as_nanos() >= at_ns {
+                return Err(MpiError::RankFailed { rank });
+            }
+        }
+        Ok(())
+    }
+
+    /// Pull the next delivery for the progress loop. When the plan
+    /// declares a crashed rank, blocking is bounded by the watchdog: a
+    /// stall longer than `watchdog_ms` of *real* time means the missing
+    /// message is never coming (the dead rank will not send it), and the
+    /// stall is converted into a deterministic `RankFailed`. Without a
+    /// crash in the plan the fabric never loses a message permanently
+    /// (retransmission is bounded), so unbounded blocking stays safe and
+    /// real time stays out of the simulation entirely.
+    fn recv_progress(&mut self) -> MpiResult<Delivery<Frame>> {
+        match self
+            .plan
+            .and_then(|p| p.crash.map(|(r, _)| (r, p.watchdog_ms)))
+        {
+            None => Ok(self.ep.recv_blocking()),
+            Some((crashed, ms)) => match self.ep.recv_timeout(Duration::from_millis(ms)) {
+                Some(d) => Ok(d),
+                None => {
+                    obs::count("fabric.watchdog_trips", 1);
+                    Err(MpiError::RankFailed { rank: crashed })
+                }
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Posting
     // ------------------------------------------------------------------
 
@@ -337,6 +588,7 @@ impl Engine {
                 comm_size: self.world_size(),
             });
         }
+        self.check_self_crash()?;
         let path = *self.path_to(dst);
         let env = Envelope {
             src: self.rank(),
@@ -353,7 +605,7 @@ impl Engine {
             self.clock.charge(path.loggp.o_send());
             let wire = path.header_bytes + data.len();
             let inject_at = self.clock.now();
-            let arrival = self.ep.send(
+            let arrival = self.inject_reliable(
                 dst,
                 inject_at,
                 wire,
@@ -363,7 +615,7 @@ impl Engine {
                     data: data.into(),
                     stamp,
                 },
-            );
+            )?;
             obs::count("pt2pt.eager_msgs", 1);
             obs::count("pt2pt.eager_bytes", data.len() as u64);
             if obs::tracing_enabled() {
@@ -383,6 +635,7 @@ impl Engine {
                 let now = self.clock.now();
                 self.trace_send(stamp, "rndv", dst, tag, data.len(), now, now);
             }
+            let nbytes = data.len();
             let req = self.alloc_req(ReqState::Send(SendState::AwaitCts {
                 dst,
                 data: data.into(),
@@ -390,7 +643,7 @@ impl Engine {
                 stamp,
             }));
             let Request(id) = req;
-            self.ep.send(
+            if let Err(e) = self.inject_reliable(
                 dst,
                 self.clock.now(),
                 path.header_bytes,
@@ -398,10 +651,13 @@ impl Engine {
                 Wire::Rts {
                     env,
                     sender_req: id,
-                    nbytes: data.len(),
+                    nbytes,
                     stamp,
                 },
-            );
+            ) {
+                self.requests.remove(&id);
+                return Err(e);
+            }
             Ok(req)
         }
     }
@@ -481,6 +737,7 @@ impl Engine {
         if tag != ANY_TAG && tag < 0 {
             return Err(MpiError::InvalidTag { tag });
         }
+        self.check_self_crash()?;
         let spec = MatchSpec {
             context,
             src: (src >= 0).then_some(src as usize),
@@ -564,13 +821,13 @@ impl Engine {
                 });
                 // The request must be findable when the payload arrives.
                 self.posted.push(req.0);
-                self.ep.send(
+                self.inject_reliable(
                     env.src,
                     t,
                     path.header_bytes,
                     &path.loggp,
                     Wire::Cts { sender_req },
-                );
+                )?;
                 Ok(req)
             }
         }
@@ -582,8 +839,46 @@ impl Engine {
 
     /// Handle one delivery. Control traffic is processed "offloaded" (no
     /// application clock charge); payload timing attaches at consumption.
-    fn handle(&mut self, d: Delivery<Wire>) {
-        match d.msg {
+    ///
+    /// With a fault plan active, frames pass admission first: acks are
+    /// counted and dropped, corrupt frames are rejected by checksum (the
+    /// sender's oracle already retransmitted), duplicates are suppressed
+    /// by seq, and every accepted frame is positively acknowledged
+    /// out-of-band. Protocol violations that previously aborted the
+    /// process surface as [`MpiError::ProtocolError`].
+    fn handle(&mut self, d: Delivery<Frame>) -> MpiResult<()> {
+        let frame = d.msg;
+        if self.plan.is_some() {
+            if let Wire::Ack { .. } = frame.wire {
+                // Pure bookkeeping at the original sender; the ack was
+                // counted when emitted (the emit count is a deterministic
+                // function of accepted frames, the drain count is not).
+                return Ok(());
+            }
+            if frame.checksum != frame_checksum(frame.seq, &frame.wire) {
+                obs::count("fabric.corrupt_detected", 1);
+                return Ok(());
+            }
+            if !self.seen[d.src].insert(frame.seq) {
+                obs::count("fabric.dups_suppressed", 1);
+                return Ok(());
+            }
+            // Positive ack, out-of-band: one latency after the frame
+            // landed, without occupying the reverse data port (the RC
+            // transport acks from the NIC, not through the send queue).
+            let path = *self.path_to(d.src);
+            obs::count("fabric.acks", 1);
+            self.ep.send_oob(
+                d.src,
+                d.arrival + VDur::from_nanos(path.loggp.latency_ns),
+                Frame {
+                    seq: 0,
+                    checksum: 0,
+                    wire: Wire::Ack { seq: frame.seq },
+                },
+            );
+        }
+        match frame.wire {
             Wire::Eager { env, data, stamp } => {
                 if let Some(rid) = self.find_posted(&env) {
                     let Some(ReqState::Recv {
@@ -643,13 +938,13 @@ impl Engine {
                     let t = posted_at.max(d.arrival) + VDur::from_nanos(path.cts_handling_ns);
                     let _ = nbytes.min(*capacity); // truncation checked at data arrival
                     *state = RecvState::AwaitData { src: env.src };
-                    self.ep.send(
+                    self.inject_reliable(
                         env.src,
                         t,
                         path.header_bytes,
                         &path.loggp,
                         Wire::Cts { sender_req },
-                    );
+                    )?;
                 } else {
                     self.unexpected.push(Unexpected::Rts {
                         env,
@@ -662,8 +957,11 @@ impl Engine {
             }
             Wire::Cts { sender_req } => {
                 let Some(ReqState::Send(st)) = self.requests.get_mut(&sender_req) else {
-                    panic!("CTS for unknown send request {sender_req}");
+                    return Err(MpiError::ProtocolError("CTS for an unknown send request"));
                 };
+                if !matches!(st, SendState::AwaitCts { .. }) {
+                    return Err(MpiError::ProtocolError("CTS for a send not awaiting one"));
+                }
                 let SendState::AwaitCts {
                     dst,
                     data,
@@ -676,7 +974,7 @@ impl Engine {
                     },
                 )
                 else {
-                    panic!("CTS for send request not awaiting CTS");
+                    unreachable!("state checked above");
                 };
                 // Inject the payload. With hardware-offloaded rendezvous
                 // (RDMA read/write) the transfer starts when the CTS
@@ -685,13 +983,13 @@ impl Engine {
                 let t = d.arrival + path.loggp.o_send();
                 let wire = path.header_bytes + data.len();
                 let nbytes = data.len();
-                let arrival = self.ep.send(
+                let arrival = self.inject_reliable(
                     dst,
                     t,
                     wire,
                     &path.loggp,
                     Wire::RndvData { env, data, stamp },
-                );
+                )?;
                 if obs::tracing_enabled() && arrival > t {
                     obs::span(
                         "xfer",
@@ -712,21 +1010,20 @@ impl Engine {
             }
             Wire::RndvData { env, data, stamp } => {
                 // Find the AwaitData receive matching this source/context.
-                let rid = self
-                    .posted
-                    .iter()
-                    .copied()
-                    .find(|id| {
-                        matches!(
-                            self.requests.get(id),
-                            Some(ReqState::Recv {
-                                spec,
-                                state: RecvState::AwaitData { src },
-                                ..
-                            }) if *src == env.src && spec.matches(&env)
-                        )
-                    })
-                    .expect("rendezvous data without a matching posted receive");
+                let Some(rid) = self.posted.iter().copied().find(|id| {
+                    matches!(
+                        self.requests.get(id),
+                        Some(ReqState::Recv {
+                            spec,
+                            state: RecvState::AwaitData { src },
+                            ..
+                        }) if *src == env.src && spec.matches(&env)
+                    )
+                }) else {
+                    return Err(MpiError::ProtocolError(
+                        "rendezvous data without a matching posted receive",
+                    ));
+                };
                 let Some(ReqState::Recv { state, .. }) = self.requests.get_mut(&rid) else {
                     unreachable!();
                 };
@@ -738,7 +1035,13 @@ impl Engine {
                     stamp,
                 };
             }
+            Wire::Ack { .. } => {
+                // Only reachable without a plan (admission consumes acks),
+                // i.e. never — no plan means no acks are ever emitted.
+                return Err(MpiError::ProtocolError("ack frame without a fault plan"));
+            }
         }
+        Ok(())
     }
 
     /// Find the oldest posted receive matching `env` and detach it from
@@ -774,10 +1077,11 @@ impl Engine {
         if !self.requests.contains_key(&req.0) {
             return Err(MpiError::InvalidRequest);
         }
+        self.check_self_crash()?;
         let wait_begin = self.clock.now();
         while !self.is_complete(req) {
-            let d = self.ep.recv_blocking();
-            self.handle(d);
+            let d = self.recv_progress()?;
+            self.handle(d)?;
         }
         let c = self.finish(req)?;
         obs::span(
@@ -796,8 +1100,9 @@ impl Engine {
         if !self.requests.contains_key(&req.0) {
             return Err(MpiError::InvalidRequest);
         }
+        self.check_self_crash()?;
         while let Some(d) = self.ep.try_recv() {
-            self.handle(d);
+            self.handle(d)?;
         }
         if self.is_complete(req) {
             self.finish(req).map(Some)
@@ -1161,6 +1466,69 @@ mod tests {
                 let (b42, _) = e.recv_bytes(8, 0, 0, 42).unwrap();
                 assert_eq!(&b43[..], &[2]);
                 assert_eq!(&b42[..], &[1]);
+            }
+        });
+    }
+
+    #[test]
+    fn stray_cts_is_an_error_not_an_abort() {
+        // A CTS naming a request id that was never allocated used to
+        // abort the process; it must surface as a ProtocolError instead.
+        run2(|e| {
+            if e.rank() == 0 {
+                let path = *e.path_to(1);
+                let t = e.now();
+                e.ep.send(
+                    1,
+                    t,
+                    path.header_bytes,
+                    &path.loggp,
+                    Frame {
+                        seq: 0,
+                        checksum: 0,
+                        wire: Wire::Cts { sender_req: 999 },
+                    },
+                )
+                .unwrap();
+            } else {
+                let r = e.irecv_bytes(8, 0, 0, 0).unwrap();
+                let err = e.wait(r).unwrap_err();
+                assert!(matches!(err, MpiError::ProtocolError(_)), "{err:?}");
+            }
+        });
+    }
+
+    #[test]
+    fn duplicate_cts_for_a_completed_send_is_an_error() {
+        // A CTS that names a live send request in the wrong state (here:
+        // an eager send, already complete) is a protocol violation, not a
+        // panic.
+        run2(|e| {
+            if e.rank() == 0 {
+                // Eager send allocates request id 1 and completes without
+                // awaiting a CTS; keep the request live (not waited).
+                let _r = e.isend_bytes(&[1, 2, 3], 1, 0, 0).unwrap();
+                let r2 = e.irecv_bytes(8, 1, 1, 0).unwrap();
+                let err = e.wait(r2).unwrap_err();
+                assert!(matches!(err, MpiError::ProtocolError(_)), "{err:?}");
+            } else {
+                let (b, _) = e.recv_bytes(8, 0, 0, 0).unwrap();
+                assert_eq!(&b[..], &[1, 2, 3]);
+                // Forge a CTS naming the sender's eager request.
+                let path = *e.path_to(0);
+                let t = e.now();
+                e.ep.send(
+                    0,
+                    t,
+                    path.header_bytes,
+                    &path.loggp,
+                    Frame {
+                        seq: 0,
+                        checksum: 0,
+                        wire: Wire::Cts { sender_req: 1 },
+                    },
+                )
+                .unwrap();
             }
         });
     }

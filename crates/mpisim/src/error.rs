@@ -41,6 +41,31 @@ pub enum MpiError {
     /// Mismatched collective participation detected (programming error in
     /// the simulated application).
     CollectiveMismatch(&'static str),
+    /// The reliability sublayer gave up on a peer after exhausting its
+    /// retransmit budget (MPI_ERR_OTHER-style transport failure).
+    TransportFailure { peer: usize, retries: u32 },
+    /// A peer rank is known to have failed (crash fault or watchdog
+    /// timeout) — collectives involving it cannot complete.
+    RankFailed { rank: usize },
+    /// The engine received a frame that violates the point-to-point
+    /// protocol (e.g. a CTS for a request not awaiting one). With the
+    /// reliability sublayer active these are surfaced, not aborted on.
+    ProtocolError(&'static str),
+}
+
+impl MpiError {
+    /// Whether this error is transport-class: raised by the fabric or
+    /// reliability sublayer rather than by invalid application arguments.
+    /// Only transport-class errors are routed through the communicator
+    /// errhandler; argument errors are always returned to the caller.
+    pub fn is_transport(&self) -> bool {
+        matches!(
+            self,
+            MpiError::TransportFailure { .. }
+                | MpiError::RankFailed { .. }
+                | MpiError::ProtocolError(_)
+        )
+    }
 }
 
 impl fmt::Display for MpiError {
@@ -68,6 +93,16 @@ impl fmt::Display for MpiError {
             MpiError::InvalidGroup(why) => write!(f, "MPI_ERR_GROUP: {why}"),
             MpiError::CollectiveMismatch(why) => {
                 write!(f, "collective participation mismatch: {why}")
+            }
+            MpiError::TransportFailure { peer, retries } => write!(
+                f,
+                "MPI_ERR_OTHER: transport to rank {peer} failed after {retries} retransmits"
+            ),
+            MpiError::RankFailed { rank } => {
+                write!(f, "MPI_ERR_OTHER: rank {rank} has failed")
+            }
+            MpiError::ProtocolError(why) => {
+                write!(f, "MPI_ERR_INTERN: point-to-point protocol violation: {why}")
             }
         }
     }

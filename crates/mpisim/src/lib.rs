@@ -32,8 +32,8 @@ pub mod profile;
 
 pub use comm::{CommHandle, Group};
 pub use datatype::{BasicType, Datatype};
-pub use engine::{Completion, Envelope, Request, Status, Wire, ANY_SOURCE, ANY_TAG, TAG_UB};
+pub use engine::{Completion, Envelope, Frame, Request, Status, Wire, ANY_SOURCE, ANY_TAG, TAG_UB};
 pub use error::{MpiError, MpiResult};
-pub use mpi::{run_mpi, Mpi};
+pub use mpi::{run_mpi, run_mpi_faulty, Errhandler, Mpi};
 pub use op::ReduceOp;
 pub use profile::{CollTuning, PathParams, Profile};

@@ -5,13 +5,13 @@
 //! JNI-analog boundary — the equivalent of `MPI_Send`, `MPI_Irecv`,
 //! `MPI_Bcast`, `MPI_Comm_split`, … in the native library.
 
-use simfabric::{run_cluster, Endpoint, Topology};
+use simfabric::{run_cluster, Endpoint, FaultPlan, Topology};
 use vtime::{Clock, VDur, VTime};
 
 use crate::coll;
 use crate::comm::{CommHandle, CommInfo, Group, COMM_WORLD};
 use crate::datatype::Datatype;
-use crate::engine::{Engine, Request, Status, Wire};
+use crate::engine::{Engine, Frame, Request, Status};
 use crate::error::{MpiError, MpiResult};
 use crate::op::ReduceOp;
 use crate::profile::Profile;
@@ -33,11 +33,32 @@ impl MpiRequest {
     }
 }
 
+/// Per-communicator error handler (MPI_Errhandler).
+///
+/// Routing applies only to *transport-class* errors
+/// ([`MpiError::is_transport`]): failures of the fabric or a peer rank,
+/// which the application did nothing to cause. Argument errors
+/// (truncation, invalid rank, ...) are always returned to the caller
+/// directly, matching the seed behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Errhandler {
+    /// MPI_ERRORS_ARE_FATAL (the MPI default): a transport-class error
+    /// aborts the whole job.
+    #[default]
+    ErrorsAbort,
+    /// MPI_ERRORS_RETURN: transport-class errors surface as `Err` for the
+    /// application to handle.
+    ErrorsReturn,
+}
+
 /// The per-rank native MPI library instance.
 pub struct Mpi {
     eng: Engine,
     comms: Vec<Option<CommInfo>>,
     next_context: u32,
+    /// Error handler per communicator slot (parallel to `comms`;
+    /// inherited from the parent at creation, like MPI).
+    errhandlers: Vec<Errhandler>,
 }
 
 /// Run an MPI "job": one thread per rank under `topo`, each executing `f`
@@ -47,7 +68,22 @@ where
     R: Send,
     F: Fn(&mut Mpi) -> R + Sync,
 {
-    run_cluster::<Wire, R, _>(topo, |ep| {
+    run_cluster::<Frame, R, _>(topo, |ep| {
+        let mut mpi = Mpi::new(ep, profile);
+        f(&mut mpi)
+    })
+}
+
+/// Like [`run_mpi`], but with `plan` installed on every rank's endpoint:
+/// the fabric injects the plan's faults and the engine's reliability
+/// sublayer rides over them.
+pub fn run_mpi_faulty<R, F>(topo: Topology, profile: Profile, plan: FaultPlan, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Mpi) -> R + Sync,
+{
+    run_cluster::<Frame, R, _>(topo, |mut ep| {
+        ep.install_faults(plan);
         let mut mpi = Mpi::new(ep, profile);
         f(&mut mpi)
     })
@@ -55,7 +91,7 @@ where
 
 impl Mpi {
     /// Wrap a fabric endpoint. `MPI_COMM_WORLD` covers all ranks.
-    pub fn new(ep: Endpoint<Wire>, profile: Profile) -> Self {
+    pub fn new(ep: Endpoint<Frame>, profile: Profile) -> Self {
         let world = CommInfo {
             base_context: 0,
             group: Group::new((0..ep.size()).collect()).expect("world ranks are distinct"),
@@ -65,6 +101,34 @@ impl Mpi {
             eng: Engine::new(ep, profile),
             comms: vec![Some(world)],
             next_context: 1,
+            errhandlers: vec![Errhandler::default()],
+        }
+    }
+
+    /// Set the error handler of `comm` (MPI_Comm_set_errhandler).
+    pub fn set_errhandler(&mut self, comm: CommHandle, h: Errhandler) -> MpiResult<()> {
+        self.info(comm)?;
+        self.errhandlers[comm.0] = h;
+        Ok(())
+    }
+
+    /// The error handler in force on `comm`.
+    pub fn errhandler(&self, comm: CommHandle) -> Errhandler {
+        self.errhandlers.get(comm.0).copied().unwrap_or_default()
+    }
+
+    /// Route a transport-class error through `comm`'s error handler:
+    /// abort the job (panic, like MPI_ERRORS_ARE_FATAL) or hand the error
+    /// back. Non-transport errors pass through untouched.
+    fn route<T>(&self, comm: CommHandle, r: MpiResult<T>) -> MpiResult<T> {
+        match r {
+            Err(e) if e.is_transport() => match self.errhandler(comm) {
+                Errhandler::ErrorsAbort => {
+                    panic!("MPI job aborted (MPI_ERRORS_ARE_FATAL): {e}")
+                }
+                Errhandler::ErrorsReturn => Err(e),
+            },
+            other => other,
         }
     }
 
@@ -232,7 +296,8 @@ impl Mpi {
         let wdst = self.world_dst(comm, dst)?;
         let ctx = self.info(comm)?.pt2pt_context();
         let payload = self.pack_payload(buf, count, dt)?;
-        let raw = self.eng.isend_bytes(&payload, wdst, tag, ctx)?;
+        let raw = self.eng.isend_bytes(&payload, wdst, tag, ctx);
+        let raw = self.route(comm, raw)?;
         Ok(MpiRequest {
             raw,
             recv: None,
@@ -262,7 +327,8 @@ impl Mpi {
             info.group.world_rank(src as usize)? as i32
         };
         let cap = dt.size() * count;
-        let raw = self.eng.irecv_bytes(cap, wsrc, tag, ctx)?;
+        let raw = self.eng.irecv_bytes(cap, wsrc, tag, ctx);
+        let raw = self.route(comm, raw)?;
         Ok(MpiRequest {
             raw,
             recv: Some((dt.clone(), count)),
@@ -273,7 +339,8 @@ impl Mpi {
     /// Wait for completion (MPI_Wait). Receive requests require the
     /// destination buffer; send requests ignore it.
     pub fn wait(&mut self, req: MpiRequest, buf: Option<&mut [u8]>) -> MpiResult<Status> {
-        let completion = self.eng.wait(req.raw)?;
+        let completion = self.eng.wait(req.raw);
+        let completion = self.route(req.comm, completion)?;
         let source = self
             .info(req.comm)?
             .group
@@ -312,7 +379,8 @@ impl Mpi {
     /// Non-blocking completion test (MPI_Test). On completion of a
     /// receive, the payload is unpacked into `buf`.
     pub fn test(&mut self, req: &MpiRequest, buf: Option<&mut [u8]>) -> MpiResult<Option<Status>> {
-        match self.eng.test(req.raw)? {
+        let polled = self.eng.test(req.raw);
+        match self.route(req.comm, polled)? {
             None => Ok(None),
             Some(completion) => {
                 let source = self
@@ -357,7 +425,8 @@ impl Mpi {
 
     /// MPI_Barrier.
     pub fn barrier(&mut self, comm: CommHandle) -> MpiResult<()> {
-        self.coll_span("barrier", |m| coll::barrier(m, comm))
+        let r = self.coll_span("barrier", |m| coll::barrier(m, comm));
+        self.route(comm, r)
     }
 
     /// MPI_Bcast over `count` elements of `dt` in `buf`.
@@ -370,7 +439,8 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let count = Self::check_count(count)?;
-        self.coll_span("bcast", |m| coll::bcast(m, buf, count, dt, root, comm))
+        let r = self.coll_span("bcast", |m| coll::bcast(m, buf, count, dt, root, comm));
+        self.route(comm, r)
     }
 
     /// MPI_Reduce. `recv` must be `Some` on the root.
@@ -385,9 +455,10 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let count = Self::check_count(count)?;
-        self.coll_span("reduce", |m| {
+        let r = self.coll_span("reduce", |m| {
             coll::reduce(m, send, recv, count, dt, op, root, comm)
-        })
+        });
+        self.route(comm, r)
     }
 
     /// MPI_Allreduce.
@@ -401,9 +472,10 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let count = Self::check_count(count)?;
-        self.coll_span("allreduce", |m| {
+        let r = self.coll_span("allreduce", |m| {
             coll::allreduce(m, send, recv, count, dt, op, comm)
-        })
+        });
+        self.route(comm, r)
     }
 
     /// MPI_Gather (equal contributions). `recv` significant at root.
@@ -417,9 +489,10 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let count = Self::check_count(count)?;
-        self.coll_span("gather", |m| {
+        let r = self.coll_span("gather", |m| {
             coll::gather(m, send, recv, count, dt, root, comm)
-        })
+        });
+        self.route(comm, r)
     }
 
     /// MPI_Gatherv. `recvcounts`/`displs` are in elements, significant at
@@ -437,9 +510,10 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let sendcount = Self::check_count(sendcount)?;
-        self.coll_span("gatherv", |m| {
+        let r = self.coll_span("gatherv", |m| {
             coll::gatherv(m, send, sendcount, recv, recvcounts, displs, dt, root, comm)
-        })
+        });
+        self.route(comm, r)
     }
 
     /// MPI_Scatter (equal blocks). `send` significant at root.
@@ -453,9 +527,10 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let count = Self::check_count(count)?;
-        self.coll_span("scatter", |m| {
+        let r = self.coll_span("scatter", |m| {
             coll::scatter(m, send, recv, count, dt, root, comm)
-        })
+        });
+        self.route(comm, r)
     }
 
     /// MPI_Scatterv.
@@ -472,9 +547,10 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let recvcount = Self::check_count(recvcount)?;
-        self.coll_span("scatterv", |m| {
+        let r = self.coll_span("scatterv", |m| {
             coll::scatterv(m, send, sendcounts, displs, recv, recvcount, dt, root, comm)
-        })
+        });
+        self.route(comm, r)
     }
 
     /// MPI_Allgather (equal contributions).
@@ -487,9 +563,10 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let count = Self::check_count(count)?;
-        self.coll_span("allgather", |m| {
+        let r = self.coll_span("allgather", |m| {
             coll::allgather(m, send, recv, count, dt, comm)
-        })
+        });
+        self.route(comm, r)
     }
 
     /// MPI_Allgatherv.
@@ -504,9 +581,10 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let sendcount = Self::check_count(sendcount)?;
-        self.coll_span("allgatherv", |m| {
+        let r = self.coll_span("allgatherv", |m| {
             coll::allgatherv(m, send, sendcount, recv, recvcounts, displs, dt, comm)
-        })
+        });
+        self.route(comm, r)
     }
 
     /// MPI_Alltoall (equal blocks).
@@ -519,9 +597,10 @@ impl Mpi {
         comm: CommHandle,
     ) -> MpiResult<()> {
         let count = Self::check_count(count)?;
-        self.coll_span("alltoall", |m| {
+        let r = self.coll_span("alltoall", |m| {
             coll::alltoall(m, send, recv, count, dt, comm)
-        })
+        });
+        self.route(comm, r)
     }
 
     /// MPI_Alltoallv.
@@ -537,19 +616,21 @@ impl Mpi {
         dt: &Datatype,
         comm: CommHandle,
     ) -> MpiResult<()> {
-        self.coll_span("alltoallv", |m| {
+        let r = self.coll_span("alltoallv", |m| {
             coll::alltoallv(
                 m, send, sendcounts, sdispls, recv, recvcounts, rdispls, dt, comm,
             )
-        })
+        });
+        self.route(comm, r)
     }
 
     // ------------------------------------------------------------------
     // Communicator management
     // ------------------------------------------------------------------
 
-    fn push_comm(&mut self, info: CommInfo) -> CommHandle {
+    fn push_comm(&mut self, parent: CommHandle, info: CommInfo) -> CommHandle {
         self.comms.push(Some(info));
+        self.errhandlers.push(self.errhandler(parent));
         CommHandle(self.comms.len() - 1)
     }
 
@@ -581,7 +662,7 @@ impl Mpi {
             group: info.group.clone(),
             my_rank: info.my_rank,
         };
-        Ok(self.push_comm(dup))
+        Ok(self.push_comm(comm, dup))
     }
 
     /// MPI_Comm_split. `color < 0` means MPI_UNDEFINED (no communicator
@@ -629,7 +710,7 @@ impl Mpi {
             group: Group::new(world_ranks)?,
             my_rank: my_new,
         };
-        Ok(Some(self.push_comm(info)))
+        Ok(Some(self.push_comm(comm, info)))
     }
 
     /// MPI_Comm_create: collective over `comm`; returns a communicator
@@ -652,7 +733,7 @@ impl Mpi {
                     group: group.clone(),
                     my_rank,
                 };
-                Ok(Some(self.push_comm(info)))
+                Ok(Some(self.push_comm(comm, info)))
             }
         }
     }

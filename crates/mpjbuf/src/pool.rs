@@ -22,6 +22,9 @@ pub struct PoolStats {
     pub outstanding: u64,
     /// Bytes currently parked on free lists.
     pub pooled_bytes: usize,
+    /// Requests larger than the biggest size class, served by a transient
+    /// exact-size buffer that bypasses the pool entirely.
+    pub fallback_allocs: u64,
 }
 
 /// Smallest size class: 256 B.
@@ -35,6 +38,9 @@ pub struct BufferPool {
     /// Cap on buffers parked per class (excess is freed on release).
     per_class_limit: usize,
     stats: PoolStats,
+    /// Whether the oversized-request warning has been printed yet (one
+    /// line per rank, not one per message).
+    warned_fallback: bool,
 }
 
 impl Default for BufferPool {
@@ -55,6 +61,7 @@ impl BufferPool {
             classes: vec![Vec::new(); (MAX_CLASS - MIN_CLASS + 1) as usize],
             per_class_limit,
             stats: PoolStats::default(),
+            warned_fallback: false,
         }
     }
 
@@ -74,11 +81,37 @@ impl BufferPool {
     }
 
     /// Acquire a direct buffer of at least `size` bytes.
+    ///
+    /// Requests beyond the largest size class do not panic and do not
+    /// grow the pool: they fall back to a transient exact-size buffer
+    /// (counted in [`PoolStats::fallback_allocs`] and the
+    /// `mpjbuf.pool.fallback_allocs` pvar) which [`BufferPool::release`]
+    /// frees immediately instead of parking.
     pub fn acquire(&mut self, rt: &mut Runtime, clock: &mut Clock, size: usize) -> DirectBuffer {
-        assert!(
-            size <= 1 << MAX_CLASS,
-            "message of {size} bytes exceeds the largest pool class"
-        );
+        if size > 1 << MAX_CLASS {
+            self.stats.fallback_allocs += 1;
+            self.stats.outstanding += 1;
+            obs::count("mpjbuf.pool.fallback_allocs", 1);
+            obs::gauge_set("mpjbuf.pool.outstanding", self.stats.outstanding as i64);
+            if !self.warned_fallback {
+                self.warned_fallback = true;
+                eprintln!(
+                    "mpjbuf: warning: {size} B message exceeds the largest pool class \
+                     ({} B); falling back to transient unpooled buffers",
+                    1usize << MAX_CLASS
+                );
+            }
+            let t0 = clock.now();
+            let buf = rt.allocate_direct(size, clock);
+            obs::span(
+                "acquire",
+                "mpjbuf",
+                t0,
+                clock.now(),
+                vec![("bytes", obs::ArgValue::U64(buf.capacity() as u64))],
+            );
+            return buf;
+        }
         let class = Self::class_of(size);
         let idx = (class - MIN_CLASS) as usize;
         let t0 = clock.now();
@@ -106,7 +139,18 @@ impl BufferPool {
     }
 
     /// Return a buffer to the pool (or free it if the class is full).
+    /// Fallback buffers (larger than the biggest class) are freed, never
+    /// parked — the pool's footprint stays bounded by `per_class_limit`.
     pub fn release(&mut self, rt: &mut Runtime, clock: &mut Clock, buf: DirectBuffer) {
+        if buf.capacity() > 1 << MAX_CLASS {
+            self.stats.releases += 1;
+            self.stats.outstanding = self.stats.outstanding.saturating_sub(1);
+            obs::count("mpjbuf.pool.releases", 1);
+            obs::gauge_set("mpjbuf.pool.outstanding", self.stats.outstanding as i64);
+            clock.charge(VDur::from_nanos(rt.cost().pool.release_ns));
+            rt.free_direct(buf, clock).expect("fallback buffer is live");
+            return;
+        }
         let class = Self::class_of(buf.capacity());
         debug_assert_eq!(
             1usize << class,
@@ -233,10 +277,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds the largest pool class")]
-    fn oversized_request_panics() {
+    fn oversized_request_falls_back_to_transient_buffer() {
         let (mut rt, mut c) = setup();
         let mut pool = BufferPool::new();
-        let _ = pool.acquire(&mut rt, &mut c, (1 << 26) + 1);
+        let size = (1 << 26) + 1;
+        let buf = pool.acquire(&mut rt, &mut c, size);
+        assert_eq!(buf.capacity(), size, "fallback is exact-size, not rounded");
+        let s = pool.stats();
+        assert_eq!((s.fallback_allocs, s.misses, s.outstanding), (1, 0, 1));
+        // Releasing a fallback buffer frees it immediately: nothing is
+        // parked, so pool footprint stays bounded.
+        let before = rt.direct_allocated_bytes();
+        pool.release(&mut rt, &mut c, buf);
+        assert_eq!(rt.direct_allocated_bytes(), before - size);
+        let s = pool.stats();
+        assert_eq!((s.releases, s.outstanding, s.pooled_bytes), (1, 0, 0));
+        // A second oversized round-trip allocates afresh (never pooled).
+        let buf2 = pool.acquire(&mut rt, &mut c, size);
+        assert_eq!(pool.stats().fallback_allocs, 2);
+        pool.release(&mut rt, &mut c, buf2);
     }
 }

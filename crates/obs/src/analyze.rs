@@ -28,12 +28,17 @@ use crate::trace::FlowDir;
 use crate::{ArgValue, JobReport};
 
 /// Attribution categories, in report column order.
-pub const NCATS: usize = 6;
-pub const CATEGORY_NAMES: [&str; NCATS] = ["gc", "copy", "staging", "fabric", "wait", "other"];
-const OTHER: usize = 5;
+pub const NCATS: usize = 7;
+pub const CATEGORY_NAMES: [&str; NCATS] = [
+    "gc", "copy", "staging", "fabric", "retrans", "wait", "other",
+];
+const OTHER: usize = 6;
 /// Flattening priority (highest first) for overlapping spans: a GC pause
-/// inside a JNI call is GC time, staging inside a wait is staging time.
-const PRIORITY: [usize; 5] = [0, 2, 1, 3, 4];
+/// inside a JNI call is GC time, staging inside a wait is staging time,
+/// and reliability-sublayer backoff inside a wait is retransmission time
+/// (the cost the fault plan injected, separated from the benign wait for
+/// a matching message).
+const PRIORITY: [usize; 6] = [0, 2, 1, 3, 4, 5];
 
 /// Map a span to its attribution category.
 fn category_of(cat: &str, name: &str) -> Option<usize> {
@@ -42,7 +47,8 @@ fn category_of(cat: &str, name: &str) -> Option<usize> {
         "nif" => Some(1),
         "mpjbuf" => Some(2),
         "fabric" => Some(3),
-        "pt2pt" if name == "mpi.wait" => Some(4),
+        "retransmit" | "fault" => Some(4),
+        "pt2pt" if name == "mpi.wait" => Some(5),
         _ => None,
     }
 }
@@ -569,12 +575,12 @@ impl Analysis {
             self.ranks
         ));
         out.push_str(&format!(
-            "# {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12}\n",
-            "size", "gc%", "copy%", "stage%", "fabric%", "wait%", "other%", "wall-us"
+            "# {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12}\n",
+            "size", "gc%", "copy%", "stage%", "fabric%", "retrans%", "wait%", "other%", "wall-us"
         ));
         for b in &self.buckets {
             out.push_str(&format!(
-                "  {:>10} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>12.2}\n",
+                "  {:>10} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>12.2}\n",
                 b.size,
                 b.share_pct(0),
                 b.share_pct(1),
@@ -582,6 +588,7 @@ impl Analysis {
                 b.share_pct(3),
                 b.share_pct(4),
                 b.share_pct(5),
+                b.share_pct(6),
                 b.wall_ns / 1_000.0,
             ));
         }
@@ -705,10 +712,12 @@ impl Analysis {
     /// CSV: one attribution row per size, then one skew row per op.
     pub fn render_csv(&self) -> String {
         let mut out = String::new();
-        out.push_str("size,gc_pct,copy_pct,staging_pct,fabric_pct,wait_pct,other_pct,wall_us\n");
+        out.push_str(
+            "size,gc_pct,copy_pct,staging_pct,fabric_pct,retrans_pct,wait_pct,other_pct,wall_us\n",
+        );
         for b in &self.buckets {
             out.push_str(&format!(
-                "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+                "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
                 b.size,
                 b.share_pct(0),
                 b.share_pct(1),
@@ -716,6 +725,7 @@ impl Analysis {
                 b.share_pct(3),
                 b.share_pct(4),
                 b.share_pct(5),
+                b.share_pct(6),
                 b.wall_ns / 1_000.0,
             ));
         }
@@ -779,13 +789,15 @@ mod tests {
     #[test]
     fn window_attribution_partitions_wall_time() {
         // One 100 ns window: GC [10,30) nested inside a nif call [5,40),
-        // a wait [50,90) with fabric [60,70) inside it.
+        // a wait [50,90) with fabric [60,70) and a retransmit backoff
+        // [70,75) inside it.
         let events = vec![
             marker(0, 0.0, 8),
             ev(0, "gc", "mrt", 10.0, Some(20.0)),
             ev(0, "call", "nif", 5.0, Some(35.0)),
             ev(0, "mpi.wait", "pt2pt", 50.0, Some(40.0)),
             ev(0, "xfer", "fabric", 60.0, Some(10.0)),
+            ev(0, "retransmit", "retransmit", 70.0, Some(5.0)),
             ev(0, "end", "bench2", 100.0, None),
             marker(0, 100.0, 0), // close the window; zero-length tail skipped
         ];
@@ -797,8 +809,9 @@ mod tests {
         assert_eq!(b.cat_ns[0], 20.0); // gc wins over the enclosing nif span
         assert_eq!(b.cat_ns[1], 15.0); // nif minus the gc overlap
         assert_eq!(b.cat_ns[3], 10.0); // fabric wins over wait
-        assert_eq!(b.cat_ns[4], 30.0); // wait minus fabric
-        assert_eq!(b.cat_ns[5], 25.0); // the rest
+        assert_eq!(b.cat_ns[4], 5.0); // retransmit backoff wins over wait
+        assert_eq!(b.cat_ns[5], 25.0); // wait minus fabric minus retransmit
+        assert_eq!(b.cat_ns[6], 25.0); // the rest
         assert!(b.unattributed_ns().abs() < 1e-9);
     }
 

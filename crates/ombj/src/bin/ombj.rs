@@ -20,17 +20,20 @@
 //!   --trace-out PATH            record a virtual-time Chrome trace to PATH
 //!   --analyze                   trace the run and append the latency attribution
 //!   --pvar-dump                 print the merged pvar snapshot after the table
+//!   --faults SPEC               seeded fault plan, e.g. drop=0.02,corrupt=0.001,jitter=200
+//!   --fault-seed N              seed for the fault plan (default 0)
 //! ```
 
 use ombj::{run, run_with_obs, Api, BenchOptions, Benchmark, CollOp, Library, RunSpec};
-use simfabric::Topology;
+use simfabric::{FaultPlan, Topology};
 
 fn usage() -> ! {
     eprintln!(
         "usage: ombj <latency|bw|bibw|bcast|reduce|allreduce|allgather|allgatherv|gather|gatherv|scatter|scatterv|alltoall|alltoallv|barrier> \
          [--lib mvapich2j|openmpij] [--api buffer|arrays] [--nodes N] [--ppn P] \
          [--min B] [--max B] [--iters N] [--warmup N] [--validate] [--compare] \
-         [--format text|json|csv] [--trace-out PATH] [--analyze] [--pvar-dump]"
+         [--format text|json|csv] [--trace-out PATH] [--analyze] [--pvar-dump] \
+         [--faults SPEC] [--fault-seed N]"
     );
     std::process::exit(2)
 }
@@ -86,6 +89,8 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut analyze = false;
     let mut pvar_dump = false;
+    let mut faults: Option<FaultPlan> = None;
+    let mut fault_seed: Option<u64> = None;
 
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
@@ -126,7 +131,26 @@ fn main() {
             "--trace-out" => trace_out = Some(val(&mut it)),
             "--analyze" => analyze = true,
             "--pvar-dump" => pvar_dump = true,
+            "--faults" => {
+                faults = Some(FaultPlan::parse(&val(&mut it)).unwrap_or_else(|e| {
+                    eprintln!("error: bad --faults spec: {e}");
+                    std::process::exit(2);
+                }))
+            }
+            "--fault-seed" => fault_seed = Some(val(&mut it).parse().unwrap_or_else(|_| usage())),
             _ => usage(),
+        }
+    }
+    if let Some(seed) = fault_seed {
+        faults.get_or_insert_with(|| FaultPlan::new(0)).seed = seed;
+    }
+    if let Some(plan) = &faults {
+        if let Some((rank, _)) = plan.crash {
+            eprintln!(
+                "error: --faults crash={rank}@... would abort the benchmark job \
+                 (MPI_ERRORS_ARE_FATAL); crash plans are for the chaos tests"
+            );
+            std::process::exit(2);
         }
     }
     if compare && (trace_out.is_some() || analyze || pvar_dump) {
@@ -145,6 +169,7 @@ fn main() {
                     api,
                     topo,
                     opts,
+                    faults,
                 }) {
                     series.push(s);
                 } else {
@@ -177,6 +202,7 @@ fn main() {
             api,
             topo,
             opts,
+            faults,
         };
         let obs_opts = obs::ObsOptions {
             tracing: trace_out.is_some() || analyze,

@@ -275,6 +275,7 @@ mod tests {
             releases: 4,
             outstanding: 0,
             pooled_bytes: 1024,
+            fallback_allocs: 0,
         });
         let r = render_series(&s);
         assert!(

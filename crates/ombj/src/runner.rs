@@ -3,6 +3,7 @@
 
 use mpjbuf::PoolStats;
 use mvapich2j::{run_job_with_obs, BindError, BindResult, Env, JobConfig, Topology};
+use simfabric::FaultPlan;
 
 use crate::coll::{collective, CollOp};
 use crate::options::{Api, BenchOptions, SizeValue};
@@ -82,6 +83,10 @@ pub struct RunSpec {
     pub api: Api,
     pub topo: Topology,
     pub opts: BenchOptions,
+    /// Fault plan injected at the fabric (`None` = perfect fabric). The
+    /// reliability sublayer keeps benchmark semantics unchanged under any
+    /// non-crash plan; latency then reflects retransmission cost.
+    pub faults: Option<FaultPlan>,
 }
 
 /// A measured series.
@@ -123,7 +128,11 @@ pub fn run_with_obs(spec: RunSpec, o: obs::ObsOptions) -> (Option<Series>, obs::
         }?;
         Ok((points, env.pool_stats()))
     };
-    let (results, report) = run_job_with_obs(spec.library.config(spec.topo).with_obs(o), f);
+    let mut cfg = spec.library.config(spec.topo).with_obs(o);
+    if let Some(plan) = spec.faults {
+        cfg = cfg.with_faults(plan);
+    }
+    let (results, report) = run_job_with_obs(cfg, f);
     let series = match results.into_iter().next().expect("rank 0 exists") {
         Ok((points, pool)) => Some(Series {
             label: format!("{} {}", spec.library.label(), spec.api.label()),
@@ -149,6 +158,7 @@ mod tests {
             api,
             topo: Topology::single_node(2),
             opts: BenchOptions::quick(),
+            faults: None,
         }
     }
 
@@ -221,6 +231,7 @@ mod tests {
                 max_size: 1 << 10,
                 ..BenchOptions::quick()
             },
+            faults: None,
         };
         let s = run(spec).unwrap();
         assert_eq!(s.benchmark, "osu_bcast");

@@ -22,9 +22,11 @@
 //! times on every run, regardless of OS scheduling.
 
 pub mod endpoint;
+pub mod fault;
 pub mod runner;
 pub mod topology;
 
 pub use endpoint::{Delivery, Endpoint, SendStats};
+pub use fault::{FabricError, Fate, FaultPlan, FaultTarget, SendOutcome};
 pub use runner::run_cluster;
 pub use topology::Topology;

@@ -76,12 +76,12 @@ mod tests {
             let rank = ep.rank();
             let next = (rank + 1) % n;
             if rank == 0 {
-                ep.send(next, VTime::ZERO, 8, &params(), 1);
+                ep.send(next, VTime::ZERO, 8, &params(), 1).unwrap();
                 let d = ep.recv_blocking();
                 d.msg
             } else {
                 let d = ep.recv_blocking();
-                ep.send(next, d.arrival, 8, &params(), d.msg + 1);
+                ep.send(next, d.arrival, 8, &params(), d.msg + 1).unwrap();
                 d.msg
             }
         });
@@ -101,11 +101,11 @@ mod tests {
             let rank = ep.rank();
             let next = (rank + 1) % n;
             if rank == 0 {
-                ep.send(next, VTime::ZERO, 0, &params(), ());
+                ep.send(next, VTime::ZERO, 0, &params(), ()).unwrap();
                 ep.recv_blocking().arrival
             } else {
                 let d = ep.recv_blocking();
-                ep.send(next, d.arrival, 0, &params(), ());
+                ep.send(next, d.arrival, 0, &params(), ()).unwrap();
                 d.arrival
             }
         });
@@ -126,7 +126,8 @@ mod tests {
                 // All-to-all chatter with data-dependent timing.
                 for dst in 0..n {
                     if dst != rank {
-                        ep.send(dst, t, 64 * (rank + 1), &params(), rank as u32);
+                        ep.send(dst, t, 64 * (rank + 1), &params(), rank as u32)
+                            .unwrap();
                     }
                 }
                 for _ in 0..n - 1 {

@@ -229,12 +229,26 @@ impl Sum for VDur {
 /// Exactly one thread (the rank's thread) ever touches a given clock, so no
 /// synchronization is needed; cross-rank time only flows through message
 /// timestamps.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Clock {
     now: VTime,
     /// Total time charged via [`Clock::charge`], for introspection (e.g.
     /// separating compute time from wait time in reports).
     charged: VDur,
+    /// Local-work cost multiplier. 1.0 for a healthy rank; a fault plan
+    /// may set it above 1.0 to model a straggler (thermal throttling,
+    /// noisy neighbor). Waiting is never scaled — only charged work.
+    rate: f64,
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock {
+            now: VTime::ZERO,
+            charged: VDur::ZERO,
+            rate: 1.0,
+        }
+    }
 }
 
 impl Clock {
@@ -249,9 +263,19 @@ impl Clock {
         self.now
     }
 
-    /// Advance the clock by a local-work cost.
+    /// Set the local-work cost multiplier (must be >= 1 and finite).
+    pub fn set_rate(&mut self, rate: f64) {
+        assert!(
+            rate.is_finite() && rate >= 1.0,
+            "invalid clock rate: {rate}"
+        );
+        self.rate = rate;
+    }
+
+    /// Advance the clock by a local-work cost (scaled by the rank's rate).
     #[inline]
     pub fn charge(&mut self, d: VDur) {
+        let d = if self.rate == 1.0 { d } else { d * self.rate };
         self.now += d;
         self.charged += d;
     }
@@ -344,6 +368,19 @@ mod tests {
         assert_eq!(c.now().as_nanos(), 400.0);
         // Only `charge` counts as local work.
         assert_eq!(c.total_charged().as_nanos(), 100.0);
+    }
+
+    #[test]
+    fn clock_rate_scales_charges_only() {
+        let mut c = Clock::new();
+        c.set_rate(2.0);
+        c.charge(VDur::from_nanos(100.0));
+        assert_eq!(c.now().as_nanos(), 200.0);
+        assert_eq!(c.total_charged().as_nanos(), 200.0);
+        // Waiting (merge) is not scaled.
+        let wait = c.merge(VTime::from_nanos(500.0));
+        assert_eq!(wait.as_nanos(), 300.0);
+        assert_eq!(c.now().as_nanos(), 500.0);
     }
 
     #[test]

@@ -20,6 +20,7 @@ fn latency_spec() -> RunSpec {
             max_size: 1 << 17,
             ..BenchOptions::quick()
         },
+        faults: None,
     }
 }
 
@@ -140,6 +141,7 @@ fn bcast_recv_flows_pair_with_exactly_one_send() {
             max_size: 1 << 12,
             ..BenchOptions::quick()
         },
+        faults: None,
     };
     let (_, report) = run_with_obs(spec, obs::ObsOptions::traced());
     let a = obs::analyze::analyze(&report);
@@ -177,7 +179,7 @@ fn latency_attribution_has_no_unattributed_gap() {
             b.size,
             b.unattributed_ns()
         );
-        let total: f64 = (0..6).map(|i| b.share_pct(i)).sum();
+        let total: f64 = (0..obs::analyze::NCATS).map(|i| b.share_pct(i)).sum();
         assert!(
             (total - 100.0).abs() < 1e-6,
             "size {}: shares sum to {total}%",
