@@ -308,6 +308,7 @@ pub fn run_figure(id: &str, scale: Scale) -> Figure {
                     unit: "us",
                     points,
                     pool: None,
+                    overlap: None,
                 });
             }
             Figure {

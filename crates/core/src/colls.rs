@@ -39,7 +39,7 @@ impl Env {
     /// buffer: returns the staging buffer and a byte snapshot for the
     /// native call. One charged bulk copy of exactly the participating
     /// region.
-    fn stage_region<T: Prim>(
+    pub(crate) fn stage_region<T: Prim>(
         &mut self,
         arr: JArray<T>,
         elems: usize,
@@ -63,7 +63,11 @@ impl Env {
 
     /// Acquire a staging buffer for `elems` received elements without
     /// copying in.
-    fn stage_empty<T: Prim>(&mut self, _arr: JArray<T>, elems: usize) -> BindResult<Buffer> {
+    pub(crate) fn stage_empty<T: Prim>(
+        &mut self,
+        _arr: JArray<T>,
+        elems: usize,
+    ) -> BindResult<Buffer> {
         let nbytes = (elems * T::SIZE).max(1);
         let clock = self.mpi.clock_mut();
         Ok(Buffer::from_pool(

@@ -1,0 +1,388 @@
+//! Non-blocking collective bindings: `iBcast`, `iAllReduce`,
+//! `iAllGather`, `iGather`, `iAllToAll`, and `iBarrier`, for direct
+//! ByteBuffers and Java arrays.
+//!
+//! The native library compiles each call into a collective schedule and
+//! progresses it whenever the rank is inside MPI (see `mpisim::coll::
+//! sched`); the binding returns a [`JRequest`] whose completion deposits
+//! the result.
+//!
+//! * **Direct ByteBuffers**: the source is read at post time, the
+//!   destination deposited at `Wait`/`Test` — zero Java-side copies.
+//! * **Java arrays** (MVAPICH2-J only, like non-blocking
+//!   point-to-point): the participating region stages through a pooled
+//!   direct buffer. The request *pins* that buffer — it is not
+//!   returned to the pool until completion, so a collection running
+//!   while the schedule is in flight can never hand the storage to
+//!   someone else. GC safety is by construction, not by luck.
+
+use mpisim::datatype::Datatype;
+use mpisim::{CommHandle, ReduceOp};
+use mrt::prim::Prim;
+use mrt::{DirectBuffer, JArray};
+
+use crate::datatype::datatype_of;
+use crate::env::Env;
+use crate::error::{BindError, BindResult};
+use crate::request::{ArrayDest, JRequest, PostAction};
+
+impl Env {
+    /// Capacity check for a completion buffer that will hold `elems`
+    /// elements of `dt`.
+    fn check_capacity(&self, buf: DirectBuffer, elems: usize, dt: &Datatype) -> BindResult<usize> {
+        let span = dt.span(elems);
+        if span > buf.capacity() {
+            return Err(BindError::Runtime(mrt::MrtError::BufferOverflow {
+                needed: span,
+                available: buf.capacity(),
+            }));
+        }
+        Ok(span)
+    }
+
+    fn check_nb_count(count: i32) -> BindResult<usize> {
+        if count < 0 {
+            return Err(BindError::Mpi(mpisim::MpiError::InvalidCount { count }));
+        }
+        Ok(count as usize)
+    }
+
+    /// The documented restriction, extended to collectives: Open MPI-J
+    /// cannot pair Java arrays with non-blocking operations.
+    fn check_array_nb(&self) -> BindResult<()> {
+        if !self.flavor.arrays_with_nonblocking {
+            return Err(BindError::Unsupported(
+                "Java arrays with non-blocking collective operations",
+            ));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Barrier
+    // ------------------------------------------------------------------
+
+    /// `comm.iBarrier()`.
+    pub fn ibarrier(&mut self, comm: CommHandle) -> BindResult<JRequest> {
+        self.binding_call();
+        let native = self.mpi.ibarrier(comm)?;
+        Ok(JRequest {
+            native,
+            post: PostAction::SendDone,
+            pinned: None,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Direct-ByteBuffer flavour
+    // ------------------------------------------------------------------
+
+    /// `comm.iBcast(ByteBuffer, count, datatype, root)`: the buffer is
+    /// read at the root and receives the payload on every rank at
+    /// completion.
+    pub fn ibcast_buffer(
+        &mut self,
+        buf: DirectBuffer,
+        count: i32,
+        dt: &Datatype,
+        root: usize,
+        comm: CommHandle,
+    ) -> BindResult<JRequest> {
+        self.binding_call();
+        let elems = Self::check_nb_count(count)?;
+        let span = self.check_capacity(buf, elems, dt)?;
+        self.charge_buffer_address();
+        let bytes = self.rt.direct_bytes(buf)?[..span].to_vec();
+        let native = self.mpi.ibcast(&bytes, count, dt, root, comm)?;
+        Ok(JRequest {
+            native,
+            post: PostAction::RecvBuffer { buf, span },
+            pinned: None,
+        })
+    }
+
+    /// `comm.iAllReduce(send, recv, count, datatype, op)` over buffers.
+    pub fn iallreduce_buffer(
+        &mut self,
+        send: DirectBuffer,
+        recv: DirectBuffer,
+        count: i32,
+        dt: &Datatype,
+        op: ReduceOp,
+        comm: CommHandle,
+    ) -> BindResult<JRequest> {
+        self.binding_call();
+        let elems = Self::check_nb_count(count)?;
+        let span = self.check_capacity(recv, elems, dt)?;
+        self.check_capacity(send, elems, dt)?;
+        self.charge_buffer_address();
+        let bytes = self.rt.direct_bytes(send)?[..dt.span(elems)].to_vec();
+        let native = self.mpi.iallreduce(&bytes, count, dt, op, comm)?;
+        Ok(JRequest {
+            native,
+            post: PostAction::RecvBuffer { buf: recv, span },
+            pinned: None,
+        })
+    }
+
+    /// `comm.iAllGather(send, recv, count, datatype)` over buffers;
+    /// `recv` holds `size × count` elements at completion.
+    pub fn iallgather_buffer(
+        &mut self,
+        send: DirectBuffer,
+        recv: DirectBuffer,
+        count: i32,
+        dt: &Datatype,
+        comm: CommHandle,
+    ) -> BindResult<JRequest> {
+        self.binding_call();
+        let elems = Self::check_nb_count(count)?;
+        let p = self.mpi.size(comm)?;
+        let span = self.check_capacity(recv, elems * p, dt)?;
+        self.check_capacity(send, elems, dt)?;
+        self.charge_buffer_address();
+        let bytes = self.rt.direct_bytes(send)?[..dt.span(elems)].to_vec();
+        let native = self.mpi.iallgather(&bytes, count, dt, comm)?;
+        Ok(JRequest {
+            native,
+            post: PostAction::RecvBuffer { buf: recv, span },
+            pinned: None,
+        })
+    }
+
+    /// `comm.iGather(send, recv, count, datatype, root)` over buffers;
+    /// `recv` is significant only at the root.
+    #[allow(clippy::too_many_arguments)]
+    pub fn igather_buffer(
+        &mut self,
+        send: DirectBuffer,
+        recv: Option<DirectBuffer>,
+        count: i32,
+        dt: &Datatype,
+        root: usize,
+        comm: CommHandle,
+    ) -> BindResult<JRequest> {
+        self.binding_call();
+        let elems = Self::check_nb_count(count)?;
+        self.check_capacity(send, elems, dt)?;
+        let me = self.mpi.rank(comm)?;
+        let post = if me == root {
+            let p = self.mpi.size(comm)?;
+            let out = recv.ok_or(BindError::Mpi(mpisim::MpiError::BufferTooSmall {
+                needed: dt.span(elems * p),
+                available: 0,
+            }))?;
+            let span = self.check_capacity(out, elems * p, dt)?;
+            PostAction::RecvBuffer { buf: out, span }
+        } else {
+            PostAction::SendDone
+        };
+        self.charge_buffer_address();
+        let bytes = self.rt.direct_bytes(send)?[..dt.span(elems)].to_vec();
+        let native = self.mpi.igather(&bytes, count, dt, root, comm)?;
+        Ok(JRequest {
+            native,
+            post,
+            pinned: None,
+        })
+    }
+
+    /// `comm.iAllToAll(send, recv, count, datatype)` over buffers; both
+    /// hold `size × count` elements (one block per peer).
+    pub fn ialltoall_buffer(
+        &mut self,
+        send: DirectBuffer,
+        recv: DirectBuffer,
+        count: i32,
+        dt: &Datatype,
+        comm: CommHandle,
+    ) -> BindResult<JRequest> {
+        self.binding_call();
+        let elems = Self::check_nb_count(count)?;
+        let p = self.mpi.size(comm)?;
+        let span = self.check_capacity(recv, elems * p, dt)?;
+        self.check_capacity(send, elems * p, dt)?;
+        self.charge_buffer_address();
+        let bytes = self.rt.direct_bytes(send)?[..dt.span(elems * p)].to_vec();
+        let native = self.mpi.ialltoall(&bytes, count, dt, comm)?;
+        Ok(JRequest {
+            native,
+            post: PostAction::RecvBuffer { buf: recv, span },
+            pinned: None,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Java-array flavour (staging pinned for the schedule lifetime)
+    // ------------------------------------------------------------------
+
+    /// Build the unstage destination for a receive array.
+    fn recv_array_post<T: Prim>(&mut self, arr: JArray<T>, elems: usize) -> BindResult<PostAction> {
+        let staging = self.stage_empty(arr, elems)?;
+        Ok(PostAction::RecvArray {
+            staging,
+            dest: ArrayDest {
+                handle: arr.handle(),
+                byte_off: 0,
+                byte_len: arr.byte_len(),
+            },
+            dt: datatype_of::<T>(),
+            count: elems,
+        })
+    }
+
+    /// `comm.iBcast(type[] arr, count, datatype, root)`.
+    pub fn ibcast_array<T: Prim>(
+        &mut self,
+        arr: JArray<T>,
+        count: i32,
+        root: usize,
+        comm: CommHandle,
+    ) -> BindResult<JRequest> {
+        self.check_array_nb()?;
+        self.binding_call();
+        let elems = Self::check_nb_count(count)?;
+        let dt = datatype_of::<T>();
+        let me = self.mpi.rank(comm)?;
+        // The root stages its payload in; every rank (root included)
+        // receives the delivered payload back through a pinned staging
+        // buffer at completion.
+        let (post, bytes) = if me == root {
+            let (staging, bytes) = self.stage_region(arr, elems)?;
+            (
+                PostAction::RecvArray {
+                    staging,
+                    dest: ArrayDest {
+                        handle: arr.handle(),
+                        byte_off: 0,
+                        byte_len: arr.byte_len(),
+                    },
+                    dt: dt.clone(),
+                    count: elems,
+                },
+                bytes,
+            )
+        } else {
+            (
+                self.recv_array_post(arr, elems)?,
+                vec![0u8; elems * T::SIZE],
+            )
+        };
+        self.charge_buffer_address();
+        let native = self.mpi.ibcast(&bytes, count, &dt, root, comm)?;
+        Ok(JRequest {
+            native,
+            post,
+            pinned: None,
+        })
+    }
+
+    /// `comm.iAllReduce(type[] send, type[] recv, count, op)`.
+    pub fn iallreduce_array<T: Prim>(
+        &mut self,
+        send: JArray<T>,
+        recv: JArray<T>,
+        count: i32,
+        op: ReduceOp,
+        comm: CommHandle,
+    ) -> BindResult<JRequest> {
+        self.check_array_nb()?;
+        self.binding_call();
+        let elems = Self::check_nb_count(count)?;
+        let dt = datatype_of::<T>();
+        let (staging, bytes) = self.stage_region(send, elems)?;
+        let post = self.recv_array_post(recv, elems)?;
+        self.charge_buffer_address();
+        let native = self.mpi.iallreduce(&bytes, count, &dt, op, comm)?;
+        Ok(JRequest {
+            native,
+            post,
+            pinned: Some(staging),
+        })
+    }
+
+    /// `comm.iAllGather(type[] send, type[] recv, count)`; `recv` must
+    /// hold `size × count` elements.
+    pub fn iallgather_array<T: Prim>(
+        &mut self,
+        send: JArray<T>,
+        recv: JArray<T>,
+        count: i32,
+        comm: CommHandle,
+    ) -> BindResult<JRequest> {
+        self.check_array_nb()?;
+        self.binding_call();
+        let elems = Self::check_nb_count(count)?;
+        let p = self.mpi.size(comm)?;
+        let dt = datatype_of::<T>();
+        let (staging, bytes) = self.stage_region(send, elems)?;
+        let post = self.recv_array_post(recv, elems * p)?;
+        self.charge_buffer_address();
+        let native = self.mpi.iallgather(&bytes, count, &dt, comm)?;
+        Ok(JRequest {
+            native,
+            post,
+            pinned: Some(staging),
+        })
+    }
+
+    /// `comm.iGather(type[] send, type[] recv, count, root)`; `recv` is
+    /// significant only at the root.
+    pub fn igather_array<T: Prim>(
+        &mut self,
+        send: JArray<T>,
+        recv: Option<JArray<T>>,
+        count: i32,
+        root: usize,
+        comm: CommHandle,
+    ) -> BindResult<JRequest> {
+        self.check_array_nb()?;
+        self.binding_call();
+        let elems = Self::check_nb_count(count)?;
+        let dt = datatype_of::<T>();
+        let me = self.mpi.rank(comm)?;
+        let (staging, bytes) = self.stage_region(send, elems)?;
+        let (post, pinned) = if me == root {
+            let p = self.mpi.size(comm)?;
+            let out = recv.ok_or(BindError::Mpi(mpisim::MpiError::BufferTooSmall {
+                needed: dt.span(elems * p),
+                available: 0,
+            }))?;
+            (self.recv_array_post(out, elems * p)?, Some(staging))
+        } else {
+            (PostAction::SendStaged { staging }, None)
+        };
+        self.charge_buffer_address();
+        let native = self.mpi.igather(&bytes, count, &dt, root, comm)?;
+        Ok(JRequest {
+            native,
+            post,
+            pinned,
+        })
+    }
+
+    /// `comm.iAllToAll(type[] send, type[] recv, count)`; both arrays
+    /// hold `size × count` elements.
+    pub fn ialltoall_array<T: Prim>(
+        &mut self,
+        send: JArray<T>,
+        recv: JArray<T>,
+        count: i32,
+        comm: CommHandle,
+    ) -> BindResult<JRequest> {
+        self.check_array_nb()?;
+        self.binding_call();
+        let elems = Self::check_nb_count(count)?;
+        let p = self.mpi.size(comm)?;
+        let dt = datatype_of::<T>();
+        let (staging, bytes) = self.stage_region(send, elems * p)?;
+        let post = self.recv_array_post(recv, elems * p)?;
+        self.charge_buffer_address();
+        let native = self.mpi.ialltoall(&bytes, count, &dt, comm)?;
+        Ok(JRequest {
+            native,
+            post,
+            pinned: Some(staging),
+        })
+    }
+}

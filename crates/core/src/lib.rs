@@ -52,6 +52,7 @@ pub mod datatype;
 pub mod env;
 pub mod error;
 pub mod flavor;
+pub mod icolls;
 pub mod pt2pt;
 pub mod request;
 pub mod stage;

@@ -25,7 +25,7 @@ use crate::stage::{stage_from_array, unstage_to_array};
 
 impl Env {
     /// Charge the `GetDirectBufferAddress` JNI cost.
-    fn charge_buffer_address(&mut self) {
+    pub(crate) fn charge_buffer_address(&mut self) {
         let cost = *self.rt.cost();
         let t0 = self.mpi.now();
         let clock = self.mpi.clock_mut();
@@ -69,6 +69,7 @@ impl Env {
         Ok(JRequest {
             native,
             post: PostAction::SendDone,
+            pinned: None,
         })
     }
 
@@ -87,6 +88,7 @@ impl Env {
         Ok(JRequest {
             native,
             post: PostAction::RecvBuffer { buf, span },
+            pinned: None,
         })
     }
 
@@ -196,6 +198,7 @@ impl Env {
         Ok(JRequest {
             native,
             post: PostAction::SendStaged { staging },
+            pinned: None,
         })
     }
 
@@ -238,6 +241,7 @@ impl Env {
                 dt: dt.clone(),
                 count,
             },
+            pinned: None,
         })
     }
 
@@ -443,9 +447,19 @@ impl Env {
         })
     }
 
+    /// Release a request's pinned send-side staging (collective sends
+    /// hold theirs until completion).
+    fn release_pinned(&mut self, pinned: Option<mpjbuf::Buffer>) {
+        if let Some(staging) = pinned {
+            let clock = self.mpi.clock_mut();
+            staging.free(&mut self.pool, &mut self.rt, clock);
+        }
+    }
+
     pub(crate) fn wait_raw(&mut self, req: JRequest) -> BindResult<JStatus> {
         let mut temp = self.prepare_temp(&req.post)?;
         let st = self.mpi.wait(req.native, temp.as_deref_mut())?;
+        self.release_pinned(req.pinned);
         self.finish_post(req.post, st, temp)
     }
 
@@ -455,10 +469,37 @@ impl Env {
         self.wait_raw(req)
     }
 
-    /// `Request.waitAll(...)`: complete in order.
+    /// `Request.waitAll(...)`: statuses come back in request order, but
+    /// progression is joint — the whole batch is handed to the native
+    /// library's `Waitall`, so an early-completing later request (or a
+    /// non-blocking collective mixed in with point-to-point requests)
+    /// never waits on an earlier slow one.
     pub fn waitall(&mut self, reqs: Vec<JRequest>) -> BindResult<Vec<JStatus>> {
         self.binding_call();
-        reqs.into_iter().map(|r| self.wait_raw(r)).collect()
+        let mut natives = Vec::with_capacity(reqs.len());
+        let mut posts = Vec::with_capacity(reqs.len());
+        let mut pins = Vec::with_capacity(reqs.len());
+        for r in reqs {
+            natives.push(r.native);
+            posts.push(r.post);
+            pins.push(r.pinned);
+        }
+        let mut temps = Vec::with_capacity(posts.len());
+        for post in &posts {
+            temps.push(self.prepare_temp(post)?);
+        }
+        let bufs: Vec<Option<&mut [u8]>> = temps.iter_mut().map(|t| t.as_deref_mut()).collect();
+        let statuses = self.mpi.waitall(natives, bufs)?;
+        let mut out = Vec::with_capacity(posts.len());
+        for ((post, pinned), (st, temp)) in posts
+            .into_iter()
+            .zip(pins)
+            .zip(statuses.into_iter().zip(temps))
+        {
+            self.release_pinned(pinned);
+            out.push(self.finish_post(post, st, temp)?);
+        }
+        Ok(out)
     }
 
     /// `request.test()`: non-blocking completion check; hands the request
@@ -468,7 +509,28 @@ impl Env {
         let mut temp = self.prepare_temp(&req.post)?;
         match self.mpi.test(&req.native, temp.as_deref_mut())? {
             None => Ok(TestOutcome::Pending(req)),
-            Some(st) => self.finish_post(req.post, st, temp).map(TestOutcome::Done),
+            Some(st) => {
+                self.release_pinned(req.pinned);
+                self.finish_post(req.post, st, temp).map(TestOutcome::Done)
+            }
         }
+    }
+
+    /// `Request.testAny(...)`: poll the batch once; on a hit the
+    /// completed request is removed from `reqs` and its original index
+    /// and status are returned. Each poll also progresses every
+    /// outstanding non-blocking collective.
+    pub fn testany(&mut self, reqs: &mut Vec<JRequest>) -> BindResult<Option<(usize, JStatus)>> {
+        self.binding_call();
+        for i in 0..reqs.len() {
+            let mut temp = self.prepare_temp(&reqs[i].post)?;
+            if let Some(st) = self.mpi.test(&reqs[i].native, temp.as_deref_mut())? {
+                let req = reqs.remove(i);
+                self.release_pinned(req.pinned);
+                let status = self.finish_post(req.post, st, temp)?;
+                return Ok(Some((i, status)));
+            }
+        }
+        Ok(None)
     }
 }

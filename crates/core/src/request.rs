@@ -63,6 +63,12 @@ pub(crate) enum PostAction {
 pub struct JRequest {
     pub(crate) native: mpisim::mpi::MpiRequest,
     pub(crate) post: PostAction,
+    /// Send-side staging buffer pinned for the operation's lifetime.
+    /// Non-blocking collectives read their source region while the
+    /// schedule progresses, so the request owns the buffer until
+    /// completion — the collector can run mid-flight without the pool
+    /// reusing (or freeing) storage the native library still reads.
+    pub(crate) pinned: Option<Buffer>,
 }
 
 impl JRequest {

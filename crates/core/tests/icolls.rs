@@ -1,0 +1,293 @@
+//! Non-blocking collective bindings: both buffer kinds, overlap with
+//! managed-heap activity (GC mid-flight), mixed waitall/testany, and the
+//! Open MPI-J array restriction.
+
+use mvapich2j::datatype::INT;
+use mvapich2j::{
+    run_job, BindError, JobConfig, Profile, ReduceOp, TestOutcome, Topology, OPENMPIJ,
+};
+
+fn cfg(n: usize) -> JobConfig {
+    JobConfig::mvapich2j(Topology::single_node(n))
+}
+
+#[test]
+fn ibcast_buffer_roundtrip() {
+    run_job(cfg(4), |env| {
+        let w = env.world();
+        let buf = env.new_direct(64);
+        if env.rank() == 2 {
+            for i in 0..16 {
+                env.direct_put::<i32>(buf, i * 4, 1000 + i as i32).unwrap();
+            }
+        }
+        let req = env.ibcast_buffer(buf, 16, &INT, 2, w).unwrap();
+        let st = env.wait(req).unwrap();
+        assert_eq!(st.bytes, 64);
+        for i in 0..16 {
+            assert_eq!(env.direct_get::<i32>(buf, i * 4).unwrap(), 1000 + i as i32);
+        }
+    });
+}
+
+#[test]
+fn iallreduce_buffer_roundtrip() {
+    run_job(cfg(4), |env| {
+        let w = env.world();
+        let p = env.size() as i32;
+        let me = env.rank() as i32;
+        let send = env.new_direct(32);
+        let recv = env.new_direct(32);
+        for i in 0..8 {
+            env.direct_put::<i32>(send, i * 4, me + i as i32).unwrap();
+        }
+        let req = env
+            .iallreduce_buffer(send, recv, 8, &INT, ReduceOp::Sum, w)
+            .unwrap();
+        env.wait(req).unwrap();
+        let rank_sum = p * (p - 1) / 2;
+        for i in 0..8 {
+            assert_eq!(
+                env.direct_get::<i32>(recv, i * 4).unwrap(),
+                rank_sum + p * i as i32
+            );
+        }
+    });
+}
+
+#[test]
+fn igather_and_ialltoall_buffer_roundtrip() {
+    run_job(cfg(4), |env| {
+        let w = env.world();
+        let p = env.size();
+        let me = env.rank() as i32;
+
+        // igather: everyone contributes 4 ints; root 1 collects.
+        let send = env.new_direct(16);
+        for i in 0..4 {
+            env.direct_put::<i32>(send, i * 4, me * 10 + i as i32)
+                .unwrap();
+        }
+        let recv = (env.rank() == 1).then(|| env.new_direct(16 * p));
+        let req = env.igather_buffer(send, recv, 4, &INT, 1, w).unwrap();
+        let st = env.wait(req).unwrap();
+        if let Some(out) = recv {
+            assert_eq!(st.bytes, 16 * p);
+            for r in 0..p {
+                for i in 0..4 {
+                    assert_eq!(
+                        env.direct_get::<i32>(out, (r * 4 + i) * 4).unwrap(),
+                        r as i32 * 10 + i as i32
+                    );
+                }
+            }
+        } else {
+            assert_eq!(st.bytes, 0);
+        }
+
+        // ialltoall: one int per peer.
+        let s2 = env.new_direct(4 * p);
+        let r2 = env.new_direct(4 * p);
+        for d in 0..p {
+            env.direct_put::<i32>(s2, d * 4, me * 100 + d as i32)
+                .unwrap();
+        }
+        let req = env.ialltoall_buffer(s2, r2, 1, &INT, w).unwrap();
+        env.wait(req).unwrap();
+        for src in 0..p {
+            assert_eq!(
+                env.direct_get::<i32>(r2, src * 4).unwrap(),
+                src as i32 * 100 + me
+            );
+        }
+    });
+}
+
+#[test]
+fn iallgather_array_roundtrip() {
+    run_job(cfg(4), |env| {
+        let w = env.world();
+        let p = env.size();
+        let me = env.rank() as i32;
+        let send = env.new_array::<i32>(8).unwrap();
+        let recv = env.new_array::<i32>(8 * p).unwrap();
+        for i in 0..8 {
+            env.array_set(send, i, me * 1000 + i as i32).unwrap();
+        }
+        let req = env.iallgather_array(send, recv, 8, w).unwrap();
+        let st = env.wait(req).unwrap();
+        assert_eq!(st.bytes, 32 * p);
+        for r in 0..p {
+            for i in 0..8 {
+                assert_eq!(
+                    env.array_get(recv, r * 8 + i).unwrap(),
+                    r as i32 * 1000 + i as i32
+                );
+            }
+        }
+    });
+}
+
+/// The GC-safety property the bindings are designed around: a collection
+/// between post and wait must not disturb an in-flight array-flavor
+/// collective, because the staging buffers are pinned by the request
+/// (outstanding in the pool) until completion.
+#[test]
+fn gc_between_post_and_wait_is_safe() {
+    let counts = run_job(cfg(4), |env| {
+        let w = env.world();
+        let p = env.size() as i32;
+        let me = env.rank() as i32;
+        let send = env.new_array::<i32>(256).unwrap();
+        let recv = env.new_array::<i32>(256).unwrap();
+        for i in 0..256 {
+            env.array_set(send, i, me + i as i32).unwrap();
+        }
+        let before = env.pool_stats().outstanding;
+        let req = env
+            .iallreduce_array(send, recv, 256, ReduceOp::Sum, w)
+            .unwrap();
+        // Both the pinned send staging and the receive staging are lent
+        // out while the schedule is in flight.
+        assert!(env.pool_stats().outstanding >= before + 2);
+
+        // Churn the managed heap hard enough to move things around, then
+        // force a full collection mid-flight.
+        for _ in 0..64 {
+            let junk = env.new_array::<i32>(512).unwrap();
+            env.free_array(junk).unwrap();
+        }
+        env.gc();
+        let collections = env.gc_stats().collections;
+        assert!(collections > 0, "the mid-flight collection must have run");
+
+        env.wait(req).unwrap();
+        assert_eq!(env.pool_stats().outstanding, before);
+        let rank_sum = p * (p - 1) / 2;
+        for i in 0..256 {
+            assert_eq!(
+                env.array_get(recv, i).unwrap(),
+                rank_sum + p * i as i32,
+                "i={i}"
+            );
+        }
+        collections
+    });
+    assert_eq!(counts.len(), 4);
+}
+
+#[test]
+fn waitall_drains_mixed_pt2pt_and_collective_requests() {
+    run_job(cfg(4), |env| {
+        let w = env.world();
+        let p = env.size();
+        let me = env.rank();
+        let left = (me + p - 1) % p;
+        let right = (me + 1) % p;
+
+        let send = env.new_direct(32);
+        let coll = env.new_direct(32);
+        for i in 0..8 {
+            env.direct_put::<i32>(send, i * 4, me as i32 + i as i32)
+                .unwrap();
+        }
+        let r_coll = env
+            .iallreduce_buffer(send, coll, 8, &INT, ReduceOp::Sum, w)
+            .unwrap();
+        let ring = env.new_direct(16);
+        for i in 0..4 {
+            env.direct_put::<i32>(ring, i * 4, me as i32).unwrap();
+        }
+        let nbr = env.new_direct(16);
+        let r_recv = env.irecv_buffer(nbr, 4, &INT, left as i32, 3, w).unwrap();
+        let r_send = env.isend_buffer(ring, 4, &INT, right, 3, w).unwrap();
+
+        let st = env.waitall(vec![r_coll, r_recv, r_send]).unwrap();
+        assert_eq!(st.len(), 3);
+        assert_eq!(st[1].source, left as i32);
+        let rank_sum = (0..p as i32).sum::<i32>();
+        for i in 0..8 {
+            assert_eq!(
+                env.direct_get::<i32>(coll, i * 4).unwrap(),
+                rank_sum + p as i32 * i as i32
+            );
+        }
+        assert_eq!(env.direct_get::<i32>(nbr, 0).unwrap(), left as i32);
+    });
+}
+
+#[test]
+fn testany_finds_the_barrier_and_test_completes_the_bcast() {
+    run_job(cfg(2), |env| {
+        let w = env.world();
+        let buf = env.new_direct(16);
+        if env.rank() == 0 {
+            for i in 0..4 {
+                env.direct_put::<i32>(buf, i * 4, 7 + i as i32).unwrap();
+            }
+        }
+        let r_bar = env.ibarrier(w).unwrap();
+        let r_bcast = env.ibcast_buffer(buf, 4, &INT, 0, w).unwrap();
+        let mut pending = vec![r_bar, r_bcast];
+        let mut done = 0;
+        while done < 2 {
+            if let Some((_, _st)) = env.testany(&mut pending).unwrap() {
+                done += 1;
+            }
+        }
+        assert!(pending.is_empty());
+        for i in 0..4 {
+            assert_eq!(env.direct_get::<i32>(buf, i * 4).unwrap(), 7 + i as i32);
+        }
+
+        // Single-request test() loop over an ibcast as well.
+        let buf2 = env.new_direct(16);
+        if env.rank() == 1 {
+            for i in 0..4 {
+                env.direct_put::<i32>(buf2, i * 4, 90 + i as i32).unwrap();
+            }
+        }
+        let mut req = env.ibcast_buffer(buf2, 4, &INT, 1, w).unwrap();
+        loop {
+            match env.test(req).unwrap() {
+                TestOutcome::Done(st) => {
+                    assert_eq!(st.bytes, 16);
+                    break;
+                }
+                TestOutcome::Pending(r) => req = r,
+            }
+        }
+        for i in 0..4 {
+            assert_eq!(env.direct_get::<i32>(buf2, i * 4).unwrap(), 90 + i as i32);
+        }
+    });
+}
+
+#[test]
+fn openmpij_rejects_arrays_with_nonblocking_collectives() {
+    let cfg = JobConfig::mvapich2j(Topology::single_node(2))
+        .with_flavor(OPENMPIJ, Profile::openmpi_ucx());
+    run_job(cfg, |env| {
+        let w = env.world();
+        let send = env.new_array::<i32>(4).unwrap();
+        let recv = env.new_array::<i32>(4).unwrap();
+        match env.iallreduce_array(send, recv, 4, ReduceOp::Sum, w) {
+            Err(BindError::Unsupported(_)) => {}
+            Err(e) => panic!("wrong error: {e:?}"),
+            Ok(_) => panic!("Open MPI-J must reject array-flavor iAllReduce"),
+        }
+        // Buffers still work under Open MPI-J.
+        let s = env.new_direct(16);
+        let r = env.new_direct(16);
+        for i in 0..4 {
+            env.direct_put::<i32>(s, i * 4, env.rank() as i32).unwrap();
+        }
+        let req = env
+            .iallreduce_buffer(s, r, 4, &INT, ReduceOp::Sum, w)
+            .unwrap();
+        env.wait(req).unwrap();
+        assert_eq!(env.direct_get::<i32>(r, 0).unwrap(), 1);
+        // Both ranks must agree the collective completed: barrier.
+        env.barrier(w).unwrap();
+    });
+}

@@ -21,6 +21,7 @@ mod alltoall;
 mod bcast;
 mod gather;
 mod reduce;
+pub(crate) mod sched;
 
 pub use allgather::{allgather, allgatherv};
 pub use alltoall::{alltoall, alltoallv};
@@ -77,6 +78,9 @@ impl Cc {
 /// Build the collective context for `comm` and charge the per-call
 /// overhead.
 pub(crate) fn cc(mpi: &mut Mpi, comm: CommHandle) -> MpiResult<Cc> {
+    // Entering any blocking collective is a library entry: let
+    // outstanding non-blocking schedules progress first.
+    mpi.nb_progress()?;
     let (ctx, ranks, me) = {
         let info = mpi.info(comm)?;
         (

@@ -38,6 +38,50 @@ pub const ANY_SOURCE: i32 = -1;
 pub const ANY_TAG: i32 = -2;
 /// Largest user tag; the collective layer uses tags above this.
 pub const TAG_UB: i32 = 1 << 24;
+/// Base of the non-blocking collective tag space (above every blocking
+/// collective tag base). Traffic tagged here is schedule traffic: its
+/// emission order is driven by message arrival rather than program order,
+/// so it is injected on per-schedule fabric channels (see
+/// [`injection_channel`]).
+pub(crate) const NBC_TAG_BASE: i32 = TAG_UB + 0x1000;
+/// Tag window stride per schedule; also the cap on rounds per schedule.
+pub(crate) const NBC_ROUNDS_MAX: usize = 512;
+
+/// Injection-channel classes for non-blocking-collective traffic. Each
+/// class has a deterministic internal emission order but races against
+/// the other classes in real time, so each gets its own channel.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ChannelClass {
+    /// Eager payloads and RTS frames posted by a schedule round (fired in
+    /// round order).
+    Data = 0,
+    /// CTS responses to a schedule's rendezvous sends (emitted in the
+    /// peer's round order).
+    Cts = 1,
+    /// Rendezvous payloads released by a CTS (emitted in round order).
+    RndvData = 2,
+}
+
+/// The fabric injection channel for a message with the given envelope.
+///
+/// Ordinary point-to-point and blocking-collective traffic (tags at or
+/// below the blocking tag space) is emitted in program order, so it all
+/// shares channel 0 and serializes realistically. Non-blocking-collective
+/// schedule traffic is emitted whenever progression happens to run, which
+/// real time decides — injecting it on the shared port would let OS
+/// scheduling reorder the port's busy horizon and leak wall-clock
+/// nondeterminism into virtual arrival times. Each schedule window (and
+/// each response class within it) therefore gets a dedicated channel,
+/// modeling the per-schedule send queue a hardware-offloaded NBC engine
+/// owns. Within one channel the emission order is deterministic, so
+/// arrivals stay a pure function of virtual time.
+fn injection_channel(context: u32, tag: i32, class: ChannelClass) -> u64 {
+    if tag < NBC_TAG_BASE {
+        return 0;
+    }
+    let window = ((tag - NBC_TAG_BASE) as u64) / NBC_ROUNDS_MAX as u64;
+    1 + (((context as u64) << 16) | window) * 3 + class as u64
+}
 
 /// Message envelope used for matching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -417,6 +461,18 @@ impl Engine {
         id
     }
 
+    /// Re-install a previously allocated collective label (context +
+    /// instance id), returning the label it replaced. Non-blocking
+    /// collective schedules use this so traffic posted during progression
+    /// — possibly interleaved with other collectives — keeps carrying the
+    /// instance id allocated at post time.
+    pub fn swap_coll_label(&mut self, ctx: Option<u32>, id: u64) -> (Option<u32>, u64) {
+        let old = (self.coll_ctx, self.coll_instance);
+        self.coll_ctx = ctx;
+        self.coll_instance = id;
+        old
+    }
+
     /// Instance id of the most recently begun collective (0 if none).
     pub fn current_collective(&self) -> u64 {
         self.coll_instance
@@ -451,6 +507,7 @@ impl Engine {
     fn inject_reliable(
         &mut self,
         dst: usize,
+        channel: u64,
         t: VTime,
         wire_bytes: usize,
         loggp: &LogGp,
@@ -464,7 +521,7 @@ impl Engine {
             };
             let out = self
                 .ep
-                .send(dst, t, wire_bytes, loggp, frame)
+                .send_on(dst, channel, t, wire_bytes, loggp, frame)
                 .unwrap_or_else(|e| panic!("engine routed to invalid destination: {e}"));
             return Ok(out.arrival);
         };
@@ -482,7 +539,7 @@ impl Engine {
             };
             let out = self
                 .ep
-                .send(dst, t, wire_bytes, loggp, frame)
+                .send_on(dst, channel, t, wire_bytes, loggp, frame)
                 .unwrap_or_else(|e| panic!("engine routed to invalid destination: {e}"));
             match out.fate {
                 Fate::Delivered | Fate::Duplicated | Fate::Corrupted => {
@@ -607,6 +664,7 @@ impl Engine {
             let inject_at = self.clock.now();
             let arrival = self.inject_reliable(
                 dst,
+                injection_channel(context, tag, ChannelClass::Data),
                 inject_at,
                 wire,
                 &path.loggp,
@@ -645,6 +703,7 @@ impl Engine {
             let Request(id) = req;
             if let Err(e) = self.inject_reliable(
                 dst,
+                injection_channel(context, tag, ChannelClass::Data),
                 self.clock.now(),
                 path.header_bytes,
                 &path.loggp,
@@ -823,6 +882,7 @@ impl Engine {
                 self.posted.push(req.0);
                 self.inject_reliable(
                     env.src,
+                    injection_channel(env.context, env.tag, ChannelClass::Cts),
                     t,
                     path.header_bytes,
                     &path.loggp,
@@ -940,6 +1000,7 @@ impl Engine {
                     *state = RecvState::AwaitData { src: env.src };
                     self.inject_reliable(
                         env.src,
+                        injection_channel(env.context, env.tag, ChannelClass::Cts),
                         t,
                         path.header_bytes,
                         &path.loggp,
@@ -985,6 +1046,7 @@ impl Engine {
                 let nbytes = data.len();
                 let arrival = self.inject_reliable(
                     dst,
+                    injection_channel(env.context, env.tag, ChannelClass::RndvData),
                     t,
                     wire,
                     &path.loggp,
@@ -1070,6 +1132,85 @@ impl Engine {
             }) => true,
             _ => false,
         }
+    }
+
+    /// Whether `req` is complete (delivery-wise) without consuming it.
+    /// Like MPI_Request_get_status; progression must be driven separately
+    /// ([`Engine::poll`] / [`Engine::block_for_delivery`]).
+    pub fn is_done(&self, req: Request) -> bool {
+        self.is_complete(req)
+    }
+
+    /// Whether `req` is still live (posted and not yet consumed).
+    pub fn has_request(&self, req: Request) -> bool {
+        self.requests.contains_key(&req.0)
+    }
+
+    /// Virtual completion instant of a *complete* request: the send's
+    /// local completion or the receive's payload arrival. `None` while the
+    /// request is still in flight. Used to consume a set of completed
+    /// requests in virtual-arrival order (deterministic and
+    /// progression-optimal) instead of posting order.
+    pub fn completion_time(&self, req: Request) -> Option<VTime> {
+        match self.requests.get(&req.0) {
+            Some(ReqState::Send(SendState::EagerDone { complete_at }))
+            | Some(ReqState::Send(SendState::RndvDone { complete_at })) => Some(*complete_at),
+            Some(ReqState::Recv {
+                state: RecvState::Ready { arrival, .. },
+                ..
+            }) => Some(*arrival),
+            _ => None,
+        }
+    }
+
+    /// Drain every delivery the fabric has ready, without blocking and
+    /// without touching the application clock (payload costs attach when
+    /// a request is consumed).
+    pub fn poll(&mut self) -> MpiResult<()> {
+        self.check_self_crash()?;
+        while let Some(d) = self.ep.try_recv() {
+            self.handle(d)?;
+        }
+        Ok(())
+    }
+
+    /// Block for exactly one fabric delivery and process it. The crash
+    /// watchdog applies, so a dead peer surfaces as [`MpiError::RankFailed`]
+    /// instead of a hang. Callers loop on this to make blocking progress
+    /// for request sets the single-request [`Engine::wait`] cannot express
+    /// (waitall, collective schedules).
+    pub fn block_for_delivery(&mut self) -> MpiResult<()> {
+        self.check_self_crash()?;
+        let d = self.recv_progress()?;
+        self.handle(d)
+    }
+
+    /// Consume `req` if it is already complete (charging its consumption
+    /// costs), without driving progression. `Ok(None)` while in flight.
+    pub fn try_complete(&mut self, req: Request) -> MpiResult<Option<Completion>> {
+        if !self.requests.contains_key(&req.0) {
+            return Err(MpiError::InvalidRequest);
+        }
+        if self.is_complete(req) {
+            self.finish(req).map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Run `f` with the engine's clock swapped for a detached timeline
+    /// positioned at `t`; restores the rank clock afterwards and returns
+    /// `f`'s result plus where the timeline advanced to. This is how
+    /// self-timed (offloaded) progression reuses every engine primitive —
+    /// sends, receives, completions — while charging their costs to the
+    /// schedule's own timeline instead of the application clock.
+    pub fn with_timeline<R>(&mut self, t: VTime, f: impl FnOnce(&mut Engine) -> R) -> (R, VTime) {
+        let detached = self.clock.fork_at(t);
+        let saved = std::mem::replace(&mut self.clock, detached);
+        let out = f(self);
+        let advanced = self.clock.now();
+        self.clock = saved;
+        (out, advanced)
     }
 
     /// Block until `req` completes; consume it and charge its costs.

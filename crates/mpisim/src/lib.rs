@@ -14,6 +14,10 @@
 //!   scatter+allgather, recursive doubling, Rabenseifner, ring, pairwise
 //!   exchange, and MVAPICH2-style two-level hierarchical variants — plus
 //!   the vectored (v-suffix) collectives ([`coll`]);
+//! * non-blocking collectives compiled into round-based schedules that a
+//!   per-rank progression engine advances on a self-timed virtual
+//!   timeline, so communication/computation overlap is actually modeled
+//!   ([`coll::sched`], surfaced through [`mpi::Mpi`]);
 //! * two calibrated library profiles ([`profile::Profile::mvapich2`] and
 //!   [`profile::Profile::openmpi_ucx`]) whose differences reproduce the
 //!   native-performance gaps the paper reports.
@@ -34,6 +38,6 @@ pub use comm::{CommHandle, Group};
 pub use datatype::{BasicType, Datatype};
 pub use engine::{Completion, Envelope, Frame, Request, Status, Wire, ANY_SOURCE, ANY_TAG, TAG_UB};
 pub use error::{MpiError, MpiResult};
-pub use mpi::{run_mpi, run_mpi_faulty, Errhandler, Mpi};
+pub use mpi::{run_mpi, run_mpi_faulty, Errhandler, Mpi, MpiRequest};
 pub use op::ReduceOp;
 pub use profile::{CollTuning, PathParams, Profile};

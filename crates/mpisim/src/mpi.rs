@@ -5,32 +5,65 @@
 //! JNI-analog boundary — the equivalent of `MPI_Send`, `MPI_Irecv`,
 //! `MPI_Bcast`, `MPI_Comm_split`, … in the native library.
 
+use std::collections::HashMap;
+
 use simfabric::{run_cluster, Endpoint, FaultPlan, Topology};
 use vtime::{Clock, VDur, VTime};
 
 use crate::coll;
+use crate::coll::sched::{self, IcollKind, Schedule};
 use crate::comm::{CommHandle, CommInfo, Group, COMM_WORLD};
 use crate::datatype::Datatype;
-use crate::engine::{Engine, Frame, Request, Status};
+use crate::engine::{Completion, Engine, Frame, Request, Status};
 use crate::error::{MpiError, MpiResult};
 use crate::op::ReduceOp;
 use crate::profile::Profile;
 
-/// A request returned by the non-blocking typed operations.
+/// What an [`MpiRequest`] refers to: an engine-level point-to-point
+/// request, or an outstanding non-blocking collective schedule (keyed by
+/// the facade's schedule table).
+#[derive(Debug, Clone, Copy)]
+enum ReqKind {
+    P2p(Request),
+    Coll(u64),
+}
+
+/// A request returned by the non-blocking typed operations (pt2pt and
+/// collective alike — `Wait`/`Test`/`Waitall`/`Testany` accept any mix).
 #[derive(Debug)]
 pub struct MpiRequest {
-    raw: Request,
-    /// For receives: the datatype/count needed to unpack at completion.
+    raw: ReqKind,
+    /// For operations producing data: the datatype/count needed to unpack
+    /// at completion.
     recv: Option<(Datatype, usize)>,
-    /// Communicator the operation was posted on (status translation).
+    /// Communicator the operation was posted on (status translation,
+    /// error-handler routing).
     comm: CommHandle,
 }
 
 impl MpiRequest {
-    /// Whether this is a receive request (completion carries data).
+    /// Whether completion carries data that needs a destination buffer.
     pub fn is_recv(&self) -> bool {
         self.recv.is_some()
     }
+
+    /// Whether this request is a non-blocking collective.
+    pub fn is_coll(&self) -> bool {
+        matches!(self.raw, ReqKind::Coll(_))
+    }
+}
+
+/// An outstanding non-blocking collective: the schedule plus the facade
+/// metadata needed to consume it. Errors raised while *progressing* the
+/// schedule opportunistically (from some unrelated MPI call) are parked
+/// here and surface at `Wait`/`Test` of this request, routed through the
+/// communicator the collective was posted on — MPI ties an operation's
+/// errors to its own communicator.
+struct IcollState {
+    id: u64,
+    comm: CommHandle,
+    sched: Schedule,
+    err: Option<MpiError>,
 }
 
 /// Per-communicator error handler (MPI_Errhandler).
@@ -59,6 +92,16 @@ pub struct Mpi {
     /// Error handler per communicator slot (parallel to `comms`;
     /// inherited from the parent at creation, like MPI).
     errhandlers: Vec<Errhandler>,
+    /// Outstanding non-blocking collective schedules, in post order
+    /// (progression iterates in this order so virtual time is independent
+    /// of hash layout).
+    scheds: Vec<IcollState>,
+    /// Next schedule table key.
+    next_icoll: u64,
+    /// Per-collective-context sequence numbers for non-blocking tag
+    /// windows. Collectives are globally ordered per communicator, so
+    /// every member derives the same sequence.
+    nbc_seq: HashMap<u32, u64>,
 }
 
 /// Run an MPI "job": one thread per rank under `topo`, each executing `f`
@@ -102,6 +145,9 @@ impl Mpi {
             comms: vec![Some(world)],
             next_context: 1,
             errhandlers: vec![Errhandler::default()],
+            scheds: Vec::new(),
+            next_icoll: 0,
+            nbc_seq: HashMap::new(),
         }
     }
 
@@ -293,13 +339,15 @@ impl Mpi {
         if !(0..=crate::engine::TAG_UB).contains(&tag) {
             return Err(MpiError::InvalidTag { tag });
         }
+        let progressed = self.nb_progress();
+        self.route(comm, progressed)?;
         let wdst = self.world_dst(comm, dst)?;
         let ctx = self.info(comm)?.pt2pt_context();
         let payload = self.pack_payload(buf, count, dt)?;
         let raw = self.eng.isend_bytes(&payload, wdst, tag, ctx);
         let raw = self.route(comm, raw)?;
         Ok(MpiRequest {
-            raw,
+            raw: ReqKind::P2p(raw),
             recv: None,
             comm,
         })
@@ -319,6 +367,8 @@ impl Mpi {
         if tag != crate::engine::ANY_TAG && !(0..=crate::engine::TAG_UB).contains(&tag) {
             return Err(MpiError::InvalidTag { tag });
         }
+        let progressed = self.nb_progress();
+        self.route(comm, progressed)?;
         let info = self.info(comm)?;
         let ctx = info.pt2pt_context();
         let wsrc = if src < 0 {
@@ -330,88 +380,201 @@ impl Mpi {
         let raw = self.eng.irecv_bytes(cap, wsrc, tag, ctx);
         let raw = self.route(comm, raw)?;
         Ok(MpiRequest {
-            raw,
+            raw: ReqKind::P2p(raw),
             recv: Some((dt.clone(), count)),
             comm,
         })
     }
 
-    /// Wait for completion (MPI_Wait). Receive requests require the
-    /// destination buffer; send requests ignore it.
-    pub fn wait(&mut self, req: MpiRequest, buf: Option<&mut [u8]>) -> MpiResult<Status> {
-        let completion = self.eng.wait(req.raw);
-        let completion = self.route(req.comm, completion)?;
+    /// Translate and unpack a point-to-point completion: map the source
+    /// to a communicator rank and deposit receive payloads into `buf`.
+    fn finish_p2p(
+        &mut self,
+        comm: CommHandle,
+        recv: &Option<(Datatype, usize)>,
+        completion: Completion,
+        buf: Option<&mut [u8]>,
+    ) -> MpiResult<Status> {
         let source = self
-            .info(req.comm)?
+            .info(comm)?
             .group
             .rank_of(completion.status.source)
             .unwrap_or(usize::MAX);
-        let completion = crate::engine::Completion {
-            data: completion.data,
-            status: Status {
-                source,
-                ..completion.status
-            },
+        let status = Status {
+            source,
+            ..completion.status
         };
-        match req.recv {
-            None => Ok(completion.status),
+        match recv {
+            None => Ok(status),
             Some((dt, count)) => {
                 let bytes = completion.data.len();
                 let out = buf.ok_or(MpiError::BufferTooSmall {
                     needed: bytes,
                     available: 0,
                 })?;
-                dt.unpack(&completion.data, count, out)?;
+                dt.unpack(&completion.data, *count, out)?;
                 if !dt.is_contiguous() {
                     let per_byte = self.eng.profile().pack_per_byte_ns;
                     self.eng
                         .clock_mut()
                         .charge(VDur::from_nanos(bytes as f64 * per_byte));
                 }
-                Ok(Status {
-                    bytes,
-                    ..completion.status
-                })
+                Ok(Status { bytes, ..status })
             }
         }
     }
 
-    /// Non-blocking completion test (MPI_Test). On completion of a
-    /// receive, the payload is unpacked into `buf`.
+    /// Wait for completion (MPI_Wait). Requests producing data require the
+    /// destination buffer; others ignore it. Works on point-to-point and
+    /// non-blocking collective requests alike; while waiting, *every*
+    /// outstanding collective schedule keeps progressing.
+    pub fn wait(&mut self, req: MpiRequest, buf: Option<&mut [u8]>) -> MpiResult<Status> {
+        match req.raw {
+            ReqKind::P2p(raw) => {
+                let progressed = self.nb_progress();
+                self.route(req.comm, progressed)?;
+                let completion = self.eng.wait(raw);
+                let completion = self.route(req.comm, completion)?;
+                self.finish_p2p(req.comm, &req.recv, completion, buf)
+            }
+            ReqKind::Coll(id) => self.wait_icoll(id, req.comm, req.recv, buf),
+        }
+    }
+
+    /// Non-blocking completion test (MPI_Test). On completion of a data-
+    /// producing request, the payload is unpacked into `buf`. A `Some`
+    /// return consumes the underlying operation — drop the request.
     pub fn test(&mut self, req: &MpiRequest, buf: Option<&mut [u8]>) -> MpiResult<Option<Status>> {
-        let polled = self.eng.test(req.raw);
-        match self.route(req.comm, polled)? {
-            None => Ok(None),
-            Some(completion) => {
-                let source = self
-                    .info(req.comm)?
-                    .group
-                    .rank_of(completion.status.source)
-                    .unwrap_or(usize::MAX);
-                let completion = crate::engine::Completion {
-                    data: completion.data,
-                    status: Status {
-                        source,
-                        ..completion.status
-                    },
-                };
-                match &req.recv {
-                    None => Ok(Some(completion.status)),
-                    Some((dt, count)) => {
-                        let bytes = completion.data.len();
-                        let out = buf.ok_or(MpiError::BufferTooSmall {
-                            needed: bytes,
-                            available: 0,
-                        })?;
-                        dt.unpack(&completion.data, *count, out)?;
-                        Ok(Some(Status {
-                            bytes,
-                            ..completion.status
-                        }))
-                    }
+        let progressed = self.nb_progress();
+        self.route(req.comm, progressed)?;
+        match req.raw {
+            ReqKind::P2p(raw) => {
+                let polled = self.eng.test(raw);
+                match self.route(req.comm, polled)? {
+                    None => Ok(None),
+                    Some(completion) => self
+                        .finish_p2p(req.comm, &req.recv, completion, buf)
+                        .map(Some),
                 }
             }
+            ReqKind::Coll(id) => {
+                let idx = self
+                    .scheds
+                    .iter()
+                    .position(|s| s.id == id)
+                    .ok_or(MpiError::InvalidRequest)?;
+                let st = &self.scheds[idx];
+                if st.err.is_none() && !st.sched.is_done() {
+                    return Ok(None);
+                }
+                self.consume_icoll(idx, req.recv.clone(), buf, None)
+                    .map(Some)
+            }
         }
+    }
+
+    /// Complete all of `reqs` (MPI_Waitall over any mix of point-to-point
+    /// and collective requests). Statuses come back in request order, but
+    /// progression is *joint*: everything is driven to completion first,
+    /// then consumption costs are charged in virtual-completion-time order
+    /// — an early-completing later request never waits on an earlier slow
+    /// one.
+    pub fn waitall(
+        &mut self,
+        reqs: Vec<MpiRequest>,
+        mut bufs: Vec<Option<&mut [u8]>>,
+    ) -> MpiResult<Vec<Status>> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        bufs.resize_with(reqs.len(), || None);
+        let wait_begin = self.eng.now();
+        // Phase 1: drive everything to completion without consuming.
+        loop {
+            let progressed = self.nb_progress();
+            self.route(reqs[0].comm, progressed)?;
+            let all_done = reqs.iter().all(|r| match r.raw {
+                ReqKind::P2p(raw) => self.eng.is_done(raw),
+                ReqKind::Coll(id) => self
+                    .scheds
+                    .iter()
+                    .find(|s| s.id == id)
+                    .is_none_or(|s| s.err.is_some() || s.sched.is_done()),
+            });
+            if all_done {
+                break;
+            }
+            let delivered = self.eng.block_for_delivery();
+            self.route(reqs[0].comm, delivered)?;
+        }
+        // Phase 2: consume in virtual-completion-time order (ties broken
+        // by request index) so the costs charged at consumption stack up
+        // the way a perfectly-scheduled drain would.
+        let mut order: Vec<(f64, usize)> = Vec::with_capacity(reqs.len());
+        for (i, r) in reqs.iter().enumerate() {
+            let t = match r.raw {
+                ReqKind::P2p(raw) => self
+                    .eng
+                    .completion_time(raw)
+                    .map(|t| t.as_nanos())
+                    .unwrap_or(f64::MAX),
+                ReqKind::Coll(id) => self
+                    .scheds
+                    .iter()
+                    .find(|s| s.id == id)
+                    .map(|s| s.sched.finish_time().as_nanos())
+                    .unwrap_or(f64::MAX),
+            };
+            order.push((t, i));
+        }
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut reqs: Vec<Option<MpiRequest>> = reqs.into_iter().map(Some).collect();
+        let mut statuses: Vec<Option<Status>> =
+            std::iter::repeat_with(|| None).take(reqs.len()).collect();
+        for (_, i) in order {
+            let req = reqs[i].take().expect("each index consumed once");
+            let buf = bufs[i].take();
+            let status = match req.raw {
+                ReqKind::P2p(raw) => {
+                    let completion = self.eng.try_complete(raw);
+                    let completion = self
+                        .route(req.comm, completion)?
+                        .expect("driven to completion above");
+                    self.finish_p2p(req.comm, &req.recv, completion, buf)?
+                }
+                ReqKind::Coll(id) => {
+                    let idx = self
+                        .scheds
+                        .iter()
+                        .position(|s| s.id == id)
+                        .ok_or(MpiError::InvalidRequest)?;
+                    self.consume_icoll(idx, req.recv, buf, None)?
+                }
+            };
+            statuses[i] = Some(status);
+        }
+        obs::span("mpi.wait", "pt2pt", wait_begin, self.eng.now(), Vec::new());
+        Ok(statuses
+            .into_iter()
+            .map(|s| s.expect("all indices consumed"))
+            .collect())
+    }
+
+    /// MPI_Testany: test the requests in order and complete the first one
+    /// found done. Returns its index and status; the caller must drop that
+    /// request (its underlying operation is consumed).
+    pub fn testany(
+        &mut self,
+        reqs: &[MpiRequest],
+        bufs: &mut [Option<&mut [u8]>],
+    ) -> MpiResult<Option<(usize, Status)>> {
+        for (i, req) in reqs.iter().enumerate() {
+            let buf = bufs.get_mut(i).and_then(|b| b.as_deref_mut());
+            if let Some(status) = self.test(req, buf)? {
+                return Ok(Some((i, status)));
+            }
+        }
+        Ok(None)
     }
 
     /// Translate a world rank in a status to a communicator rank.
@@ -622,6 +785,291 @@ impl Mpi {
             )
         });
         self.route(comm, r)
+    }
+
+    // ------------------------------------------------------------------
+    // Non-blocking collectives (schedule compilation lives in
+    // `coll::sched`)
+    // ------------------------------------------------------------------
+
+    /// Opportunistically progress every outstanding non-blocking
+    /// collective schedule: drain pending deliveries, then let each
+    /// schedule retire arrivals and fire follow-on rounds. Invoked at
+    /// every library entry, so a rank that is "inside MPI" for any reason
+    /// keeps its collectives moving — the progression-engine behavior the
+    /// overlap benchmarks measure. Errors raised by an individual
+    /// schedule are parked on it (surfacing at its own `Wait`/`Test`);
+    /// only rank-local failures propagate from here.
+    pub(crate) fn nb_progress(&mut self) -> MpiResult<()> {
+        if self.scheds.is_empty() {
+            return Ok(());
+        }
+        self.eng.poll()?;
+        for st in self.scheds.iter_mut() {
+            if st.err.is_some() || st.sched.is_done() {
+                continue;
+            }
+            if let Err(e) = st.sched.advance(&mut self.eng) {
+                st.err = Some(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Compile and post one non-blocking collective: charge the per-call
+    /// software overhead, open the collective instance (labelling the
+    /// schedule's traffic for causal tracing), and fire the schedule's
+    /// first round.
+    fn post_icoll(
+        &mut self,
+        comm: CommHandle,
+        kind: IcollKind,
+        recv: Option<(Datatype, usize)>,
+    ) -> MpiResult<MpiRequest> {
+        let progressed = self.nb_progress();
+        self.route(comm, progressed)?;
+        let ctx = self.info(comm)?.coll_context();
+        let percall = VDur::from_nanos(self.profile().coll.percall_ns);
+        self.eng.clock_mut().charge(percall);
+        self.eng.begin_collective(ctx);
+        let seq = {
+            let s = self.nbc_seq.entry(ctx).or_insert(0);
+            let cur = *s;
+            *s += 1;
+            cur
+        };
+        let compiled = sched::compile(self, comm, kind, seq);
+        let compiled = self.route(comm, compiled)?;
+        let id = self.next_icoll;
+        self.next_icoll += 1;
+        self.scheds.push(IcollState {
+            id,
+            comm,
+            sched: compiled,
+            err: None,
+        });
+        Ok(MpiRequest {
+            raw: ReqKind::Coll(id),
+            recv,
+            comm,
+        })
+    }
+
+    /// Block until schedule `id` is done, keeping *all* outstanding
+    /// schedules progressing (a neighbor's later collective may be what
+    /// unblocks ours), then consume it.
+    fn wait_icoll(
+        &mut self,
+        id: u64,
+        comm: CommHandle,
+        recv: Option<(Datatype, usize)>,
+        buf: Option<&mut [u8]>,
+    ) -> MpiResult<Status> {
+        let wait_begin = self.eng.now();
+        loop {
+            let progressed = self.nb_progress();
+            self.route(comm, progressed)?;
+            let st = self
+                .scheds
+                .iter()
+                .find(|s| s.id == id)
+                .ok_or(MpiError::InvalidRequest)?;
+            if st.err.is_some() || st.sched.is_done() {
+                break;
+            }
+            let delivered = self.eng.block_for_delivery();
+            self.route(comm, delivered)?;
+        }
+        let idx = self
+            .scheds
+            .iter()
+            .position(|s| s.id == id)
+            .expect("present: found in wait loop");
+        self.consume_icoll(idx, recv, buf, Some(wait_begin))
+    }
+
+    /// Consume a finished (or failed) schedule: merge its timeline into
+    /// the rank clock, emit the wait + collective spans, and unpack the
+    /// result.
+    fn consume_icoll(
+        &mut self,
+        idx: usize,
+        recv: Option<(Datatype, usize)>,
+        buf: Option<&mut [u8]>,
+        wait_begin: Option<VTime>,
+    ) -> MpiResult<Status> {
+        let st = self.scheds.remove(idx);
+        if let Some(e) = st.err {
+            return self.route(st.comm, Err(e));
+        }
+        let finish = st.sched.finish_time();
+        self.eng.clock_mut().merge(finish);
+        let now = self.eng.now();
+        if let Some(begin) = wait_begin {
+            obs::span("mpi.wait", "pt2pt", begin, now, Vec::new());
+        }
+        // The collective's own span covers post→finish on the schedule
+        // timeline: `obs-analyze` sees the operation's true extent and can
+        // attribute the part hidden under application compute as overlap.
+        obs::span(
+            st.sched.name,
+            "coll",
+            st.sched.posted_at,
+            finish,
+            vec![("coll", obs::ArgValue::U64(st.sched.coll_id))],
+        );
+        obs::count("coll.nb.completed", 1);
+        let my_rank = self.info(st.comm)?.my_rank;
+        let data = st.sched.take_output();
+        match recv {
+            None => Ok(Status {
+                source: my_rank,
+                tag: 0,
+                bytes: 0,
+            }),
+            Some((dt, count)) => {
+                let bytes = data.len();
+                let out = buf.ok_or(MpiError::BufferTooSmall {
+                    needed: bytes,
+                    available: 0,
+                })?;
+                dt.unpack(&data, count, out)?;
+                if !dt.is_contiguous() {
+                    let per_byte = self.eng.profile().pack_per_byte_ns;
+                    self.eng
+                        .clock_mut()
+                        .charge(VDur::from_nanos(bytes as f64 * per_byte));
+                }
+                Ok(Status {
+                    source: my_rank,
+                    tag: 0,
+                    bytes,
+                })
+            }
+        }
+    }
+
+    /// Validate a root argument against `comm`.
+    fn check_icoll_root(&self, comm: CommHandle, root: usize) -> MpiResult<()> {
+        let size = self.size(comm)?;
+        if root >= size {
+            return Err(MpiError::InvalidRank {
+                rank: root as i32,
+                comm_size: size,
+            });
+        }
+        Ok(())
+    }
+
+    /// MPI_Ibarrier.
+    pub fn ibarrier(&mut self, comm: CommHandle) -> MpiResult<MpiRequest> {
+        self.post_icoll(comm, IcollKind::Barrier, None)
+    }
+
+    /// MPI_Ibcast over `count` elements of `dt`. `buf` is read at the
+    /// root; every rank receives the payload into the buffer passed to
+    /// `Wait`/`Test`.
+    pub fn ibcast(
+        &mut self,
+        buf: &[u8],
+        count: i32,
+        dt: &Datatype,
+        root: usize,
+        comm: CommHandle,
+    ) -> MpiResult<MpiRequest> {
+        let count = Self::check_count(count)?;
+        self.check_icoll_root(comm, root)?;
+        let me = self.rank(comm)?;
+        let data = if me == root {
+            self.pack_payload(buf, count, dt)?
+        } else {
+            vec![0u8; dt.size() * count]
+        };
+        self.post_icoll(
+            comm,
+            IcollKind::Bcast { data, root },
+            Some((dt.clone(), count)),
+        )
+    }
+
+    /// MPI_Iallreduce.
+    pub fn iallreduce(
+        &mut self,
+        send: &[u8],
+        count: i32,
+        dt: &Datatype,
+        op: ReduceOp,
+        comm: CommHandle,
+    ) -> MpiResult<MpiRequest> {
+        let count = Self::check_count(count)?;
+        let mine = self.pack_payload(send, count, dt)?;
+        self.post_icoll(
+            comm,
+            IcollKind::Allreduce {
+                mine,
+                op,
+                dt: dt.clone(),
+            },
+            Some((dt.clone(), count)),
+        )
+    }
+
+    /// MPI_Iallgather (equal contributions). The completion buffer holds
+    /// `size × count` elements.
+    pub fn iallgather(
+        &mut self,
+        send: &[u8],
+        count: i32,
+        dt: &Datatype,
+        comm: CommHandle,
+    ) -> MpiResult<MpiRequest> {
+        let count = Self::check_count(count)?;
+        let size = self.size(comm)?;
+        let mine = self.pack_payload(send, count, dt)?;
+        self.post_icoll(
+            comm,
+            IcollKind::Allgather { mine },
+            Some((dt.clone(), count * size)),
+        )
+    }
+
+    /// MPI_Igather (equal contributions). Only the root's completion
+    /// carries data (`size × count` elements).
+    pub fn igather(
+        &mut self,
+        send: &[u8],
+        count: i32,
+        dt: &Datatype,
+        root: usize,
+        comm: CommHandle,
+    ) -> MpiResult<MpiRequest> {
+        let count = Self::check_count(count)?;
+        self.check_icoll_root(comm, root)?;
+        let size = self.size(comm)?;
+        let me = self.rank(comm)?;
+        let mine = self.pack_payload(send, count, dt)?;
+        let recv = (me == root).then(|| (dt.clone(), count * size));
+        self.post_icoll(comm, IcollKind::Gather { mine, root }, recv)
+    }
+
+    /// MPI_Ialltoall (equal blocks): `send` holds `size × count`
+    /// elements, one block per destination; so does the completion
+    /// buffer, one block per source.
+    pub fn ialltoall(
+        &mut self,
+        send: &[u8],
+        count: i32,
+        dt: &Datatype,
+        comm: CommHandle,
+    ) -> MpiResult<MpiRequest> {
+        let count = Self::check_count(count)?;
+        let size = self.size(comm)?;
+        let packed = self.pack_payload(send, count * size, dt)?;
+        self.post_icoll(
+            comm,
+            IcollKind::Alltoall { send: packed },
+            Some((dt.clone(), count * size)),
+        )
     }
 
     // ------------------------------------------------------------------

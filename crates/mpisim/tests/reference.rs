@@ -1,0 +1,332 @@
+//! Differential conformance: every collective — blocking and
+//! non-blocking — against a naive flat reference implementation, over
+//! seeded-LCG randomized sizes, roots, reduction ops, and communicator
+//! splits. Because each rank's contribution is a pure function of
+//! `(seed, trial, world rank)`, every rank can compute the expected
+//! result locally with no communication at all; anything the collective
+//! machinery gets wrong shows up as a byte mismatch.
+//!
+//! Every driver runs its whole job **twice** and requires byte-identical
+//! outputs *and* bit-identical per-rank virtual clocks: the schedules'
+//! self-timed progression must make virtual time independent of OS
+//! thread scheduling.
+
+use mpisim::datatype::INT;
+use mpisim::{run_mpi, CommHandle, Mpi, Profile, ReduceOp};
+use simfabric::Topology;
+
+/// Deterministic split-mix style generator; all ranks draw the same
+/// stream and derive local values from the raw draws.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let x = self.0;
+        (x ^ (x >> 33)).wrapping_mul(0xFF51AFD7ED558CCD) >> 7
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Rank `world`'s contribution for a trial: `count` ints, a pure
+/// function of the coordinates.
+fn contribution(seed: u64, trial: u64, world: usize, count: usize) -> Vec<i32> {
+    let mut g = Lcg::new(seed ^ (trial << 20) ^ ((world as u64) << 44));
+    (0..count).map(|_| g.next() as i32).collect()
+}
+
+fn ints(v: &[i32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+fn to_ints(b: &[u8]) -> Vec<i32> {
+    b.chunks_exact(4)
+        .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Flat reference reduction, folding contributions in rank order with
+/// wrapping integer arithmetic (all predefined ops are associative and
+/// commutative over the integer types, so any tree order must agree
+/// byte-for-byte).
+fn reduce_ref(op: ReduceOp, inputs: &[Vec<i32>]) -> Vec<i32> {
+    let mut acc = inputs[0].clone();
+    for input in &inputs[1..] {
+        for (a, x) in acc.iter_mut().zip(input) {
+            *a = match op {
+                ReduceOp::Sum => a.wrapping_add(*x),
+                ReduceOp::Prod => a.wrapping_mul(*x),
+                ReduceOp::Min => (*a).min(*x),
+                ReduceOp::Max => (*a).max(*x),
+                ReduceOp::Band => *a & *x,
+                ReduceOp::Bor => *a | *x,
+                ReduceOp::Bxor => *a ^ *x,
+                ReduceOp::Land => ((*a != 0) && (*x != 0)) as i32,
+                ReduceOp::Lor => ((*a != 0) || (*x != 0)) as i32,
+            };
+        }
+    }
+    acc
+}
+
+const OPS: [ReduceOp; 5] = [
+    ReduceOp::Sum,
+    ReduceOp::Max,
+    ReduceOp::Bxor,
+    ReduceOp::Min,
+    ReduceOp::Bor,
+];
+
+/// Fold bytes into a running FNV-1a hash.
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001B3);
+    }
+}
+
+/// Run every collective on `comm` (whose members are world ranks
+/// `members`, in communicator-rank order) for one trial, in both
+/// blocking and non-blocking form, checking all results against the flat
+/// reference. Returns a digest of everything observed.
+#[allow(clippy::too_many_arguments)]
+fn trial_on_comm(
+    mpi: &mut Mpi,
+    comm: CommHandle,
+    members: &[usize],
+    seed: u64,
+    trial: u64,
+    count: usize,
+    root: usize,
+    op: ReduceOp,
+) -> u64 {
+    let p = members.len();
+    let me = mpi.rank(comm).unwrap();
+    let inputs: Vec<Vec<i32>> = members
+        .iter()
+        .map(|&w| contribution(seed, trial, w, count))
+        .collect();
+    let mine = ints(&inputs[me]);
+    let n = mine.len();
+    let mut digest = 0xcbf29ce484222325u64;
+
+    // --- Bcast: blocking, then non-blocking.
+    let want = &inputs[root];
+    let mut buf = if me == root {
+        mine.clone()
+    } else {
+        vec![0u8; n]
+    };
+    mpi.bcast(&mut buf, count as i32, &INT, root, comm).unwrap();
+    assert_eq!(&to_ints(&buf), want, "bcast payload (p={p} n={n})");
+    let req = mpi.ibcast(&mine, count as i32, &INT, root, comm).unwrap();
+    let mut out = vec![0u8; n];
+    mpi.wait(req, Some(&mut out)).unwrap();
+    assert_eq!(&to_ints(&out), want, "ibcast payload (p={p} n={n})");
+    fnv(&mut digest, &out);
+
+    // --- Allreduce.
+    let want = reduce_ref(op, &inputs);
+    let mut out = vec![0u8; n];
+    mpi.allreduce(&mine, &mut out, count as i32, &INT, op, comm)
+        .unwrap();
+    assert_eq!(to_ints(&out), want, "allreduce {op:?} (p={p} n={n})");
+    let req = mpi.iallreduce(&mine, count as i32, &INT, op, comm).unwrap();
+    let mut out = vec![0u8; n];
+    mpi.wait(req, Some(&mut out)).unwrap();
+    assert_eq!(to_ints(&out), want, "iallreduce {op:?} (p={p} n={n})");
+    fnv(&mut digest, &out);
+
+    // --- Allgather.
+    let want: Vec<i32> = inputs.iter().flatten().copied().collect();
+    let mut out = vec![0u8; n * p];
+    mpi.allgather(&mine, &mut out, count as i32, &INT, comm)
+        .unwrap();
+    assert_eq!(to_ints(&out), want, "allgather (p={p} n={n})");
+    let req = mpi.iallgather(&mine, count as i32, &INT, comm).unwrap();
+    let mut out = vec![0u8; n * p];
+    mpi.wait(req, Some(&mut out)).unwrap();
+    assert_eq!(to_ints(&out), want, "iallgather (p={p} n={n})");
+    fnv(&mut digest, &out);
+
+    // --- Gather (result significant at root only).
+    let mut out = vec![0u8; n * p];
+    mpi.gather(
+        &mine,
+        (me == root).then_some(&mut out[..]),
+        count as i32,
+        &INT,
+        root,
+        comm,
+    )
+    .unwrap();
+    if me == root {
+        assert_eq!(to_ints(&out), want, "gather (p={p} n={n})");
+    }
+    let req = mpi.igather(&mine, count as i32, &INT, root, comm).unwrap();
+    let mut out = vec![0u8; n * p];
+    mpi.wait(req, (me == root).then_some(&mut out[..])).unwrap();
+    if me == root {
+        assert_eq!(to_ints(&out), want, "igather (p={p} n={n})");
+        fnv(&mut digest, &out);
+    }
+
+    // --- Alltoall: rank me's incoming block s is rank s's outgoing
+    // block me. Contributions sized p×count per rank.
+    let send_all: Vec<i32> = (0..p)
+        .flat_map(|d| {
+            contribution(seed ^ 0xA17A, trial, members[me], count)
+                .into_iter()
+                .map(move |x| x.wrapping_add(d as i32))
+        })
+        .collect();
+    let want: Vec<i32> = (0..p)
+        .flat_map(|s| {
+            contribution(seed ^ 0xA17A, trial, members[s], count)
+                .into_iter()
+                .map(move |x| x.wrapping_add(me as i32))
+        })
+        .collect();
+    let send_bytes = ints(&send_all);
+    let mut out = vec![0u8; n * p];
+    mpi.alltoall(&send_bytes, &mut out, count as i32, &INT, comm)
+        .unwrap();
+    assert_eq!(to_ints(&out), want, "alltoall (p={p} n={n})");
+    let req = mpi
+        .ialltoall(&send_bytes, count as i32, &INT, comm)
+        .unwrap();
+    let mut out = vec![0u8; n * p];
+    mpi.wait(req, Some(&mut out)).unwrap();
+    assert_eq!(to_ints(&out), want, "ialltoall (p={p} n={n})");
+    fnv(&mut digest, &out);
+
+    // --- Barrier, and several schedules outstanding at once, consumed
+    // in reverse post order (progression must be joint, not per-wait).
+    mpi.barrier(comm).unwrap();
+    let r1 = mpi.ibarrier(comm).unwrap();
+    let r2 = mpi.ibcast(&mine, count as i32, &INT, root, comm).unwrap();
+    let r3 = mpi.iallreduce(&mine, count as i32, &INT, op, comm).unwrap();
+    let mut out3 = vec![0u8; n];
+    mpi.wait(r3, Some(&mut out3)).unwrap();
+    assert_eq!(
+        to_ints(&out3),
+        reduce_ref(op, &inputs),
+        "overlapped iallreduce"
+    );
+    let mut out2 = vec![0u8; n];
+    mpi.wait(r2, Some(&mut out2)).unwrap();
+    assert_eq!(&to_ints(&out2), &inputs[root], "overlapped ibcast");
+    mpi.wait(r1, None).unwrap();
+    fnv(&mut digest, &out2);
+    fnv(&mut digest, &out3);
+    digest
+}
+
+/// One full conformance job: `trials` randomized rounds on the world
+/// communicator plus a split sub-communicator. Returns per-rank
+/// `(digest, clock-bits)`.
+fn conformance_job(
+    topo: Topology,
+    profile: Profile,
+    seed: u64,
+    trials: u64,
+    max_count: usize,
+) -> Vec<(u64, u64)> {
+    run_mpi(topo, profile, move |mpi| {
+        let world = mpi.world();
+        let p = mpi.size(world).unwrap();
+        let me = mpi.rank(world).unwrap();
+        let mut digest = 0u64;
+        for trial in 0..trials {
+            let mut g = Lcg::new(seed ^ (trial * 7919));
+            let bucket = g.below(4);
+            let cap = match bucket {
+                0 => 8,
+                1 => 256,
+                2 => 2048,
+                _ => max_count as u64,
+            };
+            let count = g.below(cap) as usize + 1;
+            let root = g.below(p as u64) as usize;
+            let op = OPS[g.below(OPS.len() as u64) as usize];
+            let members: Vec<usize> = (0..p).collect();
+            digest ^= trial_on_comm(mpi, world, &members, seed, trial, count, root, op);
+
+            // Same trial on a two-way split (both halves run
+            // concurrently on disjoint member sets).
+            if p >= 2 && g.below(2) == 0 {
+                let cut = g.below(p as u64 - 1) as usize + 1;
+                let color = i32::from(me >= cut);
+                let sub = mpi.comm_split(world, color, me as i32).unwrap().unwrap();
+                let members: Vec<usize> = if me >= cut {
+                    (cut..p).collect()
+                } else {
+                    (0..cut).collect()
+                };
+                let sub_root = g.below(members.len() as u64) as usize;
+                digest ^= trial_on_comm(
+                    mpi,
+                    sub,
+                    &members,
+                    seed ^ 0x511,
+                    trial,
+                    count.min(512),
+                    sub_root,
+                    op,
+                );
+                mpi.comm_free(sub).unwrap();
+            }
+        }
+        mpi.barrier(world).unwrap();
+        (digest, mpi.now().as_nanos().to_bits())
+    })
+}
+
+/// Run the job twice; results and virtual clocks must be bit-identical.
+fn assert_deterministic(topo: Topology, profile: Profile, seed: u64, trials: u64, max: usize) {
+    let a = conformance_job(topo, profile, seed, trials, max);
+    let b = conformance_job(topo, profile, seed, trials, max);
+    assert_eq!(a, b, "collective results or virtual time not deterministic");
+}
+
+#[test]
+fn conformance_2_ranks() {
+    assert_deterministic(Topology::new(2, 1), Profile::mvapich2(), 11, 10, 4096);
+}
+
+#[test]
+fn conformance_4_ranks() {
+    // 2×2: exercises the hierarchical (two-level) blocking paths next to
+    // the flat non-blocking schedules.
+    assert_deterministic(Topology::new(2, 2), Profile::mvapich2(), 23, 8, 4096);
+    assert_deterministic(Topology::new(2, 2), Profile::openmpi_ucx(), 29, 4, 4096);
+}
+
+#[test]
+fn conformance_16_ranks() {
+    assert_deterministic(Topology::new(4, 4), Profile::mvapich2(), 37, 3, 1024);
+}
+
+#[test]
+fn conformance_non_power_of_two() {
+    // 3 and 6 ranks force the non-power-of-two allreduce/bcast branches.
+    assert_deterministic(Topology::new(3, 1), Profile::mvapich2(), 41, 6, 2048);
+    assert_deterministic(Topology::new(3, 2), Profile::openmpi_ucx(), 43, 4, 1024);
+}
+
+#[test]
+fn conformance_large_messages() {
+    // Above allreduce_rd_max (64 KiB for the Open MPI profile): the ring
+    // reduce-scatter + allgather schedule; bcast goes scatter-allgather.
+    assert_deterministic(Topology::new(2, 2), Profile::openmpi_ucx(), 47, 2, 24_000);
+}

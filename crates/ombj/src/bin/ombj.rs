@@ -2,14 +2,18 @@
 //!
 //! ```text
 //! ombj <benchmark> [options]
+//! ombj --benchmark <benchmark> [options]
 //!
 //! benchmarks:
 //!   latency | bw | bibw | bcast | reduce | allreduce | allgather |
 //!   allgatherv | gather | gatherv | scatter | scatterv | alltoall |
-//!   alltoallv | barrier
+//!   alltoallv | barrier | ibcast | iallreduce
 //!
 //! options:
 //!   --lib mvapich2j|openmpij    library under test (default mvapich2j)
+//!   --overlap | --no-overlap    non-blocking collectives only: put the
+//!                               simulated compute between post and wait
+//!                               (default) or after the wait (control)
 //!   --api buffer|arrays         user-buffer kind   (default buffer)
 //!   --nodes N --ppn P           topology           (default 1x2; 4x16 for collectives)
 //!   --min B --max B             message size range
@@ -24,16 +28,17 @@
 //!   --fault-seed N              seed for the fault plan (default 0)
 //! ```
 
-use ombj::{run, run_with_obs, Api, BenchOptions, Benchmark, CollOp, Library, RunSpec};
+use ombj::{run, run_with_obs, Api, BenchOptions, Benchmark, CollOp, Library, NbOp, RunSpec};
 use simfabric::{FaultPlan, Topology};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ombj <latency|bw|bibw|bcast|reduce|allreduce|allgather|allgatherv|gather|gatherv|scatter|scatterv|alltoall|alltoallv|barrier> \
+        "usage: ombj <latency|bw|bibw|bcast|reduce|allreduce|allgather|allgatherv|gather|gatherv|scatter|scatterv|alltoall|alltoallv|barrier|ibcast|iallreduce> \
          [--lib mvapich2j|openmpij] [--api buffer|arrays] [--nodes N] [--ppn P] \
          [--min B] [--max B] [--iters N] [--warmup N] [--validate] [--compare] \
-         [--format text|json|csv] [--trace-out PATH] [--analyze] [--pvar-dump] \
-         [--faults SPEC] [--fault-seed N]"
+         [--overlap|--no-overlap] [--format text|json|csv] [--trace-out PATH] \
+         [--analyze] [--pvar-dump] [--faults SPEC] [--fault-seed N] \
+         (the benchmark may also be passed as --benchmark NAME)"
     );
     std::process::exit(2)
 }
@@ -47,6 +52,14 @@ enum Format {
 
 fn parse_benchmark(name: &str) -> Benchmark {
     match name {
+        "ibcast" => Benchmark::NonBlocking {
+            op: NbOp::Ibcast,
+            overlap: true,
+        },
+        "iallreduce" => Benchmark::NonBlocking {
+            op: NbOp::Iallreduce,
+            overlap: true,
+        },
         "latency" => Benchmark::Latency,
         "bw" => Benchmark::Bandwidth,
         "bibw" => Benchmark::BiBandwidth,
@@ -67,12 +80,30 @@ fn parse_benchmark(name: &str) -> Benchmark {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
     }
-    let benchmark = parse_benchmark(&args[0]);
-    let is_collective = matches!(benchmark, Benchmark::Collective(_));
+    // The benchmark is positional, or named via `--benchmark NAME`.
+    let bench_name = if !args[0].starts_with("--") {
+        args.remove(0)
+    } else {
+        let pos = args
+            .iter()
+            .position(|a| a == "--benchmark")
+            .unwrap_or_else(|| usage());
+        if pos + 1 >= args.len() {
+            usage();
+        }
+        let name = args.remove(pos + 1);
+        args.remove(pos);
+        name
+    };
+    let mut benchmark = parse_benchmark(&bench_name);
+    let is_collective = matches!(
+        benchmark,
+        Benchmark::Collective(_) | Benchmark::NonBlocking { .. }
+    );
 
     let mut library = Library::Mvapich2J;
     let mut api = Api::Buffer;
@@ -92,7 +123,7 @@ fn main() {
     let mut faults: Option<FaultPlan> = None;
     let mut fault_seed: Option<u64> = None;
 
-    let mut it = args[1..].iter();
+    let mut it = args.iter();
     while let Some(a) = it.next() {
         let val = |it: &mut std::slice::Iter<String>| -> String {
             it.next().cloned().unwrap_or_else(|| usage())
@@ -120,6 +151,18 @@ fn main() {
             "--warmup" => opts.warmup = val(&mut it).parse().unwrap_or_else(|_| usage()),
             "--validate" => opts.validate = true,
             "--compare" => compare = true,
+            "--overlap" | "--no-overlap" => match benchmark {
+                Benchmark::NonBlocking { op, .. } => {
+                    benchmark = Benchmark::NonBlocking {
+                        op,
+                        overlap: a == "--overlap",
+                    }
+                }
+                _ => {
+                    eprintln!("error: {a} only applies to ibcast/iallreduce");
+                    std::process::exit(2);
+                }
+            },
             "--format" => {
                 format = match val(&mut it).as_str() {
                     "text" => Format::Text,

@@ -11,6 +11,8 @@
 //!   `osu_barrier`;
 //! * vectored blocking collectives: `osu_allgatherv`, `osu_gatherv`,
 //!   `osu_scatterv`, `osu_alltoallv`;
+//! * non-blocking collectives with communication/computation overlap
+//!   measurement: `osu_ibcast`, `osu_iallreduce` (see [`nbcoll`]);
 //! * native baselines (no Java layer) for the Figure-11 overhead plot.
 //!
 //! Because timing is virtual, every reported number is deterministic —
@@ -19,11 +21,13 @@
 pub mod coll;
 pub mod data;
 pub mod native;
+pub mod nbcoll;
 pub mod options;
 pub mod pt2pt;
 pub mod report;
 pub mod runner;
 
 pub use coll::CollOp;
+pub use nbcoll::{NbOp, OverlapPoint};
 pub use options::{Api, BenchOptions, SizeValue};
 pub use runner::{run, run_with_obs, Benchmark, Library, RunSpec, Series};

@@ -1,0 +1,187 @@
+//! Non-blocking collective benchmarks: `osu_ibcast` and
+//! `osu_iallreduce`, measuring communication/computation overlap the way
+//! OSU's non-blocking benchmarks do.
+//!
+//! For each message size the benchmark measures:
+//!
+//! 1. **Pure communication time** — post the collective and wait
+//!    immediately (`Icoll; Wait`), averaged across ranks.
+//! 2. **Overall time** — post the collective, run simulated application
+//!    compute sized to the pure communication time, then wait
+//!    (`Icoll; compute; Wait`).
+//!
+//! Overlap is the fraction of communication hidden under compute:
+//! `100 × (1 − (overall − compute) / pure)`. A schedule progressed
+//! entirely by a hardware-offload-style engine scores near 100; a
+//! library that only progresses inside `Wait` scores near 0. With
+//! `--no-overlap` the compute runs *after* the wait, so overall ≈ pure +
+//! compute and the reported overlap collapses to ≈ 0 — the control the
+//! acceptance experiment compares against.
+
+use mvapich2j::datatype::{BYTE, DOUBLE};
+use mvapich2j::{BindResult, Env, JRequest, ReduceOp};
+use vtime::VDur;
+
+use crate::options::{Api, BenchOptions};
+
+/// The non-blocking collectives OMB-J covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NbOp {
+    Ibcast,
+    Iallreduce,
+}
+
+impl NbOp {
+    /// OMB benchmark name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NbOp::Ibcast => "osu_ibcast",
+            NbOp::Iallreduce => "osu_iallreduce",
+        }
+    }
+}
+
+/// One measured overlap point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlapPoint {
+    /// Message size in bytes.
+    pub size: usize,
+    /// Overall time per operation with compute in flight (µs).
+    pub overall_us: f64,
+    /// Pure communication time per operation (µs).
+    pub pure_us: f64,
+    /// Simulated compute per operation (µs).
+    pub compute_us: f64,
+    /// Communication hidden under compute, in percent (0–100).
+    pub overlap_pct: f64,
+}
+
+enum NbBufs {
+    Buffer {
+        send: mvapich2j::DirectBuffer,
+        recv: mvapich2j::DirectBuffer,
+    },
+    Arrays {
+        send: mvapich2j::JArray<i8>,
+        recv: mvapich2j::JArray<i8>,
+    },
+}
+
+fn post(env: &mut Env, bufs: &NbBufs, op: NbOp, n: i32) -> BindResult<JRequest> {
+    let w = env.world();
+    match (bufs, op) {
+        (NbBufs::Buffer { send, .. }, NbOp::Ibcast) => env.ibcast_buffer(*send, n, &BYTE, 0, w),
+        (NbBufs::Buffer { send, recv }, NbOp::Iallreduce) => {
+            env.iallreduce_buffer(*send, *recv, n, &BYTE, ReduceOp::Sum, w)
+        }
+        (NbBufs::Arrays { send, .. }, NbOp::Ibcast) => env.ibcast_array(*send, n, 0, w),
+        (NbBufs::Arrays { send, recv }, NbOp::Iallreduce) => {
+            env.iallreduce_array(*send, *recv, n, ReduceOp::Sum, w)
+        }
+    }
+}
+
+/// Average per-rank elapsed nanoseconds across the job, in µs/op.
+fn avg_us(env: &mut Env, local_ns: f64, iters: usize) -> BindResult<f64> {
+    let w = env.world();
+    let p = env.size() as f64;
+    let send = env.new_direct(8);
+    let recv = env.new_direct(8);
+    env.direct_put::<f64>(send, 0, local_ns)?;
+    env.allreduce_buffer(send, recv, 1, &DOUBLE, ReduceOp::Sum, w)?;
+    let total = env.direct_get::<f64>(recv, 0)?;
+    env.free_direct(send)?;
+    env.free_direct(recv)?;
+    Ok(total / p / iters as f64 / 1_000.0)
+}
+
+/// Run one non-blocking collective benchmark. With `overlap` the
+/// simulated compute runs between post and wait; without it the compute
+/// runs after the wait (no chance to hide communication).
+pub fn nb_collective(
+    env: &mut Env,
+    opts: &BenchOptions,
+    api: Api,
+    op: NbOp,
+    overlap: bool,
+) -> BindResult<Vec<OverlapPoint>> {
+    let w = env.world();
+    let bufs = match api {
+        Api::Buffer => NbBufs::Buffer {
+            send: env.new_direct(opts.max_size.max(1)),
+            recv: env.new_direct(opts.max_size.max(1)),
+        },
+        Api::Arrays => NbBufs::Arrays {
+            send: env.new_array::<i8>(opts.max_size.max(1))?,
+            recv: env.new_array::<i8>(opts.max_size.max(1))?,
+        },
+    };
+    // Surface the restriction before any timing: Open MPI-J has no
+    // array-flavor non-blocking collectives.
+    if matches!(bufs, NbBufs::Arrays { .. }) {
+        let probe = post(env, &bufs, op, 1)?;
+        env.wait(probe)?;
+    }
+
+    let mut out = Vec::new();
+    for size in opts.sizes() {
+        let (warmup, iters) = opts.iters_for(size);
+        let n = size as i32;
+        env.barrier(w)?;
+        obs::instant(
+            "bench.size",
+            "bench",
+            env.now(),
+            vec![("bytes", obs::ArgValue::U64(size as u64))],
+        );
+
+        // Phase 1: pure communication (Icoll; Wait).
+        let mut local = 0.0;
+        for i in 0..warmup + iters {
+            let t0 = env.now();
+            let req = post(env, &bufs, op, n)?;
+            env.wait(req)?;
+            if i >= warmup {
+                local += (env.now() - t0).as_nanos();
+            }
+        }
+        let pure_us = avg_us(env, local, iters)?;
+
+        // Phase 2: the same operation with compute sized to the pure
+        // communication time. Every rank uses the job-wide average, so
+        // the compute block is identical across ranks.
+        let compute_us = pure_us;
+        let compute = VDur::from_nanos(compute_us * 1_000.0);
+        env.barrier(w)?;
+        let mut local = 0.0;
+        for i in 0..warmup + iters {
+            let t0 = env.now();
+            let req = post(env, &bufs, op, n)?;
+            if overlap {
+                env.compute(compute);
+                env.wait(req)?;
+            } else {
+                env.wait(req)?;
+                env.compute(compute);
+            }
+            if i >= warmup {
+                local += (env.now() - t0).as_nanos();
+            }
+        }
+        let overall_us = avg_us(env, local, iters)?;
+
+        let overlap_pct = if pure_us > 0.0 {
+            (100.0 * (1.0 - (overall_us - compute_us) / pure_us)).clamp(0.0, 100.0)
+        } else {
+            0.0
+        };
+        out.push(OverlapPoint {
+            size,
+            overall_us,
+            pure_us,
+            compute_us,
+            overlap_pct,
+        });
+    }
+    Ok(out)
+}

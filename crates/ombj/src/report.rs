@@ -6,10 +6,28 @@ use obs::json::JsonBuf;
 use crate::options::SizeValue;
 use crate::runner::Series;
 
-/// Render one series the way OMB prints its tables.
+/// Render one series the way OMB prints its tables. Non-blocking
+/// collective series get the OSU overlap columns instead of the single
+/// latency column.
 pub fn render_series(s: &Series) -> String {
     let mut out = String::new();
     out.push_str(&format!("# OMB-J {} — {}\n", s.benchmark, s.label));
+    if let Some(overlap) = &s.overlap {
+        out.push_str(&format!(
+            "{:>12}  {:>14}  {:>14}  {:>14}  {:>12}\n",
+            "Size (bytes)", "Overall (us)", "Compute (us)", "Pure Comm (us)", "Overlap (%)"
+        ));
+        for p in overlap {
+            out.push_str(&format!(
+                "{:>12}  {:>14.2}  {:>14.2}  {:>14.2}  {:>12.2}\n",
+                p.size, p.overall_us, p.compute_us, p.pure_us, p.overlap_pct
+            ));
+        }
+        if let Some(line) = pool_line(s) {
+            out.push_str(&line);
+        }
+        return out;
+    }
     out.push_str(&format!(
         "{:>12}  {:>14}\n",
         "Size (bytes)",
@@ -75,6 +93,25 @@ fn series_obj_with(w: &mut JsonBuf, s: &Series, analysis: Option<&obs::analyze::
         w.end_obj();
     }
     w.end_arr();
+    if let Some(overlap) = &s.overlap {
+        w.key("overlap");
+        w.begin_arr();
+        for p in overlap {
+            w.begin_obj();
+            w.key("size");
+            w.uint_val(p.size as u64);
+            w.key("overall_us");
+            w.num_val(p.overall_us);
+            w.key("compute_us");
+            w.num_val(p.compute_us);
+            w.key("pure_us");
+            w.num_val(p.pure_us);
+            w.key("overlap_pct");
+            w.num_val(p.overlap_pct);
+            w.end_obj();
+        }
+        w.end_arr();
+    }
     if let Some(st) = s.pool {
         w.key("pool");
         w.begin_obj();
@@ -97,9 +134,24 @@ fn series_obj_with(w: &mut JsonBuf, s: &Series, analysis: Option<&obs::analyze::
     w.end_obj();
 }
 
-/// One series as CSV: `size,value` with a header row.
+/// One series as CSV: `size,value` with a header row; overlap series get
+/// the full breakdown columns.
 pub fn render_series_csv(s: &Series) -> String {
     let mut out = String::new();
+    if let Some(overlap) = &s.overlap {
+        out.push_str("size,overall_us,compute_us,pure_us,overlap_pct\n");
+        for p in overlap {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                p.size,
+                obs::json::num(p.overall_us),
+                obs::json::num(p.compute_us),
+                obs::json::num(p.pure_us),
+                obs::json::num(p.overlap_pct)
+            ));
+        }
+        return out;
+    }
     out.push_str(&format!(
         "size,{}\n",
         csv_field(&format!("{} ({})", s.label, s.unit))
@@ -234,6 +286,7 @@ mod tests {
                 .map(|&(size, value)| SizeValue { size, value })
                 .collect(),
             pool: None,
+            overlap: None,
         }
     }
 

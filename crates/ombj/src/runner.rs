@@ -6,6 +6,7 @@ use mvapich2j::{run_job_with_obs, BindError, BindResult, Env, JobConfig, Topolog
 use simfabric::FaultPlan;
 
 use crate::coll::{collective, CollOp};
+use crate::nbcoll::{nb_collective, NbOp, OverlapPoint};
 use crate::options::{Api, BenchOptions, SizeValue};
 use crate::pt2pt::{bandwidth, bibandwidth, lat_impl};
 
@@ -53,6 +54,10 @@ pub enum Benchmark {
     BiBandwidth,
     /// A blocking (possibly vectored) collective.
     Collective(CollOp),
+    /// A non-blocking collective with overlap measurement. `overlap`
+    /// places the simulated compute between post and wait; without it
+    /// the compute runs after the wait (the `--no-overlap` control).
+    NonBlocking { op: NbOp, overlap: bool },
 }
 
 impl Benchmark {
@@ -63,13 +68,14 @@ impl Benchmark {
             Benchmark::Bandwidth => "osu_bw",
             Benchmark::BiBandwidth => "osu_bibw",
             Benchmark::Collective(op) => op.name(),
+            Benchmark::NonBlocking { op, .. } => op.name(),
         }
     }
 
     /// Metric unit.
     pub fn unit(self) -> &'static str {
         match self {
-            Benchmark::Latency | Benchmark::Collective(_) => "us",
+            Benchmark::Latency | Benchmark::Collective(_) | Benchmark::NonBlocking { .. } => "us",
             Benchmark::Bandwidth | Benchmark::BiBandwidth => "MB/s",
         }
     }
@@ -103,6 +109,9 @@ pub struct Series {
     /// Rank 0's buffering-layer pool counters at the end of the run
     /// (`None` for series not produced by the runner, e.g. derived ones).
     pub pool: Option<PoolStats>,
+    /// Full overlap breakdown for non-blocking collective benchmarks
+    /// (`points` then carries the overall latency column).
+    pub overlap: Option<Vec<OverlapPoint>>,
 }
 
 /// Execute a run. Returns `None` when the combination is unsupported by
@@ -119,14 +128,26 @@ pub fn run_with_obs(spec: RunSpec, o: obs::ObsOptions) -> (Option<Series>, obs::
     let opts = spec.opts;
     let api = spec.api;
     let bench = spec.benchmark;
-    let f = move |env: &mut Env| -> BindResult<(Vec<SizeValue>, PoolStats)> {
-        let points = match bench {
-            Benchmark::Latency => lat_impl(env, &opts, api),
-            Benchmark::Bandwidth => bandwidth(env, &opts, api),
-            Benchmark::BiBandwidth => bibandwidth(env, &opts, api),
-            Benchmark::Collective(op) => collective(env, &opts, api, op),
-        }?;
-        Ok((points, env.pool_stats()))
+    type RankOut = (Vec<SizeValue>, Option<Vec<OverlapPoint>>, PoolStats);
+    let f = move |env: &mut Env| -> BindResult<RankOut> {
+        let (points, overlap) = match bench {
+            Benchmark::Latency => (lat_impl(env, &opts, api)?, None),
+            Benchmark::Bandwidth => (bandwidth(env, &opts, api)?, None),
+            Benchmark::BiBandwidth => (bibandwidth(env, &opts, api)?, None),
+            Benchmark::Collective(op) => (collective(env, &opts, api, op)?, None),
+            Benchmark::NonBlocking { op, overlap } => {
+                let pts = nb_collective(env, &opts, api, op, overlap)?;
+                let latency = pts
+                    .iter()
+                    .map(|p| SizeValue {
+                        size: p.size,
+                        value: p.overall_us,
+                    })
+                    .collect();
+                (latency, Some(pts))
+            }
+        };
+        Ok((points, overlap, env.pool_stats()))
     };
     let mut cfg = spec.library.config(spec.topo).with_obs(o);
     if let Some(plan) = spec.faults {
@@ -134,12 +155,13 @@ pub fn run_with_obs(spec: RunSpec, o: obs::ObsOptions) -> (Option<Series>, obs::
     }
     let (results, report) = run_job_with_obs(cfg, f);
     let series = match results.into_iter().next().expect("rank 0 exists") {
-        Ok((points, pool)) => Some(Series {
+        Ok((points, overlap, pool)) => Some(Series {
             label: format!("{} {}", spec.library.label(), spec.api.label()),
             benchmark: spec.benchmark.name(),
             unit: spec.benchmark.unit(),
             points,
             pool: Some(pool),
+            overlap,
         }),
         Err(BindError::Unsupported(_)) => None,
         Err(e) => panic!("benchmark {} failed: {e}", spec.benchmark.name()),
@@ -242,6 +264,81 @@ mod tests {
     fn runs_are_deterministic() {
         let spec = quick_spec(Library::Mvapich2J, Benchmark::Latency, Api::Arrays);
         assert_eq!(run(spec).unwrap().points, run(spec).unwrap().points);
+    }
+
+    fn nb_spec(op: NbOp, api: Api, overlap: bool) -> RunSpec {
+        RunSpec {
+            library: Library::Mvapich2J,
+            benchmark: Benchmark::NonBlocking { op, overlap },
+            api,
+            topo: Topology::new(2, 2),
+            opts: BenchOptions {
+                min_size: 1 << 10,
+                max_size: 1 << 16,
+                ..BenchOptions::quick()
+            },
+            faults: None,
+        }
+    }
+
+    #[test]
+    fn nonblocking_overlap_hides_communication_under_compute() {
+        for op in [NbOp::Ibcast, NbOp::Iallreduce] {
+            let s = run(nb_spec(op, Api::Buffer, true)).unwrap();
+            let overlap = s.overlap.as_ref().expect("overlap breakdown present");
+            assert_eq!(s.points.len(), overlap.len());
+            // With a schedule-based progression engine the largest
+            // messages hide most of their communication.
+            let last = overlap.last().unwrap();
+            assert!(
+                last.overlap_pct > 50.0,
+                "{}: large-message overlap only {:.1}%",
+                op.name(),
+                last.overlap_pct
+            );
+            // And overlap grows with message size (software post/wait
+            // overhead dominates the small sizes).
+            assert!(overlap.first().unwrap().overlap_pct < last.overlap_pct);
+            for p in overlap {
+                assert!(p.pure_us > 0.0 && p.overall_us >= p.pure_us);
+            }
+        }
+    }
+
+    #[test]
+    fn nonblocking_without_overlap_reports_zero() {
+        let s = run(nb_spec(NbOp::Iallreduce, Api::Buffer, false)).unwrap();
+        for p in s.overlap.unwrap() {
+            assert!(
+                p.overlap_pct < 1.0,
+                "no-overlap control leaked {:.2}% at {} bytes",
+                p.overlap_pct,
+                p.size
+            );
+        }
+    }
+
+    #[test]
+    fn nonblocking_runs_are_deterministic() {
+        let spec = nb_spec(NbOp::Ibcast, Api::Arrays, true);
+        let a = run(spec).unwrap();
+        let b = run(spec).unwrap();
+        assert_eq!(a.overlap, b.overlap);
+        assert!(a.overlap.unwrap().last().unwrap().overlap_pct > 0.0);
+    }
+
+    #[test]
+    fn openmpij_arrays_nonblocking_collectives_are_missing() {
+        let spec = RunSpec {
+            library: Library::OpenMpiJ,
+            ..nb_spec(NbOp::Ibcast, Api::Arrays, true)
+        };
+        assert!(run(spec).is_none());
+        let spec = RunSpec {
+            library: Library::OpenMpiJ,
+            ..nb_spec(NbOp::Ibcast, Api::Buffer, true)
+        };
+        assert!(run(spec).is_some());
     }
 
     #[test]

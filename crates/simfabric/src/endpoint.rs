@@ -12,6 +12,7 @@
 //! blackhole) at send time — see the `fault` module for why sender-side
 //! oracle decisions are the only ones that stay deterministic.
 
+use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::time::Duration;
 
@@ -64,6 +65,15 @@ pub struct Endpoint<M> {
     /// what makes the whole simulation deterministic even when a progress
     /// engine emits messages in real-time pop order.
     links: Vec<LinkState>,
+    /// Additional injection channels, keyed by (dst, channel id). A
+    /// channel models a dedicated send queue (e.g. the QP a hardware-
+    /// offloaded non-blocking collective schedule owns): traffic on
+    /// distinct channels does not serialize against channel 0 or against
+    /// other channels. Layers above route any traffic whose *emission
+    /// order* is driven by message arrival (rather than program order)
+    /// onto its own channel, so every channel's injection sequence — and
+    /// therefore every arrival time — stays deterministic.
+    channels: HashMap<(usize, u64), LinkState>,
     /// Installed fault plan, if any.
     plan: Option<FaultPlan>,
     /// Per-destination fault RNG state (parallel to `links`).
@@ -85,6 +95,7 @@ impl<M> Endpoint<M> {
             txs,
             rx,
             links: (0..n).map(|_| LinkState::new()).collect(),
+            channels: HashMap::new(),
             plan: None,
             fault_links: vec![FaultLink::default(); n],
             stats: SendStats::default(),
@@ -165,13 +176,37 @@ impl<M> Endpoint<M> {
     where
         M: FaultTarget,
     {
+        self.send_on(dst, 0, now, wire_bytes, params, msg)
+    }
+
+    /// [`Endpoint::send`] on a specific injection channel. Channel 0 is
+    /// the default port; any other id names a dedicated send queue whose
+    /// serialization horizon is independent of all other channels (see
+    /// the `channels` field).
+    pub fn send_on(
+        &mut self,
+        dst: usize,
+        channel: u64,
+        now: VTime,
+        wire_bytes: usize,
+        params: &LogGp,
+        msg: M,
+    ) -> Result<SendOutcome, FabricError>
+    where
+        M: FaultTarget,
+    {
         if dst >= self.topo.size() {
             return Err(FabricError::DestinationOutOfRange {
                 dst,
                 size: self.topo.size(),
             });
         }
-        let arrival = self.links[dst].inject(now, wire_bytes, params);
+        let link = if channel == 0 {
+            &mut self.links[dst]
+        } else {
+            self.channels.entry((dst, channel)).or_default()
+        };
+        let arrival = link.inject(now, wire_bytes, params);
         self.stats.messages += 1;
         self.stats.wire_bytes += wire_bytes as u64;
 
@@ -268,7 +303,12 @@ impl<M> Endpoint<M> {
                 },
             );
             // The duplicate consumes the link again, behind the original.
-            let dup_arrival = self.links[dst].inject(now, wire_bytes, params).max(arrival);
+            let link = if channel == 0 {
+                &mut self.links[dst]
+            } else {
+                self.channels.entry((dst, channel)).or_default()
+            };
+            let dup_arrival = link.inject(now, wire_bytes, params).max(arrival);
             self.fault_links[dst].last_arrival = dup_arrival;
             self.stats.messages += 1;
             self.stats.wire_bytes += wire_bytes as u64;

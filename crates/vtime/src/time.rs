@@ -291,6 +291,24 @@ impl Clock {
         wait
     }
 
+    /// The local-work cost multiplier in force.
+    #[inline]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// A detached clock positioned at `t` with the same rate. Used for
+    /// self-timed progression timelines (e.g. offloaded collective
+    /// schedules) that advance independently of the rank's own clock and
+    /// are merged back at a synchronization point.
+    pub fn fork_at(&self, t: VTime) -> Clock {
+        Clock {
+            now: t,
+            charged: VDur::ZERO,
+            rate: self.rate,
+        }
+    }
+
     /// Total local-work time charged so far (excludes waiting).
     pub fn total_charged(&self) -> VDur {
         self.charged

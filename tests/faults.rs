@@ -4,7 +4,8 @@
 //! is active, and a lossy `--analyze` run must replay byte-identically
 //! for the same seed.
 
-use mvapich2j::Topology;
+use mvapich2j::datatype::INT;
+use mvapich2j::{run_job, run_job_with_obs, BindError, JobConfig, ReduceOp, Topology};
 use ombj::{run_with_obs, Api, BenchOptions, Benchmark, Library, RunSpec};
 use simfabric::FaultPlan;
 
@@ -147,4 +148,102 @@ fn lossy_collective_benchmark_validates() {
     let (series, _) = run_with_obs(spec, obs::ObsOptions::default());
     let s = series.expect("allreduce runs under a lossy plan");
     assert!(s.points.iter().all(|p| p.value > 0.0));
+}
+
+#[test]
+fn nonblocking_collectives_validate_under_a_lossy_plan() {
+    // A schedule in flight keeps several rounds of traffic outstanding
+    // at once; a seeded drop plan must cost retransmits, never payload.
+    let mut plan = FaultPlan::parse("drop=0.05,jitter=100").unwrap();
+    plan.seed = 13;
+    let n = 2048usize;
+    let (_, report) = run_job_with_obs(
+        JobConfig::mvapich2j(Topology::new(2, 2)).with_faults(plan),
+        move |env| {
+            let w = env.world();
+            let p = env.size() as i32;
+            let me = env.rank() as i32;
+            let buf = env.new_direct(n * 4);
+            let send = env.new_direct(n * 4);
+            let recv = env.new_direct(n * 4);
+            for round in 0..8i32 {
+                if me == 1 {
+                    for i in 0..n {
+                        env.direct_put::<i32>(buf, i * 4, round ^ i as i32 ^ 0x5a)
+                            .unwrap();
+                    }
+                }
+                let req = env.ibcast_buffer(buf, n as i32, &INT, 1, w).unwrap();
+                env.wait(req).unwrap();
+                for i in 0..n {
+                    assert_eq!(
+                        env.direct_get::<i32>(buf, i * 4).unwrap(),
+                        round ^ i as i32 ^ 0x5a
+                    );
+                }
+
+                for i in 0..n {
+                    env.direct_put::<i32>(send, i * 4, me + round + i as i32)
+                        .unwrap();
+                }
+                let req = env
+                    .iallreduce_buffer(send, recv, n as i32, &INT, ReduceOp::Sum, w)
+                    .unwrap();
+                env.wait(req).unwrap();
+                let ranksum: i32 = (0..p).sum();
+                for i in 0..n {
+                    assert_eq!(
+                        env.direct_get::<i32>(recv, i * 4).unwrap(),
+                        ranksum + p * (round + i as i32)
+                    );
+                }
+            }
+        },
+    );
+    let pvars = report.merged_pvars();
+    assert!(pvars.counter("coll.nb.completed") > 0);
+    assert!(
+        pvars.counter("fabric.drops_injected") > 0,
+        "a 5% plan over two schedules must drop at least one frame"
+    );
+    assert!(pvars.counter("fabric.retransmits") > 0);
+}
+
+#[test]
+fn crashed_rank_surfaces_rank_failed_from_nonblocking_wait() {
+    // Rank 1 is dead from virtual time 0. The surviving rank's Wait on a
+    // non-blocking broadcast must come back with a typed `RankFailed`
+    // within the watchdog bound — not hang in the progression loop.
+    let mut plan = FaultPlan::new(0);
+    plan.crash = Some((1, 0.0));
+    plan.watchdog_ms = 100;
+    plan.rto_ns = 50.0;
+    plan.max_retries = 3;
+    let results = run_job(
+        JobConfig::mvapich2j(Topology::single_node(2)).with_faults(plan),
+        |env| {
+            let w = env.world();
+            env.native_mut()
+                .set_errhandler(w, mpisim::Errhandler::ErrorsReturn)
+                .unwrap();
+            let started = std::time::Instant::now();
+            let buf = env.new_direct(64 * 4);
+            let err = env
+                .ibcast_buffer(buf, 64, &INT, 0, w)
+                .and_then(|req| env.wait(req).map(|_| ()))
+                .unwrap_err();
+            assert!(
+                started.elapsed().as_millis() < 5_000,
+                "watchdog must fire near its bound"
+            );
+            err
+        },
+    );
+    for (rank, err) in results.iter().enumerate() {
+        assert_eq!(
+            *err,
+            BindError::Mpi(mpisim::MpiError::RankFailed { rank: 1 }),
+            "rank {rank} got {err:?}"
+        );
+    }
 }
