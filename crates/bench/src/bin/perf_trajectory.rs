@@ -1,0 +1,86 @@
+//! Simulator self-profiling trajectory: run the fixed perf basket with
+//! `obs::wallprof` enabled, write a schema-versioned `BENCH_<pr>.json`,
+//! and (optionally) gate against a committed baseline.
+//!
+//! ```text
+//! perf-trajectory [--quick] [--out PATH] [--pr N]
+//!                 [--baseline PATH] [--gate-pct P]
+//! ```
+//!
+//! Exit status: 0 within the gate (or no baseline given), 1 when total
+//! events/sec dropped more than `--gate-pct` (default 25) below the
+//! baseline, 2 on usage/IO errors.
+
+use ombj_bench::perf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf-trajectory [--quick] [--out PATH] [--pr N] [--baseline PATH] [--gate-pct P]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut pr: u64 = 6;
+    let mut baseline: Option<String> = None;
+    let mut gate_pct = perf::DEFAULT_GATE_PCT;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let val = |it: &mut std::slice::Iter<String>| -> String {
+            it.next().cloned().unwrap_or_else(|| usage())
+        };
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = Some(val(&mut it)),
+            "--pr" => pr = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--baseline" => baseline = Some(val(&mut it)),
+            "--gate-pct" => gate_pct = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let out = out.unwrap_or_else(|| format!("BENCH_{pr}.json"));
+
+    eprintln!(
+        "running perf basket ({} mode)...",
+        if quick { "quick" } else { "full" }
+    );
+    let results = perf::run_basket(quick);
+    let text = perf::bench_json(&results, &perf::commit_id(), pr, quick);
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("error: writing {out}: {e}");
+        std::process::exit(2);
+    }
+    let doc = perf::parse_bench(&text).expect("own output parses");
+    println!("{}", perf::summary_line(&doc));
+    eprintln!("wrote {out}");
+
+    if let Some(base_path) = baseline {
+        let base_text = std::fs::read_to_string(&base_path).unwrap_or_else(|e| {
+            eprintln!("error: reading baseline {base_path}: {e}");
+            std::process::exit(2);
+        });
+        let base = perf::parse_bench(&base_text).unwrap_or_else(|e| {
+            eprintln!("error: parsing baseline {base_path}: {e}");
+            std::process::exit(2);
+        });
+        match perf::compare_baseline(&doc, &base, gate_pct) {
+            Ok(lines) => {
+                for l in lines {
+                    println!("{l}");
+                }
+                println!("perf gate: PASS");
+            }
+            Err(lines) => {
+                for l in lines {
+                    println!("{l}");
+                }
+                println!("perf gate: FAIL (events/sec dropped more than {gate_pct:.0}%)");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The perf-trajectory basket: a fixed set of workloads profiled with
+//! `obs::wallprof` whose *wall-clock* throughput is tracked across PRs
+//! as schema-versioned `BENCH_<n>.json` files (one per PR, uploaded by
+//! CI and gated against the committed baseline).
+//!
+//! The virtual-time results of these workloads are deterministic and
+//! covered by tests; this module watches the other axis — how fast the
+//! simulator itself runs them — so raw-speed work (ROADMAP items 1–2)
+//! has a standing, machine-readable benchmark to move against.
+
+use obs::json::{self, JsonBuf, JsonValue};
+use obs::wallprof::SimPerf;
+use ombj::{run_with_obs, Api, BenchOptions, Benchmark, CollOp, Library, NbOp, RunSpec};
+use simfabric::{FaultPlan, Topology};
+
+/// Schema version of `BENCH_*.json`; bump on any structural change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Regression-gate threshold: the soft gate fails when total events/sec
+/// drops by more than this share versus the committed baseline.
+pub const DEFAULT_GATE_PCT: f64 = 25.0;
+
+/// One basket workload.
+pub struct BasketEntry {
+    pub name: &'static str,
+    pub spec: RunSpec,
+}
+
+/// One profiled basket run.
+pub struct BasketResult {
+    pub name: &'static str,
+    pub ranks: usize,
+    pub perf: SimPerf,
+}
+
+fn opts(max_size: usize, quick: bool) -> BenchOptions {
+    BenchOptions {
+        max_size: if quick {
+            max_size.min(1 << 10)
+        } else {
+            max_size
+        },
+        ..BenchOptions::quick()
+    }
+}
+
+/// The fixed workload basket: pt2pt latency/bw, small- and large-comm
+/// collectives (2–64 ranks), one NBC overlap run, one lossy-fabric run.
+/// `quick` shrinks sizes and the large topology for tests.
+pub fn basket(quick: bool) -> Vec<BasketEntry> {
+    let spec = |benchmark, topo, opts| RunSpec {
+        library: Library::Mvapich2J,
+        benchmark,
+        api: Api::Buffer,
+        topo,
+        opts,
+        faults: None,
+    };
+    let big = if quick {
+        Topology::new(2, 4)
+    } else {
+        Topology::new(4, 16)
+    };
+    let mut lossy = spec(
+        Benchmark::Latency,
+        Topology::new(2, 1),
+        opts(1 << 14, quick),
+    );
+    let mut plan = FaultPlan::parse("drop=0.02,corrupt=0.001,dup=0.005,jitter=200")
+        .expect("static fault spec parses");
+    plan.seed = 42;
+    lossy.faults = Some(plan);
+    vec![
+        BasketEntry {
+            name: "pt2pt_latency",
+            spec: spec(
+                Benchmark::Latency,
+                Topology::new(2, 1),
+                opts(1 << 17, quick),
+            ),
+        },
+        BasketEntry {
+            name: "pt2pt_bw",
+            spec: spec(
+                Benchmark::Bandwidth,
+                Topology::new(2, 1),
+                opts(1 << 17, quick),
+            ),
+        },
+        BasketEntry {
+            name: "bcast_8",
+            spec: spec(
+                Benchmark::Collective(CollOp::Bcast),
+                Topology::new(2, 4),
+                opts(1 << 14, quick),
+            ),
+        },
+        BasketEntry {
+            name: "allreduce_64",
+            spec: spec(
+                Benchmark::Collective(CollOp::Allreduce),
+                big,
+                opts(1 << 12, quick),
+            ),
+        },
+        BasketEntry {
+            name: "ibcast_overlap",
+            spec: spec(
+                Benchmark::NonBlocking {
+                    op: NbOp::Ibcast,
+                    overlap: true,
+                },
+                Topology::new(2, 2),
+                opts(1 << 14, quick),
+            ),
+        },
+        BasketEntry {
+            name: "lossy_latency",
+            spec: lossy,
+        },
+    ]
+}
+
+/// Run every basket workload with profiling on and collect its
+/// `SimPerf`. Panics if a workload fails to produce a series or a
+/// profile — the basket is fixed and must always run.
+pub fn run_basket(quick: bool) -> Vec<BasketResult> {
+    basket(quick)
+        .into_iter()
+        .map(|e| {
+            let ranks = e.spec.topo.size();
+            let (series, report) = run_with_obs(e.spec, obs::ObsOptions::profiled());
+            series.unwrap_or_else(|| panic!("basket workload {} did not run", e.name));
+            let perf = report
+                .sim_perf
+                .unwrap_or_else(|| panic!("basket workload {} produced no SimPerf", e.name));
+            BasketResult {
+                name: e.name,
+                ranks,
+                perf,
+            }
+        })
+        .collect()
+}
+
+/// Aggregate metrics across the basket (events and wall time sum; the
+/// headline rates are re-derived from the sums).
+pub struct Totals {
+    pub wall_ns: u64,
+    pub virtual_ns: f64,
+    pub events: u64,
+    pub allocs: u64,
+    pub messages: u64,
+}
+
+impl Totals {
+    pub fn of(results: &[BasketResult]) -> Totals {
+        let mut t = Totals {
+            wall_ns: 0,
+            virtual_ns: 0.0,
+            events: 0,
+            allocs: 0,
+            messages: 0,
+        };
+        for r in results {
+            let c = r.perf.totals();
+            t.wall_ns += r.perf.wall_ns;
+            t.virtual_ns += r.perf.virtual_ns;
+            t.events += r.perf.events();
+            t.allocs += c.counter(obs::wallprof::Counter::Allocs);
+            t.messages += c.counter(obs::wallprof::Counter::Messages);
+        }
+        t
+    }
+
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.events as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    pub fn vns_per_ws(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.virtual_ns / (self.wall_ns as f64 / 1e9)
+    }
+
+    pub fn alloc_per_msg(&self) -> f64 {
+        if self.messages == 0 {
+            return 0.0;
+        }
+        self.allocs as f64 / self.messages as f64
+    }
+}
+
+/// Serialize basket results as a `BENCH_*.json` document.
+pub fn bench_json(results: &[BasketResult], commit: &str, pr: u64, quick: bool) -> String {
+    let t = Totals::of(results);
+    let mut w = JsonBuf::new();
+    w.begin_obj();
+    w.key("schema_version");
+    w.uint_val(SCHEMA_VERSION);
+    w.key("kind");
+    w.str_val("sim-perf-trajectory");
+    w.key("pr");
+    w.uint_val(pr);
+    w.key("commit");
+    w.str_val(commit);
+    w.key("quick");
+    w.bool_val(quick);
+    w.key("totals");
+    w.begin_obj();
+    w.key("wall_ms");
+    w.num_val(t.wall_ns as f64 / 1e6);
+    w.key("virtual_ms");
+    w.num_val(t.virtual_ns / 1e6);
+    w.key("events");
+    w.uint_val(t.events);
+    w.key("events_per_sec");
+    w.num_val(t.events_per_sec());
+    w.key("vns_per_ws");
+    w.num_val(t.vns_per_ws());
+    w.key("alloc_per_msg");
+    w.num_val(t.alloc_per_msg());
+    w.end_obj();
+    w.key("basket");
+    w.begin_arr();
+    for r in results {
+        w.newline();
+        w.begin_obj();
+        w.key("name");
+        w.str_val(r.name);
+        w.key("ranks");
+        w.uint_val(r.ranks as u64);
+        w.key("sim_perf");
+        r.perf.write_json(&mut w);
+        w.end_obj();
+    }
+    w.newline();
+    w.end_arr();
+    w.end_obj();
+    w.newline();
+    w.finish()
+}
+
+/// The one-line job-log summary for a serialized `BENCH_*.json`.
+pub fn summary_line(doc: &JsonValue) -> String {
+    let totals = doc.get("totals");
+    let f = |k: &str| {
+        totals
+            .and_then(|t| t.get(k))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0)
+    };
+    format!(
+        "perf-trajectory: {:.0} events/sec, {:.3e} vns/ws, {:.2} alloc/msg ({:.0} ms wall)",
+        f("events_per_sec"),
+        f("vns_per_ws"),
+        f("alloc_per_msg"),
+        f("wall_ms"),
+    )
+}
+
+/// Soft regression gate: compare the freshly measured document against
+/// the committed baseline. Returns `Ok(report_lines)` when within the
+/// gate, `Err(report_lines)` when total events/sec dropped by more than
+/// `gate_pct`. Mode mismatches (quick vs full) skip the gate.
+pub fn compare_baseline(
+    current: &JsonValue,
+    baseline: &JsonValue,
+    gate_pct: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut lines = Vec::new();
+    let quick = |d: &JsonValue| d.get("quick").and_then(|v| v.as_bool()).unwrap_or(false);
+    if quick(current) != quick(baseline) {
+        lines.push("gate skipped: current and baseline ran different basket modes".into());
+        return Ok(lines);
+    }
+    let eps = |d: &JsonValue| {
+        d.get("totals")
+            .and_then(|t| t.get("events_per_sec"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0)
+    };
+    let (cur, base) = (eps(current), eps(baseline));
+    // Per-entry context (informational — machines differ; only the
+    // total is gated).
+    if let (Some(cb), Some(bb)) = (
+        current.get("basket").and_then(|b| b.as_arr()),
+        baseline.get("basket").and_then(|b| b.as_arr()),
+    ) {
+        for c in cb {
+            let name = c.get("name").and_then(|n| n.as_str()).unwrap_or("?");
+            let entry_eps = |e: &JsonValue| {
+                e.get("sim_perf")
+                    .and_then(|p| p.get("events_per_sec"))
+                    .and_then(|v| v.as_f64())
+            };
+            let b = bb
+                .iter()
+                .find(|e| e.get("name").and_then(|n| n.as_str()) == Some(name));
+            match (entry_eps(c), b.and_then(entry_eps)) {
+                (Some(c_eps), Some(b_eps)) if b_eps > 0.0 => lines.push(format!(
+                    "  {name:<16} {c_eps:>12.0} ev/s (baseline {b_eps:.0}, {:+.1}%)",
+                    100.0 * (c_eps - b_eps) / b_eps
+                )),
+                _ => lines.push(format!("  {name:<16} no baseline entry")),
+            }
+        }
+    }
+    if base <= 0.0 {
+        lines.push("gate skipped: baseline has no total events/sec".into());
+        return Ok(lines);
+    }
+    let delta_pct = 100.0 * (cur - base) / base;
+    lines.push(format!(
+        "total events/sec: {cur:.0} vs baseline {base:.0} ({delta_pct:+.1}%, gate -{gate_pct:.0}%)"
+    ));
+    if delta_pct < -gate_pct {
+        Err(lines)
+    } else {
+        Ok(lines)
+    }
+}
+
+/// Parse a `BENCH_*.json` text (thin wrapper so callers need no direct
+/// `obs::json` import).
+pub fn parse_bench(text: &str) -> Result<JsonValue, String> {
+    json::parse(text)
+}
+
+/// Best-effort commit id for the `commit` field: `GITHUB_SHA`, else
+/// `git rev-parse --short HEAD`, else `"unknown"`.
+pub fn commit_id() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}

@@ -103,13 +103,21 @@ where
 /// Like [`run_job`], but also harvest each rank's observability recorder
 /// (pvars, and trace events when `cfg.obs.tracing` is on) into a
 /// [`obs::JobReport`] with ranks in rank order.
+///
+/// With `cfg.obs.profiling` on, the report also carries a
+/// [`obs::wallprof::SimPerf`] section: the job's wall time (measured
+/// here, around the whole cluster run), each rank's final virtual clock,
+/// and the per-rank wall-clock profiles. Wall readings are collected
+/// strictly *after* each rank's virtual execution — they never feed a
+/// virtual clock or a determinism digest.
 pub fn run_job_with_obs<R, F>(cfg: JobConfig, f: F) -> (Vec<R>, obs::JobReport)
 where
     R: Send,
     F: Fn(&mut Env) -> R + Sync,
 {
     use std::sync::Mutex;
-    let reports: Mutex<Vec<obs::RankReport>> = Mutex::new(Vec::new());
+    let reports: Mutex<Vec<(obs::RankReport, f64)>> = Mutex::new(Vec::new());
+    let wall_start = std::time::Instant::now();
     let results = run_cluster::<Frame, R, _>(cfg.topo, |mut ep| {
         if let Some(plan) = cfg.faults {
             ep.install_faults(plan);
@@ -125,14 +133,33 @@ where
             binding_calls: 0,
         };
         let out = f(&mut env);
+        let virtual_end_ns = env.mpi.now().as_nanos();
         if let Some(rep) = obs::uninstall() {
-            reports.lock().expect("report sink").push(rep);
+            reports
+                .lock()
+                .expect("report sink")
+                .push((rep, virtual_end_ns));
         }
         out
     });
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
     let mut ranks = reports.into_inner().expect("report sink");
-    ranks.sort_by_key(|r| r.rank);
-    (results, obs::JobReport { ranks })
+    ranks.sort_by_key(|r| r.0.rank);
+    let sim_perf = cfg.obs.profiling.then(|| {
+        obs::wallprof::SimPerf::from_ranks(
+            wall_ns,
+            ranks
+                .iter()
+                .map(|(rep, virtual_ns)| obs::wallprof::RankPerf {
+                    rank: rep.rank,
+                    virtual_ns: *virtual_ns,
+                    prof: rep.wall.clone().unwrap_or_default(),
+                })
+                .collect(),
+        )
+    });
+    let ranks = ranks.into_iter().map(|(rep, _)| rep).collect();
+    (results, obs::JobReport { ranks, sim_perf })
 }
 
 impl Env {

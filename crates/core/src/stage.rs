@@ -69,13 +69,15 @@ pub(crate) fn stage_from_array_at(
         }
         debug_assert_eq!(pos, store_off + packed);
     }
-    obs::span(
-        "stage",
-        "mpjbuf",
-        t0,
-        clock.now(),
-        vec![("bytes", obs::ArgValue::U64(packed as u64))],
-    );
+    if obs::tracing_enabled() {
+        obs::span(
+            "stage",
+            "mpjbuf",
+            t0,
+            clock.now(),
+            vec![("bytes", obs::ArgValue::U64(packed as u64))],
+        );
+    }
     Ok(packed)
 }
 
@@ -140,13 +142,15 @@ pub(crate) fn unstage_to_array_at(
             }
         }
     }
-    obs::span(
-        "unstage",
-        "mpjbuf",
-        t0,
-        clock.now(),
-        vec![("bytes", obs::ArgValue::U64(filled as u64))],
-    );
+    if obs::tracing_enabled() {
+        obs::span(
+            "unstage",
+            "mpjbuf",
+            t0,
+            clock.now(),
+            vec![("bytes", obs::ArgValue::U64(filled as u64))],
+        );
+    }
     Ok(())
 }
 

@@ -258,6 +258,8 @@ impl Schedule {
     /// fire follow-on rounds. Never blocks; returns whether the schedule
     /// is now done.
     pub(crate) fn advance(&mut self, eng: &mut Engine) -> MpiResult<bool> {
+        let _wp = obs::wallprof::span(obs::wallprof::Subsystem::Sched);
+        obs::wallprof::add(obs::wallprof::Counter::SchedPolls, 1);
         loop {
             // Retire the current round's requests in posting order.
             while self.inflight_done < self.inflight.len() {

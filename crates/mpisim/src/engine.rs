@@ -26,6 +26,7 @@
 use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
+use obs::wallprof::{self, Counter as WpCounter, Subsystem as WpSub};
 use simfabric::{Delivery, Endpoint, Fate, FaultPlan};
 use vtime::{Clock, LogGp, VDur, VTime};
 
@@ -513,6 +514,7 @@ impl Engine {
         loggp: &LogGp,
         wire: Wire,
     ) -> MpiResult<VTime> {
+        let _wp = wallprof::span(WpSub::Fabric);
         let Some(plan) = self.plan else {
             let frame = Frame {
                 seq: 0,
@@ -528,10 +530,15 @@ impl Engine {
 
         let seq = self.next_seq[dst];
         self.next_seq[dst] += 1;
-        let checksum = frame_checksum(seq, &wire);
+        let checksum = {
+            let _wr = wallprof::span(WpSub::Reliability);
+            frame_checksum(seq, &wire)
+        };
         let mut attempt = 0u32;
         let mut t = t;
         loop {
+            // Each loop turn clones the payload into a fresh frame copy.
+            wallprof::add(WpCounter::Allocs, 1);
             let frame = Frame {
                 seq,
                 checksum,
@@ -646,6 +653,7 @@ impl Engine {
             });
         }
         self.check_self_crash()?;
+        wallprof::add(WpCounter::Messages, 1);
         let path = *self.path_to(dst);
         let env = Envelope {
             src: self.rank(),
@@ -658,6 +666,7 @@ impl Engine {
         };
         if data.len() <= path.eager_threshold {
             // Eager: CPU copy into the bounce buffer, inject, done.
+            wallprof::add(WpCounter::Allocs, 1); // payload capture below
             self.clock.charge(path.eager_copy(data.len()));
             self.clock.charge(path.loggp.o_send());
             let wire = path.header_bytes + data.len();
@@ -694,6 +703,7 @@ impl Engine {
                 self.trace_send(stamp, "rndv", dst, tag, data.len(), now, now);
             }
             let nbytes = data.len();
+            wallprof::add(WpCounter::Allocs, 1); // payload parked until CTS
             let req = self.alloc_req(ReqState::Send(SendState::AwaitCts {
                 dst,
                 data: data.into(),
@@ -803,7 +813,18 @@ impl Engine {
             tag: (tag != ANY_TAG).then_some(tag),
         };
         // First look at the unexpected queue (arrival order).
-        if let Some(pos) = self.unexpected.iter().position(|u| spec.matches(u.env())) {
+        let pos = {
+            let _wp = wallprof::span(WpSub::Match);
+            obs::count("pt2pt.match.scans", 1);
+            wallprof::add(WpCounter::MatchScans, 1);
+            let pos = self.unexpected.iter().position(|u| spec.matches(u.env()));
+            wallprof::add(
+                WpCounter::MatchComparisons,
+                pos.map_or(self.unexpected.len(), |p| p + 1) as u64,
+            );
+            pos
+        };
+        if let Some(pos) = pos {
             let u = self.unexpected.remove(pos);
             obs::count("pt2pt.unexpected_hits", 1);
             obs::gauge_set("pt2pt.unexpected_depth", self.unexpected.len() as i64);
@@ -907,8 +928,11 @@ impl Engine {
     /// out-of-band. Protocol violations that previously aborted the
     /// process surface as [`MpiError::ProtocolError`].
     fn handle(&mut self, d: Delivery<Frame>) -> MpiResult<()> {
+        let _wp = wallprof::span(WpSub::Engine);
+        wallprof::add(WpCounter::Deliveries, 1);
         let frame = d.msg;
         if self.plan.is_some() {
+            let _wr = wallprof::span(WpSub::Reliability);
             if let Wire::Ack { .. } = frame.wire {
                 // Pure bookkeeping at the original sender; the ack was
                 // counted when emitted (the emit count is a deterministic
@@ -1072,16 +1096,28 @@ impl Engine {
             }
             Wire::RndvData { env, data, stamp } => {
                 // Find the AwaitData receive matching this source/context.
-                let Some(rid) = self.posted.iter().copied().find(|id| {
-                    matches!(
-                        self.requests.get(id),
-                        Some(ReqState::Recv {
-                            spec,
-                            state: RecvState::AwaitData { src },
-                            ..
-                        }) if *src == env.src && spec.matches(&env)
-                    )
-                }) else {
+                let idx = {
+                    let _wm = wallprof::span(WpSub::Match);
+                    obs::count("pt2pt.match.scans", 1);
+                    obs::gauge_set("pt2pt.match.maxdepth", self.posted.len() as i64);
+                    wallprof::add(WpCounter::MatchScans, 1);
+                    let idx = self.posted.iter().position(|id| {
+                        matches!(
+                            self.requests.get(id),
+                            Some(ReqState::Recv {
+                                spec,
+                                state: RecvState::AwaitData { src },
+                                ..
+                            }) if *src == env.src && spec.matches(&env)
+                        )
+                    });
+                    wallprof::add(
+                        WpCounter::MatchComparisons,
+                        idx.map_or(self.posted.len(), |i| i + 1) as u64,
+                    );
+                    idx
+                };
+                let Some(rid) = idx.map(|i| self.posted[i]) else {
                     return Err(MpiError::ProtocolError(
                         "rendezvous data without a matching posted receive",
                     ));
@@ -1109,6 +1145,14 @@ impl Engine {
     /// Find the oldest posted receive matching `env` and detach it from
     /// the posted list if it is still in `Posted` state.
     fn find_posted(&mut self, env: &Envelope) -> Option<u64> {
+        let _wp = wallprof::span(WpSub::Match);
+        // Scan count and queue depth are structural (one scan per accepted
+        // message; depth = receives the app had outstanding), so they are
+        // safe as pvars; comparisons short-circuit on a real-time-ordered
+        // queue and stay wall-side only.
+        obs::count("pt2pt.match.scans", 1);
+        obs::gauge_set("pt2pt.match.maxdepth", self.posted.len() as i64);
+        wallprof::add(WpCounter::MatchScans, 1);
         let idx = self.posted.iter().position(|id| {
             matches!(
                 self.requests.get(id),
@@ -1118,8 +1162,12 @@ impl Engine {
                     ..
                 }) if spec.matches(env)
             )
-        })?;
-        Some(self.posted[idx])
+        });
+        wallprof::add(
+            WpCounter::MatchComparisons,
+            idx.map_or(self.posted.len(), |i| i + 1) as u64,
+        );
+        Some(self.posted[idx?])
     }
 
     fn is_complete(&self, req: Request) -> bool {

@@ -911,13 +911,15 @@ impl Mpi {
         // The collective's own span covers post→finish on the schedule
         // timeline: `obs-analyze` sees the operation's true extent and can
         // attribute the part hidden under application compute as overlap.
-        obs::span(
-            st.sched.name,
-            "coll",
-            st.sched.posted_at,
-            finish,
-            vec![("coll", obs::ArgValue::U64(st.sched.coll_id))],
-        );
+        if obs::tracing_enabled() {
+            obs::span(
+                st.sched.name,
+                "coll",
+                st.sched.posted_at,
+                finish,
+                vec![("coll", obs::ArgValue::U64(st.sched.coll_id))],
+            );
+        }
         obs::count("coll.nb.completed", 1);
         let my_rank = self.info(st.comm)?.my_rank;
         let data = st.sched.take_output();

@@ -88,7 +88,10 @@ impl BufferPool {
     /// `mpjbuf.pool.fallback_allocs` pvar) which [`BufferPool::release`]
     /// frees immediately instead of parking.
     pub fn acquire(&mut self, rt: &mut Runtime, clock: &mut Clock, size: usize) -> DirectBuffer {
+        let _wp = obs::wallprof::span(obs::wallprof::Subsystem::Pool);
+        obs::wallprof::add(obs::wallprof::Counter::PoolAcquires, 1);
         if size > 1 << MAX_CLASS {
+            obs::wallprof::add(obs::wallprof::Counter::Allocs, 1);
             self.stats.fallback_allocs += 1;
             self.stats.outstanding += 1;
             obs::count("mpjbuf.pool.fallback_allocs", 1);
@@ -103,13 +106,15 @@ impl BufferPool {
             }
             let t0 = clock.now();
             let buf = rt.allocate_direct(size, clock);
-            obs::span(
-                "acquire",
-                "mpjbuf",
-                t0,
-                clock.now(),
-                vec![("bytes", obs::ArgValue::U64(buf.capacity() as u64))],
-            );
+            if obs::tracing_enabled() {
+                obs::span(
+                    "acquire",
+                    "mpjbuf",
+                    t0,
+                    clock.now(),
+                    vec![("bytes", obs::ArgValue::U64(buf.capacity() as u64))],
+                );
+            }
             return buf;
         }
         let class = Self::class_of(size);
@@ -126,15 +131,18 @@ impl BufferPool {
         } else {
             self.stats.misses += 1;
             obs::count("mpjbuf.pool.misses", 1);
+            obs::wallprof::add(obs::wallprof::Counter::Allocs, 1);
             rt.allocate_direct(1usize << class, clock)
         };
-        obs::span(
-            "acquire",
-            "mpjbuf",
-            t0,
-            clock.now(),
-            vec![("bytes", obs::ArgValue::U64(buf.capacity() as u64))],
-        );
+        if obs::tracing_enabled() {
+            obs::span(
+                "acquire",
+                "mpjbuf",
+                t0,
+                clock.now(),
+                vec![("bytes", obs::ArgValue::U64(buf.capacity() as u64))],
+            );
+        }
         buf
     }
 
@@ -142,6 +150,7 @@ impl BufferPool {
     /// Fallback buffers (larger than the biggest class) are freed, never
     /// parked — the pool's footprint stays bounded by `per_class_limit`.
     pub fn release(&mut self, rt: &mut Runtime, clock: &mut Clock, buf: DirectBuffer) {
+        let _wp = obs::wallprof::span(obs::wallprof::Subsystem::Pool);
         if buf.capacity() > 1 << MAX_CLASS {
             self.stats.releases += 1;
             self.stats.outstanding = self.stats.outstanding.saturating_sub(1);
@@ -171,13 +180,15 @@ impl BufferPool {
         } else {
             rt.free_direct(buf, clock).expect("pool buffer is live");
         }
-        obs::span(
-            "release",
-            "mpjbuf",
-            t0,
-            clock.now(),
-            vec![("bytes", obs::ArgValue::U64(cap as u64))],
-        );
+        if obs::tracing_enabled() {
+            obs::span(
+                "release",
+                "mpjbuf",
+                t0,
+                clock.now(),
+                vec![("bytes", obs::ArgValue::U64(cap as u64))],
+            );
+        }
     }
 
     /// Free every parked buffer (shutdown).

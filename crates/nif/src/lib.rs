@@ -69,16 +69,18 @@ pub fn get_array_elements<T: Prim>(
     let mut data = vec![T::default(); arr.len()];
     // Bulk copy out (charged inside array_read as a memcpy).
     rt.array_read(arr, 0, &mut data, clock)?;
-    obs::span(
-        "get_elements",
-        "nif",
-        t0,
-        clock.now(),
-        vec![(
-            "bytes",
-            obs::ArgValue::U64((arr.len() * std::mem::size_of::<T>()) as u64),
-        )],
-    );
+    if obs::tracing_enabled() {
+        obs::span(
+            "get_elements",
+            "nif",
+            t0,
+            clock.now(),
+            vec![(
+                "bytes",
+                obs::ArgValue::U64((arr.len() * std::mem::size_of::<T>()) as u64),
+            )],
+        );
+    }
     Ok(NativeArray {
         data,
         is_copy: true,
@@ -103,16 +105,18 @@ pub fn release_array_elements<T: Prim>(
         ReleaseMode::CopyBack | ReleaseMode::Commit => rt.array_write(arr, 0, &native.data, clock),
         ReleaseMode::Abort => Ok(()),
     };
-    obs::span(
-        "release_elements",
-        "nif",
-        t0,
-        clock.now(),
-        vec![(
-            "bytes",
-            obs::ArgValue::U64((arr.len() * std::mem::size_of::<T>()) as u64),
-        )],
-    );
+    if obs::tracing_enabled() {
+        obs::span(
+            "release_elements",
+            "nif",
+            t0,
+            clock.now(),
+            vec![(
+                "bytes",
+                obs::ArgValue::U64((arr.len() * std::mem::size_of::<T>()) as u64),
+            )],
+        );
+    }
     out
 }
 

@@ -902,6 +902,7 @@ mod tests {
         );
         let report = JobReport {
             ranks: vec![uninstall().unwrap()],
+            sim_perf: None,
         };
         let direct = analyze(&report);
         let (events, dropped) = events_from_chrome_trace(&report.chrome_trace_json()).unwrap();

@@ -539,8 +539,13 @@ mod tests {
                 ),
             ],
             dropped_events: 0,
+            wall: None,
         };
-        let text = crate::JobReport { ranks: vec![rank] }.chrome_trace_json();
+        let text = crate::JobReport {
+            ranks: vec![rank],
+            sim_perf: None,
+        }
+        .chrome_trace_json();
         let v = parse(&text).unwrap();
         let evs = v.get("traceEvents").unwrap().as_arr().unwrap();
         // process_name row + two flow records.

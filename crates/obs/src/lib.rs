@@ -28,6 +28,7 @@ pub mod analyze;
 pub mod json;
 pub mod pvar;
 pub mod trace;
+pub mod wallprof;
 
 pub use pvar::{bucket_of, Log2Hist, PvarSet, PvarValue, HIST_BUCKETS};
 pub use trace::{ArgValue, FlowDir, TraceEvent, TraceRing};
@@ -49,6 +50,9 @@ pub struct ObsOptions {
     pub tracing: bool,
     /// Ring capacity per rank (newest events win).
     pub ring_capacity: usize,
+    /// Wall-clock self-profiling of the simulator (see [`wallprof`]).
+    /// Never affects virtual time or any determinism digest.
+    pub profiling: bool,
 }
 
 impl ObsOptions {
@@ -61,6 +65,14 @@ impl ObsOptions {
             ..Default::default()
         }
     }
+
+    /// Wall-clock self-profiling on, tracing off.
+    pub fn profiled() -> Self {
+        ObsOptions {
+            profiling: true,
+            ..Default::default()
+        }
+    }
 }
 
 impl Default for ObsOptions {
@@ -68,6 +80,7 @@ impl Default for ObsOptions {
         ObsOptions {
             tracing: false,
             ring_capacity: Self::DEFAULT_RING_CAPACITY,
+            profiling: false,
         }
     }
 }
@@ -97,6 +110,11 @@ pub fn install(rank: usize, opts: ObsOptions) {
             ring: TraceRing::new(opts.ring_capacity),
         });
     });
+    if opts.profiling {
+        wallprof::install();
+    } else {
+        wallprof::reset();
+    }
 }
 
 /// Name this rank's process row in trace viewers (e.g.
@@ -111,6 +129,7 @@ pub fn set_process_label(label: String) {
 
 /// Remove this thread's recorder and return what it collected.
 pub fn uninstall() -> Option<RankReport> {
+    let wall = wallprof::harvest();
     RECORDER.with(|r| r.borrow_mut().take()).map(|rec| {
         let (events, dropped_events) = rec.ring.into_events();
         RankReport {
@@ -119,6 +138,7 @@ pub fn uninstall() -> Option<RankReport> {
             pvars: rec.pvars,
             events,
             dropped_events,
+            wall,
         }
     })
 }
@@ -138,6 +158,7 @@ pub fn tracing_enabled() -> bool {
 /// Bump counter `name` by `n`.
 #[inline]
 pub fn count(name: &str, n: u64) {
+    let _wp = wallprof::obs_record_span();
     RECORDER.with(|r| {
         if let Some(rec) = r.borrow_mut().as_mut() {
             rec.pvars.count(name, n);
@@ -148,6 +169,7 @@ pub fn count(name: &str, n: u64) {
 /// Set gauge `name` to level `v`.
 #[inline]
 pub fn gauge_set(name: &str, v: i64) {
+    let _wp = wallprof::obs_record_span();
     RECORDER.with(|r| {
         if let Some(rec) = r.borrow_mut().as_mut() {
             rec.pvars.gauge_set(name, v);
@@ -158,6 +180,7 @@ pub fn gauge_set(name: &str, v: i64) {
 /// Record a histogram sample.
 #[inline]
 pub fn observe(name: &str, v: f64) {
+    let _wp = wallprof::obs_record_span();
     RECORDER.with(|r| {
         if let Some(rec) = r.borrow_mut().as_mut() {
             rec.pvars.observe(name, v);
@@ -184,6 +207,7 @@ pub fn span(
     end: VTime,
     args: Vec<(&'static str, ArgValue)>,
 ) {
+    let _wp = wallprof::obs_record_span();
     RECORDER.with(|r| {
         if let Some(rec) = r.borrow_mut().as_mut() {
             if rec.tracing {
@@ -201,6 +225,7 @@ pub fn instant(
     at: VTime,
     args: Vec<(&'static str, ArgValue)>,
 ) {
+    let _wp = wallprof::obs_record_span();
     RECORDER.with(|r| {
         if let Some(rec) = r.borrow_mut().as_mut() {
             if rec.tracing {
@@ -221,6 +246,7 @@ pub fn flow(
     id: u64,
     args: Vec<(&'static str, ArgValue)>,
 ) {
+    let _wp = wallprof::obs_record_span();
     RECORDER.with(|r| {
         if let Some(rec) = r.borrow_mut().as_mut() {
             if rec.tracing {
@@ -231,7 +257,7 @@ pub fn flow(
 }
 
 /// Everything one rank's recorder collected.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RankReport {
     pub rank: usize,
     pub label: String,
@@ -240,12 +266,39 @@ pub struct RankReport {
     pub events: Vec<TraceEvent>,
     /// Events evicted by ring overflow.
     pub dropped_events: u64,
+    /// Wall-clock self-profile (only with `ObsOptions::profiling`).
+    pub wall: Option<wallprof::RankWallProf>,
+}
+
+/// Rank reports compare on the *virtual-time* payload only: the
+/// wall-clock profile differs on every run by nature and must never
+/// participate in a determinism check.
+impl PartialEq for RankReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank == other.rank
+            && self.label == other.label
+            && self.pvars == other.pvars
+            && self.events == other.events
+            && self.dropped_events == other.dropped_events
+    }
 }
 
 /// A whole job's observability output, ranks in rank order.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct JobReport {
     pub ranks: Vec<RankReport>,
+    /// The simulator's own wall-clock profile (only with
+    /// `ObsOptions::profiling`); excluded from equality and from every
+    /// serialized digest (`pvar_dump`, `chrome_trace_json`).
+    pub sim_perf: Option<wallprof::SimPerf>,
+}
+
+/// Same contract as [`RankReport`]'s equality: `sim_perf` is wall-clock
+/// data and stays outside all determinism comparisons.
+impl PartialEq for JobReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.ranks == other.ranks
+    }
 }
 
 impl JobReport {
@@ -448,6 +501,7 @@ mod tests {
             ObsOptions {
                 tracing: true,
                 ring_capacity: 4,
+                ..Default::default()
             },
             || {
                 for i in 0..10 {
@@ -482,7 +536,11 @@ mod tests {
                 vec![],
             );
         });
-        let json = JobReport { ranks: vec![rep] }.chrome_trace_json();
+        let json = JobReport {
+            ranks: vec![rep],
+            sim_perf: None,
+        }
+        .chrome_trace_json();
         assert!(json.contains(r#""ph":"s","pid":0,"tid":0,"ts":1,"id":7"#));
         assert!(json.contains(r#""ph":"f","pid":0,"tid":0,"ts":2,"id":7,"bp":"e""#));
     }
@@ -503,7 +561,11 @@ mod tests {
                     ],
                 );
             });
-            JobReport { ranks: vec![rep] }.chrome_trace_json()
+            JobReport {
+                ranks: vec![rep],
+                sim_perf: None,
+            }
+            .chrome_trace_json()
         };
         let a = mk();
         assert_eq!(a, mk(), "trace export must be deterministic");
@@ -525,6 +587,7 @@ mod tests {
         };
         let dump = JobReport {
             ranks: vec![r0, r1],
+            sim_perf: None,
         }
         .pvar_dump();
         assert!(dump.contains("2 ranks"));

@@ -23,6 +23,8 @@
 //!   --format text|json|csv      output format (default text)
 //!   --trace-out PATH            record a virtual-time Chrome trace to PATH
 //!   --analyze                   trace the run and append the latency attribution
+//!   --perf                      profile the simulator itself (wall clock) and
+//!                               append the sim-perf footer / `sim_perf` block
 //!   --pvar-dump                 print the merged pvar snapshot after the table
 //!   --faults SPEC               seeded fault plan, e.g. drop=0.02,corrupt=0.001,jitter=200
 //!   --fault-seed N              seed for the fault plan (default 0)
@@ -37,7 +39,7 @@ fn usage() -> ! {
          [--lib mvapich2j|openmpij] [--api buffer|arrays] [--nodes N] [--ppn P] \
          [--min B] [--max B] [--iters N] [--warmup N] [--validate] [--compare] \
          [--overlap|--no-overlap] [--format text|json|csv] [--trace-out PATH] \
-         [--analyze] [--pvar-dump] [--faults SPEC] [--fault-seed N] \
+         [--analyze] [--perf] [--pvar-dump] [--faults SPEC] [--fault-seed N] \
          (the benchmark may also be passed as --benchmark NAME)"
     );
     std::process::exit(2)
@@ -119,6 +121,7 @@ fn main() {
     let mut format = Format::Text;
     let mut trace_out: Option<String> = None;
     let mut analyze = false;
+    let mut perf = false;
     let mut pvar_dump = false;
     let mut faults: Option<FaultPlan> = None;
     let mut fault_seed: Option<u64> = None;
@@ -173,6 +176,7 @@ fn main() {
             }
             "--trace-out" => trace_out = Some(val(&mut it)),
             "--analyze" => analyze = true,
+            "--perf" => perf = true,
             "--pvar-dump" => pvar_dump = true,
             "--faults" => {
                 faults = Some(FaultPlan::parse(&val(&mut it)).unwrap_or_else(|e| {
@@ -196,8 +200,8 @@ fn main() {
             std::process::exit(2);
         }
     }
-    if compare && (trace_out.is_some() || analyze || pvar_dump) {
-        eprintln!("--trace-out/--analyze/--pvar-dump apply to a single run; drop --compare");
+    if compare && (trace_out.is_some() || analyze || pvar_dump || perf) {
+        eprintln!("--trace-out/--analyze/--perf/--pvar-dump apply to a single run; drop --compare");
         std::process::exit(2);
     }
 
@@ -249,6 +253,7 @@ fn main() {
         };
         let obs_opts = obs::ObsOptions {
             tracing: trace_out.is_some() || analyze,
+            profiling: perf,
             ..Default::default()
         };
         let (series, report) = run_with_obs(spec, obs_opts);
@@ -260,15 +265,25 @@ fn main() {
                     if let Some(a) = &analysis {
                         print!("{}", a.render_text());
                     }
+                    if let Some(p) = &report.sim_perf {
+                        print!("{}", p.render_text());
+                    }
                 }
                 Format::Json => print!(
                     "{}",
-                    ombj::report::render_series_json_with(&s, analysis.as_ref())
+                    ombj::report::render_series_json_full(
+                        &s,
+                        analysis.as_ref(),
+                        report.sim_perf.as_ref()
+                    )
                 ),
                 Format::Csv => {
                     print!("{}", ombj::report::render_series_csv(&s));
                     if let Some(a) = &analysis {
                         print!("{}", a.render_csv());
+                    }
+                    if let Some(p) = &report.sim_perf {
+                        print!("{}", ombj::report::render_sim_perf_csv(p));
                     }
                 }
             },

@@ -64,8 +64,20 @@ pub fn render_series_json(s: &Series) -> String {
 /// One series as a JSON document, optionally embedding the latency
 /// attribution produced by `--analyze` as an `"attribution"` member.
 pub fn render_series_json_with(s: &Series, analysis: Option<&obs::analyze::Analysis>) -> String {
+    render_series_json_full(s, analysis, None)
+}
+
+/// One series as a JSON document with the optional `--analyze`
+/// attribution and the optional `--perf` wall-clock self-profile. The
+/// `sim_perf` member is *omitted* (never emitted empty) when profiling
+/// is off, so byte-diff jobs over unprofiled output stay byte-identical.
+pub fn render_series_json_full(
+    s: &Series,
+    analysis: Option<&obs::analyze::Analysis>,
+    sim_perf: Option<&obs::wallprof::SimPerf>,
+) -> String {
     let mut w = JsonBuf::new();
-    series_obj_with(&mut w, s, analysis);
+    series_obj_full(&mut w, s, analysis, sim_perf);
     w.newline();
     w.finish()
 }
@@ -75,6 +87,15 @@ fn series_obj(w: &mut JsonBuf, s: &Series) {
 }
 
 fn series_obj_with(w: &mut JsonBuf, s: &Series, analysis: Option<&obs::analyze::Analysis>) {
+    series_obj_full(w, s, analysis, None)
+}
+
+fn series_obj_full(
+    w: &mut JsonBuf,
+    s: &Series,
+    analysis: Option<&obs::analyze::Analysis>,
+    sim_perf: Option<&obs::wallprof::SimPerf>,
+) {
     w.begin_obj();
     w.key("benchmark");
     w.str_val(s.benchmark);
@@ -131,7 +152,48 @@ fn series_obj_with(w: &mut JsonBuf, s: &Series, analysis: Option<&obs::analyze::
         w.key("attribution");
         w.raw_val(&a.json_fragment());
     }
+    if let Some(p) = sim_perf {
+        w.key("sim_perf");
+        p.write_json(w);
+    }
     w.end_obj();
+}
+
+/// The `--perf` CSV section: `sim_perf_metric,value` rows appended after
+/// the series table. Callers only invoke this when profiling ran, so an
+/// unprofiled CSV is byte-identical to pre-`--perf` output.
+pub fn render_sim_perf_csv(p: &obs::wallprof::SimPerf) -> String {
+    let mut out = String::new();
+    out.push_str("sim_perf_metric,value\n");
+    out.push_str(&format!("ranks,{}\n", p.ranks.len()));
+    out.push_str(&format!(
+        "wall_ms,{}\n",
+        obs::json::num(p.wall_ns as f64 / 1e6)
+    ));
+    out.push_str(&format!(
+        "virtual_ms,{}\n",
+        obs::json::num(p.virtual_ns / 1e6)
+    ));
+    out.push_str(&format!("events,{}\n", p.events()));
+    out.push_str(&format!(
+        "events_per_sec,{}\n",
+        obs::json::num(p.events_per_sec())
+    ));
+    out.push_str(&format!(
+        "vns_per_ws,{}\n",
+        obs::json::num(p.vns_per_wall_sec())
+    ));
+    out.push_str(&format!(
+        "alloc_per_msg,{}\n",
+        obs::json::num(p.allocs_per_msg())
+    ));
+    for (i, name) in obs::wallprof::SUBSYSTEM_NAMES.iter().enumerate() {
+        out.push_str(&format!(
+            "share_{name}_pct,{}\n",
+            obs::json::num(p.subsystem_share_pct(i))
+        ));
+    }
+    out
 }
 
 /// One series as CSV: `size,value` with a header row; overlap series get

@@ -207,6 +207,7 @@ impl<M> Endpoint<M> {
             self.channels.entry((dst, channel)).or_default()
         };
         let arrival = link.inject(now, wire_bytes, params);
+        obs::wallprof::add(obs::wallprof::Counter::Injections, 1);
         self.stats.messages += 1;
         self.stats.wire_bytes += wire_bytes as u64;
 
@@ -348,6 +349,7 @@ impl<M> Endpoint<M> {
     /// positive acks, which a hardware RC transport generates at the NIC
     /// — they neither queue behind data traffic nor themselves fail.
     pub fn send_oob(&self, dst: usize, arrival: VTime, msg: M) {
+        obs::wallprof::add(obs::wallprof::Counter::Injections, 1);
         self.deliver(
             dst,
             arrival,

@@ -241,6 +241,7 @@ fn dropped_events_surface_in_pvars_and_analysis() {
         obs::ObsOptions {
             tracing: true,
             ring_capacity: 8,
+            ..Default::default()
         },
     );
     assert!(
