@@ -45,7 +45,8 @@ fn opts(max_size: usize, quick: bool) -> BenchOptions {
 }
 
 /// The fixed workload basket: pt2pt latency/bw, small- and large-comm
-/// collectives (2–64 ranks), one NBC overlap run, one lossy-fabric run.
+/// collectives (2–64 ranks), one NBC overlap run, two one-sided (RMA)
+/// runs, one lossy-fabric run.
 /// `quick` shrinks sizes and the large topology for tests.
 pub fn basket(quick: bool) -> Vec<BasketEntry> {
     let spec = |benchmark, topo, opts| RunSpec {
@@ -112,6 +113,22 @@ pub fn basket(quick: bool) -> Vec<BasketEntry> {
                 },
                 Topology::new(2, 2),
                 opts(1 << 14, quick),
+            ),
+        },
+        BasketEntry {
+            name: "rma_put_latency",
+            spec: spec(
+                Benchmark::PutLatency,
+                Topology::new(2, 1),
+                opts(1 << 16, quick),
+            ),
+        },
+        BasketEntry {
+            name: "rma_get_bw",
+            spec: spec(
+                Benchmark::GetBandwidth,
+                Topology::new(2, 1),
+                opts(1 << 16, quick),
             ),
         },
         BasketEntry {

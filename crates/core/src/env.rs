@@ -15,6 +15,7 @@ use simfabric::{run_cluster, FaultPlan, Topology};
 use vtime::{CostModel, VDur, VTime};
 
 use crate::flavor::{BindingFlavor, MVAPICH2J};
+use crate::rma::WinState;
 
 /// Job configuration: cluster shape, native library, binding flavor, and
 /// managed-heap sizing.
@@ -88,6 +89,7 @@ pub struct Env {
     pub(crate) pool: BufferPool,
     pub(crate) flavor: BindingFlavor,
     pub(crate) binding_calls: u64,
+    pub(crate) wins: Vec<Option<WinState>>,
 }
 
 /// Run a simulated Java MPI job: `f` executes once per rank with its own
@@ -131,6 +133,7 @@ where
             pool: BufferPool::with_limit(cfg.pool_limit),
             flavor: cfg.flavor,
             binding_calls: 0,
+            wins: Vec::new(),
         };
         let out = f(&mut env);
         let virtual_end_ns = env.mpi.now().as_nanos();

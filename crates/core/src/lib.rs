@@ -55,12 +55,14 @@ pub mod flavor;
 pub mod icolls;
 pub mod pt2pt;
 pub mod request;
+pub mod rma;
 pub mod stage;
 
 pub use env::{run_job, run_job_with_obs, Env, JobConfig};
 pub use error::{BindError, BindResult};
 pub use flavor::{BindingFlavor, MVAPICH2J, OPENMPIJ};
 pub use request::{JRequest, JStatus, TestOutcome};
+pub use rma::JWin;
 
 // Re-exports so applications need only this crate.
 pub use mpisim::{CommHandle, Group, MpiError, Profile, ReduceOp};

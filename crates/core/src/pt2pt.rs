@@ -34,7 +34,11 @@ impl Env {
         obs::span("direct_address", "nif", t0, self.mpi.now(), Vec::new());
     }
 
-    fn check_dt_capacity(buf: DirectBuffer, count: i32, dt: &Datatype) -> BindResult<usize> {
+    pub(crate) fn check_dt_capacity(
+        buf: DirectBuffer,
+        count: i32,
+        dt: &Datatype,
+    ) -> BindResult<usize> {
         if count < 0 {
             return Err(BindError::Mpi(mpisim::MpiError::InvalidCount { count }));
         }

@@ -1,0 +1,596 @@
+//! One-sided (RMA) bindings: `MPI_Win` over both buffer flavors.
+//!
+//! The window API follows the same two-path discipline as point-to-point
+//! (Sections IV-B/IV-C of the paper):
+//!
+//! * **Direct ByteBuffers** are address-stable off-heap storage, so a
+//!   buffer-backed window is the RDMA target region itself: puts and gets
+//!   move bytes with *zero Java-side copies*, and large transfers go
+//!   through the native registration (pin-down) cache
+//!   (`rma.reg.{hit,miss,evict}`).
+//! * **Java arrays** are movable, so an array-backed window mirrors the
+//!   array through a pooled `mpjbuf` staging buffer pinned for the
+//!   window's lifetime — the same GC-safety discipline non-blocking
+//!   collectives use for their schedules. Each synchronization pays the
+//!   charged gather/scatter the buffering layer always pays.
+//!
+//! Epoch semantics are the MPI ones: active target via [`Env::win_fence`]
+//! (collective; completes all one-sided operations and synchronizes the
+//! window), passive target via [`Env::win_lock`]/[`Env::win_unlock`]
+//! (origin-only; the target observes deposits at its next
+//! [`Env::win_sync`] or fence). Get payloads are delivered when the epoch
+//! closes, never before.
+
+use mpisim::datatype::Datatype;
+use mpisim::{CommHandle, ReduceOp};
+use mpjbuf::Buffer;
+use mrt::prim::Prim;
+use mrt::{DirectBuffer, Handle, JArray};
+
+use crate::datatype::datatype_of;
+use crate::env::Env;
+use crate::error::{BindError, BindResult};
+use crate::request::ArrayDest;
+use crate::stage::{stage_from_array, unstage_to_array};
+
+/// Bindings-level window handle (the `Win` object).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JWin(usize);
+
+/// Where a completed one-sided get deposits its payload.
+enum GetDest {
+    /// Straight into the user's direct buffer (NIC deposit — uncharged).
+    Buffer { buf: DirectBuffer, span: usize },
+    /// Through staging pinned for the epoch, then a charged scatter into
+    /// the managed array.
+    Array {
+        staging: Buffer,
+        dest: ArrayDest,
+        dt: Datatype,
+        count: usize,
+    },
+}
+
+/// The user storage a window exposes.
+enum WinStorage {
+    /// Direct ByteBuffer: the RDMA target region itself.
+    Buffer(DirectBuffer),
+    /// Managed array mirrored through pooled staging pinned for the
+    /// window's lifetime.
+    Array {
+        dest: ArrayDest,
+        dt: Datatype,
+        count: usize,
+        staging: Buffer,
+    },
+}
+
+/// Copyable description of a window's storage, extracted so the
+/// synchronization helpers can drop the `WinState` borrow before touching
+/// the runtime and the native library.
+enum StorageInfo {
+    Buffer(DirectBuffer),
+    Array {
+        store: DirectBuffer,
+        handle: Handle,
+        count: usize,
+        dt: Datatype,
+        byte_len: usize,
+    },
+}
+
+/// Per-window bindings state.
+pub(crate) struct WinState {
+    native: mpisim::Win,
+    storage: WinStorage,
+    /// Shadow of the window memory at the last synchronization point. The
+    /// fence writes only bytes the *user* changed since then — a full
+    /// copy would clobber remote deposits that already landed in the NIC
+    /// view.
+    last_sync: Vec<u8>,
+    /// Outstanding gets of the open epoch, with deposit destinations.
+    gets: Vec<(mpisim::RmaGet, GetDest)>,
+}
+
+impl Env {
+    fn win_state(&self, win: JWin) -> BindResult<&WinState> {
+        self.wins
+            .get(win.0)
+            .and_then(|w| w.as_ref())
+            .ok_or(BindError::Mpi(mpisim::MpiError::InvalidWin(
+                "invalid or freed window handle",
+            )))
+    }
+
+    fn win_state_mut(&mut self, win: JWin) -> BindResult<&mut WinState> {
+        self.wins
+            .get_mut(win.0)
+            .and_then(|w| w.as_mut())
+            .ok_or(BindError::Mpi(mpisim::MpiError::InvalidWin(
+                "invalid or freed window handle",
+            )))
+    }
+
+    fn storage_info(&self, win: JWin) -> BindResult<StorageInfo> {
+        Ok(match &self.win_state(win)?.storage {
+            WinStorage::Buffer(b) => StorageInfo::Buffer(*b),
+            WinStorage::Array {
+                dest,
+                dt,
+                count,
+                staging,
+            } => StorageInfo::Array {
+                store: staging.store(),
+                handle: dest.handle,
+                count: *count,
+                dt: dt.clone(),
+                byte_len: dest.byte_len,
+            },
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Window lifecycle
+    // ------------------------------------------------------------------
+
+    /// `MPI.createWindow(ByteBuffer, comm)`: expose a direct buffer as a
+    /// one-sided window. Collective over `comm`.
+    pub fn win_create_buffer(&mut self, buf: DirectBuffer, comm: CommHandle) -> BindResult<JWin> {
+        self.binding_call();
+        self.charge_buffer_address();
+        let native = self.mpi.win_create(buf.capacity(), comm)?;
+        self.wins.push(Some(WinState {
+            native,
+            storage: WinStorage::Buffer(buf),
+            last_sync: vec![0u8; buf.capacity()],
+            gets: Vec::new(),
+        }));
+        Ok(JWin(self.wins.len() - 1))
+    }
+
+    /// `MPI.createWindow(type[] arr, comm)`: expose a managed array
+    /// through GC-safe pinned staging. Collective over `comm`.
+    pub fn win_create_array<T: Prim>(
+        &mut self,
+        arr: JArray<T>,
+        comm: CommHandle,
+    ) -> BindResult<JWin> {
+        self.binding_call();
+        let byte_len = arr.byte_len();
+        // The staging buffer stays pinned (out of the pool) for the
+        // window's lifetime, like an NBC schedule's staging.
+        let clock = self.mpi.clock_mut();
+        let staging = Buffer::from_pool(&mut self.pool, &mut self.rt, clock, byte_len.max(1));
+        self.charge_buffer_address();
+        let native = match self.mpi.win_create(byte_len, comm) {
+            Ok(w) => w,
+            Err(e) => {
+                let clock = self.mpi.clock_mut();
+                staging.free(&mut self.pool, &mut self.rt, clock);
+                return Err(e.into());
+            }
+        };
+        self.wins.push(Some(WinState {
+            native,
+            storage: WinStorage::Array {
+                dest: ArrayDest {
+                    handle: arr.handle(),
+                    byte_off: 0,
+                    byte_len,
+                },
+                dt: datatype_of::<T>(),
+                count: byte_len / T::SIZE,
+                staging,
+            },
+            last_sync: vec![0u8; byte_len],
+            gets: Vec::new(),
+        }));
+        Ok(JWin(self.wins.len() - 1))
+    }
+
+    /// `win.free()`: collective teardown. All epochs must be closed.
+    pub fn win_free(&mut self, win: JWin) -> BindResult<()> {
+        self.binding_call();
+        let w = self.win_state(win)?;
+        if !w.gets.is_empty() {
+            return Err(BindError::Mpi(mpisim::MpiError::InvalidWin(
+                "window freed with undelivered gets",
+            )));
+        }
+        let native = w.native;
+        self.mpi.win_free(native)?;
+        let state = self.wins[win.0].take().expect("state checked above");
+        if let WinStorage::Array { staging, .. } = state.storage {
+            let clock = self.mpi.clock_mut();
+            staging.free(&mut self.pool, &mut self.rt, clock);
+        }
+        Ok(())
+    }
+
+    /// Bytes this rank exposes through `win`.
+    pub fn win_size(&self, win: JWin) -> BindResult<usize> {
+        Ok(self.win_state(win)?.last_sync.len())
+    }
+
+    // ------------------------------------------------------------------
+    // One-sided operations
+    // ------------------------------------------------------------------
+
+    /// `win.put(ByteBuffer, count, datatype, target, disp)`: RDMA-write
+    /// from a direct buffer — zero Java-side copies; large transfers go
+    /// through the registration cache keyed by the buffer's stable
+    /// address.
+    pub fn put_buffer(
+        &mut self,
+        win: JWin,
+        origin: DirectBuffer,
+        count: i32,
+        dt: &Datatype,
+        target: usize,
+        target_disp: usize,
+    ) -> BindResult<()> {
+        self.binding_call();
+        if !dt.is_contiguous() {
+            return Err(BindError::Unsupported(
+                "derived datatypes with one-sided operations on direct buffers",
+            ));
+        }
+        let span = Self::check_dt_capacity(origin, count, dt)?;
+        self.charge_buffer_address();
+        let native = self.win_state(win)?.native;
+        let bytes = self.rt.direct_bytes(origin)?;
+        self.mpi.win_put(
+            native,
+            &bytes[..span],
+            u64::from(origin.id()),
+            target,
+            target_disp,
+        )?;
+        Ok(())
+    }
+
+    /// `win.put(type[] arr, count, target, disp)`: array origin staged
+    /// through a pooled buffer (one charged gather), then handed to the
+    /// native put. The native library captures the payload at injection,
+    /// so the staging goes straight back to the pool.
+    pub fn put_array<T: Prim>(
+        &mut self,
+        win: JWin,
+        arr: JArray<T>,
+        count: i32,
+        target: usize,
+        target_disp: usize,
+    ) -> BindResult<()> {
+        self.binding_call();
+        if count < 0 {
+            return Err(BindError::Mpi(mpisim::MpiError::InvalidCount { count }));
+        }
+        let dt = datatype_of::<T>();
+        let count = count as usize;
+        let packed = dt.size() * count;
+        let clock = self.mpi.clock_mut();
+        let staging = Buffer::from_pool(&mut self.pool, &mut self.rt, clock, packed.max(1));
+        let staged = stage_from_array(
+            &mut self.rt,
+            clock,
+            staging.store(),
+            arr.handle(),
+            0,
+            count,
+            &dt,
+        );
+        self.charge_buffer_address();
+        let res = staged.map_err(BindError::from).and_then(|_| {
+            let native = self.win_state(win)?.native;
+            let key = u64::from(staging.store().id());
+            let bytes = self.rt.direct_bytes(staging.store())?;
+            self.mpi
+                .win_put(native, &bytes[..packed], key, target, target_disp)
+                .map_err(BindError::from)
+        });
+        let clock = self.mpi.clock_mut();
+        staging.free(&mut self.pool, &mut self.rt, clock);
+        res
+    }
+
+    /// `win.get(ByteBuffer, count, datatype, target, disp)`: RDMA-read
+    /// into a direct buffer. The payload lands (uncharged NIC deposit)
+    /// when the epoch closes.
+    pub fn get_buffer(
+        &mut self,
+        win: JWin,
+        origin: DirectBuffer,
+        count: i32,
+        dt: &Datatype,
+        target: usize,
+        target_disp: usize,
+    ) -> BindResult<()> {
+        self.binding_call();
+        if !dt.is_contiguous() {
+            return Err(BindError::Unsupported(
+                "derived datatypes with one-sided operations on direct buffers",
+            ));
+        }
+        let span = Self::check_dt_capacity(origin, count, dt)?;
+        self.charge_buffer_address();
+        let native = self.win_state(win)?.native;
+        let tok = self
+            .mpi
+            .win_get(native, target, target_disp, span, u64::from(origin.id()))?;
+        self.win_state_mut(win)?
+            .gets
+            .push((tok, GetDest::Buffer { buf: origin, span }));
+        Ok(())
+    }
+
+    /// `win.get(type[] arr, count, target, disp)`: the RDMA-read
+    /// destination must stay registered and GC-safe for the whole epoch,
+    /// so pooled staging is pinned until the epoch closes, then scattered
+    /// into the array (one charged copy).
+    pub fn get_array<T: Prim>(
+        &mut self,
+        win: JWin,
+        arr: JArray<T>,
+        count: i32,
+        target: usize,
+        target_disp: usize,
+    ) -> BindResult<()> {
+        self.binding_call();
+        if count < 0 {
+            return Err(BindError::Mpi(mpisim::MpiError::InvalidCount { count }));
+        }
+        let dt = datatype_of::<T>();
+        let count = count as usize;
+        let packed = dt.size() * count;
+        if packed > arr.byte_len() {
+            return Err(BindError::Runtime(mrt::MrtError::BufferOverflow {
+                needed: packed,
+                available: arr.byte_len(),
+            }));
+        }
+        let clock = self.mpi.clock_mut();
+        let staging = Buffer::from_pool(&mut self.pool, &mut self.rt, clock, packed.max(1));
+        self.charge_buffer_address();
+        let native = self.win_state(win)?.native;
+        let key = u64::from(staging.store().id());
+        let tok = match self.mpi.win_get(native, target, target_disp, packed, key) {
+            Ok(t) => t,
+            Err(e) => {
+                let clock = self.mpi.clock_mut();
+                staging.free(&mut self.pool, &mut self.rt, clock);
+                return Err(e.into());
+            }
+        };
+        self.win_state_mut(win)?.gets.push((
+            tok,
+            GetDest::Array {
+                staging,
+                dest: ArrayDest {
+                    handle: arr.handle(),
+                    byte_off: 0,
+                    byte_len: arr.byte_len(),
+                },
+                dt,
+                count,
+            },
+        ));
+        Ok(())
+    }
+
+    /// `win.accumulate(ByteBuffer, count, op, target, disp)` over 32-bit
+    /// integer lanes. Operands always travel through pre-registered
+    /// bounce buffers, so there is no registration charge.
+    pub fn accumulate_buffer(
+        &mut self,
+        win: JWin,
+        origin: DirectBuffer,
+        count: i32,
+        op: ReduceOp,
+        target: usize,
+        target_disp: usize,
+    ) -> BindResult<()> {
+        self.binding_call();
+        let span = Self::check_dt_capacity(origin, count, &mpisim::datatype::INT)?;
+        self.charge_buffer_address();
+        let native = self.win_state(win)?.native;
+        let bytes = self.rt.direct_bytes(origin)?;
+        self.mpi
+            .win_accumulate(native, &bytes[..span], op, target, target_disp)?;
+        Ok(())
+    }
+
+    /// `win.accumulate(int[] arr, count, op, target, disp)`.
+    pub fn accumulate_array(
+        &mut self,
+        win: JWin,
+        arr: JArray<i32>,
+        count: i32,
+        op: ReduceOp,
+        target: usize,
+        target_disp: usize,
+    ) -> BindResult<()> {
+        self.binding_call();
+        if count < 0 {
+            return Err(BindError::Mpi(mpisim::MpiError::InvalidCount { count }));
+        }
+        let dt = mpisim::datatype::INT;
+        let count = count as usize;
+        let packed = dt.size() * count;
+        let clock = self.mpi.clock_mut();
+        let staging = Buffer::from_pool(&mut self.pool, &mut self.rt, clock, packed.max(1));
+        let staged = stage_from_array(
+            &mut self.rt,
+            clock,
+            staging.store(),
+            arr.handle(),
+            0,
+            count,
+            &dt,
+        );
+        self.charge_buffer_address();
+        let res = staged.map_err(BindError::from).and_then(|_| {
+            let native = self.win_state(win)?.native;
+            let bytes = self.rt.direct_bytes(staging.store())?;
+            self.mpi
+                .win_accumulate(native, &bytes[..packed], op, target, target_disp)
+                .map_err(BindError::from)
+        });
+        let clock = self.mpi.clock_mut();
+        staging.free(&mut self.pool, &mut self.rt, clock);
+        res
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization
+    // ------------------------------------------------------------------
+
+    /// Publish the user's local window writes into the NIC view. Only
+    /// bytes changed since the last sync are written, so remote deposits
+    /// that already landed are preserved.
+    fn publish_local_writes(&mut self, win: JWin) -> BindResult<()> {
+        let info = self.storage_info(win)?;
+        let image: Vec<u8> = match info {
+            StorageInfo::Buffer(b) => self.rt.direct_bytes(b)?.to_vec(),
+            StorageInfo::Array {
+                store,
+                handle,
+                count,
+                ref dt,
+                ..
+            } => {
+                // Charged gather: the buffering layer packs the array
+                // into its pinned staging.
+                let clock = self.mpi.clock_mut();
+                stage_from_array(&mut self.rt, clock, store, handle, 0, count, dt)?;
+                self.rt.direct_bytes(store)?.to_vec()
+            }
+        };
+        let native = self.win_state(win)?.native;
+        let last = std::mem::take(&mut self.win_state_mut(win)?.last_sync);
+        {
+            let mem = self.mpi.win_mem_mut(native)?;
+            for (i, (&new, &old)) in image.iter().zip(last.iter()).enumerate() {
+                if new != old {
+                    mem[i] = new;
+                }
+            }
+        }
+        self.win_state_mut(win)?.last_sync = last;
+        Ok(())
+    }
+
+    /// Deposit completed get payloads into their recorded destinations.
+    fn deposit_gets(
+        &mut self,
+        win: JWin,
+        done: Vec<(mpisim::RmaGet, Box<[u8]>)>,
+    ) -> BindResult<()> {
+        for (tok, data) in done {
+            let pos = self
+                .win_state(win)?
+                .gets
+                .iter()
+                .position(|(t, _)| *t == tok);
+            let Some(pos) = pos else { continue };
+            let (_, dest) = self.win_state_mut(win)?.gets.remove(pos);
+            match dest {
+                GetDest::Buffer { buf, span } => {
+                    // NIC deposits straight into the registered direct
+                    // buffer — uncharged.
+                    let n = span.min(data.len());
+                    self.rt.direct_bytes_mut(buf)?[..n].copy_from_slice(&data[..n]);
+                }
+                GetDest::Array {
+                    staging,
+                    dest,
+                    dt,
+                    count,
+                } => {
+                    let store = staging.store();
+                    let n = data.len();
+                    self.rt.direct_bytes_mut(store)?[..n].copy_from_slice(&data);
+                    let clock = self.mpi.clock_mut();
+                    unstage_to_array(&mut self.rt, clock, store, &dest, count, &dt, n)?;
+                    let clock = self.mpi.clock_mut();
+                    staging.free(&mut self.pool, &mut self.rt, clock);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Mirror the NIC view back into the user's storage and refresh the
+    /// sync shadow.
+    fn refresh_user_storage(&mut self, win: JWin) -> BindResult<()> {
+        let info = self.storage_info(win)?;
+        let native = self.win_state(win)?.native;
+        let snapshot = self.mpi.win_mem(native)?.to_vec();
+        match info {
+            StorageInfo::Buffer(b) => {
+                // The buffer *is* the exposed region: uncharged mirror.
+                self.rt.direct_bytes_mut(b)?[..snapshot.len()].copy_from_slice(&snapshot);
+            }
+            StorageInfo::Array {
+                store,
+                handle,
+                count,
+                ref dt,
+                byte_len,
+            } => {
+                self.rt.direct_bytes_mut(store)?[..byte_len].copy_from_slice(&snapshot[..byte_len]);
+                let dest = ArrayDest {
+                    handle,
+                    byte_off: 0,
+                    byte_len,
+                };
+                // Charged scatter back into the managed array.
+                let clock = self.mpi.clock_mut();
+                unstage_to_array(&mut self.rt, clock, store, &dest, count, dt, byte_len)?;
+            }
+        }
+        self.win_state_mut(win)?.last_sync = snapshot;
+        Ok(())
+    }
+
+    /// `win.fence()`: close the active-target epoch — complete this
+    /// rank's one-sided operations, synchronize the communicator, deposit
+    /// get payloads, and make remote deposits visible in user storage.
+    pub fn win_fence(&mut self, win: JWin) -> BindResult<()> {
+        self.binding_call();
+        self.publish_local_writes(win)?;
+        let native = self.win_state(win)?.native;
+        let done = self.mpi.win_fence(native)?;
+        self.deposit_gets(win, done)?;
+        self.refresh_user_storage(win)
+    }
+
+    /// `win.lock(target)`: begin an exclusive passive-target epoch.
+    pub fn win_lock(&mut self, win: JWin, target: usize) -> BindResult<()> {
+        self.binding_call();
+        let native = self.win_state(win)?.native;
+        self.mpi.win_lock(native, target)?;
+        Ok(())
+    }
+
+    /// `win.unlock(target)`: end the passive-target epoch — flush and
+    /// complete the operations issued under the lock (get payloads are
+    /// deposited here).
+    pub fn win_unlock(&mut self, win: JWin, target: usize) -> BindResult<()> {
+        self.binding_call();
+        let native = self.win_state(win)?.native;
+        let done = self.mpi.win_unlock(native, target)?;
+        self.deposit_gets(win, done)
+    }
+
+    /// `win.sync()`: local-only synchronization — publish local writes
+    /// and make deposits a peer has causally completed (e.g. before a
+    /// barrier this rank just left) visible in user storage. This is how
+    /// a passive target observes a lock/unlock epoch.
+    pub fn win_sync(&mut self, win: JWin) -> BindResult<()> {
+        self.binding_call();
+        self.publish_local_writes(win)?;
+        let native = self.win_state(win)?.native;
+        self.mpi.win_sync(native)?;
+        self.refresh_user_storage(win)
+    }
+}

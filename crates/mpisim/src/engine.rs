@@ -24,13 +24,15 @@
 //! receiver's application-visible clock.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Duration;
 
 use obs::wallprof::{self, Counter as WpCounter, Subsystem as WpSub};
-use simfabric::{Delivery, Endpoint, Fate, FaultPlan};
+use simfabric::{one_sided_channel, Delivery, Endpoint, Fate, FaultPlan, OneSidedClass};
 use vtime::{Clock, LogGp, VDur, VTime};
 
 use crate::error::{MpiError, MpiResult};
+use crate::op::ReduceOp;
 use crate::profile::{PathParams, Profile};
 
 /// Wildcard source (MPI_ANY_SOURCE) for receive matching.
@@ -133,12 +135,58 @@ pub enum Wire {
     /// Reliability-sublayer positive acknowledgement of frame `seq`
     /// (only emitted while a fault plan is active).
     Ack { seq: u64 },
+    /// One-sided RDMA write into window `win` at `offset`. Bypasses tag
+    /// matching entirely: the target NIC deposits the payload into the
+    /// exposed window memory without a posted receive. `epoch` carries the
+    /// origin's access-epoch number for the window; the target defers
+    /// frames from epochs it has not opened yet (see
+    /// [`Engine::win_epoch_advance`]).
+    Put {
+        win: u32,
+        epoch: u64,
+        offset: usize,
+        data: Box<[u8]>,
+        stamp: FlowStamp,
+    },
+    /// One-sided read request: the target NIC answers with [`Wire::GetReply`]
+    /// carrying `nbytes` from window `win` at `offset`, addressed to the
+    /// origin's request `req`.
+    GetReq {
+        win: u32,
+        epoch: u64,
+        offset: usize,
+        nbytes: usize,
+        origin: usize,
+        req: u64,
+        stamp: FlowStamp,
+    },
+    /// Payload answering a [`Wire::GetReq`] (conceptually the RDMA-read
+    /// response DMA'd straight into the origin's registered memory).
+    GetReply {
+        req: u64,
+        data: Box<[u8]>,
+        stamp: FlowStamp,
+    },
+    /// One-sided accumulate: element-wise `op` of the payload into window
+    /// memory, applied by the target side on arrival.
+    Acc {
+        win: u32,
+        epoch: u64,
+        offset: usize,
+        op: ReduceOp,
+        data: Box<[u8]>,
+        stamp: FlowStamp,
+    },
 }
 
 /// The unit the engine actually puts on the fabric: a [`Wire`] message
 /// framed with a per-link sequence number and a checksum. Outside a fault
 /// plan both fields stay zero and are never inspected, so the reliability
 /// sublayer costs nothing on a healthy fabric.
+///
+/// The wire content is shared (`Arc`) so retransmission clones a pointer,
+/// not the payload: the reliability sublayer allocates the message once
+/// however many copies the fabric ends up carrying.
 #[derive(Debug, Clone)]
 pub struct Frame {
     /// Per-(src,dst) sequence number (1-based; 0 marks control acks).
@@ -146,16 +194,24 @@ pub struct Frame {
     /// FNV-1a over `seq` and the wire content (0 when no plan is active).
     pub checksum: u64,
     /// The MPI-level message.
-    pub wire: Wire,
+    pub wire: Arc<Wire>,
 }
 
 impl simfabric::FaultTarget for Frame {
     /// Bit-flip the frame the way a faulty wire would: payload bytes when
     /// there are any, otherwise the checksum itself (control frames).
     /// `seq` is left intact so the receiver can still attribute the frame.
+    /// `Arc::make_mut` unshares the wire first, so the sender's pristine
+    /// copy (needed for retransmission) is never damaged.
     fn corrupt(&mut self, salt: u64) {
-        match &mut self.wire {
-            Wire::Eager { data, .. } | Wire::RndvData { data, .. } if !data.is_empty() => {
+        match Arc::make_mut(&mut self.wire) {
+            Wire::Eager { data, .. }
+            | Wire::RndvData { data, .. }
+            | Wire::Put { data, .. }
+            | Wire::GetReply { data, .. }
+            | Wire::Acc { data, .. }
+                if !data.is_empty() =>
+            {
                 let idx = (salt as usize) % data.len();
                 data[idx] ^= (salt as u8) | 1;
             }
@@ -223,6 +279,60 @@ fn frame_checksum(seq: u64, wire: &Wire) -> u64 {
             h.eat_u64(5);
             h.eat_u64(*seq);
         }
+        Wire::Put {
+            win,
+            epoch,
+            offset,
+            data,
+            stamp,
+        } => {
+            h.eat_u64(6);
+            h.eat_u64(*win as u64);
+            h.eat_u64(*epoch);
+            h.eat_u64(*offset as u64);
+            h.eat_u64(stamp.flow);
+            h.eat(data);
+        }
+        Wire::GetReq {
+            win,
+            epoch,
+            offset,
+            nbytes,
+            origin,
+            req,
+            stamp,
+        } => {
+            h.eat_u64(7);
+            h.eat_u64(*win as u64);
+            h.eat_u64(*epoch);
+            h.eat_u64(*offset as u64);
+            h.eat_u64(*nbytes as u64);
+            h.eat_u64(*origin as u64);
+            h.eat_u64(*req);
+            h.eat_u64(stamp.flow);
+        }
+        Wire::GetReply { req, data, stamp } => {
+            h.eat_u64(8);
+            h.eat_u64(*req);
+            h.eat_u64(stamp.flow);
+            h.eat(data);
+        }
+        Wire::Acc {
+            win,
+            epoch,
+            offset,
+            op,
+            data,
+            stamp,
+        } => {
+            h.eat_u64(9);
+            h.eat_u64(*win as u64);
+            h.eat_u64(*epoch);
+            h.eat_u64(*offset as u64);
+            h.eat_u64(*op as u64);
+            h.eat_u64(stamp.flow);
+            h.eat(data);
+        }
     }
     h.0
 }
@@ -243,14 +353,55 @@ pub struct Status {
 pub struct Request(u64);
 
 /// What a posted receive is willing to match.
+///
+/// Besides the exact fields, the spec precomputes a packed `(mask, key)`
+/// pre-filter: context in bits 32.., truncated source in bits 16..32,
+/// truncated tag in bits 0..16, with wildcard fields masked out. One AND
+/// and compare rejects almost every non-matching envelope before the full
+/// (counted) comparison runs; truncation can only produce false
+/// *positives*, which the exact check then rejects.
 #[derive(Debug, Clone, Copy)]
 struct MatchSpec {
     context: u32,
     src: Option<usize>,
     tag: Option<i32>,
+    mask: u64,
+    key: u64,
+}
+
+/// Packed envelope key mirroring [`MatchSpec`]'s pre-filter layout.
+#[inline]
+fn env_key(env: &Envelope) -> u64 {
+    ((env.context as u64) << 32) | ((env.src as u16 as u64) << 16) | (env.tag as u16 as u64)
 }
 
 impl MatchSpec {
+    fn new(context: u32, src: Option<usize>, tag: Option<i32>) -> MatchSpec {
+        let mut mask = 0xFFFF_FFFFu64 << 32;
+        let mut key = (context as u64) << 32;
+        if let Some(s) = src {
+            mask |= 0xFFFF << 16;
+            key |= (s as u16 as u64) << 16;
+        }
+        if let Some(t) = tag {
+            mask |= 0xFFFF;
+            key |= t as u16 as u64;
+        }
+        MatchSpec {
+            context,
+            src,
+            tag,
+            mask,
+            key,
+        }
+    }
+
+    /// Cheap packed-key rejection test; `true` means "might match".
+    #[inline]
+    fn prefilter(&self, packed: u64) -> bool {
+        packed & self.mask == self.key
+    }
+
     fn matches(&self, env: &Envelope) -> bool {
         env.context == self.context
             && self.src.map_or(true, |s| s == env.src)
@@ -258,17 +409,21 @@ impl MatchSpec {
     }
 }
 
-/// A message that arrived before a matching receive was posted.
+/// A message that arrived before a matching receive was posted. The
+/// packed envelope key is computed once at enqueue so receive-side scans
+/// pre-filter without touching the envelope.
 #[derive(Debug)]
 enum Unexpected {
     Eager {
         env: Envelope,
+        key: u64,
         arrival: VTime,
         data: Box<[u8]>,
         stamp: FlowStamp,
     },
     Rts {
         env: Envelope,
+        key: u64,
         arrival: VTime,
         sender_req: u64,
         nbytes: usize,
@@ -279,6 +434,12 @@ impl Unexpected {
     fn env(&self) -> &Envelope {
         match self {
             Unexpected::Eager { env, .. } | Unexpected::Rts { env, .. } => env,
+        }
+    }
+
+    fn key(&self) -> u64 {
+        match self {
+            Unexpected::Eager { key, .. } | Unexpected::Rts { key, .. } => *key,
         }
     }
 }
@@ -324,6 +485,13 @@ enum ReqState {
         capacity: usize,
         state: RecvState,
     },
+    /// Outstanding one-sided get: waiting for the target's [`Wire::GetReply`]
+    /// to land in origin memory. Never enters the posted list — one-sided
+    /// traffic bypasses tag matching.
+    RmaGet {
+        target: usize,
+        state: Option<(Box<[u8]>, VTime)>,
+    },
 }
 
 /// A completed receive, returned by [`Engine::wait`].
@@ -342,8 +510,13 @@ pub struct Engine {
     profile: Profile,
     requests: HashMap<u64, ReqState>,
     next_req: u64,
-    /// Receive requests in post order (for arrival-side matching).
-    posted: Vec<u64>,
+    /// Receive requests in post order (for arrival-side matching), each
+    /// carrying its spec's packed pre-filter so scans reject non-matching
+    /// entries without a request-table lookup. Entries leave this list as
+    /// soon as their payload is ready (matched), not at consumption — a
+    /// matched-but-unconsumed receive can never match again, so keeping it
+    /// here only lengthens every later scan.
+    posted: Vec<PostedEntry>,
     /// Arrived-but-unmatched messages in arrival order.
     unexpected: Vec<Unexpected>,
     /// Per-sender flow sequence number (monotonic over all sends, hence
@@ -365,6 +538,61 @@ pub struct Engine {
     next_seq: Vec<u64>,
     /// Accepted frame seqs per source, for duplicate suppression.
     seen: Vec<HashSet<u64>>,
+    /// Exposed one-sided window memory by window id (the "NIC view" the
+    /// fabric deposits into and serves gets from).
+    windows: HashMap<u32, WinMem>,
+}
+
+/// One exposed window: memory, the access epoch this rank has opened, and
+/// one-sided frames from epochs it has not opened yet.
+///
+/// Epoch gating is what keeps one-sided traffic deterministic: an origin
+/// that leaves a fence early (in *real* time) may inject next-epoch
+/// operations before a slower target has closed the previous epoch, and
+/// applying those on arrival would make window contents depend on OS
+/// scheduling. Deferring every frame stamped with a future epoch, and
+/// applying the backlog in virtual-arrival order when the target itself
+/// advances, reproduces MPI's epoch semantics exactly: a deposit becomes
+/// visible at the fence that closes the epoch it was issued in.
+struct WinMem {
+    mem: Vec<u8>,
+    /// Number of fence epochs this rank has opened on the window (0 =
+    /// between creation and the first fence).
+    epoch: u64,
+    /// Frames stamped with an epoch this rank has not opened yet, in
+    /// arrival (real-time) order; replayed deterministically at
+    /// [`Engine::win_epoch_advance`] / [`Engine::win_deliver_current`].
+    deferred: Vec<DeferredRma>,
+}
+
+/// A one-sided frame parked until its epoch opens at the target.
+struct DeferredRma {
+    src: usize,
+    arrival: VTime,
+    wire: Wire,
+}
+
+impl DeferredRma {
+    fn epoch(&self) -> u64 {
+        match &self.wire {
+            Wire::Put { epoch, .. } | Wire::GetReq { epoch, .. } | Wire::Acc { epoch, .. } => {
+                *epoch
+            }
+            _ => unreachable!("only one-sided frames are deferred"),
+        }
+    }
+
+    fn is_get(&self) -> bool {
+        matches!(self.wire, Wire::GetReq { .. })
+    }
+}
+
+/// One posted-receive entry: request id plus its spec's packed pre-filter.
+#[derive(Debug, Clone, Copy)]
+struct PostedEntry {
+    id: u64,
+    mask: u64,
+    key: u64,
 }
 
 impl Engine {
@@ -393,6 +621,7 @@ impl Engine {
             plan,
             next_seq: vec![1; n],
             seen: vec![HashSet::new(); n],
+            windows: HashMap::new(),
         }
     }
 
@@ -519,7 +748,7 @@ impl Engine {
             let frame = Frame {
                 seq: 0,
                 checksum: 0,
-                wire,
+                wire: Arc::new(wire),
             };
             let out = self
                 .ep
@@ -534,15 +763,17 @@ impl Engine {
             let _wr = wallprof::span(WpSub::Reliability);
             frame_checksum(seq, &wire)
         };
+        // The payload is captured once; every (re)transmitted copy shares
+        // it through the Arc, so retries cost a pointer clone, not an
+        // allocation.
+        let wire = Arc::new(wire);
         let mut attempt = 0u32;
         let mut t = t;
         loop {
-            // Each loop turn clones the payload into a fresh frame copy.
-            wallprof::add(WpCounter::Allocs, 1);
             let frame = Frame {
                 seq,
                 checksum,
-                wire: wire.clone(),
+                wire: Arc::clone(&wire),
             };
             let out = self
                 .ep
@@ -807,21 +1038,25 @@ impl Engine {
             return Err(MpiError::InvalidTag { tag });
         }
         self.check_self_crash()?;
-        let spec = MatchSpec {
+        let spec = MatchSpec::new(
             context,
-            src: (src >= 0).then_some(src as usize),
-            tag: (tag != ANY_TAG).then_some(tag),
-        };
+            (src >= 0).then_some(src as usize),
+            (tag != ANY_TAG).then_some(tag),
+        );
         // First look at the unexpected queue (arrival order).
         let pos = {
             let _wp = wallprof::span(WpSub::Match);
             obs::count("pt2pt.match.scans", 1);
             wallprof::add(WpCounter::MatchScans, 1);
-            let pos = self.unexpected.iter().position(|u| spec.matches(u.env()));
-            wallprof::add(
-                WpCounter::MatchComparisons,
-                pos.map_or(self.unexpected.len(), |p| p + 1) as u64,
-            );
+            let mut full = 0u64;
+            let pos = self.unexpected.iter().position(|u| {
+                if !spec.prefilter(u.key()) {
+                    return false;
+                }
+                full += 1;
+                spec.matches(u.env())
+            });
+            wallprof::add(WpCounter::MatchComparisons, full);
             pos
         };
         if let Some(pos) = pos {
@@ -836,7 +1071,11 @@ impl Engine {
             capacity,
             state: RecvState::Posted { posted_at },
         });
-        self.posted.push(req.0);
+        self.posted.push(PostedEntry {
+            id: req.0,
+            mask: spec.mask,
+            key: spec.key,
+        });
         Ok(req)
     }
 
@@ -850,6 +1089,7 @@ impl Engine {
         match u {
             Unexpected::Eager {
                 env,
+                key: _,
                 arrival,
                 data,
                 stamp,
@@ -875,6 +1115,7 @@ impl Engine {
             }
             Unexpected::Rts {
                 env,
+                key: _,
                 arrival,
                 sender_req,
                 nbytes,
@@ -900,7 +1141,11 @@ impl Engine {
                     state: RecvState::AwaitData { src: env.src },
                 });
                 // The request must be findable when the payload arrives.
-                self.posted.push(req.0);
+                self.posted.push(PostedEntry {
+                    id: req.0,
+                    mask: spec.mask,
+                    key: spec.key,
+                });
                 self.inject_reliable(
                     env.src,
                     injection_channel(env.context, env.tag, ChannelClass::Cts),
@@ -933,7 +1178,7 @@ impl Engine {
         let frame = d.msg;
         if self.plan.is_some() {
             let _wr = wallprof::span(WpSub::Reliability);
-            if let Wire::Ack { .. } = frame.wire {
+            if let Wire::Ack { .. } = &*frame.wire {
                 // Pure bookkeeping at the original sender; the ack was
                 // counted when emitted (the emit count is a deterministic
                 // function of accepted frames, the drain count is not).
@@ -958,13 +1203,16 @@ impl Engine {
                 Frame {
                     seq: 0,
                     checksum: 0,
-                    wire: Wire::Ack { seq: frame.seq },
+                    wire: Arc::new(Wire::Ack { seq: frame.seq }),
                 },
             );
         }
-        match frame.wire {
+        // Consume the shared wire: sole owner on the common path (no
+        // retransmission raced us), else clone out of the shared copy.
+        let wire = Arc::try_unwrap(frame.wire).unwrap_or_else(|shared| (*shared).clone());
+        match wire {
             Wire::Eager { env, data, stamp } => {
-                if let Some(rid) = self.find_posted(&env) {
+                if let Some((pos, rid)) = self.find_posted(&env) {
                     let Some(ReqState::Recv {
                         capacity, state, ..
                     }) = self.requests.get_mut(&rid)
@@ -986,9 +1234,11 @@ impl Engine {
                         was_unexpected: d.arrival < posted_at,
                         stamp,
                     };
+                    self.posted.remove(pos);
                 } else {
                     self.unexpected.push(Unexpected::Eager {
                         env,
+                        key: env_key(&env),
                         arrival: d.arrival,
                         data,
                         stamp,
@@ -1002,7 +1252,7 @@ impl Engine {
                 nbytes,
                 stamp: _, // the payload (RndvData) re-carries the stamp
             } => {
-                if let Some(rid) = self.find_posted(&env) {
+                if let Some((_, rid)) = self.find_posted(&env) {
                     // Receive already posted: answer CTS now. Handled as
                     // offloaded progress: timed from the RTS arrival, not
                     // from the application clock.
@@ -1033,6 +1283,7 @@ impl Engine {
                 } else {
                     self.unexpected.push(Unexpected::Rts {
                         env,
+                        key: env_key(&env),
                         arrival: d.arrival,
                         sender_req,
                         nbytes,
@@ -1101,9 +1352,16 @@ impl Engine {
                     obs::count("pt2pt.match.scans", 1);
                     obs::gauge_set("pt2pt.match.maxdepth", self.posted.len() as i64);
                     wallprof::add(WpCounter::MatchScans, 1);
-                    let idx = self.posted.iter().position(|id| {
+                    let ek = env_key(&env);
+                    let requests = &self.requests;
+                    let mut full = 0u64;
+                    let idx = self.posted.iter().position(|p| {
+                        if ek & p.mask != p.key {
+                            return false;
+                        }
+                        full += 1;
                         matches!(
-                            self.requests.get(id),
+                            requests.get(&p.id),
                             Some(ReqState::Recv {
                                 spec,
                                 state: RecvState::AwaitData { src },
@@ -1111,17 +1369,15 @@ impl Engine {
                             }) if *src == env.src && spec.matches(&env)
                         )
                     });
-                    wallprof::add(
-                        WpCounter::MatchComparisons,
-                        idx.map_or(self.posted.len(), |i| i + 1) as u64,
-                    );
+                    wallprof::add(WpCounter::MatchComparisons, full);
                     idx
                 };
-                let Some(rid) = idx.map(|i| self.posted[i]) else {
+                let Some(pos) = idx else {
                     return Err(MpiError::ProtocolError(
                         "rendezvous data without a matching posted receive",
                     ));
                 };
+                let rid = self.posted[pos].id;
                 let Some(ReqState::Recv { state, .. }) = self.requests.get_mut(&rid) else {
                     unreachable!();
                 };
@@ -1132,30 +1388,89 @@ impl Engine {
                     was_unexpected: false,
                     stamp,
                 };
+                self.posted.remove(pos);
             }
             Wire::Ack { .. } => {
                 // Only reachable without a plan (admission consumes acks),
                 // i.e. never — no plan means no acks are ever emitted.
                 return Err(MpiError::ProtocolError("ack frame without a fault plan"));
             }
+            wire @ (Wire::Put { .. } | Wire::GetReq { .. } | Wire::Acc { .. }) => {
+                // One-sided traffic: gate on the window's access epoch.
+                // Frames from an epoch this rank has not opened yet are
+                // parked and replayed (in virtual-arrival order) when the
+                // epoch advances — real-time races between an origin that
+                // left a fence early and a slower target cannot leak
+                // next-epoch deposits into the current one.
+                let (win, epoch) = match &wire {
+                    Wire::Put { win, epoch, .. }
+                    | Wire::GetReq { win, epoch, .. }
+                    | Wire::Acc { win, epoch, .. } => (*win, *epoch),
+                    _ => unreachable!("matched one-sided variants above"),
+                };
+                let Some(w) = self.windows.get_mut(&win) else {
+                    return Err(MpiError::ProtocolError(
+                        "one-sided frame for an unknown window",
+                    ));
+                };
+                if epoch > w.epoch {
+                    w.deferred.push(DeferredRma {
+                        src: d.src,
+                        arrival: d.arrival,
+                        wire,
+                    });
+                    obs::count("rma.epoch.deferred", 1);
+                } else {
+                    self.apply_one_sided(d.src, d.arrival, wire)?;
+                }
+            }
+
+            Wire::GetReply { req, data, stamp } => match self.requests.get_mut(&req) {
+                Some(ReqState::RmaGet { state, .. }) if state.is_none() => {
+                    if obs::tracing_enabled() {
+                        obs::flow(
+                            "msg",
+                            "flow",
+                            d.arrival,
+                            obs::FlowDir::End,
+                            stamp.flow,
+                            vec![("src", obs::ArgValue::U64(d.src as u64))],
+                        );
+                    }
+                    *state = Some((data, d.arrival));
+                }
+                _ => {
+                    return Err(MpiError::ProtocolError(
+                        "one-sided reply for an unknown get request",
+                    ))
+                }
+            },
         }
         Ok(())
     }
 
-    /// Find the oldest posted receive matching `env` and detach it from
-    /// the posted list if it is still in `Posted` state.
-    fn find_posted(&mut self, env: &Envelope) -> Option<u64> {
+    /// Find the oldest posted receive in `Posted` state matching `env`,
+    /// returning its position in the posted list and its request id. The
+    /// caller removes the entry once the request leaves `Posted`.
+    fn find_posted(&mut self, env: &Envelope) -> Option<(usize, u64)> {
         let _wp = wallprof::span(WpSub::Match);
         // Scan count and queue depth are structural (one scan per accepted
         // message; depth = receives the app had outstanding), so they are
-        // safe as pvars; comparisons short-circuit on a real-time-ordered
-        // queue and stay wall-side only.
+        // safe as pvars; comparison counts depend on the packed pre-filter
+        // and stay wall-side only.
         obs::count("pt2pt.match.scans", 1);
         obs::gauge_set("pt2pt.match.maxdepth", self.posted.len() as i64);
         wallprof::add(WpCounter::MatchScans, 1);
-        let idx = self.posted.iter().position(|id| {
+        let ek = env_key(env);
+        let requests = &self.requests;
+        let mut full = 0u64;
+        let idx = self.posted.iter().position(|p| {
+            if ek & p.mask != p.key {
+                return false;
+            }
+            full += 1;
             matches!(
-                self.requests.get(id),
+                requests.get(&p.id),
                 Some(ReqState::Recv {
                     spec,
                     state: RecvState::Posted { .. },
@@ -1163,11 +1478,8 @@ impl Engine {
                 }) if spec.matches(env)
             )
         });
-        wallprof::add(
-            WpCounter::MatchComparisons,
-            idx.map_or(self.posted.len(), |i| i + 1) as u64,
-        );
-        Some(self.posted[idx?])
+        wallprof::add(WpCounter::MatchComparisons, full);
+        idx.map(|i| (i, self.posted[i].id))
     }
 
     fn is_complete(&self, req: Request) -> bool {
@@ -1177,7 +1489,8 @@ impl Engine {
             | Some(ReqState::Recv {
                 state: RecvState::Ready { .. },
                 ..
-            }) => true,
+            })
+            | Some(ReqState::RmaGet { state: Some(_), .. }) => true,
             _ => false,
         }
     }
@@ -1205,6 +1518,10 @@ impl Engine {
             | Some(ReqState::Send(SendState::RndvDone { complete_at })) => Some(*complete_at),
             Some(ReqState::Recv {
                 state: RecvState::Ready { arrival, .. },
+                ..
+            })
+            | Some(ReqState::RmaGet {
+                state: Some((_, arrival)),
                 ..
             }) => Some(*arrival),
             _ => None,
@@ -1335,7 +1652,6 @@ impl Engine {
                     },
                 ..
             } => {
-                self.posted.retain(|&id| id != req.0);
                 if data.len() > capacity {
                     return Err(MpiError::Truncated {
                         incoming: data.len(),
@@ -1388,6 +1704,521 @@ impl Engine {
                 })
             }
             ReqState::Recv { .. } => unreachable!("wait loop returned before recv completion"),
+            ReqState::RmaGet {
+                target,
+                state: Some((data, arrival)),
+            } => {
+                // RDMA read completion: the reply was DMA'd into origin
+                // memory, so consumption costs only the completion check —
+                // no per-byte copy.
+                let path = *self.path_to(target);
+                self.clock.merge(arrival);
+                self.clock.charge(path.loggp.o_recv());
+                Ok(Completion {
+                    data,
+                    status: Status {
+                        source: target,
+                        tag: 0,
+                        bytes: 0, // filled by caller from data.len()
+                    },
+                })
+            }
+            ReqState::RmaGet { state: None, .. } => {
+                unreachable!("wait loop returned before get completion")
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // One-sided (RMA) operations
+    // ------------------------------------------------------------------
+
+    /// Path parameters towards `dst`. Facade layers read protocol
+    /// thresholds and registration costs from here.
+    #[inline]
+    pub fn path_params(&self, dst: usize) -> &PathParams {
+        self.path_to(dst)
+    }
+
+    /// Apply one one-sided frame to this rank's window state: deposit a
+    /// put, combine an accumulate, or serve a get reply. `src`/`arrival`
+    /// come from the frame's fabric delivery; timing is offloaded (no
+    /// application clock charge — the target CPU is not involved).
+    fn apply_one_sided(&mut self, src: usize, arrival: VTime, wire: Wire) -> MpiResult<()> {
+        match wire {
+            Wire::Put {
+                win,
+                epoch: _,
+                offset,
+                data,
+                stamp,
+            } => {
+                // RDMA write: deposit into exposed window memory. No tag
+                // matching, no posted receive.
+                let Some(w) = self.windows.get_mut(&win) else {
+                    return Err(MpiError::ProtocolError(
+                        "one-sided put to an unknown window",
+                    ));
+                };
+                let end = offset
+                    .checked_add(data.len())
+                    .filter(|&e| e <= w.mem.len())
+                    .ok_or(MpiError::ProtocolError("one-sided put outside the window"))?;
+                w.mem[offset..end].copy_from_slice(&data);
+                obs::count("rma.put.applied", 1);
+                if obs::tracing_enabled() {
+                    obs::flow(
+                        "msg",
+                        "flow",
+                        arrival,
+                        obs::FlowDir::End,
+                        stamp.flow,
+                        vec![("src", obs::ArgValue::U64(src as u64))],
+                    );
+                }
+            }
+            Wire::GetReq {
+                win,
+                epoch: _,
+                offset,
+                nbytes,
+                origin,
+                req,
+                stamp,
+            } => {
+                // RDMA read: the target NIC serves the reply out of window
+                // memory, timed from the request's arrival — the target
+                // application clock is never touched.
+                let data: Box<[u8]> = {
+                    let Some(w) = self.windows.get(&win) else {
+                        return Err(MpiError::ProtocolError(
+                            "one-sided get from an unknown window",
+                        ));
+                    };
+                    let end = offset
+                        .checked_add(nbytes)
+                        .filter(|&e| e <= w.mem.len())
+                        .ok_or(MpiError::ProtocolError("one-sided get outside the window"))?;
+                    w.mem[offset..end].into()
+                };
+                wallprof::add(WpCounter::Allocs, 1); // reply payload capture above
+                let path = *self.path_to(origin);
+                let t = arrival + path.loggp.o_send();
+                let wire_bytes = path.header_bytes + nbytes;
+                let reply_arrival = self.inject_reliable(
+                    origin,
+                    one_sided_channel(win, OneSidedClass::Reply),
+                    t,
+                    wire_bytes,
+                    &path.loggp,
+                    Wire::GetReply { req, data, stamp },
+                )?;
+                if obs::tracing_enabled() && reply_arrival > t {
+                    obs::span(
+                        "xfer",
+                        "fabric",
+                        t,
+                        reply_arrival,
+                        vec![
+                            ("bytes", obs::ArgValue::U64(nbytes as u64)),
+                            ("dst", obs::ArgValue::U64(origin as u64)),
+                            ("flow", obs::ArgValue::U64(stamp.flow)),
+                        ],
+                    );
+                }
+            }
+            Wire::Acc {
+                win,
+                epoch: _,
+                offset,
+                op,
+                data,
+                stamp,
+            } => {
+                // Like Put, but combining instead of overwriting. Epochs
+                // restrict concurrent accumulates to commutative
+                // well-definedness (MPI semantics).
+                let Some(w) = self.windows.get_mut(&win) else {
+                    return Err(MpiError::ProtocolError(
+                        "one-sided accumulate to an unknown window",
+                    ));
+                };
+                let end = offset
+                    .checked_add(data.len())
+                    .filter(|&e| e <= w.mem.len())
+                    .ok_or(MpiError::ProtocolError(
+                        "one-sided accumulate outside the window",
+                    ))?;
+                crate::op::apply(op, &crate::datatype::INT, &mut w.mem[offset..end], &data)?;
+                obs::count("rma.acc.applied", 1);
+                if obs::tracing_enabled() {
+                    obs::flow(
+                        "msg",
+                        "flow",
+                        arrival,
+                        obs::FlowDir::End,
+                        stamp.flow,
+                        vec![("src", obs::ArgValue::U64(src as u64))],
+                    );
+                }
+            }
+            _ => unreachable!("only one-sided frames reach apply_one_sided"),
+        }
+        Ok(())
+    }
+
+    /// Replay deferred one-sided frames for `win`: deposits (put /
+    /// accumulate) stamped at or before `deposit_horizon`, plus reads
+    /// stamped at or before the window's current epoch, in virtual-arrival
+    /// order (source rank breaks ties) — a deterministic order however the
+    /// frames raced in real time.
+    fn run_deferred(&mut self, win: u32, deposit_horizon: u64) -> MpiResult<()> {
+        let Some(w) = self.windows.get_mut(&win) else {
+            return Err(MpiError::ProtocolError("replaying an unknown window"));
+        };
+        let read_horizon = w.epoch;
+        let mut ready = Vec::new();
+        let mut parked = Vec::new();
+        for d in w.deferred.drain(..) {
+            let horizon = if d.is_get() {
+                read_horizon
+            } else {
+                deposit_horizon
+            };
+            if d.epoch() <= horizon {
+                ready.push(d);
+            } else {
+                parked.push(d);
+            }
+        }
+        w.deferred = parked;
+        // Stable sort: same-source frames keep their per-link FIFO order.
+        ready.sort_by(|a, b| {
+            a.arrival
+                .as_nanos()
+                .partial_cmp(&b.arrival.as_nanos())
+                .expect("virtual times are finite")
+                .then(a.src.cmp(&b.src))
+        });
+        for d in ready {
+            self.apply_one_sided(d.src, d.arrival, d.wire)?;
+        }
+        Ok(())
+    }
+
+    /// Close the window's current access epoch and open the next
+    /// (the target half of MPI_Win_fence). Applies every deferred deposit
+    /// stamped with the closing epoch or earlier — making exactly the
+    /// closed epoch's one-sided traffic visible — and serves deferred
+    /// reads up to the newly opened epoch (an origin that left the shared
+    /// barrier early may already have issued next-epoch gets; parking them
+    /// past this point would deadlock its epoch-closing flush against our
+    /// fence).
+    pub fn win_epoch_advance(&mut self, win: u32) -> MpiResult<()> {
+        let Some(w) = self.windows.get_mut(&win) else {
+            return Err(MpiError::ProtocolError("advancing an unknown window"));
+        };
+        let closing = w.epoch;
+        w.epoch = closing + 1;
+        self.run_deferred(win, closing)
+    }
+
+    /// Apply every deferred frame stamped with the current epoch or
+    /// earlier, without advancing (the target half of MPI_Win_sync):
+    /// passive-target deposits that raced ahead of this rank's last fence
+    /// become visible at its next local synchronization.
+    pub fn win_deliver_current(&mut self, win: u32) -> MpiResult<()> {
+        let Some(w) = self.windows.get(&win) else {
+            return Err(MpiError::ProtocolError("syncing an unknown window"));
+        };
+        let horizon = w.epoch;
+        self.run_deferred(win, horizon)
+    }
+
+    /// Expose `size` bytes of zero-initialized window memory under `win`.
+    /// The id must be agreed across ranks (the facade reuses the
+    /// context-agreement collective); exposure is local — callers
+    /// synchronize before targeting the window.
+    pub fn win_create(&mut self, win: u32, size: usize) -> MpiResult<()> {
+        let state = WinMem {
+            mem: vec![0u8; size],
+            epoch: 0,
+            deferred: Vec::new(),
+        };
+        if self.windows.insert(win, state).is_some() {
+            return Err(MpiError::ProtocolError("window id created twice"));
+        }
+        wallprof::add(WpCounter::Allocs, 1);
+        Ok(())
+    }
+
+    /// Tear down window `win`'s exposed memory.
+    pub fn win_free(&mut self, win: u32) -> MpiResult<()> {
+        self.windows
+            .remove(&win)
+            .map(|_| ())
+            .ok_or(MpiError::ProtocolError("freeing an unknown window"))
+    }
+
+    /// Read this rank's exposed window memory (the NIC view the fabric
+    /// deposits into). Zero virtual cost: local loads from pinned memory.
+    pub fn win_mem(&self, win: u32) -> MpiResult<&[u8]> {
+        self.windows
+            .get(&win)
+            .map(|w| &w.mem[..])
+            .ok_or(MpiError::ProtocolError("reading an unknown window"))
+    }
+
+    /// Mutable access to this rank's exposed window memory.
+    pub fn win_mem_mut(&mut self, win: u32) -> MpiResult<&mut [u8]> {
+        self.windows
+            .get_mut(&win)
+            .map(|w| &mut w.mem[..])
+            .ok_or(MpiError::ProtocolError("writing an unknown window"))
+    }
+
+    /// The access epoch this rank currently has open on `win` (stamped
+    /// into every outbound one-sided frame so targets can gate
+    /// application on their own epoch progress).
+    fn win_epoch(&self, win: u32) -> MpiResult<u64> {
+        self.windows
+            .get(&win)
+            .map(|w| w.epoch)
+            .ok_or(MpiError::ProtocolError(
+                "one-sided operation without the window",
+            ))
+    }
+
+    /// One-sided put: RDMA-write `data` into `dst`'s window `win` at byte
+    /// `offset`. Returns the deposit's virtual arrival at the target; the
+    /// origin completes locally (fire-and-forget until the epoch closes).
+    ///
+    /// Payloads at or below the path's RMA eager threshold go through a
+    /// pre-registered bounce buffer (per-byte copy charge); larger ones
+    /// move zero-copy out of registered user memory — the facade charges
+    /// registration via its cache before calling here.
+    pub fn rma_put(
+        &mut self,
+        dst: usize,
+        win: u32,
+        offset: usize,
+        data: &[u8],
+    ) -> MpiResult<VTime> {
+        self.check_rma_target(dst)?;
+        let epoch = self.win_epoch(win)?;
+        wallprof::add(WpCounter::Messages, 1);
+        wallprof::add(WpCounter::Allocs, 1); // payload capture into the wire frame
+        let path = *self.path_to(dst);
+        if data.len() <= path.rma_eager_threshold {
+            self.clock.charge(path.eager_copy(data.len()));
+            obs::count("rma.put.eager", 1);
+        } else {
+            obs::count("rma.put.zcopy", 1);
+        }
+        self.clock.charge(path.loggp.o_send());
+        let stamp = FlowStamp {
+            flow: self.alloc_flow(),
+            coll: 0,
+        };
+        let inject_at = self.clock.now();
+        let wire_bytes = path.header_bytes + data.len();
+        let arrival = self.inject_reliable(
+            dst,
+            one_sided_channel(win, OneSidedClass::Data),
+            inject_at,
+            wire_bytes,
+            &path.loggp,
+            Wire::Put {
+                win,
+                epoch,
+                offset,
+                data: data.into(),
+                stamp,
+            },
+        )?;
+        obs::count("rma.put.msgs", 1);
+        obs::count("rma.put.bytes", data.len() as u64);
+        if obs::tracing_enabled() {
+            self.trace_rma("rma.put", dst, data.len(), stamp, inject_at, arrival);
+        }
+        Ok(arrival)
+    }
+
+    /// One-sided accumulate: combine `data` into `dst`'s window with `op`
+    /// (32-bit integer lanes). Always staged through the bounce buffer —
+    /// the operand must be packed for the target-side ALU pass — so the
+    /// per-byte copy is charged regardless of size.
+    pub fn rma_accumulate(
+        &mut self,
+        dst: usize,
+        win: u32,
+        offset: usize,
+        op: ReduceOp,
+        data: &[u8],
+    ) -> MpiResult<VTime> {
+        self.check_rma_target(dst)?;
+        if data.len() % 4 != 0 {
+            return Err(MpiError::ProtocolError(
+                "accumulate payloads must be whole 32-bit lanes",
+            ));
+        }
+        let epoch = self.win_epoch(win)?;
+        wallprof::add(WpCounter::Messages, 1);
+        wallprof::add(WpCounter::Allocs, 1); // payload capture into the wire frame
+        let path = *self.path_to(dst);
+        self.clock.charge(path.eager_copy(data.len()));
+        self.clock.charge(path.loggp.o_send());
+        let stamp = FlowStamp {
+            flow: self.alloc_flow(),
+            coll: 0,
+        };
+        let inject_at = self.clock.now();
+        let wire_bytes = path.header_bytes + data.len();
+        let arrival = self.inject_reliable(
+            dst,
+            one_sided_channel(win, OneSidedClass::Data),
+            inject_at,
+            wire_bytes,
+            &path.loggp,
+            Wire::Acc {
+                win,
+                epoch,
+                offset,
+                op,
+                data: data.into(),
+                stamp,
+            },
+        )?;
+        obs::count("rma.acc.msgs", 1);
+        obs::count("rma.acc.bytes", data.len() as u64);
+        if obs::tracing_enabled() {
+            self.trace_rma("rma.acc", dst, data.len(), stamp, inject_at, arrival);
+        }
+        Ok(arrival)
+    }
+
+    /// One-sided get: request `nbytes` from `dst`'s window; returns a
+    /// request that completes when the RDMA-read reply lands in origin
+    /// memory. Waited like any other request (epoch close does this).
+    pub fn rma_get(
+        &mut self,
+        dst: usize,
+        win: u32,
+        offset: usize,
+        nbytes: usize,
+    ) -> MpiResult<Request> {
+        self.check_rma_target(dst)?;
+        let epoch = self.win_epoch(win)?;
+        wallprof::add(WpCounter::Messages, 1);
+        let path = *self.path_to(dst);
+        self.clock.charge(path.loggp.o_send());
+        let stamp = FlowStamp {
+            flow: self.alloc_flow(),
+            coll: 0,
+        };
+        let inject_at = self.clock.now();
+        let req = self.alloc_req(ReqState::RmaGet {
+            target: dst,
+            state: None,
+        });
+        let Request(id) = req;
+        if let Err(e) = self.inject_reliable(
+            dst,
+            one_sided_channel(win, OneSidedClass::Data),
+            inject_at,
+            path.header_bytes,
+            &path.loggp,
+            Wire::GetReq {
+                win,
+                epoch,
+                offset,
+                nbytes,
+                origin: self.rank(),
+                req: id,
+                stamp,
+            },
+        ) {
+            self.requests.remove(&id);
+            return Err(e);
+        }
+        obs::count("rma.get.msgs", 1);
+        obs::count("rma.get.bytes", nbytes as u64);
+        if obs::tracing_enabled() {
+            self.trace_rma("rma.get", dst, nbytes, stamp, inject_at, inject_at);
+        }
+        Ok(req)
+    }
+
+    /// Passive-target control round trip (lock acquire/release): one
+    /// NIC-level atomic to `target`, charged entirely at the origin. The
+    /// target CPU is never involved, so no wire message is exchanged and
+    /// the exchange cannot deadlock against program order. Lock
+    /// *contention* is deliberately not modeled (see DESIGN.md).
+    pub fn rma_control_roundtrip(&mut self, target: usize) -> MpiResult<()> {
+        self.check_rma_target(target)?;
+        let path = *self.path_to(target);
+        self.clock.charge(path.loggp.o_send());
+        let reply_at =
+            self.clock.now() + VDur::from_nanos(2.0 * path.loggp.latency_ns + path.cts_handling_ns);
+        self.clock.merge(reply_at);
+        self.clock.charge(path.loggp.o_recv());
+        Ok(())
+    }
+
+    fn check_rma_target(&self, dst: usize) -> MpiResult<()> {
+        if dst >= self.world_size() {
+            return Err(MpiError::InvalidRank {
+                rank: dst as i32,
+                comm_size: self.world_size(),
+            });
+        }
+        self.check_self_crash()
+    }
+
+    /// Trace one one-sided origination: instant + flow-begin + (when the
+    /// wire took time) the origin-side fabric span. Reads clocks only.
+    fn trace_rma(
+        &self,
+        name: &'static str,
+        dst: usize,
+        bytes: usize,
+        stamp: FlowStamp,
+        inject_at: VTime,
+        arrival: VTime,
+    ) {
+        obs::instant(
+            name,
+            "rma",
+            inject_at,
+            vec![
+                ("dst", obs::ArgValue::U64(dst as u64)),
+                ("bytes", obs::ArgValue::U64(bytes as u64)),
+                ("flow", obs::ArgValue::U64(stamp.flow)),
+            ],
+        );
+        obs::flow(
+            "msg",
+            "flow",
+            inject_at,
+            obs::FlowDir::Begin,
+            stamp.flow,
+            vec![
+                ("bytes", obs::ArgValue::U64(bytes as u64)),
+                ("dst", obs::ArgValue::U64(dst as u64)),
+            ],
+        );
+        if arrival > inject_at {
+            obs::span(
+                "xfer",
+                "fabric",
+                inject_at,
+                arrival,
+                vec![
+                    ("bytes", obs::ArgValue::U64(bytes as u64)),
+                    ("dst", obs::ArgValue::U64(dst as u64)),
+                    ("flow", obs::ArgValue::U64(stamp.flow)),
+                ],
+            );
         }
     }
 
@@ -1675,7 +2506,7 @@ mod tests {
                     Frame {
                         seq: 0,
                         checksum: 0,
-                        wire: Wire::Cts { sender_req: 999 },
+                        wire: Arc::new(Wire::Cts { sender_req: 999 }),
                     },
                 )
                 .unwrap();
@@ -1714,7 +2545,7 @@ mod tests {
                     Frame {
                         seq: 0,
                         checksum: 0,
-                        wire: Wire::Cts { sender_req: 1 },
+                        wire: Arc::new(Wire::Cts { sender_req: 1 }),
                     },
                 )
                 .unwrap();

@@ -36,6 +36,9 @@ pub enum MpiError {
     InvalidRequest,
     /// Communicator handle unknown (MPI_ERR_COMM).
     InvalidComm,
+    /// One-sided window handle unknown or misused (MPI_ERR_WIN), e.g.
+    /// unlocking a window that is not locked.
+    InvalidWin(&'static str),
     /// Group operation given inconsistent arguments (MPI_ERR_GROUP).
     InvalidGroup(&'static str),
     /// Mismatched collective participation detected (programming error in
@@ -90,6 +93,7 @@ impl fmt::Display for MpiError {
             MpiError::Unsupported(what) => write!(f, "unsupported by this library: {what}"),
             MpiError::InvalidRequest => write!(f, "MPI_ERR_REQUEST: invalid or completed request"),
             MpiError::InvalidComm => write!(f, "MPI_ERR_COMM: invalid communicator"),
+            MpiError::InvalidWin(why) => write!(f, "MPI_ERR_WIN: {why}"),
             MpiError::InvalidGroup(why) => write!(f, "MPI_ERR_GROUP: {why}"),
             MpiError::CollectiveMismatch(why) => {
                 write!(f, "collective participation mismatch: {why}")

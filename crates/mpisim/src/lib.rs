@@ -33,11 +33,13 @@ pub mod error;
 pub mod mpi;
 pub mod op;
 pub mod profile;
+pub mod rma;
 
 pub use comm::{CommHandle, Group};
 pub use datatype::{BasicType, Datatype};
 pub use engine::{Completion, Envelope, Frame, Request, Status, Wire, ANY_SOURCE, ANY_TAG, TAG_UB};
 pub use error::{MpiError, MpiResult};
-pub use mpi::{run_mpi, run_mpi_faulty, Errhandler, Mpi, MpiRequest};
+pub use mpi::{run_mpi, run_mpi_faulty, Errhandler, Mpi, MpiRequest, RmaGet, Win};
 pub use op::ReduceOp;
 pub use profile::{CollTuning, PathParams, Profile};
+pub use rma::{RegCache, RegLookup};

@@ -18,6 +18,7 @@ use crate::engine::{Completion, Engine, Frame, Request, Status};
 use crate::error::{MpiError, MpiResult};
 use crate::op::ReduceOp;
 use crate::profile::Profile;
+use crate::rma::{RegCache, RegLookup};
 
 /// What an [`MpiRequest`] refers to: an engine-level point-to-point
 /// request, or an outstanding non-blocking collective schedule (keyed by
@@ -102,6 +103,44 @@ pub struct Mpi {
     /// windows. Collectives are globally ordered per communicator, so
     /// every member derives the same sequence.
     nbc_seq: HashMap<u32, u64>,
+    /// One-sided windows by handle slot (`None` after free).
+    wins: Vec<Option<WinInfo>>,
+    /// Next window-id proposal (agreed across ranks at creation, like
+    /// context ids).
+    next_win: u32,
+    /// NIC registration (pin-down) cache shared by every window on this
+    /// rank — the pinned-memory budget is per HCA, not per window.
+    reg: RegCache,
+}
+
+/// Pinned regions the registration cache can hold per rank. Small enough
+/// that benchmark-scale working sets exercise eviction.
+const REG_CACHE_REGIONS: usize = 64;
+
+/// A one-sided communication window handle (MPI_Win analog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Win(usize);
+
+/// Token for an outstanding one-sided get; the payload is handed back
+/// when the epoch closes (`win_fence` / `win_unlock`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RmaGet(Request);
+
+/// Facade-side state of one window.
+struct WinInfo {
+    /// Engine-level (fabric) window id.
+    id: u32,
+    /// Communicator the window was created over.
+    comm: CommHandle,
+    /// Bytes this rank exposes.
+    size: usize,
+    /// Target-arrival horizon of every put/accumulate issued this epoch,
+    /// with the world rank it targets (passive-target flushes filter).
+    pending_puts: Vec<(usize, VTime)>,
+    /// Outstanding gets in issue order, with their world-rank targets.
+    pending_gets: Vec<(usize, RmaGet)>,
+    /// Passive-target lock currently held (world rank of the target).
+    locked: Option<usize>,
 }
 
 /// Run an MPI "job": one thread per rank under `topo`, each executing `f`
@@ -148,6 +187,9 @@ impl Mpi {
             scheds: Vec::new(),
             next_icoll: 0,
             nbc_seq: HashMap::new(),
+            wins: Vec::new(),
+            next_win: 1,
+            reg: RegCache::new(REG_CACHE_REGIONS),
         }
     }
 
@@ -1072,6 +1114,350 @@ impl Mpi {
             IcollKind::Alltoall { send: packed },
             Some((dt.clone(), count * size)),
         )
+    }
+
+    // ------------------------------------------------------------------
+    // One-sided communication (MPI_Win_*)
+    // ------------------------------------------------------------------
+
+    fn win_info(&self, win: Win) -> MpiResult<&WinInfo> {
+        self.wins
+            .get(win.0)
+            .and_then(|w| w.as_ref())
+            .ok_or(MpiError::InvalidWin("invalid or freed window handle"))
+    }
+
+    fn win_info_mut(&mut self, win: Win) -> MpiResult<&mut WinInfo> {
+        self.wins
+            .get_mut(win.0)
+            .and_then(|w| w.as_mut())
+            .ok_or(MpiError::InvalidWin("invalid or freed window handle"))
+    }
+
+    /// Collective window creation (MPI_Win_create): every member of `comm`
+    /// exposes `size` bytes of zero-initialized memory. The window id is
+    /// agreed like a context id and doubles as the one-sided fabric
+    /// channel; the closing barrier guarantees no rank targets a window a
+    /// peer has not exposed yet.
+    pub fn win_create(&mut self, size: usize, comm: CommHandle) -> MpiResult<Win> {
+        let progressed = self.nb_progress();
+        self.route(comm, progressed)?;
+        self.info(comm)?;
+        let mine = self.next_win;
+        let mut out = [0u8; 4];
+        self.allreduce(
+            &mine.to_le_bytes(),
+            &mut out,
+            1,
+            &crate::datatype::INT,
+            ReduceOp::Max,
+            comm,
+        )?;
+        let id = u32::from_le_bytes(out);
+        self.next_win = id + 1;
+        let created = self.eng.win_create(id, size);
+        self.route(comm, created)?;
+        self.barrier(comm)?;
+        self.wins.push(Some(WinInfo {
+            id,
+            comm,
+            size,
+            pending_puts: Vec::new(),
+            pending_gets: Vec::new(),
+            locked: None,
+        }));
+        obs::count("rma.win.created", 1);
+        Ok(Win(self.wins.len() - 1))
+    }
+
+    /// Collective window destruction (MPI_Win_free). All one-sided
+    /// operations on the window must have been completed by an epoch
+    /// close (`win_fence` / `win_unlock`) first.
+    pub fn win_free(&mut self, win: Win) -> MpiResult<()> {
+        let progressed = self.nb_progress();
+        let comm = self.win_info(win)?.comm;
+        self.route(comm, progressed)?;
+        {
+            let w = self.win_info(win)?;
+            if !w.pending_puts.is_empty() || !w.pending_gets.is_empty() || w.locked.is_some() {
+                return Err(MpiError::InvalidWin(
+                    "window freed with an open access epoch",
+                ));
+            }
+        }
+        // No member may tear down exposure while a peer could still be
+        // issuing; mirror the creation barrier.
+        self.barrier(comm)?;
+        let id = self.win_info(win)?.id;
+        let freed = self.eng.win_free(id);
+        self.route(comm, freed)?;
+        self.wins[win.0] = None;
+        Ok(())
+    }
+
+    /// Bytes this rank exposes through `win`.
+    pub fn win_size(&self, win: Win) -> MpiResult<usize> {
+        Ok(self.win_info(win)?.size)
+    }
+
+    /// Read this rank's exposed window memory (the NIC view deposits land
+    /// in). Zero virtual cost — callers synchronize via epochs.
+    pub fn win_mem(&self, win: Win) -> MpiResult<&[u8]> {
+        self.eng.win_mem(self.win_info(win)?.id)
+    }
+
+    /// Mutable access to this rank's exposed window memory (bindings sync
+    /// user storage into the NIC view here). Zero virtual cost.
+    pub fn win_mem_mut(&mut self, win: Win) -> MpiResult<&mut [u8]> {
+        let id = self.win_info(win)?.id;
+        self.eng.win_mem_mut(id)
+    }
+
+    /// Charge NIC registration for a zero-copy transfer of `bytes` from
+    /// the region identified by `reg_key`, through the pin-down cache.
+    /// Transfers at or below the path's RMA eager threshold use
+    /// pre-registered bounce buffers and skip registration entirely.
+    fn charge_registration(&mut self, wtarget: usize, bytes: usize, reg_key: u64) {
+        let path = *self.eng.path_params(wtarget);
+        if bytes <= path.rma_eager_threshold {
+            return;
+        }
+        match self.reg.lookup(reg_key, bytes) {
+            RegLookup::Hit => obs::count("rma.reg.hit", 1),
+            RegLookup::Miss { evicted } => {
+                obs::count("rma.reg.miss", 1);
+                if evicted {
+                    obs::count("rma.reg.evict", 1);
+                }
+                let begin = self.eng.now();
+                self.eng.clock_mut().charge(path.rma_reg(bytes));
+                if obs::tracing_enabled() {
+                    obs::span(
+                        "rma.reg",
+                        "rma",
+                        begin,
+                        self.eng.now(),
+                        vec![
+                            ("bytes", obs::ArgValue::U64(bytes as u64)),
+                            ("key", obs::ArgValue::U64(reg_key)),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+
+    /// One-sided put (MPI_Put): RDMA-write `data` into `target`'s window
+    /// at byte `offset`. `target` is a communicator rank; `reg_key`
+    /// identifies the origin region for the registration cache (zero-copy
+    /// path). Completes at the target when the epoch closes.
+    pub fn win_put(
+        &mut self,
+        win: Win,
+        data: &[u8],
+        reg_key: u64,
+        target: usize,
+        offset: usize,
+    ) -> MpiResult<()> {
+        let progressed = self.nb_progress();
+        let (comm, id) = {
+            let w = self.win_info(win)?;
+            (w.comm, w.id)
+        };
+        self.route(comm, progressed)?;
+        let wtarget = self.world_dst(comm, target)?;
+        self.charge_registration(wtarget, data.len(), reg_key);
+        let arrival = self.eng.rma_put(wtarget, id, offset, data);
+        let arrival = self.route(comm, arrival)?;
+        self.win_info_mut(win)?
+            .pending_puts
+            .push((wtarget, arrival));
+        Ok(())
+    }
+
+    /// One-sided accumulate (MPI_Accumulate) of 32-bit integer lanes:
+    /// combine `data` into `target`'s window with `op`. Operands are
+    /// always staged through pre-registered bounce buffers, so no
+    /// registration charge applies.
+    pub fn win_accumulate(
+        &mut self,
+        win: Win,
+        data: &[u8],
+        op: ReduceOp,
+        target: usize,
+        offset: usize,
+    ) -> MpiResult<()> {
+        let progressed = self.nb_progress();
+        let (comm, id) = {
+            let w = self.win_info(win)?;
+            (w.comm, w.id)
+        };
+        self.route(comm, progressed)?;
+        let wtarget = self.world_dst(comm, target)?;
+        let arrival = self.eng.rma_accumulate(wtarget, id, offset, op, data);
+        let arrival = self.route(comm, arrival)?;
+        self.win_info_mut(win)?
+            .pending_puts
+            .push((wtarget, arrival));
+        Ok(())
+    }
+
+    /// One-sided get (MPI_Get): fetch `nbytes` from `target`'s window at
+    /// byte `offset`. The payload is delivered when the epoch closes;
+    /// `reg_key` identifies the origin destination region (the RDMA-read
+    /// reply lands there zero-copy).
+    pub fn win_get(
+        &mut self,
+        win: Win,
+        target: usize,
+        offset: usize,
+        nbytes: usize,
+        reg_key: u64,
+    ) -> MpiResult<RmaGet> {
+        let progressed = self.nb_progress();
+        let (comm, id) = {
+            let w = self.win_info(win)?;
+            (w.comm, w.id)
+        };
+        self.route(comm, progressed)?;
+        let wtarget = self.world_dst(comm, target)?;
+        self.charge_registration(wtarget, nbytes, reg_key);
+        let raw = self.eng.rma_get(wtarget, id, offset, nbytes);
+        let raw = self.route(comm, raw)?;
+        let tok = RmaGet(raw);
+        self.win_info_mut(win)?.pending_gets.push((wtarget, tok));
+        Ok(tok)
+    }
+
+    /// Complete the outstanding gets in `tokens` (issue order) and merge
+    /// the put horizon, returning `(token, payload)` pairs.
+    fn flush_rma(
+        &mut self,
+        comm: CommHandle,
+        puts: Vec<(usize, VTime)>,
+        gets: Vec<(usize, RmaGet)>,
+    ) -> MpiResult<Vec<(RmaGet, Box<[u8]>)>> {
+        for (_, arrival) in puts {
+            self.eng.clock_mut().merge(arrival);
+        }
+        let mut out = Vec::with_capacity(gets.len());
+        for (_, tok) in gets {
+            let c = self.eng.wait(tok.0);
+            let c = self.route(comm, c)?;
+            out.push((tok, c.data));
+        }
+        Ok(out)
+    }
+
+    /// Close the current active-target epoch (MPI_Win_fence): complete
+    /// every one-sided operation this rank issued, synchronize the
+    /// window's communicator, and hand back completed get payloads in
+    /// issue order.
+    ///
+    /// Remote deposits are visible after the fence because the barrier's
+    /// completion causally depends on every origin's entry, which in turn
+    /// follows its last put's injection — the fabric delivers in causal
+    /// order, so the deposits are drained before the barrier completes.
+    pub fn win_fence(&mut self, win: Win) -> MpiResult<Vec<(RmaGet, Box<[u8]>)>> {
+        let progressed = self.nb_progress();
+        let comm = self.win_info(win)?.comm;
+        self.route(comm, progressed)?;
+        if self.win_info(win)?.locked.is_some() {
+            return Err(MpiError::InvalidWin("fence inside a passive-target epoch"));
+        }
+        let begin = self.eng.now();
+        let puts = std::mem::take(&mut self.win_info_mut(win)?.pending_puts);
+        let gets = std::mem::take(&mut self.win_info_mut(win)?.pending_gets);
+        let out = self.flush_rma(comm, puts, gets)?;
+        obs::count("rma.fence.epochs", 1);
+        self.barrier(comm)?;
+        // A 1-rank window's barrier moves no messages; drain self-targeted
+        // deliveries explicitly so local puts are applied before reads.
+        let polled = self.eng.poll();
+        self.route(comm, polled)?;
+        // Close the epoch: every frame stamped with it is causally in the
+        // mailbox by the end of the barrier (origins flush before they
+        // enter), so the deterministic replay below sees them all — while
+        // next-epoch frames from origins that raced ahead stay deferred.
+        let id = self.win_info(win)?.id;
+        let advanced = self.eng.win_epoch_advance(id);
+        self.route(comm, advanced)?;
+        if obs::tracing_enabled() {
+            obs::span("rma.fence", "rma", begin, self.eng.now(), Vec::new());
+        }
+        Ok(out)
+    }
+
+    /// Local window synchronization (MPI_Win_sync analog): drain any
+    /// one-sided deliveries already addressed to this rank so deposits a
+    /// peer has causally completed (e.g. before a barrier this rank just
+    /// left) are visible in the window memory. Purely local — no epoch
+    /// semantics of its own.
+    pub fn win_sync(&mut self, win: Win) -> MpiResult<()> {
+        let progressed = self.nb_progress();
+        let comm = self.win_info(win)?.comm;
+        self.route(comm, progressed)?;
+        let polled = self.eng.poll();
+        self.route(comm, polled)?;
+        // Passive-target deposits that raced ahead of this rank's last
+        // fence sit deferred under the current epoch; surface them now.
+        let id = self.win_info(win)?.id;
+        let delivered = self.eng.win_deliver_current(id);
+        self.route(comm, delivered)?;
+        Ok(())
+    }
+
+    /// Begin a passive-target epoch on `target` (MPI_Win_lock,
+    /// exclusive). Modeled as a NIC-level atomic: one control round trip
+    /// charged at the origin, no target CPU involvement, and no lock
+    /// *contention* queueing (documented limitation).
+    pub fn win_lock(&mut self, win: Win, target: usize) -> MpiResult<()> {
+        let progressed = self.nb_progress();
+        let comm = self.win_info(win)?.comm;
+        self.route(comm, progressed)?;
+        if self.win_info(win)?.locked.is_some() {
+            return Err(MpiError::InvalidWin("window is already locked"));
+        }
+        let wtarget = self.world_dst(comm, target)?;
+        let r = self.eng.rma_control_roundtrip(wtarget);
+        self.route(comm, r)?;
+        self.win_info_mut(win)?.locked = Some(wtarget);
+        obs::count("rma.lock.acquired", 1);
+        Ok(())
+    }
+
+    /// End a passive-target epoch (MPI_Win_unlock): flush every operation
+    /// issued to `target` under the lock, then release with another
+    /// control round trip. Completed get payloads return in issue order.
+    pub fn win_unlock(&mut self, win: Win, target: usize) -> MpiResult<Vec<(RmaGet, Box<[u8]>)>> {
+        let progressed = self.nb_progress();
+        let comm = self.win_info(win)?.comm;
+        self.route(comm, progressed)?;
+        let wtarget = self.world_dst(comm, target)?;
+        if self.win_info(win)?.locked != Some(wtarget) {
+            return Err(MpiError::InvalidWin("unlock without a matching lock"));
+        }
+        let begin = self.eng.now();
+        let (puts, gets) = {
+            let w = self.win_info_mut(win)?;
+            let (puts, keep_p): (Vec<_>, Vec<_>) = std::mem::take(&mut w.pending_puts)
+                .into_iter()
+                .partition(|&(t, _)| t == wtarget);
+            let (gets, keep_g): (Vec<_>, Vec<_>) = std::mem::take(&mut w.pending_gets)
+                .into_iter()
+                .partition(|&(t, _)| t == wtarget);
+            w.pending_puts = keep_p;
+            w.pending_gets = keep_g;
+            (puts, gets)
+        };
+        let out = self.flush_rma(comm, puts, gets)?;
+        let r = self.eng.rma_control_roundtrip(wtarget);
+        self.route(comm, r)?;
+        self.win_info_mut(win)?.locked = None;
+        if obs::tracing_enabled() {
+            obs::span("rma.unlock", "rma", begin, self.eng.now(), Vec::new());
+        }
+        Ok(out)
     }
 
     // ------------------------------------------------------------------

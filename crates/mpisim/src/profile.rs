@@ -32,6 +32,15 @@ pub struct PathParams {
     pub cts_handling_ns: f64,
     /// Wire header added to every message for serialization timing.
     pub header_bytes: usize,
+    /// Largest one-sided payload sent through the pre-registered eager
+    /// (copy-based) RDMA-write path; above this the payload moves
+    /// zero-copy from registered user memory (rendezvous crossover).
+    pub rma_eager_threshold: usize,
+    /// Base cost of registering (pinning) a memory region with the NIC on
+    /// a registration-cache miss.
+    pub rma_reg_base_ns: f64,
+    /// Per-byte cost of registering a memory region.
+    pub rma_reg_per_byte_ns: f64,
 }
 
 impl PathParams {
@@ -51,6 +60,13 @@ impl PathParams {
     #[inline]
     pub fn unexpected_extra(&self, n: usize) -> VDur {
         VDur::from_nanos(n as f64 * self.unexpected_extra_per_byte_ns)
+    }
+
+    /// NIC registration (pinning) cost for an `n`-byte region — paid on a
+    /// registration-cache miss before a zero-copy one-sided transfer.
+    #[inline]
+    pub fn rma_reg(&self, n: usize) -> VDur {
+        VDur::from_nanos(self.rma_reg_base_ns + n as f64 * self.rma_reg_per_byte_ns)
     }
 }
 
@@ -144,6 +160,10 @@ impl Profile {
                 unexpected_extra_per_byte_ns: 0.030,
                 cts_handling_ns: 80.0,
                 header_bytes: 48,
+                rma_eager_threshold: 8 * 1024,
+                // CMA-backed shm "registration" is cheap (VMA bookkeeping).
+                rma_reg_base_ns: 6_000.0,
+                rma_reg_per_byte_ns: 0.008,
             },
             net: PathParams {
                 loggp: LogGp {
@@ -160,6 +180,10 @@ impl Profile {
                 unexpected_extra_per_byte_ns: 0.030,
                 cts_handling_ns: 120.0,
                 header_bytes: 64,
+                rma_eager_threshold: 16 * 1024,
+                // ibv_reg_mr: page pinning plus HCA translation update.
+                rma_reg_base_ns: 25_000.0,
+                rma_reg_per_byte_ns: 0.010,
             },
             coll: CollTuning {
                 hierarchical: true,
@@ -200,6 +224,9 @@ impl Profile {
                 unexpected_extra_per_byte_ns: 0.034,
                 cts_handling_ns: 150.0,
                 header_bytes: 64,
+                rma_eager_threshold: 4 * 1024,
+                rma_reg_base_ns: 8_000.0,
+                rma_reg_per_byte_ns: 0.009,
             },
             net: PathParams {
                 loggp: LogGp {
@@ -217,6 +244,9 @@ impl Profile {
                 unexpected_extra_per_byte_ns: 0.032,
                 cts_handling_ns: 140.0,
                 header_bytes: 64,
+                rma_eager_threshold: 8 * 1024,
+                rma_reg_base_ns: 30_000.0,
+                rma_reg_per_byte_ns: 0.012,
             },
             coll: CollTuning {
                 hierarchical: false,

@@ -1,0 +1,133 @@
+//! One-sided support machinery: the NIC registration (pin-down) cache.
+//!
+//! Zero-copy RDMA requires the transferred region to be registered
+//! (pinned) with the NIC — an expensive kernel round trip ("Design and
+//! Implementation of MPICH2 over InfiniBand with RDMA Support" measures
+//! it dominating small-message one-sided cost when uncached). Real
+//! libraries amortize it with a pin-down cache keyed by buffer identity:
+//! the first transfer from a region pays registration, later ones hit the
+//! cache, and an LRU bound models the pinned-memory budget.
+//!
+//! The cache is pure bookkeeping — the caller charges virtual time for
+//! misses and emits the `rma.reg.{hit,miss,evict}` pvars — so it is
+//! directly unit-testable.
+
+/// Outcome of a registration-cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegLookup {
+    /// The region is already pinned; the transfer proceeds at zero
+    /// registration cost.
+    Hit,
+    /// The region had to be registered. `evicted` reports whether an LRU
+    /// entry was unpinned to make room.
+    Miss { evicted: bool },
+}
+
+/// LRU registration cache keyed by buffer identity.
+///
+/// An entry covers a whole buffer, not a byte range: like MVAPICH2's
+/// pin-down cache, re-registering the same buffer with a larger extent
+/// upgrades the existing entry in place (counted as a miss — the extra
+/// pages still get pinned).
+#[derive(Debug)]
+pub struct RegCache {
+    cap: usize,
+    /// `(key, pinned_bytes)`, least-recently-used first.
+    entries: Vec<(u64, usize)>,
+}
+
+impl RegCache {
+    /// A cache holding at most `cap` pinned regions.
+    pub fn new(cap: usize) -> RegCache {
+        RegCache {
+            cap: cap.max(1),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of regions currently pinned.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is pinned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes currently pinned.
+    pub fn pinned_bytes(&self) -> usize {
+        self.entries.iter().map(|&(_, b)| b).sum()
+    }
+
+    /// Look up (and touch) the registration for buffer `key` covering
+    /// `bytes`. A hit requires the pinned extent to cover the request;
+    /// anything else is a miss that (re)pins `bytes`.
+    pub fn lookup(&mut self, key: u64, bytes: usize) -> RegLookup {
+        if let Some(pos) = self.entries.iter().position(|&(k, _)| k == key) {
+            let (_, pinned) = self.entries.remove(pos);
+            if pinned >= bytes {
+                self.entries.push((key, pinned));
+                return RegLookup::Hit;
+            }
+            // Extent grew: re-register in place (no eviction needed, the
+            // slot is already ours).
+            self.entries.push((key, bytes));
+            return RegLookup::Miss { evicted: false };
+        }
+        let evicted = if self.entries.len() >= self.cap {
+            self.entries.remove(0);
+            true
+        } else {
+            false
+        };
+        self.entries.push((key, bytes));
+        RegLookup::Miss { evicted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_use_misses_then_hits() {
+        let mut c = RegCache::new(4);
+        assert_eq!(c.lookup(1, 100), RegLookup::Miss { evicted: false });
+        assert_eq!(c.lookup(1, 100), RegLookup::Hit);
+        assert_eq!(c.lookup(1, 50), RegLookup::Hit, "smaller extent is covered");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn growing_extent_repins() {
+        let mut c = RegCache::new(4);
+        c.lookup(1, 100);
+        assert_eq!(c.lookup(1, 200), RegLookup::Miss { evicted: false });
+        assert_eq!(c.pinned_bytes(), 200);
+        assert_eq!(c.lookup(1, 200), RegLookup::Hit);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut c = RegCache::new(2);
+        c.lookup(1, 10);
+        c.lookup(2, 10);
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(c.lookup(1, 10), RegLookup::Hit);
+        assert_eq!(c.lookup(3, 10), RegLookup::Miss { evicted: true });
+        assert_eq!(c.lookup(1, 10), RegLookup::Hit, "recently used survives");
+        assert_eq!(
+            c.lookup(2, 10),
+            RegLookup::Miss { evicted: true },
+            "LRU was evicted"
+        );
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let mut c = RegCache::new(0);
+        assert_eq!(c.lookup(1, 10), RegLookup::Miss { evicted: false });
+        assert_eq!(c.lookup(1, 10), RegLookup::Hit);
+    }
+}

@@ -24,6 +24,13 @@ impl DirectBuffer {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// Stable identity of the off-heap region (direct buffers never move,
+    /// so the id works as a registration-cache key).
+    #[inline]
+    pub fn id(&self) -> u32 {
+        self.id
+    }
 }
 
 /// Handle to a heap (non-direct) ByteBuffer — an ordinary managed object.

@@ -28,17 +28,19 @@ use crate::trace::FlowDir;
 use crate::{ArgValue, JobReport};
 
 /// Attribution categories, in report column order.
-pub const NCATS: usize = 7;
+pub const NCATS: usize = 8;
 pub const CATEGORY_NAMES: [&str; NCATS] = [
-    "gc", "copy", "staging", "fabric", "retrans", "wait", "other",
+    "gc", "copy", "staging", "fabric", "retrans", "wait", "rma", "other",
 ];
-const OTHER: usize = 6;
+const OTHER: usize = 7;
 /// Flattening priority (highest first) for overlapping spans: a GC pause
 /// inside a JNI call is GC time, staging inside a wait is staging time,
 /// and reliability-sublayer backoff inside a wait is retransmission time
 /// (the cost the fault plan injected, separated from the benign wait for
-/// a matching message).
-const PRIORITY: [usize; 6] = [0, 2, 1, 3, 4, 5];
+/// a matching message). One-sided epoch bookkeeping (registration,
+/// fence/unlock waits) likewise beats the generic wait bucket; RMA
+/// transfer time itself still lands in `fabric` via its xfer spans.
+const PRIORITY: [usize; 7] = [0, 2, 1, 3, 4, 6, 5];
 
 /// Map a span to its attribution category.
 fn category_of(cat: &str, name: &str) -> Option<usize> {
@@ -49,6 +51,7 @@ fn category_of(cat: &str, name: &str) -> Option<usize> {
         "fabric" => Some(3),
         "retransmit" | "fault" => Some(4),
         "pt2pt" if name == "mpi.wait" => Some(5),
+        "rma" => Some(6),
         _ => None,
     }
 }
@@ -575,12 +578,21 @@ impl Analysis {
             self.ranks
         ));
         out.push_str(&format!(
-            "# {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12}\n",
-            "size", "gc%", "copy%", "stage%", "fabric%", "retrans%", "wait%", "other%", "wall-us"
+            "# {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12}\n",
+            "size",
+            "gc%",
+            "copy%",
+            "stage%",
+            "fabric%",
+            "retrans%",
+            "wait%",
+            "rma%",
+            "other%",
+            "wall-us"
         ));
         for b in &self.buckets {
             out.push_str(&format!(
-                "  {:>10} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>12.2}\n",
+                "  {:>10} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>12.2}\n",
                 b.size,
                 b.share_pct(0),
                 b.share_pct(1),
@@ -589,6 +601,7 @@ impl Analysis {
                 b.share_pct(4),
                 b.share_pct(5),
                 b.share_pct(6),
+                b.share_pct(7),
                 b.wall_ns / 1_000.0,
             ));
         }
@@ -713,11 +726,12 @@ impl Analysis {
     pub fn render_csv(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "size,gc_pct,copy_pct,staging_pct,fabric_pct,retrans_pct,wait_pct,other_pct,wall_us\n",
+            "size,gc_pct,copy_pct,staging_pct,fabric_pct,retrans_pct,wait_pct,rma_pct,\
+             other_pct,wall_us\n",
         );
         for b in &self.buckets {
             out.push_str(&format!(
-                "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+                "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
                 b.size,
                 b.share_pct(0),
                 b.share_pct(1),
@@ -726,6 +740,7 @@ impl Analysis {
                 b.share_pct(4),
                 b.share_pct(5),
                 b.share_pct(6),
+                b.share_pct(7),
                 b.wall_ns / 1_000.0,
             ));
         }
@@ -789,8 +804,8 @@ mod tests {
     #[test]
     fn window_attribution_partitions_wall_time() {
         // One 100 ns window: GC [10,30) nested inside a nif call [5,40),
-        // a wait [50,90) with fabric [60,70) and a retransmit backoff
-        // [70,75) inside it.
+        // a wait [50,90) with fabric [60,70), a retransmit backoff
+        // [70,75), and an RMA fence wait [75,85) inside it.
         let events = vec![
             marker(0, 0.0, 8),
             ev(0, "gc", "mrt", 10.0, Some(20.0)),
@@ -798,6 +813,7 @@ mod tests {
             ev(0, "mpi.wait", "pt2pt", 50.0, Some(40.0)),
             ev(0, "xfer", "fabric", 60.0, Some(10.0)),
             ev(0, "retransmit", "retransmit", 70.0, Some(5.0)),
+            ev(0, "rma.fence", "rma", 75.0, Some(10.0)),
             ev(0, "end", "bench2", 100.0, None),
             marker(0, 100.0, 0), // close the window; zero-length tail skipped
         ];
@@ -810,8 +826,9 @@ mod tests {
         assert_eq!(b.cat_ns[1], 15.0); // nif minus the gc overlap
         assert_eq!(b.cat_ns[3], 10.0); // fabric wins over wait
         assert_eq!(b.cat_ns[4], 5.0); // retransmit backoff wins over wait
-        assert_eq!(b.cat_ns[5], 25.0); // wait minus fabric minus retransmit
-        assert_eq!(b.cat_ns[6], 25.0); // the rest
+        assert_eq!(b.cat_ns[6], 10.0); // rma epoch wait wins over wait
+        assert_eq!(b.cat_ns[5], 15.0); // wait minus fabric/retransmit/rma
+        assert_eq!(b.cat_ns[7], 25.0); // the rest
         assert!(b.unattributed_ns().abs() < 1e-9);
     }
 

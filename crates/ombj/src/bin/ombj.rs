@@ -5,9 +5,10 @@
 //! ombj --benchmark <benchmark> [options]
 //!
 //! benchmarks:
-//!   latency | bw | bibw | bcast | reduce | allreduce | allgather |
-//!   allgatherv | gather | gatherv | scatter | scatterv | alltoall |
-//!   alltoallv | barrier | ibcast | iallreduce
+//!   latency | bw | bibw | put_latency | get_bw | put_bibw | bcast |
+//!   reduce | allreduce | allgather | allgatherv | gather | gatherv |
+//!   scatter | scatterv | alltoall | alltoallv | barrier | ibcast |
+//!   iallreduce
 //!
 //! options:
 //!   --lib mvapich2j|openmpij    library under test (default mvapich2j)
@@ -35,7 +36,7 @@ use simfabric::{FaultPlan, Topology};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ombj <latency|bw|bibw|bcast|reduce|allreduce|allgather|allgatherv|gather|gatherv|scatter|scatterv|alltoall|alltoallv|barrier|ibcast|iallreduce> \
+        "usage: ombj <latency|bw|bibw|put_latency|get_bw|put_bibw|bcast|reduce|allreduce|allgather|allgatherv|gather|gatherv|scatter|scatterv|alltoall|alltoallv|barrier|ibcast|iallreduce> \
          [--lib mvapich2j|openmpij] [--api buffer|arrays] [--nodes N] [--ppn P] \
          [--min B] [--max B] [--iters N] [--warmup N] [--validate] [--compare] \
          [--overlap|--no-overlap] [--format text|json|csv] [--trace-out PATH] \
@@ -65,6 +66,9 @@ fn parse_benchmark(name: &str) -> Benchmark {
         "latency" => Benchmark::Latency,
         "bw" => Benchmark::Bandwidth,
         "bibw" => Benchmark::BiBandwidth,
+        "put_latency" => Benchmark::PutLatency,
+        "get_bw" => Benchmark::GetBandwidth,
+        "put_bibw" => Benchmark::PutBiBandwidth,
         "bcast" => Benchmark::Collective(CollOp::Bcast),
         "reduce" => Benchmark::Collective(CollOp::Reduce),
         "allreduce" => Benchmark::Collective(CollOp::Allreduce),

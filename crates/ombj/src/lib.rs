@@ -25,6 +25,7 @@ pub mod nbcoll;
 pub mod options;
 pub mod pt2pt;
 pub mod report;
+pub mod rma;
 pub mod runner;
 
 pub use coll::CollOp;

@@ -1,0 +1,273 @@
+//! One-sided benchmarks: `osu_put_latency`, `osu_get_bw`, `osu_put_bibw`
+//! over window objects in both binding flavors. Passive-target epochs
+//! (lock/unlock) drive the latency and get benchmarks like the OSU
+//! defaults; the bidirectional put benchmark closes fence epochs so both
+//! directions complete together.
+
+use mvapich2j::datatype::BYTE;
+use mvapich2j::{BindResult, DirectBuffer, Env, JArray, JWin};
+
+use crate::data::{fill_array, fill_direct, validate_array, validate_direct};
+use crate::options::{Api, BenchOptions, SizeValue};
+
+/// Window plus origin/destination storage for one RMA run.
+enum RmaBufs {
+    Buffer {
+        win: JWin,
+        window: DirectBuffer,
+        origin: DirectBuffer,
+    },
+    Arrays {
+        win: JWin,
+        window: JArray<i8>,
+        origin: JArray<i8>,
+    },
+}
+
+fn alloc_rma(env: &mut Env, api: Api, max: usize) -> BindResult<RmaBufs> {
+    let w = env.world();
+    Ok(match api {
+        Api::Buffer => {
+            let window = env.new_direct(max);
+            let origin = env.new_direct(max);
+            let win = env.win_create_buffer(window, w)?;
+            RmaBufs::Buffer {
+                win,
+                window,
+                origin,
+            }
+        }
+        Api::Arrays => {
+            let window = env.new_array::<i8>(max)?;
+            let origin = env.new_array::<i8>(max)?;
+            let win = env.win_create_array(window, w)?;
+            RmaBufs::Arrays {
+                win,
+                window,
+                origin,
+            }
+        }
+    })
+}
+
+impl RmaBufs {
+    fn win(&self) -> JWin {
+        match self {
+            RmaBufs::Buffer { win, .. } | RmaBufs::Arrays { win, .. } => *win,
+        }
+    }
+
+    fn put(&self, env: &mut Env, size: usize, target: usize) -> BindResult<()> {
+        match self {
+            RmaBufs::Buffer { win, origin, .. } => {
+                env.put_buffer(*win, *origin, size as i32, &BYTE, target, 0)
+            }
+            RmaBufs::Arrays { win, origin, .. } => {
+                env.put_array(*win, *origin, size as i32, target, 0)
+            }
+        }
+    }
+
+    fn get(&self, env: &mut Env, size: usize, target: usize) -> BindResult<()> {
+        match self {
+            RmaBufs::Buffer { win, origin, .. } => {
+                env.get_buffer(*win, *origin, size as i32, &BYTE, target, 0)
+            }
+            RmaBufs::Arrays { win, origin, .. } => {
+                env.get_array(*win, *origin, size as i32, target, 0)
+            }
+        }
+    }
+
+    fn fill_origin(&self, env: &mut Env, size: usize, iter: usize) {
+        match self {
+            RmaBufs::Buffer { origin, .. } => fill_direct(env, *origin, size, iter),
+            RmaBufs::Arrays { origin, .. } => fill_array(env, *origin, size, iter),
+        }
+    }
+
+    fn fill_window(&self, env: &mut Env, size: usize, iter: usize) {
+        match self {
+            RmaBufs::Buffer { window, .. } => fill_direct(env, *window, size, iter),
+            RmaBufs::Arrays { window, .. } => fill_array(env, *window, size, iter),
+        }
+    }
+
+    fn validate_window(&self, env: &mut Env, size: usize, iter: usize) -> usize {
+        match self {
+            RmaBufs::Buffer { window, .. } => validate_direct(env, *window, size, iter),
+            RmaBufs::Arrays { window, .. } => validate_array(env, *window, size, iter),
+        }
+    }
+
+    fn validate_origin(&self, env: &mut Env, size: usize, iter: usize) -> usize {
+        match self {
+            RmaBufs::Buffer { origin, .. } => validate_direct(env, *origin, size, iter),
+            RmaBufs::Arrays { origin, .. } => validate_array(env, *origin, size, iter),
+        }
+    }
+}
+
+fn size_marker(env: &Env, size: usize) {
+    obs::instant(
+        "bench.size",
+        "bench",
+        env.now(),
+        vec![("bytes", obs::ArgValue::U64(size as u64))],
+    );
+}
+
+/// `osu_put_latency`: rank 0 runs a lock/put/unlock passive-target epoch
+/// against rank 1's window per iteration; reports µs per completed put.
+pub fn put_latency(env: &mut Env, opts: &BenchOptions, api: Api) -> BindResult<Vec<SizeValue>> {
+    assert!(env.size() >= 2, "osu_put_latency needs two ranks");
+    let w = env.world();
+    let me = env.rank();
+    let bufs = alloc_rma(env, api, opts.max_size)?;
+    let mut out = Vec::new();
+
+    for size in opts.sizes() {
+        let (warmup, iters) = opts.iters_for(size);
+        env.barrier(w)?;
+        size_marker(env, size);
+        let mut elapsed = 0.0f64;
+        for i in 0..warmup + iters {
+            if me == 0 {
+                if opts.validate {
+                    bufs.fill_origin(env, size, i);
+                }
+                let t0 = env.now();
+                env.win_lock(bufs.win(), 1)?;
+                bufs.put(env, size, 1)?;
+                env.win_unlock(bufs.win(), 1)?;
+                if i >= warmup {
+                    elapsed += (env.now() - t0).as_nanos();
+                }
+            }
+            // The target stays passive; its progress engine applies the
+            // deposit when the frame lands.
+        }
+        env.barrier(w)?;
+        if me == 1 && opts.validate && iters > 0 {
+            env.win_sync(bufs.win())?;
+            let last = warmup + iters - 1;
+            assert_eq!(
+                bufs.validate_window(env, size, last),
+                0,
+                "corrupt put payload at {size} bytes"
+            );
+        }
+        if me == 0 {
+            out.push(SizeValue {
+                size,
+                value: elapsed / iters as f64 / 1_000.0, // µs per put
+            });
+        }
+        env.barrier(w)?;
+    }
+    env.win_free(bufs.win())?;
+    Ok(out)
+}
+
+/// `osu_get_bw`: rank 0 issues a window of RDMA reads from rank 1 under
+/// one lock and completes them at the unlock; reports MB/s.
+pub fn get_bw(env: &mut Env, opts: &BenchOptions, api: Api) -> BindResult<Vec<SizeValue>> {
+    assert!(env.size() >= 2, "osu_get_bw needs two ranks");
+    let w = env.world();
+    let me = env.rank();
+    let window = opts.window_size;
+    let bufs = alloc_rma(env, api, opts.max_size)?;
+    let mut out = Vec::new();
+
+    for size in opts.sizes() {
+        let (warmup, iters) = opts.iters_for(size);
+        if me == 1 && opts.validate {
+            bufs.fill_window(env, size, size);
+        }
+        // The fence publishes the target's freshly-written window
+        // content before any origin reads it.
+        env.win_fence(bufs.win())?;
+        size_marker(env, size);
+        let mut t_start = env.now();
+        for i in 0..warmup + iters {
+            if i == warmup {
+                t_start = env.now();
+            }
+            if me == 0 {
+                env.win_lock(bufs.win(), 1)?;
+                for _ in 0..window {
+                    bufs.get(env, size, 1)?;
+                }
+                env.win_unlock(bufs.win(), 1)?;
+                if opts.validate {
+                    assert_eq!(
+                        bufs.validate_origin(env, size, size),
+                        0,
+                        "corrupt get payload at {size} bytes"
+                    );
+                }
+            }
+        }
+        let elapsed_s = (env.now() - t_start).as_secs();
+        env.barrier(w)?;
+        if me == 0 {
+            let bytes = (size * window * iters) as f64;
+            out.push(SizeValue {
+                size,
+                value: bytes / elapsed_s / 1e6, // MB/s
+            });
+        }
+    }
+    env.win_free(bufs.win())?;
+    Ok(out)
+}
+
+/// `osu_put_bibw`: both ranks stream a window of puts at each other and
+/// close a fence epoch; reports aggregate MB/s over both directions.
+pub fn put_bibw(env: &mut Env, opts: &BenchOptions, api: Api) -> BindResult<Vec<SizeValue>> {
+    assert!(env.size() >= 2, "osu_put_bibw needs two ranks");
+    let me = env.rank();
+    let peer = if me == 0 { 1 } else { 0 };
+    let window = opts.window_size;
+    let bufs = alloc_rma(env, api, opts.max_size)?;
+    let mut out = Vec::new();
+
+    for size in opts.sizes() {
+        let (warmup, iters) = opts.iters_for(size);
+        env.win_fence(bufs.win())?;
+        size_marker(env, size);
+        let mut t_start = env.now();
+        for i in 0..warmup + iters {
+            if i == warmup {
+                env.win_fence(bufs.win())?;
+                t_start = env.now();
+            }
+            if me <= 1 {
+                if opts.validate {
+                    bufs.fill_origin(env, size, i);
+                }
+                for _ in 0..window {
+                    bufs.put(env, size, peer)?;
+                }
+            }
+            env.win_fence(bufs.win())?;
+            if me <= 1 && opts.validate {
+                assert_eq!(
+                    bufs.validate_window(env, size, i),
+                    0,
+                    "corrupt bidirectional put at {size} bytes"
+                );
+            }
+        }
+        let elapsed_s = (env.now() - t_start).as_secs();
+        if me == 0 {
+            let bytes = 2.0 * (size * window * iters) as f64;
+            out.push(SizeValue {
+                size,
+                value: bytes / elapsed_s / 1e6, // MB/s
+            });
+        }
+    }
+    env.win_free(bufs.win())?;
+    Ok(out)
+}

@@ -52,6 +52,12 @@ pub enum Benchmark {
     Bandwidth,
     /// `osu_bibw`.
     BiBandwidth,
+    /// `osu_put_latency`: one-sided put under a passive-target epoch.
+    PutLatency,
+    /// `osu_get_bw`: windowed one-sided reads, completed at the unlock.
+    GetBandwidth,
+    /// `osu_put_bibw`: bidirectional put streams closed by fence epochs.
+    PutBiBandwidth,
     /// A blocking (possibly vectored) collective.
     Collective(CollOp),
     /// A non-blocking collective with overlap measurement. `overlap`
@@ -67,6 +73,9 @@ impl Benchmark {
             Benchmark::Latency => "osu_latency",
             Benchmark::Bandwidth => "osu_bw",
             Benchmark::BiBandwidth => "osu_bibw",
+            Benchmark::PutLatency => "osu_put_latency",
+            Benchmark::GetBandwidth => "osu_get_bw",
+            Benchmark::PutBiBandwidth => "osu_put_bibw",
             Benchmark::Collective(op) => op.name(),
             Benchmark::NonBlocking { op, .. } => op.name(),
         }
@@ -75,8 +84,14 @@ impl Benchmark {
     /// Metric unit.
     pub fn unit(self) -> &'static str {
         match self {
-            Benchmark::Latency | Benchmark::Collective(_) | Benchmark::NonBlocking { .. } => "us",
-            Benchmark::Bandwidth | Benchmark::BiBandwidth => "MB/s",
+            Benchmark::Latency
+            | Benchmark::PutLatency
+            | Benchmark::Collective(_)
+            | Benchmark::NonBlocking { .. } => "us",
+            Benchmark::Bandwidth
+            | Benchmark::BiBandwidth
+            | Benchmark::GetBandwidth
+            | Benchmark::PutBiBandwidth => "MB/s",
         }
     }
 }
@@ -134,6 +149,9 @@ pub fn run_with_obs(spec: RunSpec, o: obs::ObsOptions) -> (Option<Series>, obs::
             Benchmark::Latency => (lat_impl(env, &opts, api)?, None),
             Benchmark::Bandwidth => (bandwidth(env, &opts, api)?, None),
             Benchmark::BiBandwidth => (bibandwidth(env, &opts, api)?, None),
+            Benchmark::PutLatency => (crate::rma::put_latency(env, &opts, api)?, None),
+            Benchmark::GetBandwidth => (crate::rma::get_bw(env, &opts, api)?, None),
+            Benchmark::PutBiBandwidth => (crate::rma::put_bibw(env, &opts, api)?, None),
             Benchmark::Collective(op) => (collective(env, &opts, api, op)?, None),
             Benchmark::NonBlocking { op, overlap } => {
                 let pts = nb_collective(env, &opts, api, op, overlap)?;

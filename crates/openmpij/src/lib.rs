@@ -29,7 +29,7 @@
 //! ```
 
 pub use mvapich2j::{
-    run_job, run_job_with_obs, BindError, BindResult, Env, JRequest, JStatus, JobConfig,
+    run_job, run_job_with_obs, BindError, BindResult, Env, JRequest, JStatus, JWin, JobConfig,
     TestOutcome, OPENMPIJ,
 };
 

@@ -23,10 +23,12 @@
 
 pub mod endpoint;
 pub mod fault;
+pub mod onesided;
 pub mod runner;
 pub mod topology;
 
 pub use endpoint::{Delivery, Endpoint, SendStats};
 pub use fault::{FabricError, Fate, FaultPlan, FaultTarget, SendOutcome};
+pub use onesided::{one_sided_channel, OneSidedClass};
 pub use runner::run_cluster;
 pub use topology::Topology;

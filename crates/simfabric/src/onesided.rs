@@ -1,0 +1,56 @@
+//! One-sided (RMA) delivery-channel naming.
+//!
+//! One-sided traffic bypasses tag matching and is emitted by two distinct
+//! engines: the origin CPU (puts, accumulates, get requests, in program
+//! order) and the target NIC (get replies, in request-arrival order).
+//! Each gets its own injection channel per window so that, as with
+//! non-blocking-collective schedule traffic, the per-channel busy horizon
+//! stays a pure function of virtual time — never of the real-time order
+//! in which the two emitters happened to run.
+//!
+//! Channel ids set the top bit, which the two-sided channel allocator
+//! (`mpisim`'s `injection_channel`) can never produce: its ids are built
+//! from a 32-bit context and a bounded tag window, leaving the high bit
+//! clear. The two spaces are therefore disjoint by construction.
+
+/// Marks a channel id as belonging to the one-sided space.
+pub const ONE_SIDED_CHANNEL_BIT: u64 = 1 << 63;
+
+/// Emission classes within one window's one-sided traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OneSidedClass {
+    /// Origin-emitted traffic: puts, accumulates, get requests (fired in
+    /// program order on the origin rank).
+    Data = 0,
+    /// Target-NIC-emitted get replies (fired in request-arrival order).
+    Reply = 1,
+}
+
+/// The injection channel for one-sided traffic on window `win`.
+pub fn one_sided_channel(win: u32, class: OneSidedClass) -> u64 {
+    ONE_SIDED_CHANNEL_BIT | ((win as u64) << 1) | class as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channels_are_distinct_per_window_and_class() {
+        let a = one_sided_channel(1, OneSidedClass::Data);
+        let b = one_sided_channel(1, OneSidedClass::Reply);
+        let c = one_sided_channel(2, OneSidedClass::Data);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn channels_set_the_high_bit() {
+        for win in [0u32, 1, 7, u32::MAX] {
+            for class in [OneSidedClass::Data, OneSidedClass::Reply] {
+                assert_ne!(one_sided_channel(win, class) & ONE_SIDED_CHANNEL_BIT, 0);
+            }
+        }
+    }
+}

@@ -411,6 +411,234 @@ fn conformance_16_ranks() {
     check(16, 6, 3);
 }
 
+// ----------------------------------------------------------------------
+// One-sided (RMA) conformance
+// ----------------------------------------------------------------------
+
+/// Expected window content of rank `r` after each epoch, computed as a
+/// pure function (no communication) so every rank can check every
+/// window it owns against the same reference.
+fn rma_reference(p: usize, k: usize, seed: u64, epoch: u32) -> Vec<Vec<i32>> {
+    let mut wins = vec![vec![0i32; k * p]; p];
+    if epoch >= 1 {
+        // Epoch 1: every rank puts its block (at offset me*k) into every
+        // window, with target-dependent content.
+        for (r, win) in wins.iter_mut().enumerate() {
+            for s in 0..p {
+                for i in 0..k {
+                    win[s * k + i] = input(seed, 100 + r as u64, s, i);
+                }
+            }
+        }
+    }
+    if epoch >= 2 {
+        // Epoch 2: all ranks accumulate Sum into block 0 of rank p-1.
+        for i in 0..k {
+            let contrib = (0..p)
+                .map(|r| input(seed, 200, r, i))
+                .fold(0i32, |a, b| a.wrapping_add(b));
+            wins[p - 1][i] = wins[p - 1][i].wrapping_add(contrib);
+        }
+    }
+    if epoch >= 4 {
+        // Epoch 4 (passive target): rank s locks rank (s+1)%p and puts a
+        // fresh block at offset s*k.
+        for (r, win) in wins.iter_mut().enumerate() {
+            let s = (r + p - 1) % p;
+            for i in 0..k {
+                win[s * k + i] = input(seed, 300 + r as u64, s, i);
+            }
+        }
+    }
+    wins
+}
+
+enum WinIo {
+    Buf(mvapich2j::DirectBuffer),
+    Arr(mvapich2j::JArray<i32>),
+}
+
+/// Seeded one-sided epochs over the full bindings stack: active-target
+/// fence epochs with Put and Accumulate, a Get epoch, and a passive
+/// lock/unlock epoch, all checked against [`rma_reference`]. Returns
+/// (payload digest, final clock bits) like [`conformance_body`].
+fn rma_body(env: &mut Env, seed: u64, arrays: bool) -> (u64, u64) {
+    let w = env.world();
+    let p = env.size();
+    let me = env.rank();
+    let k = 32usize; // ints per block
+    let n = k * p; // window length in ints
+
+    let (win, io) = if arrays {
+        let arr = env.new_array::<i32>(n).unwrap();
+        (env.win_create_array(arr, w).unwrap(), WinIo::Arr(arr))
+    } else {
+        let buf = env.new_direct(n * 4);
+        (env.win_create_buffer(buf, w).unwrap(), WinIo::Buf(buf))
+    };
+    let read_window = |env: &mut Env, io: &WinIo| -> Vec<i32> {
+        match io {
+            WinIo::Arr(a) => {
+                let mut out = vec![0i32; n];
+                env.array_read(*a, 0, &mut out).unwrap();
+                out
+            }
+            WinIo::Buf(b) => (0..n)
+                .map(|i| env.direct_get::<i32>(*b, i * 4).unwrap())
+                .collect(),
+        }
+    };
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+
+    // Epoch 1: puts to every rank (self included — exercises the local
+    // delivery path).
+    env.win_fence(win).unwrap();
+    for r in 0..p {
+        let vals: Vec<i32> = (0..k).map(|i| input(seed, 100 + r as u64, me, i)).collect();
+        let origin = write_input(env, arrays, &vals);
+        match &origin {
+            Io::Buf(b) => env
+                .put_buffer(win, *b, k as i32, &INT, r, me * k * 4)
+                .unwrap(),
+            Io::Arr(a) => env.put_array(win, *a, k as i32, r, me * k * 4).unwrap(),
+        }
+    }
+    env.win_fence(win).unwrap();
+    let got = read_window(env, &io);
+    assert_eq!(
+        got,
+        rma_reference(p, k, seed, 1)[me],
+        "epoch 1 (put) rank {me}"
+    );
+    fnv(&mut digest, &got);
+
+    // Epoch 2: everyone accumulates Sum into block 0 of rank p-1.
+    let vals: Vec<i32> = (0..k).map(|i| input(seed, 200, me, i)).collect();
+    let origin = write_input(env, arrays, &vals);
+    match &origin {
+        Io::Buf(b) => env
+            .accumulate_buffer(win, *b, k as i32, ReduceOp::Sum, p - 1, 0)
+            .unwrap(),
+        Io::Arr(a) => env
+            .accumulate_array(win, *a, k as i32, ReduceOp::Sum, p - 1, 0)
+            .unwrap(),
+    }
+    env.win_fence(win).unwrap();
+    let got = read_window(env, &io);
+    assert_eq!(
+        got,
+        rma_reference(p, k, seed, 2)[me],
+        "epoch 2 (acc) rank {me}"
+    );
+    fnv(&mut digest, &got);
+
+    // Epoch 3: get the block owned by rank (me+1)%p out of the window of
+    // rank (me+2)%p; windows are unchanged.
+    let src_rank = (me + 2) % p;
+    let blk = (me + 1) % p;
+    let dest = alloc_out(env, arrays, k);
+    match &dest {
+        Io::Buf(b) => env
+            .get_buffer(win, *b, k as i32, &INT, src_rank, blk * k * 4)
+            .unwrap(),
+        Io::Arr(a) => env
+            .get_array(win, *a, k as i32, src_rank, blk * k * 4)
+            .unwrap(),
+    }
+    env.win_fence(win).unwrap();
+    let got = read_out(env, &dest, k);
+    let expect = rma_reference(p, k, seed, 3)[src_rank][blk * k..(blk + 1) * k].to_vec();
+    assert_eq!(got, expect, "epoch 3 (get) rank {me}");
+    fnv(&mut digest, &got);
+
+    // Epoch 4: passive target — lock the neighbor, put, unlock; the
+    // target observes the deposit at its next sync after the barrier.
+    let t = (me + 1) % p;
+    let vals: Vec<i32> = (0..k).map(|i| input(seed, 300 + t as u64, me, i)).collect();
+    let origin = write_input(env, arrays, &vals);
+    env.win_lock(win, t).unwrap();
+    match &origin {
+        Io::Buf(b) => env
+            .put_buffer(win, *b, k as i32, &INT, t, me * k * 4)
+            .unwrap(),
+        Io::Arr(a) => env.put_array(win, *a, k as i32, t, me * k * 4).unwrap(),
+    }
+    env.win_unlock(win, t).unwrap();
+    env.barrier(w).unwrap();
+    env.win_sync(win).unwrap();
+    let got = read_window(env, &io);
+    assert_eq!(
+        got,
+        rma_reference(p, k, seed, 4)[me],
+        "epoch 4 (passive) rank {me}"
+    );
+    fnv(&mut digest, &got);
+
+    env.win_free(win).unwrap();
+    env.barrier(w).unwrap();
+    (digest, env.now().as_nanos().to_bits())
+}
+
+fn rma_job(ranks: usize, seed: u64, arrays: bool) -> Vec<(u64, u64)> {
+    let topo = if ranks > 4 {
+        Topology::new(ranks / 4, 4)
+    } else {
+        Topology::single_node(ranks)
+    };
+    run_job(JobConfig::mvapich2j(topo), move |env| {
+        rma_body(env, seed, arrays)
+    })
+}
+
+/// RMA cross-flavor equivalence and determinism: buffer- and array-backed
+/// windows produce byte-identical contents, and a rerun reproduces every
+/// rank's final clock bit-for-bit.
+fn rma_check(ranks: usize, seed: u64) {
+    let buf = rma_job(ranks, seed, false);
+    let arr = rma_job(ranks, seed, true);
+    for r in 0..ranks {
+        assert_eq!(
+            buf[r].0, arr[r].0,
+            "rank {r}: array-backed window diverged from buffer-backed"
+        );
+    }
+    let again = rma_job(ranks, seed, false);
+    assert_eq!(
+        buf, again,
+        "RMA virtual time not deterministic across reruns"
+    );
+}
+
+#[test]
+fn rma_conformance_2_ranks() {
+    rma_check(2, 11);
+}
+
+#[test]
+fn rma_conformance_4_ranks() {
+    rma_check(4, 12);
+}
+
+/// The comparator flavor supports the same one-sided API (windows are
+/// buffer-based underneath either way); digests must agree with
+/// MVAPICH2-J's over the same seed.
+#[test]
+fn rma_conformance_across_libraries() {
+    let seed = 13;
+    let mv = rma_job(4, seed, false);
+    let om = run_job(
+        JobConfig::mvapich2j(Topology::single_node(4))
+            .with_flavor(mvapich2j::OPENMPIJ, mvapich2j::Profile::openmpi_ucx()),
+        move |env| rma_body(env, seed, false),
+    );
+    for r in 0..4 {
+        assert_eq!(
+            mv[r].0, om[r].0,
+            "rank {r}: Open MPI-J window contents diverged"
+        );
+    }
+}
+
 /// Satellite check for the flavor comparison: the network-layer pvar
 /// deltas (pt2pt/coll/fabric) are identical across flavors — the staging
 /// path differs only in pool and copy counters.

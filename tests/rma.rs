@@ -1,0 +1,215 @@
+//! Workspace-level RMA tests: the zero-copy contract for direct-buffer
+//! windows (registration cache, no staging traffic), the staged path for
+//! array windows, LRU pressure on the pin-down cache, and the typed
+//! failure a dead target NIC must surface through an RMA epoch.
+
+use mvapich2j::datatype::INT;
+use mvapich2j::{run_job, run_job_with_obs, BindError, JobConfig, Topology};
+use simfabric::FaultPlan;
+
+/// Direct-buffer Put over the rendezvous (zero-copy) path: the origin
+/// buffer is pinned once, re-used from the registration cache on every
+/// later epoch, and the payload never touches the mpjbuf staging pool.
+#[test]
+fn direct_buffer_put_is_zero_copy_through_the_reg_cache() {
+    let n = 64 * 1024usize; // > rma_eager_threshold for every flavor
+    let k = (n / 4) as i32;
+    let rounds = 4u64;
+    let (_, report) =
+        run_job_with_obs(JobConfig::mvapich2j(Topology::single_node(2)), move |env| {
+            let w = env.world();
+            let me = env.rank();
+            let peer = 1 - me;
+            let buf = env.new_direct(n);
+            let origin = env.new_direct(n);
+            let win = env.win_create_buffer(buf, w).unwrap();
+            for round in 0..rounds as i32 {
+                for i in 0..16 {
+                    env.direct_put::<i32>(origin, i * 4, round ^ (me as i32) << 8 ^ i as i32)
+                        .unwrap();
+                }
+                env.win_fence(win).unwrap();
+                env.put_buffer(win, origin, k, &INT, peer, 0).unwrap();
+                env.win_fence(win).unwrap();
+                for i in 0..16 {
+                    assert_eq!(
+                        env.direct_get::<i32>(buf, i * 4).unwrap(),
+                        round ^ (peer as i32) << 8 ^ i as i32,
+                        "round {round} word {i}"
+                    );
+                }
+            }
+            env.win_free(win).unwrap();
+        });
+    let pvars = report.merged_pvars();
+    let msgs = 2 * rounds;
+    assert_eq!(pvars.counter("rma.put.msgs"), msgs);
+    assert_eq!(
+        pvars.counter("rma.put.eager"),
+        0,
+        "64 KiB puts must take the rendezvous path"
+    );
+    assert_eq!(pvars.counter("rma.put.zcopy"), msgs);
+    // One pin per rank (first epoch), cache hits ever after.
+    assert_eq!(pvars.counter("rma.reg.miss"), 2);
+    assert_eq!(pvars.counter("rma.reg.hit"), msgs - 2);
+    assert_eq!(pvars.counter("rma.reg.evict"), 0);
+    // The zero-copy contract: no staging buffer was ever requested.
+    assert_eq!(pvars.counter("mpjbuf.pool.hits"), 0);
+    assert_eq!(pvars.counter("mpjbuf.pool.misses"), 0);
+    assert_eq!(pvars.counter("mpjbuf.pool.fallback_allocs"), 0);
+}
+
+/// The same workload over array windows must stage: GC-movable storage
+/// is gathered into a pooled pinned buffer before it hits the NIC.
+#[test]
+fn array_window_put_stages_through_the_pool() {
+    let elems = 16 * 1024usize;
+    let (_, report) =
+        run_job_with_obs(JobConfig::mvapich2j(Topology::single_node(2)), move |env| {
+            let w = env.world();
+            let me = env.rank() as i32;
+            let peer = (1 - me) as usize;
+            let arr = env.new_array::<i32>(elems).unwrap();
+            let origin = env.new_array::<i32>(elems).unwrap();
+            let win = env.win_create_array(arr, w).unwrap();
+            let vals: Vec<i32> = (0..elems as i32).map(|i| me << 20 | i).collect();
+            env.array_write(origin, 0, &vals).unwrap();
+            env.win_fence(win).unwrap();
+            env.put_array(win, origin, elems as i32, peer, 0).unwrap();
+            env.win_fence(win).unwrap();
+            let mut got = vec![0i32; elems];
+            env.array_read(arr, 0, &mut got).unwrap();
+            for (i, v) in got.iter().enumerate() {
+                assert_eq!(*v, (1 - me) << 20 | i as i32, "word {i}");
+            }
+            env.win_free(win).unwrap();
+        });
+    let pvars = report.merged_pvars();
+    assert_eq!(pvars.counter("rma.put.msgs"), 2);
+    assert!(
+        pvars.counter("mpjbuf.pool.hits") + pvars.counter("mpjbuf.pool.misses") > 0,
+        "array origins must stage through the pool"
+    );
+    assert_eq!(
+        pvars.counter("mpjbuf.pool.releases"),
+        pvars.counter("mpjbuf.pool.hits") + pvars.counter("mpjbuf.pool.misses"),
+        "every staging buffer goes back to the pool"
+    );
+}
+
+/// More pinned regions than the cache holds: the LRU entry is unpinned
+/// and `rma.reg.evict` accounts for it.
+#[test]
+fn reg_cache_evicts_lru_under_pressure() {
+    let n = 16 * 1024usize; // > threshold, so every region registers
+    let regions = 68usize; // REG_CACHE_REGIONS is 64
+    let (_, report) =
+        run_job_with_obs(JobConfig::mvapich2j(Topology::single_node(2)), move |env| {
+            let w = env.world();
+            let me = env.rank();
+            let peer = 1 - me;
+            let buf = env.new_direct(n);
+            let win = env.win_create_buffer(buf, w).unwrap();
+            env.win_fence(win).unwrap();
+            for _ in 0..regions {
+                let origin = env.new_direct(n);
+                env.put_buffer(win, origin, (n / 4) as i32, &INT, peer, 0)
+                    .unwrap();
+            }
+            env.win_fence(win).unwrap();
+            env.win_free(win).unwrap();
+        });
+    let pvars = report.merged_pvars();
+    assert_eq!(pvars.counter("rma.reg.miss"), 2 * regions as u64);
+    assert_eq!(pvars.counter("rma.reg.hit"), 0);
+    assert_eq!(
+        pvars.counter("rma.reg.evict"),
+        2 * (regions as u64 - 64),
+        "regions beyond capacity must evict the LRU pin"
+    );
+}
+
+/// A traced `osu_put_latency` run must attribute one-sided time: the
+/// analyzer's `rma` category (registration + epoch waits) owns a slice
+/// of wall time and the series itself still measures.
+#[test]
+fn rma_time_shows_up_in_attribution() {
+    use ombj::{run_with_obs, Api, BenchOptions, Benchmark, Library, RunSpec};
+    let spec = RunSpec {
+        library: Library::Mvapich2J,
+        benchmark: Benchmark::PutLatency,
+        api: Api::Buffer,
+        topo: Topology::single_node(2),
+        opts: BenchOptions {
+            max_size: 1 << 14,
+            ..BenchOptions::quick()
+        },
+        faults: None,
+    };
+    let (series, report) = run_with_obs(spec, obs::ObsOptions::traced());
+    let s = series.expect("put_latency runs");
+    assert!(s.points.iter().all(|p| p.value > 0.0));
+    let a = obs::analyze::analyze(&report);
+    assert!(!a.buckets.is_empty());
+    assert!(
+        a.category_share_pct("rma") > 0.0,
+        "registration and epoch waits must land in the rma category:\n{}",
+        a.render_text()
+    );
+    assert!(
+        a.render_text().contains("rma%"),
+        "report grows an rma column"
+    );
+}
+
+/// A target whose NIC dies mid-epoch (the rank stops progressing, its
+/// RDMA completions never come back) must surface as a typed
+/// `RankFailed` from the origin's closing fence within the watchdog
+/// bound — not hang the epoch forever.
+#[test]
+fn dead_target_nic_surfaces_rank_failed_within_watchdog() {
+    let mut plan = FaultPlan::new(0);
+    // The crash entry arms the watchdog; the crash time is never reached
+    // in virtual time, so rank 1's death below is purely a simulated NIC
+    // failure (it returns early and stops serving one-sided traffic).
+    plan.crash = Some((1, 1e15));
+    plan.watchdog_ms = 100;
+    plan.rto_ns = 50.0;
+    plan.max_retries = 3;
+    let results = run_job(
+        JobConfig::mvapich2j(Topology::single_node(2)).with_faults(plan),
+        |env| {
+            let w = env.world();
+            env.native_mut()
+                .set_errhandler(w, mpisim::Errhandler::ErrorsReturn)
+                .unwrap();
+            let me = env.rank();
+            let buf = env.new_direct(64 * 4);
+            let win = env.win_create_buffer(buf, w).unwrap();
+            env.win_fence(win).unwrap();
+            if me == 1 {
+                // Dead NIC: never serve the GetReq, never join the
+                // closing fence.
+                return None;
+            }
+            let started = std::time::Instant::now();
+            let dest = env.new_direct(64 * 4);
+            let err = env
+                .get_buffer(win, dest, 64, &INT, 1, 0)
+                .and_then(|_| env.win_fence(win))
+                .unwrap_err();
+            assert!(
+                started.elapsed().as_millis() < 5_000,
+                "watchdog must fire near its bound"
+            );
+            Some(err)
+        },
+    );
+    assert_eq!(
+        results[0],
+        Some(BindError::Mpi(mpisim::MpiError::RankFailed { rank: 1 })),
+        "origin must see the dead target as a typed rank failure"
+    );
+    assert_eq!(results[1], None);
+}
