@@ -24,6 +24,12 @@ pub const DEFAULT_GATE_PCT: f64 = 25.0;
 pub struct BasketEntry {
     pub name: &'static str,
     pub spec: RunSpec,
+    /// Observability configuration the workload is profiled under. Most
+    /// entries run with everything off (the disabled fast path the gate
+    /// is pricing); the `obs_on`/`obs_off` pair runs one identical
+    /// workload both ways so the cost of full instrumentation is a
+    /// standing, tracked number instead of a claim.
+    pub obs: obs::ObsOptions,
 }
 
 /// One profiled basket run.
@@ -46,7 +52,9 @@ fn opts(max_size: usize, quick: bool) -> BenchOptions {
 
 /// The fixed workload basket: pt2pt latency/bw, small- and large-comm
 /// collectives (2–64 ranks), one NBC overlap run, two one-sided (RMA)
-/// runs, one lossy-fabric run.
+/// runs, one lossy-fabric run, and an `obs_off`/`obs_on` pair (the same
+/// latency workload with instrumentation off and fully on — tracing,
+/// flight ring, telemetry) tracking the cost of observability itself.
 /// `quick` shrinks sizes and the large topology for tests.
 pub fn basket(quick: bool) -> Vec<BasketEntry> {
     let spec = |benchmark, topo, opts| RunSpec {
@@ -57,6 +65,7 @@ pub fn basket(quick: bool) -> Vec<BasketEntry> {
         opts,
         faults: None,
     };
+    let plain = obs::ObsOptions::profiled();
     let big = if quick {
         Topology::new(2, 4)
     } else {
@@ -79,6 +88,7 @@ pub fn basket(quick: bool) -> Vec<BasketEntry> {
                 Topology::new(2, 1),
                 opts(1 << 17, quick),
             ),
+            obs: plain,
         },
         BasketEntry {
             name: "pt2pt_bw",
@@ -87,6 +97,7 @@ pub fn basket(quick: bool) -> Vec<BasketEntry> {
                 Topology::new(2, 1),
                 opts(1 << 17, quick),
             ),
+            obs: plain,
         },
         BasketEntry {
             name: "bcast_8",
@@ -95,6 +106,7 @@ pub fn basket(quick: bool) -> Vec<BasketEntry> {
                 Topology::new(2, 4),
                 opts(1 << 14, quick),
             ),
+            obs: plain,
         },
         BasketEntry {
             name: "allreduce_64",
@@ -103,6 +115,7 @@ pub fn basket(quick: bool) -> Vec<BasketEntry> {
                 big,
                 opts(1 << 12, quick),
             ),
+            obs: plain,
         },
         BasketEntry {
             name: "ibcast_overlap",
@@ -114,6 +127,7 @@ pub fn basket(quick: bool) -> Vec<BasketEntry> {
                 Topology::new(2, 2),
                 opts(1 << 14, quick),
             ),
+            obs: plain,
         },
         BasketEntry {
             name: "rma_put_latency",
@@ -122,6 +136,7 @@ pub fn basket(quick: bool) -> Vec<BasketEntry> {
                 Topology::new(2, 1),
                 opts(1 << 16, quick),
             ),
+            obs: plain,
         },
         BasketEntry {
             name: "rma_get_bw",
@@ -130,10 +145,36 @@ pub fn basket(quick: bool) -> Vec<BasketEntry> {
                 Topology::new(2, 1),
                 opts(1 << 16, quick),
             ),
+            obs: plain,
         },
         BasketEntry {
             name: "lossy_latency",
             spec: lossy,
+            obs: plain,
+        },
+        BasketEntry {
+            name: "obs_off_latency",
+            spec: spec(
+                Benchmark::Latency,
+                Topology::new(2, 1),
+                opts(1 << 14, quick),
+            ),
+            obs: plain,
+        },
+        BasketEntry {
+            name: "obs_on_latency",
+            spec: spec(
+                Benchmark::Latency,
+                Topology::new(2, 1),
+                opts(1 << 14, quick),
+            ),
+            obs: obs::ObsOptions {
+                tracing: true,
+                profiling: true,
+                ..Default::default()
+            }
+            .with_flight()
+            .with_telemetry(0.0),
         },
     ]
 }
@@ -146,7 +187,7 @@ pub fn run_basket(quick: bool) -> Vec<BasketResult> {
         .into_iter()
         .map(|e| {
             let ranks = e.spec.topo.size();
-            let (series, report) = run_with_obs(e.spec, obs::ObsOptions::profiled());
+            let (series, report) = run_with_obs(e.spec, e.obs);
             series.unwrap_or_else(|| panic!("basket workload {} did not run", e.name));
             let perf = report
                 .sim_perf

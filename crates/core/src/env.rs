@@ -176,6 +176,10 @@ impl Env {
     /// collector honest.
     pub(crate) fn binding_call(&mut self) {
         self.binding_calls += 1;
+        // Anchor the telemetry sampler on the application clock at every
+        // binding entry, so caller-side pvars bin to the call's virtual
+        // moment under both binding flavors.
+        obs::telemetry_tick(self.mpi.now());
         obs::count("bind.calls", 1);
         let garbage = self.flavor.garbage_per_call;
         let overhead = self.flavor.call_overhead_ns;

@@ -796,9 +796,21 @@ impl Engine {
                 // failed rank, not a flaky link.
                 if let Some((crashed, _)) = plan.crash {
                     if crashed == dst {
+                        obs::incident_mark(
+                            "rank_failed",
+                            dst,
+                            t,
+                            format!("peer {dst} unreachable after {attempt} retries"),
+                        );
                         return Err(MpiError::RankFailed { rank: dst });
                     }
                 }
+                obs::incident_mark(
+                    "transport_failure",
+                    dst,
+                    t,
+                    format!("retries exhausted towards peer {dst}"),
+                );
                 return Err(MpiError::TransportFailure {
                     peer: dst,
                     retries: attempt,
@@ -832,6 +844,12 @@ impl Engine {
     fn check_self_crash(&self) -> MpiResult<()> {
         if let Some((rank, at_ns)) = self.plan.and_then(|p| p.crash) {
             if rank == self.rank() && self.clock.now().as_nanos() >= at_ns {
+                obs::incident_mark(
+                    "rank_failed",
+                    rank,
+                    self.clock.now(),
+                    "own crash time passed".to_string(),
+                );
                 return Err(MpiError::RankFailed { rank });
             }
         }
@@ -856,6 +874,12 @@ impl Engine {
                 Some(d) => Ok(d),
                 None => {
                     obs::count("fabric.watchdog_trips", 1);
+                    obs::incident_mark(
+                        "watchdog",
+                        crashed,
+                        self.clock.now(),
+                        format!("recv stalled {ms} ms waiting on rank {crashed}"),
+                    );
                     Err(MpiError::RankFailed { rank: crashed })
                 }
             },
@@ -1175,6 +1199,11 @@ impl Engine {
     fn handle(&mut self, d: Delivery<Frame>) -> MpiResult<()> {
         let _wp = wallprof::span(WpSub::Engine);
         wallprof::add(WpCounter::Deliveries, 1);
+        // Bin subsequent pvar updates to this delivery's virtual arrival:
+        // the telemetry interval an update lands in is then a function of
+        // the message, not of real-time mailbox pop order.
+        obs::telemetry_tick(d.arrival);
+        obs::count("engine.deliveries", 1);
         let frame = d.msg;
         if self.plan.is_some() {
             let _wr = wallprof::span(WpSub::Reliability);
@@ -1590,6 +1619,9 @@ impl Engine {
             self.handle(d)?;
         }
         let c = self.finish(req)?;
+        // Re-anchor the sampler on the application clock: pvars counted
+        // by the caller after this wait bin to the post-wait instant.
+        obs::telemetry_tick(self.clock.now());
         obs::span(
             "mpi.wait",
             "pt2pt",
@@ -1948,7 +1980,9 @@ impl Engine {
         if self.windows.insert(win, state).is_some() {
             return Err(MpiError::ProtocolError("window id created twice"));
         }
-        wallprof::add(WpCounter::Allocs, 1);
+        // Window memory is a one-time setup allocation, not per-message
+        // work; charging it to `Allocs` would pollute the allocs/msg
+        // metric every RMA benchmark is gated on.
         Ok(())
     }
 

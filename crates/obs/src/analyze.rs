@@ -135,59 +135,67 @@ pub fn events_from_chrome_trace(text: &str) -> Result<(Vec<Event>, u64), String>
         .unwrap_or(0.0) as u64;
     let mut out = Vec::new();
     for row in rows {
-        let ph = row.get("ph").and_then(JsonValue::as_str).unwrap_or("");
-        if ph == "M" {
-            continue; // metadata rows carry no timing
+        if let Some(ev) = chrome_row_to_event(row)? {
+            out.push(ev);
         }
-        let flow = match ph {
-            "s" | "f" => {
-                let id = row
-                    .get("id")
-                    .and_then(JsonValue::as_f64)
-                    .ok_or("flow event without id")? as u64;
-                let dir = if ph == "s" {
-                    FlowDir::Begin
-                } else {
-                    FlowDir::End
-                };
-                Some((dir, id))
-            }
-            _ => None,
-        };
-        let mut args = Vec::new();
-        if let Some(JsonValue::Obj(fields)) = row.get("args") {
-            for (k, v) in fields {
-                let a = match v {
-                    JsonValue::Num(n) => Arg::Num(*n),
-                    JsonValue::Str(s) => Arg::Str(s.clone()),
-                    JsonValue::Bool(b) => Arg::Bool(*b),
-                    _ => continue,
-                };
-                args.push((k.clone(), a));
-            }
-        }
-        out.push(Event {
-            rank: row.get("pid").and_then(JsonValue::as_f64).unwrap_or(0.0) as usize,
-            name: row
-                .get("name")
-                .and_then(JsonValue::as_str)
-                .unwrap_or("")
-                .to_string(),
-            cat: row
-                .get("cat")
-                .and_then(JsonValue::as_str)
-                .unwrap_or("")
-                .to_string(),
-            ts_ns: row.get("ts").and_then(JsonValue::as_f64).unwrap_or(0.0) * 1_000.0,
-            dur_ns: row
-                .get("dur")
-                .and_then(JsonValue::as_f64)
-                .map(|d| d * 1_000.0),
-            flow,
-            args,
-        });
     }
     Ok((out, dropped))
+}
+
+/// Parse one Chrome trace-event object row (as written by
+/// `write_chrome_event`); `None` for metadata rows.
+fn chrome_row_to_event(row: &JsonValue) -> Result<Option<Event>, String> {
+    let ph = row.get("ph").and_then(JsonValue::as_str).unwrap_or("");
+    if ph == "M" {
+        return Ok(None); // metadata rows carry no timing
+    }
+    let flow = match ph {
+        "s" | "f" => {
+            let id = row
+                .get("id")
+                .and_then(JsonValue::as_f64)
+                .ok_or("flow event without id")? as u64;
+            let dir = if ph == "s" {
+                FlowDir::Begin
+            } else {
+                FlowDir::End
+            };
+            Some((dir, id))
+        }
+        _ => None,
+    };
+    let mut args = Vec::new();
+    if let Some(JsonValue::Obj(fields)) = row.get("args") {
+        for (k, v) in fields {
+            let a = match v {
+                JsonValue::Num(n) => Arg::Num(*n),
+                JsonValue::Str(s) => Arg::Str(s.clone()),
+                JsonValue::Bool(b) => Arg::Bool(*b),
+                _ => continue,
+            };
+            args.push((k.clone(), a));
+        }
+    }
+    Ok(Some(Event {
+        rank: row.get("pid").and_then(JsonValue::as_f64).unwrap_or(0.0) as usize,
+        name: row
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("")
+            .to_string(),
+        cat: row
+            .get("cat")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("")
+            .to_string(),
+        ts_ns: row.get("ts").and_then(JsonValue::as_f64).unwrap_or(0.0) * 1_000.0,
+        dur_ns: row
+            .get("dur")
+            .and_then(JsonValue::as_f64)
+            .map(|d| d * 1_000.0),
+        flow,
+        args,
+    }))
 }
 
 /// One row of the attribution table: all windows of one message size,
@@ -762,6 +770,521 @@ impl Analysis {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry timeline analysis (`obs-analyze --timeline`)
+// ---------------------------------------------------------------------------
+
+/// One merged-across-ranks telemetry interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineRow {
+    /// Interval start, virtual ns.
+    pub t_ns: f64,
+    /// Engine deliveries handled inside the interval (event rate).
+    pub deliveries: u64,
+    pub eager: u64,
+    pub rndv: u64,
+    pub retransmits: u64,
+    pub drops: u64,
+    pub acks: u64,
+    /// High-water unexpected-queue depth across ranks.
+    pub unexpected_max: i64,
+    /// High-water pool occupancy across ranks.
+    pub pool_max: i64,
+    pub reg_hits: u64,
+    pub reg_misses: u64,
+}
+
+impl TimelineRow {
+    /// Registration-cache hit rate for the interval, percent; `None`
+    /// when no lookups happened.
+    pub fn reg_hit_pct(&self) -> Option<f64> {
+        let total = self.reg_hits + self.reg_misses;
+        (total > 0).then(|| self.reg_hits as f64 / total as f64 * 100.0)
+    }
+}
+
+/// Whole-run traffic over one directed fabric link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkRow {
+    /// `"src->dst"` as recorded by the fabric link counters.
+    pub link: String,
+    pub bytes: u64,
+    pub msgs: u64,
+}
+
+/// Parsed + merged view of a telemetry document, ready to render.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    pub ranks: usize,
+    pub interval_ns: f64,
+    pub rows: Vec<TimelineRow>,
+    /// Per-link totals, sorted by bytes descending (ties: link name) so
+    /// the congestion table leads with the hottest link.
+    pub links: Vec<LinkRow>,
+}
+
+fn pvar_counter(pvars: &JsonValue, name: &str) -> u64 {
+    pvars.get(name).and_then(JsonValue::as_f64).unwrap_or(0.0) as u64
+}
+
+fn pvar_gauge_max(pvars: &JsonValue, name: &str) -> i64 {
+    pvars
+        .get(name)
+        .and_then(|v| v.get("max"))
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0) as i64
+}
+
+/// Parse a telemetry JSON document (written by `ombj --telemetry-out`)
+/// into a merged timeline.
+pub fn timeline_from_json(text: &str) -> Result<Timeline, String> {
+    let doc = json::parse(text)?;
+    if doc.get("kind").and_then(JsonValue::as_str) != Some("telemetry") {
+        return Err("not a telemetry document (kind != \"telemetry\")".into());
+    }
+    let ranks = doc
+        .get("ranks")
+        .and_then(JsonValue::as_arr)
+        .ok_or("no ranks array")?;
+    let mut interval_ns = 0.0_f64;
+    let mut rows: BTreeMap<u64, TimelineRow> = BTreeMap::new();
+    let mut links: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for r in ranks {
+        let series = r.get("series").ok_or("rank without series")?;
+        let ins = series
+            .get("interval_ns")
+            .and_then(JsonValue::as_f64)
+            .ok_or("series without interval_ns")?;
+        interval_ns = interval_ns.max(ins);
+        let samples = series
+            .get("samples")
+            .and_then(JsonValue::as_arr)
+            .ok_or("series without samples")?;
+        for s in samples {
+            let t_ns = s
+                .get("t_ns")
+                .and_then(JsonValue::as_f64)
+                .ok_or("sample without t_ns")?;
+            let pv = s.get("pvars").ok_or("sample without pvars")?;
+            // Interval starts are integral multiples of interval_ns, so
+            // keying rows by the rounded start merges ranks exactly.
+            let row = rows.entry(t_ns as u64).or_insert(TimelineRow {
+                t_ns,
+                deliveries: 0,
+                eager: 0,
+                rndv: 0,
+                retransmits: 0,
+                drops: 0,
+                acks: 0,
+                unexpected_max: 0,
+                pool_max: 0,
+                reg_hits: 0,
+                reg_misses: 0,
+            });
+            row.deliveries += pvar_counter(pv, "engine.deliveries");
+            row.eager += pvar_counter(pv, "pt2pt.eager_msgs");
+            row.rndv += pvar_counter(pv, "pt2pt.rndv_msgs");
+            row.retransmits += pvar_counter(pv, "fabric.retransmits");
+            row.drops += pvar_counter(pv, "fabric.drops_injected");
+            row.acks += pvar_counter(pv, "fabric.acks");
+            row.unexpected_max = row
+                .unexpected_max
+                .max(pvar_gauge_max(pv, "pt2pt.unexpected_depth"));
+            row.pool_max = row
+                .pool_max
+                .max(pvar_gauge_max(pv, "mpjbuf.pool.outstanding"));
+            row.reg_hits += pvar_counter(pv, "rma.reg.hit");
+            row.reg_misses += pvar_counter(pv, "rma.reg.miss");
+            if let Some(JsonValue::Obj(fields)) = s.get("pvars") {
+                for (k, v) in fields {
+                    let Some(rest) = k.strip_prefix("fabric.link.") else {
+                        continue;
+                    };
+                    let n = v.as_f64().unwrap_or(0.0) as u64;
+                    if let Some(link) = rest.strip_suffix(".bytes") {
+                        links.entry(link.to_string()).or_default().0 += n;
+                    } else if let Some(link) = rest.strip_suffix(".msgs") {
+                        links.entry(link.to_string()).or_default().1 += n;
+                    }
+                }
+            }
+        }
+    }
+    let mut link_rows: Vec<LinkRow> = links
+        .into_iter()
+        .map(|(link, (bytes, msgs))| LinkRow { link, bytes, msgs })
+        .collect();
+    link_rows.sort_by(|a, b| b.bytes.cmp(&a.bytes).then_with(|| a.link.cmp(&b.link)));
+    Ok(Timeline {
+        ranks: ranks.len(),
+        interval_ns,
+        rows: rows.into_values().collect(),
+        links: link_rows,
+    })
+}
+
+impl Timeline {
+    /// Interval start of the retransmission peak, if any interval
+    /// retransmitted (how the README walkthrough reads a loss burst off
+    /// the timeline).
+    pub fn peak_retransmit_t_ns(&self) -> Option<f64> {
+        self.rows
+            .iter()
+            .filter(|r| r.retransmits > 0)
+            .max_by(|a, b| {
+                (a.retransmits, std::cmp::Reverse(a.t_ns as u64))
+                    .cmp(&(b.retransmits, std::cmp::Reverse(b.t_ns as u64)))
+            })
+            .map(|r| r.t_ns)
+    }
+
+    /// Human-readable per-interval breakdown + link congestion table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# telemetry timeline ({} ranks, {:.0} ns intervals)\n",
+            self.ranks, self.interval_ns
+        ));
+        out.push_str(&format!(
+            "# {:>12} {:>8} {:>7} {:>6} {:>8} {:>6} {:>6} {:>7} {:>6} {:>7}\n",
+            "t-us",
+            "events",
+            "eager",
+            "rndv",
+            "retrans",
+            "drops",
+            "acks",
+            "unexp",
+            "pool",
+            "reg-hit%"
+        ));
+        for r in &self.rows {
+            let hit = r
+                .reg_hit_pct()
+                .map(|p| format!("{p:.1}"))
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "  {:>12.2} {:>8} {:>7} {:>6} {:>8} {:>6} {:>6} {:>7} {:>6} {:>7}\n",
+                r.t_ns / 1_000.0,
+                r.deliveries,
+                r.eager,
+                r.rndv,
+                r.retransmits,
+                r.drops,
+                r.acks,
+                r.unexpected_max,
+                r.pool_max,
+                hit,
+            ));
+        }
+        if self.rows.is_empty() {
+            out.push_str("# (no samples — was the run telemetry-enabled?)\n");
+        }
+        if let Some(t) = self.peak_retransmit_t_ns() {
+            out.push_str(&format!("# retransmit peak at {:.2} us\n", t / 1_000.0));
+        }
+        if !self.links.is_empty() {
+            let total: u64 = self.links.iter().map(|l| l.bytes).sum();
+            out.push_str("# link congestion (whole run)\n");
+            out.push_str(&format!(
+                "# {:>10} {:>12} {:>8} {:>8}\n",
+                "link", "bytes", "msgs", "share%"
+            ));
+            for l in &self.links {
+                let share = if total > 0 {
+                    l.bytes as f64 / total as f64 * 100.0
+                } else {
+                    0.0
+                };
+                out.push_str(&format!(
+                    "  {:>10} {:>12} {:>8} {:>8.2}\n",
+                    l.link, l.bytes, l.msgs, share
+                ));
+            }
+        }
+        out
+    }
+
+    /// CSV: one row per interval.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from(
+            "t_ns,deliveries,eager,rndv,retransmits,drops,acks,unexpected_max,pool_max,\
+             reg_hits,reg_misses\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{}\n",
+                r.t_ns,
+                r.deliveries,
+                r.eager,
+                r.rndv,
+                r.retransmits,
+                r.drops,
+                r.acks,
+                r.unexpected_max,
+                r.pool_max,
+                r.reg_hits,
+                r.reg_misses,
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incident bundle analysis (`obs-analyze --incident`)
+// ---------------------------------------------------------------------------
+
+/// One rank's view inside an incident bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncidentRank {
+    pub rank: usize,
+    pub label: String,
+    /// `(t_ns, kind, failed_rank, detail)` of this rank's own first mark.
+    pub mark: Option<(f64, String, usize, String)>,
+    /// Events the flight ring evicted before the drain.
+    pub dropped: u64,
+    /// Events retained in the last-N window.
+    pub window_events: usize,
+    /// Virtual timestamp of the newest window event.
+    pub last_event_ns: Option<f64>,
+    /// Message sends this rank began whose receive never appears in any
+    /// rank's window — traffic in flight (or lost) when the run died.
+    pub unmatched_sends: u64,
+}
+
+/// Reconstruction of a fault-triggered incident bundle: who failed, who
+/// noticed, and what the last-window causal graph says.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incident {
+    /// Failure class from the earliest mark (`rank_failed`,
+    /// `transport_failure`, `watchdog`).
+    pub kind: String,
+    /// The rank the earliest mark blames.
+    pub failed_rank: usize,
+    /// The rank that recorded the earliest mark.
+    pub observer: usize,
+    /// Virtual time of the earliest mark.
+    pub t_ns: f64,
+    pub detail: String,
+    pub ranks: Vec<IncidentRank>,
+    /// Rank whose flight window goes quiet first — the first to diverge
+    /// from the rest of the job (normally the failed rank itself).
+    pub first_divergent: usize,
+    /// Directed links with traffic still unacknowledged at the incident:
+    /// `(src, dst, in-flight message count)`, busiest first.
+    pub suspect_links: Vec<(usize, usize, u64)>,
+    /// Flow pairing over the union of all windows. Unmatched sends here
+    /// are expected — they are the messages the failure stranded.
+    pub flows: FlowCheck,
+}
+
+/// Parse an incident bundle (written by `ombj --incident-out`) and
+/// reconstruct the last-window causal picture.
+pub fn incident_from_json(text: &str) -> Result<Incident, String> {
+    let doc = json::parse(text)?;
+    if doc.get("kind").and_then(JsonValue::as_str) != Some("incident") {
+        return Err("not an incident bundle (kind != \"incident\")".into());
+    }
+    let reason = doc.get("reason").ok_or("bundle without reason")?;
+    let kind = reason
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or("reason without kind")?
+        .to_string();
+    let failed_rank = reason
+        .get("failed_rank")
+        .and_then(JsonValue::as_f64)
+        .ok_or("reason without failed_rank")? as usize;
+    let observer = reason
+        .get("rank")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0) as usize;
+    let t_ns = reason
+        .get("t_ns")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0);
+    let detail = reason
+        .get("detail")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("")
+        .to_string();
+
+    let mut ranks = Vec::new();
+    let mut all_events: Vec<Event> = Vec::new();
+    for r in doc
+        .get("ranks")
+        .and_then(JsonValue::as_arr)
+        .ok_or("bundle without ranks")?
+    {
+        let rank = r.get("rank").and_then(JsonValue::as_f64).unwrap_or(0.0) as usize;
+        let label = r
+            .get("label")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("")
+            .to_string();
+        let mark = r.get("incident").and_then(|m| {
+            Some((
+                m.get("t_ns").and_then(JsonValue::as_f64)?,
+                m.get("kind").and_then(JsonValue::as_str)?.to_string(),
+                m.get("failed_rank").and_then(JsonValue::as_f64)? as usize,
+                m.get("detail")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            ))
+        });
+        let flight = r.get("flight").ok_or("rank without flight window")?;
+        let dropped = flight
+            .get("dropped")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0) as u64;
+        let mut window_events = 0usize;
+        let mut last_event_ns = None::<f64>;
+        for row in flight
+            .get("events")
+            .and_then(JsonValue::as_arr)
+            .ok_or("flight without events")?
+        {
+            let Some(ev) = chrome_row_to_event(row)? else {
+                continue;
+            };
+            window_events += 1;
+            let end = ev.end_ns();
+            last_event_ns = Some(last_event_ns.map_or(end, |t: f64| t.max(end)));
+            all_events.push(ev);
+        }
+        ranks.push(IncidentRank {
+            rank,
+            label,
+            mark,
+            dropped,
+            window_events,
+            last_event_ns,
+            unmatched_sends: 0, // filled below from the global flow map
+        });
+    }
+
+    // Pair flows across the union of windows; an unmatched Begin is a
+    // message still in flight when the job died. Attribute each to its
+    // sender rank and its (src, dst) link (Begin events carry "dst").
+    let flows = flow_check(&all_events);
+    let mut begins: BTreeMap<u64, &Event> = BTreeMap::new();
+    let mut ended: std::collections::BTreeSet<u64> = Default::default();
+    for ev in &all_events {
+        match ev.flow {
+            Some((FlowDir::Begin, id)) => {
+                begins.insert(id, ev);
+            }
+            Some((FlowDir::End, id)) => {
+                ended.insert(id);
+            }
+            None => {}
+        }
+    }
+    let mut links: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+    for (id, ev) in &begins {
+        if ended.contains(id) {
+            continue;
+        }
+        if let Some(r) = ranks.iter_mut().find(|r| r.rank == ev.rank) {
+            r.unmatched_sends += 1;
+        }
+        if let Some(dst) = ev.arg_num("dst") {
+            *links.entry((ev.rank, dst as usize)).or_default() += 1;
+        }
+    }
+    let mut suspect_links: Vec<(usize, usize, u64)> =
+        links.into_iter().map(|((s, d), n)| (s, d, n)).collect();
+    suspect_links.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
+
+    // First divergent rank: the one whose window goes quiet earliest.
+    // Ranks with an empty window sort first (they diverged before the
+    // window even started); ties break to the lowest rank.
+    let first_divergent = ranks
+        .iter()
+        .min_by(|a, b| {
+            let ka = a.last_event_ns.unwrap_or(f64::MIN);
+            let kb = b.last_event_ns.unwrap_or(f64::MIN);
+            ka.partial_cmp(&kb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.rank.cmp(&b.rank))
+        })
+        .map(|r| r.rank)
+        .ok_or("bundle with no ranks")?;
+
+    Ok(Incident {
+        kind,
+        failed_rank,
+        observer,
+        t_ns,
+        detail,
+        ranks,
+        first_divergent,
+        suspect_links,
+        flows,
+    })
+}
+
+impl Incident {
+    /// Human-readable incident report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# incident: {} — rank {} failed (observed by rank {} at {:.2} us)\n",
+            self.kind,
+            self.failed_rank,
+            self.observer,
+            self.t_ns / 1_000.0
+        ));
+        if !self.detail.is_empty() {
+            out.push_str(&format!("# detail: {}\n", self.detail));
+        }
+        out.push_str(&format!(
+            "# first divergent rank: {}{}\n",
+            self.first_divergent,
+            if self.first_divergent == self.failed_rank {
+                " (matches the blamed rank)"
+            } else {
+                ""
+            }
+        ));
+        out.push_str(&format!(
+            "# {:>5} {:>10} {:>8} {:>8} {:>14} {:>10} {:>8}\n",
+            "rank", "label", "events", "dropped", "last-event-us", "unmatched", "mark"
+        ));
+        for r in &self.ranks {
+            let last = r
+                .last_event_ns
+                .map(|t| format!("{:.2}", t / 1_000.0))
+                .unwrap_or_else(|| "-".to_string());
+            let mark = r
+                .mark
+                .as_ref()
+                .map(|(_, k, _, _)| k.as_str())
+                .unwrap_or("-");
+            out.push_str(&format!(
+                "  {:>5} {:>10} {:>8} {:>8} {:>14} {:>10} {:>8}\n",
+                r.rank, r.label, r.window_events, r.dropped, last, r.unmatched_sends, mark
+            ));
+        }
+        if !self.suspect_links.is_empty() {
+            out.push_str("# traffic stranded in flight (suspect links)\n");
+            for (s, d, n) in &self.suspect_links {
+                out.push_str(&format!("  {s}->{d}: {n} message(s) never received\n"));
+            }
+        }
+        out.push_str(&format!(
+            "# window flows: {} sends, {} recvs, {} stranded sends, {} orphan recvs\n",
+            self.flows.sends,
+            self.flows.recvs,
+            self.flows.unmatched_sends,
+            self.flows.unmatched_recvs,
+        ));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -926,5 +1449,76 @@ mod tests {
         let via_file = analyze_events(&events, dropped);
         assert_eq!(direct, via_file, "file round trip must not change analysis");
         assert_eq!(direct.flows.sends, 1);
+    }
+
+    #[test]
+    fn timeline_merges_ranks_and_ranks_links() {
+        let doc = r#"{"schema":1,"kind":"telemetry","ranks":[
+          {"rank":0,"label":"r0","series":{"interval_ns":100,"samples":[
+            {"t_ns":0,"pvars":{"engine.deliveries":2,"fabric.retransmits":1,
+              "fabric.link.0->1.bytes":800,"fabric.link.0->1.msgs":2,
+              "pt2pt.unexpected_depth":{"last":1,"max":3}}},
+            {"t_ns":200,"pvars":{"engine.deliveries":1,"fabric.retransmits":4}}]}},
+          {"rank":1,"label":"r1","series":{"interval_ns":100,"samples":[
+            {"t_ns":0,"pvars":{"engine.deliveries":5,
+              "fabric.link.1->0.bytes":100,"fabric.link.1->0.msgs":1,
+              "pt2pt.unexpected_depth":{"last":0,"max":7}}}]}}]}"#;
+        let tl = timeline_from_json(doc).expect("valid telemetry doc");
+        assert_eq!(tl.ranks, 2);
+        assert_eq!(tl.interval_ns, 100.0);
+        assert_eq!(tl.rows.len(), 2);
+        assert_eq!(tl.rows[0].deliveries, 7, "interval 0 merges both ranks");
+        assert_eq!(tl.rows[0].unexpected_max, 7, "gauge merges as max");
+        assert_eq!(tl.peak_retransmit_t_ns(), Some(200.0));
+        assert_eq!(tl.links[0].link, "0->1", "hottest link first");
+        assert_eq!(tl.links[0].bytes, 800);
+        assert_eq!(tl.links[1].msgs, 1);
+        let text = tl.render_text();
+        assert!(text.contains("retransmit peak"));
+        assert!(text.contains("0->1"));
+    }
+
+    #[test]
+    fn timeline_rejects_wrong_kind() {
+        assert!(timeline_from_json(r#"{"kind":"incident","ranks":[]}"#).is_err());
+    }
+
+    #[test]
+    fn incident_names_failed_rank_and_stranded_link() {
+        // Rank 0's window: a send flow Begin towards rank 1 that nobody
+        // received, newest event at 900 ns. Rank 1's window stops at
+        // 400 ns — it diverged first and is the blamed rank.
+        let doc = r#"{"schema":1,"kind":"incident",
+          "reason":{"t_ns":1000,"kind":"watchdog","rank":0,"failed_rank":1,"detail":"stalled"},
+          "ranks":[
+            {"rank":0,"label":"r0",
+             "incident":{"t_ns":1000,"kind":"watchdog","failed_rank":1,"detail":"stalled"},
+             "flight":{"dropped":3,"events":[
+               {"ph":"s","pid":0,"tid":0,"ts":0.5,"id":7,"name":"msg","cat":"flow",
+                "args":{"dst":1,"bytes":64}},
+               {"ph":"i","pid":0,"tid":0,"ts":0.9,"s":"t","name":"x","cat":"pt2pt","args":{}}]},
+             "pvars":{}},
+            {"rank":1,"label":"r1",
+             "flight":{"dropped":0,"events":[
+               {"ph":"i","pid":1,"tid":0,"ts":0.4,"s":"t","name":"y","cat":"pt2pt","args":{}}]},
+             "pvars":{}}]}"#;
+        let inc = incident_from_json(doc).expect("valid bundle");
+        assert_eq!(inc.kind, "watchdog");
+        assert_eq!(inc.failed_rank, 1);
+        assert_eq!(inc.observer, 0);
+        assert_eq!(inc.first_divergent, 1, "rank 1's window goes quiet first");
+        assert_eq!(inc.suspect_links, vec![(0, 1, 1)]);
+        assert_eq!(inc.ranks[0].dropped, 3);
+        assert_eq!(inc.ranks[0].unmatched_sends, 1);
+        assert_eq!(inc.ranks[1].last_event_ns, Some(400.0));
+        let text = inc.render_text();
+        assert!(text.contains("rank 1 failed"));
+        assert!(text.contains("matches the blamed rank"));
+        assert!(text.contains("0->1: 1 message(s)"));
+    }
+
+    #[test]
+    fn incident_rejects_wrong_kind() {
+        assert!(incident_from_json(r#"{"kind":"telemetry","ranks":[]}"#).is_err());
     }
 }

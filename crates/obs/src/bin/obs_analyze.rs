@@ -1,30 +1,58 @@
-//! `obs-analyze` — offline latency attribution for virtual-time traces.
+//! `obs-analyze` — offline analysis for virtual-time observability
+//! artifacts.
 //!
 //! ```text
 //! obs-analyze [--format text|json|csv] TRACE.json [TRACE.json ...]
+//! obs-analyze --timeline [--format text|csv] TELEMETRY.json
+//! obs-analyze --incident BUNDLE.json
 //! ```
 //!
-//! Loads one or more Chrome trace files written by `ombj --trace-out`
-//! (or any `JobReport::chrome_trace_json` output), reconstructs the
-//! causal message graph, and prints the latency-attribution report:
-//! per-size GC/copy/staging/fabric/wait shares, collective skew and
-//! critical chains, and the send↔recv flow pairing check.
+//! The default mode loads one or more Chrome trace files written by
+//! `ombj --trace-out` (or any `JobReport::chrome_trace_json` output),
+//! reconstructs the causal message graph, and prints the
+//! latency-attribution report: per-size GC/copy/staging/fabric/wait
+//! shares, collective skew and critical chains, and the send↔recv flow
+//! pairing check.
+//!
+//! `--timeline` reads a telemetry time-series document (`ombj
+//! --telemetry-out`) and renders the per-interval breakdown plus the
+//! per-link congestion table. `--incident` reads a fault-triggered
+//! incident bundle (`ombj --incident-out`), reconstructs the last-window
+//! causal graph, and names the failed and first-divergent ranks; it
+//! exits 0 only when the bundle parses cleanly.
 
 use obs::analyze;
 
 fn usage() -> ! {
-    eprintln!("usage: obs-analyze [--format text|json|csv] TRACE.json [TRACE.json ...]");
+    eprintln!(
+        "usage: obs-analyze [--format text|json|csv] TRACE.json [TRACE.json ...]\n\
+         \x20      obs-analyze --timeline [--format text|csv] TELEMETRY.json\n\
+         \x20      obs-analyze --incident BUNDLE.json"
+    );
     std::process::exit(2)
+}
+
+fn read_or_die(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut format = "text".to_string();
+    let mut mode = "trace";
     let mut paths = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--format" => format = it.next().cloned().unwrap_or_else(|| usage()),
+            "--timeline" => mode = "timeline",
+            "--incident" => mode = "incident",
             "-h" | "--help" => usage(),
             _ => paths.push(a.clone()),
         }
@@ -33,33 +61,57 @@ fn main() {
         usage();
     }
 
-    let mut events = Vec::new();
-    let mut dropped = 0u64;
-    for path in &paths {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error: reading {path}: {e}");
-                std::process::exit(1);
+    match mode {
+        "timeline" => {
+            if paths.len() != 1 {
+                usage();
             }
-        };
-        match analyze::events_from_chrome_trace(&text) {
-            Ok((evs, d)) => {
-                events.extend(evs);
-                dropped += d;
-            }
-            Err(e) => {
-                eprintln!("error: parsing {path}: {e}");
-                std::process::exit(1);
+            match analyze::timeline_from_json(&read_or_die(&paths[0])) {
+                Ok(tl) => match format.as_str() {
+                    "csv" => print!("{}", tl.render_csv()),
+                    _ => print!("{}", tl.render_text()),
+                },
+                Err(e) => {
+                    eprintln!("error: parsing {}: {e}", paths[0]);
+                    std::process::exit(1);
+                }
             }
         }
-    }
-
-    let analysis = analyze::analyze_events(&events, dropped);
-    match format.as_str() {
-        "text" => print!("{}", analysis.render_text()),
-        "json" => print!("{}", analysis.render_json()),
-        "csv" => print!("{}", analysis.render_csv()),
-        _ => unreachable!(),
+        "incident" => {
+            if paths.len() != 1 {
+                usage();
+            }
+            match analyze::incident_from_json(&read_or_die(&paths[0])) {
+                Ok(inc) => print!("{}", inc.render_text()),
+                Err(e) => {
+                    eprintln!("error: parsing {}: {e}", paths[0]);
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => {
+            let mut events = Vec::new();
+            let mut dropped = 0u64;
+            for path in &paths {
+                let text = read_or_die(path);
+                match analyze::events_from_chrome_trace(&text) {
+                    Ok((evs, d)) => {
+                        events.extend(evs);
+                        dropped += d;
+                    }
+                    Err(e) => {
+                        eprintln!("error: parsing {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            let analysis = analyze::analyze_events(&events, dropped);
+            match format.as_str() {
+                "text" => print!("{}", analysis.render_text()),
+                "json" => print!("{}", analysis.render_json()),
+                "csv" => print!("{}", analysis.render_csv()),
+                _ => unreachable!(),
+            }
+        }
     }
 }

@@ -539,6 +539,9 @@ mod tests {
                 ),
             ],
             dropped_events: 0,
+            flight: None,
+            telemetry: None,
+            incident: None,
             wall: None,
         };
         let text = crate::JobReport {

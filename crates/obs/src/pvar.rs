@@ -215,6 +215,39 @@ impl PvarSet {
         }
     }
 
+    /// Serialize as a JSON object: counters as numbers, gauges as
+    /// `{"last","max"}`, histograms as `{"count","mean","max"}` (the
+    /// bucket array is an internal detail; summary stats are what the
+    /// analyzers read).
+    pub fn write_json(&self, w: &mut crate::json::JsonBuf) {
+        w.begin_obj();
+        for (name, v) in self.iter() {
+            w.key(name);
+            match v {
+                PvarValue::Counter(n) => w.uint_val(*n),
+                PvarValue::Gauge { last, max } => {
+                    w.begin_obj();
+                    w.key("last");
+                    w.int_val(*last);
+                    w.key("max");
+                    w.int_val(*max);
+                    w.end_obj();
+                }
+                PvarValue::Hist(h) => {
+                    w.begin_obj();
+                    w.key("count");
+                    w.uint_val(h.count);
+                    w.key("mean");
+                    w.num_val(h.mean());
+                    w.key("max");
+                    w.num_val(h.max);
+                    w.end_obj();
+                }
+            }
+        }
+        w.end_obj();
+    }
+
     /// Interval measurement: what happened since `earlier` was captured.
     /// Counters and histogram counts subtract (saturating); gauges keep
     /// the later reading as-is.
@@ -353,6 +386,21 @@ mod tests {
         p.count("m", 1);
         let names: Vec<&str> = p.iter().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn json_export_covers_all_classes() {
+        let mut p = PvarSet::new();
+        p.count("c", 3);
+        p.gauge_set("g", -2);
+        p.gauge_set("g", 5);
+        p.observe("h", 4.0);
+        let mut w = crate::json::JsonBuf::new();
+        p.write_json(&mut w);
+        let s = w.finish();
+        assert!(s.contains(r#""c":3"#));
+        assert!(s.contains(r#""g":{"last":5,"max":5}"#));
+        assert!(s.contains(r#""h":{"count":1,"mean":4,"max":4}"#));
     }
 
     #[test]

@@ -135,6 +135,7 @@ thread_local! {
 
 /// Activate profiling for this thread, zeroing all state.
 pub fn install() {
+    crate::set_gate(crate::GATE_WALLPROF, true);
     WP.with(|s| {
         s.active.set(true);
         s.started.set(Some(Instant::now()));
@@ -153,12 +154,14 @@ pub fn install() {
 /// Deactivate without harvesting (used when a recorder is reinstalled
 /// with profiling off, so stale state never leaks into a later harvest).
 pub fn reset() {
+    crate::set_gate(crate::GATE_WALLPROF, false);
     WP.with(|s| s.active.set(false));
 }
 
 /// Deactivate and return this thread's totals; `None` if profiling was
 /// never activated.
 pub fn harvest() -> Option<RankWallProf> {
+    crate::set_gate(crate::GATE_WALLPROF, false);
     WP.with(|s| {
         if !s.active.get() {
             return None;

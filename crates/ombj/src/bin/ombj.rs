@@ -27,7 +27,16 @@
 //!   --perf                      profile the simulator itself (wall clock) and
 //!                               append the sim-perf footer / `sim_perf` block
 //!   --pvar-dump                 print the merged pvar snapshot after the table
+//!   --telemetry                 sample pvars on the virtual clock and append the
+//!                               timeline (text/csv) or raw series (json)
+//!   --telemetry-interval NS     sampling interval in virtual ns (default 10000)
+//!   --telemetry-out PATH        write the telemetry series JSON to PATH
+//!                               (implies --telemetry; feed to obs-analyze --timeline)
+//!   --flight                    keep an always-on bounded flight ring per rank
+//!   --incident-out PATH         write the fault-triggered incident bundle to PATH
+//!                               (implies --flight; feed to obs-analyze --incident)
 //!   --faults SPEC               seeded fault plan, e.g. drop=0.02,corrupt=0.001,jitter=200
+//!                               (crash=R@NS plans need --flight or --incident-out)
 //!   --fault-seed N              seed for the fault plan (default 0)
 //! ```
 
@@ -40,7 +49,9 @@ fn usage() -> ! {
          [--lib mvapich2j|openmpij] [--api buffer|arrays] [--nodes N] [--ppn P] \
          [--min B] [--max B] [--iters N] [--warmup N] [--validate] [--compare] \
          [--overlap|--no-overlap] [--format text|json|csv] [--trace-out PATH] \
-         [--analyze] [--perf] [--pvar-dump] [--faults SPEC] [--fault-seed N] \
+         [--analyze] [--perf] [--pvar-dump] [--telemetry] [--telemetry-interval NS] \
+         [--telemetry-out PATH] [--flight] [--incident-out PATH] \
+         [--faults SPEC] [--fault-seed N] \
          (the benchmark may also be passed as --benchmark NAME)"
     );
     std::process::exit(2)
@@ -127,6 +138,11 @@ fn main() {
     let mut analyze = false;
     let mut perf = false;
     let mut pvar_dump = false;
+    let mut telemetry = false;
+    let mut telemetry_interval = obs::ObsOptions::DEFAULT_TELEMETRY_INTERVAL_NS;
+    let mut telemetry_out: Option<String> = None;
+    let mut flight = false;
+    let mut incident_out: Option<String> = None;
     let mut faults: Option<FaultPlan> = None;
     let mut fault_seed: Option<u64> = None;
 
@@ -182,6 +198,20 @@ fn main() {
             "--analyze" => analyze = true,
             "--perf" => perf = true,
             "--pvar-dump" => pvar_dump = true,
+            "--telemetry" => telemetry = true,
+            "--telemetry-interval" => {
+                telemetry = true;
+                telemetry_interval = val(&mut it).parse().unwrap_or_else(|_| usage());
+            }
+            "--telemetry-out" => {
+                telemetry = true;
+                telemetry_out = Some(val(&mut it));
+            }
+            "--flight" => flight = true,
+            "--incident-out" => {
+                flight = true;
+                incident_out = Some(val(&mut it));
+            }
             "--faults" => {
                 faults = Some(FaultPlan::parse(&val(&mut it)).unwrap_or_else(|e| {
                     eprintln!("error: bad --faults spec: {e}");
@@ -195,17 +225,21 @@ fn main() {
     if let Some(seed) = fault_seed {
         faults.get_or_insert_with(|| FaultPlan::new(0)).seed = seed;
     }
-    if let Some(plan) = &faults {
-        if let Some((rank, _)) = plan.crash {
-            eprintln!(
-                "error: --faults crash={rank}@... would abort the benchmark job \
-                 (MPI_ERRORS_ARE_FATAL); crash plans are for the chaos tests"
-            );
-            std::process::exit(2);
-        }
+    let crashy = faults.is_some_and(|p| p.crash.is_some());
+    if crashy && !flight {
+        // Without a flight ring there is nothing to drain into an
+        // incident bundle, so a crash plan would just abort the job.
+        eprintln!(
+            "error: --faults crash=R@... aborts the benchmark job; add --flight \
+             (or --incident-out PATH) to capture an incident bundle instead"
+        );
+        std::process::exit(2);
     }
-    if compare && (trace_out.is_some() || analyze || pvar_dump || perf) {
-        eprintln!("--trace-out/--analyze/--perf/--pvar-dump apply to a single run; drop --compare");
+    if compare && (trace_out.is_some() || analyze || pvar_dump || perf || telemetry || flight) {
+        eprintln!(
+            "--trace-out/--analyze/--perf/--pvar-dump/--telemetry/--flight apply to a \
+             single run; drop --compare"
+        );
         std::process::exit(2);
     }
 
@@ -258,6 +292,8 @@ fn main() {
         let obs_opts = obs::ObsOptions {
             tracing: trace_out.is_some() || analyze,
             profiling: perf,
+            flight,
+            telemetry_interval_ns: if telemetry { telemetry_interval } else { 0.0 },
             ..Default::default()
         };
         let (series, report) = run_with_obs(spec, obs_opts);
@@ -291,6 +327,14 @@ fn main() {
                     }
                 }
             },
+            None if crashy => {
+                // The fault plan killed the job on purpose; the incident
+                // bundle below is the run's real product.
+                eprintln!(
+                    "note: job aborted by the planned crash — no benchmark series \
+                     (incident artifacts follow)"
+                );
+            }
             None => {
                 eprintln!(
                     "{} does not support {} with the {} API",
@@ -307,6 +351,45 @@ fn main() {
                 std::process::exit(1);
             }
             eprintln!("wrote virtual-time trace to {path} (open in Perfetto / chrome://tracing)");
+        }
+        if telemetry {
+            let doc = report.telemetry_json().unwrap_or_else(|| {
+                eprintln!("error: telemetry was enabled but no rank sampled");
+                std::process::exit(1);
+            });
+            if let Some(path) = &telemetry_out {
+                if let Err(e) = std::fs::write(path, &doc) {
+                    eprintln!("error: writing telemetry to {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote telemetry series to {path} (feed to obs-analyze --timeline)");
+            } else {
+                // No file requested: append the timeline straight to the
+                // report, via the same parser obs-analyze uses.
+                match format {
+                    Format::Text => match obs::analyze::timeline_from_json(&doc) {
+                        Ok(tl) => print!("{}", tl.render_text()),
+                        Err(e) => eprintln!("error: rendering timeline: {e}"),
+                    },
+                    Format::Csv => match obs::analyze::timeline_from_json(&doc) {
+                        Ok(tl) => print!("{}", tl.render_csv()),
+                        Err(e) => eprintln!("error: rendering timeline: {e}"),
+                    },
+                    Format::Json => print!("{doc}"),
+                }
+            }
+        }
+        if let Some(path) = &incident_out {
+            match report.incident_bundle_json() {
+                Some(bundle) => {
+                    if let Err(e) = std::fs::write(path, &bundle) {
+                        eprintln!("error: writing incident bundle to {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("wrote incident bundle to {path} (feed to obs-analyze --incident)");
+                }
+                None => eprintln!("note: run completed without incident — no bundle written"),
+            }
         }
         if pvar_dump {
             print!("{}", report.pvar_dump());

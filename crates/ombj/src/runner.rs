@@ -143,8 +143,19 @@ pub fn run_with_obs(spec: RunSpec, o: obs::ObsOptions) -> (Option<Series>, obs::
     let opts = spec.opts;
     let api = spec.api;
     let bench = spec.benchmark;
+    let crashy = spec.faults.is_some_and(|p| p.crash.is_some());
     type RankOut = (Vec<SizeValue>, Option<Vec<OverlapPoint>>, PoolStats);
     let f = move |env: &mut Env| -> BindResult<RankOut> {
+        if crashy {
+            // Under a crash plan, failures are data rather than panics:
+            // every rank returns the typed error, its recorder drains
+            // normally, and the job report can assemble an incident
+            // bundle from the flight windows.
+            let w = env.world();
+            env.native_mut()
+                .set_errhandler(w, mpisim::Errhandler::ErrorsReturn)
+                .expect("world accepts an errhandler");
+        }
         let (points, overlap) = match bench {
             Benchmark::Latency => (lat_impl(env, &opts, api)?, None),
             Benchmark::Bandwidth => (bandwidth(env, &opts, api)?, None),
@@ -182,6 +193,9 @@ pub fn run_with_obs(spec: RunSpec, o: obs::ObsOptions) -> (Option<Series>, obs::
             overlap,
         }),
         Err(BindError::Unsupported(_)) => None,
+        // Expected outcome of a crash-plan run: no series, but the
+        // report (pvars, flight windows, incident marks) is intact.
+        Err(BindError::Mpi(e)) if crashy && e.is_transport() => None,
         Err(e) => panic!("benchmark {} failed: {e}", spec.benchmark.name()),
     };
     (series, report)

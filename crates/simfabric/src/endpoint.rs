@@ -208,6 +208,7 @@ impl<M> Endpoint<M> {
         };
         let arrival = link.inject(now, wire_bytes, params);
         obs::wallprof::add(obs::wallprof::Counter::Injections, 1);
+        obs::link_traffic(self.rank, dst, wire_bytes as u64);
         self.stats.messages += 1;
         self.stats.wire_bytes += wire_bytes as u64;
 

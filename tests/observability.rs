@@ -57,13 +57,27 @@ fn traced_runs_serialize_byte_identically() {
 
 #[test]
 fn tracing_has_zero_virtual_cost() {
-    let (with, _) = run_with_obs(latency_spec(), obs::ObsOptions::traced());
+    // Every observability sink — tracer, flight ring, telemetry sampler,
+    // and all three together — only *reads* virtual clocks. The measured
+    // series must be bit-identical whichever combination is live.
     let (without, _) = run_with_obs(latency_spec(), obs::ObsOptions::default());
-    assert_eq!(
-        with.unwrap().points,
-        without.unwrap().points,
-        "recording trace events must not advance any virtual clock"
-    );
+    let baseline = without.unwrap().points;
+    for (label, o) in [
+        ("tracing", obs::ObsOptions::traced()),
+        ("flight", obs::ObsOptions::default().with_flight()),
+        ("telemetry", obs::ObsOptions::default().with_telemetry(0.0)),
+        (
+            "all sinks",
+            obs::ObsOptions::traced().with_flight().with_telemetry(0.0),
+        ),
+    ] {
+        let (with, _) = run_with_obs(latency_spec(), o);
+        assert_eq!(
+            with.unwrap().points,
+            baseline,
+            "{label} must not advance any virtual clock"
+        );
+    }
 }
 
 #[test]

@@ -218,6 +218,36 @@ fn baseline_gate_passes_against_itself_and_fails_on_regression() {
 }
 
 #[test]
+fn rma_put_latency_allocs_exactly_one_buffer_per_message() {
+    // Regression guard for the BENCH_7 drift: `win_create` used to charge
+    // its one-time window allocation to `Allocs`, nudging the RMA
+    // benchmark's allocs/msg to 1.007. The steady-state contract is
+    // exact: every Buffer-API put stages one pooled buffer and sends one
+    // message, so Allocs == Messages and alloc_per_msg is 1.00, not
+    // 1.00-and-change.
+    let spec = RunSpec {
+        benchmark: Benchmark::PutLatency,
+        opts: BenchOptions {
+            max_size: 1 << 12,
+            ..BenchOptions::quick()
+        },
+        ..latency_spec()
+    };
+    let (series, report) = run_with_obs(spec, obs::ObsOptions::profiled());
+    series.expect("put_latency runs under the Buffer API");
+    let perf = report.sim_perf.expect("profiling was on");
+    let totals = perf.totals();
+    let allocs = totals.counter(obs::wallprof::Counter::Allocs);
+    let messages = totals.counter(obs::wallprof::Counter::Messages);
+    assert!(messages > 0, "the benchmark sent messages");
+    assert_eq!(
+        allocs, messages,
+        "RMA put must charge exactly one staging alloc per message"
+    );
+    assert_eq!(perf.allocs_per_msg(), 1.0, "alloc_per_msg is exact");
+}
+
+#[test]
 fn match_depth_pvars_are_structural() {
     // Satellite 6: the tag-matching pvars. `pt2pt.match.scans` counts
     // one scan per accepted delivery / posted-list probe, so it is
