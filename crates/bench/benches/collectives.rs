@@ -6,7 +6,7 @@
 //! `cargo bench` (no-op without the `--bench` flag cargo passes).
 
 use ombj::{run, Api, BenchOptions, Benchmark, CollOp, Library, RunSpec};
-use simfabric::Topology;
+use simfabric::{EngineMode, Topology};
 
 fn opts() -> BenchOptions {
     BenchOptions {
@@ -46,6 +46,7 @@ fn bench_figures_14_17() {
                         topo: Topology::new(2, 4),
                         opts: opts(),
                         faults: None,
+                        engine: EngineMode::Threaded,
                     })
                     .expect("collective runs")
                 },
@@ -69,6 +70,7 @@ fn bench_vectored() {
                 topo: Topology::new(2, 2),
                 opts: opts(),
                 faults: None,
+                engine: EngineMode::Threaded,
             })
             .expect("vectored collective runs")
         });

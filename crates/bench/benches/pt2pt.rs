@@ -8,7 +8,7 @@
 //! `cargo bench` (no-op without the `--bench` flag cargo passes).
 
 use ombj::{run, Api, BenchOptions, Benchmark, Library, RunSpec};
-use simfabric::Topology;
+use simfabric::{EngineMode, Topology};
 
 fn opts() -> BenchOptions {
     BenchOptions {
@@ -45,6 +45,7 @@ fn bench_latency() {
                     topo,
                     opts: opts(),
                     faults: None,
+                    engine: EngineMode::Threaded,
                 })
                 .expect("latency runs");
                 assert!(!s.points.is_empty());
@@ -70,6 +71,7 @@ fn bench_bandwidth() {
                     topo: Topology::new(2, 1),
                     opts: opts(),
                     faults: None,
+                    engine: EngineMode::Threaded,
                 })
                 .expect("bw runs")
             },
@@ -92,6 +94,7 @@ fn bench_validation_mode() {
                 topo: Topology::new(2, 1),
                 opts: o,
                 faults: None,
+                engine: EngineMode::Threaded,
             })
             .expect("validated latency runs")
         });

@@ -23,7 +23,7 @@ fn usage() -> ! {
 fn main() {
     let mut quick = false;
     let mut out: Option<String> = None;
-    let mut pr: u64 = 8;
+    let mut pr: u64 = 9;
     let mut baseline: Option<String> = None;
     let mut gate_pct = perf::DEFAULT_GATE_PCT;
 

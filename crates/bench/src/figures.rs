@@ -27,7 +27,7 @@ use ombj::{
     native::native_latency, run_with_obs, Api, BenchOptions, Benchmark, CollOp, Library, RunSpec,
     Series, SizeValue,
 };
-use simfabric::Topology;
+use simfabric::{EngineMode, Topology};
 
 /// Process-wide switch: when on, every figure run records trace events.
 /// Exists to demonstrate (and let tests assert) that observability has
@@ -163,6 +163,7 @@ fn four_series(
                 topo,
                 opts,
                 faults: None,
+                engine: EngineMode::Threaded,
             }) {
                 Some(s) => out.push(s),
                 None => notes.push(format!(
@@ -287,6 +288,7 @@ pub fn run_figure(id: &str, scale: Scale) -> Figure {
                     topo: inter(),
                     opts,
                     faults: None,
+                    engine: EngineMode::Threaded,
                 })
                 .expect("buffer latency always supported");
                 let native = native_latency(inter(), profile, &opts);
@@ -423,6 +425,7 @@ pub fn run_figure(id: &str, scale: Scale) -> Figure {
                         topo: inter(),
                         opts,
                         faults: None,
+                        engine: EngineMode::Threaded,
                     },
                     obs_opts(),
                 );

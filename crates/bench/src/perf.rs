@@ -11,10 +11,12 @@
 use obs::json::{self, JsonBuf, JsonValue};
 use obs::wallprof::SimPerf;
 use ombj::{run_with_obs, Api, BenchOptions, Benchmark, CollOp, Library, NbOp, RunSpec};
-use simfabric::{FaultPlan, Topology};
+use simfabric::{EngineMode, FaultPlan, Topology};
 
 /// Schema version of `BENCH_*.json`; bump on any structural change.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: `sim_perf` blocks carry an `engine` key and the basket gained
+/// the event-engine rows (`bcast_8_event`, `bcast_1k_event`).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Regression-gate threshold: the soft gate fails when total events/sec
 /// drops by more than this share versus the committed baseline.
@@ -52,10 +54,14 @@ fn opts(max_size: usize, quick: bool) -> BenchOptions {
 
 /// The fixed workload basket: pt2pt latency/bw, small- and large-comm
 /// collectives (2–64 ranks), one NBC overlap run, two one-sided (RMA)
-/// runs, one lossy-fabric run, and an `obs_off`/`obs_on` pair (the same
+/// runs, one lossy-fabric run, an `obs_off`/`obs_on` pair (the same
 /// latency workload with instrumentation off and fully on — tracing,
-/// flight ring, telemetry) tracking the cost of observability itself.
-/// `quick` shrinks sizes and the large topology for tests.
+/// flight ring, telemetry) tracking the cost of observability itself,
+/// and two event-engine rows: `bcast_8_event` (the `bcast_8` workload
+/// under the cooperative scheduler, so the engines' events/sec are
+/// directly comparable) and `bcast_1k_event` (a 1024-rank bcast that
+/// only the event engine can host in one process). `quick` shrinks
+/// sizes and the large topologies for tests.
 pub fn basket(quick: bool) -> Vec<BasketEntry> {
     let spec = |benchmark, topo, opts| RunSpec {
         library: Library::Mvapich2J,
@@ -64,6 +70,7 @@ pub fn basket(quick: bool) -> Vec<BasketEntry> {
         topo,
         opts,
         faults: None,
+        engine: EngineMode::Threaded,
     };
     let plain = obs::ObsOptions::profiled();
     let big = if quick {
@@ -80,6 +87,22 @@ pub fn basket(quick: bool) -> Vec<BasketEntry> {
         .expect("static fault spec parses");
     plan.seed = 42;
     lossy.faults = Some(plan);
+    let mut bcast_8_event = spec(
+        Benchmark::Collective(CollOp::Bcast),
+        Topology::new(2, 4),
+        opts(1 << 14, quick),
+    );
+    bcast_8_event.engine = EngineMode::EventDriven;
+    let mut bcast_1k_event = spec(
+        Benchmark::Collective(CollOp::Bcast),
+        if quick {
+            Topology::new(4, 8)
+        } else {
+            Topology::new(16, 64)
+        },
+        opts(1 << 10, quick),
+    );
+    bcast_1k_event.engine = EngineMode::EventDriven;
     vec![
         BasketEntry {
             name: "pt2pt_latency",
@@ -175,6 +198,16 @@ pub fn basket(quick: bool) -> Vec<BasketEntry> {
             }
             .with_flight()
             .with_telemetry(0.0),
+        },
+        BasketEntry {
+            name: "bcast_8_event",
+            spec: bcast_8_event,
+            obs: plain,
+        },
+        BasketEntry {
+            name: "bcast_1k_event",
+            spec: bcast_1k_event,
+            obs: plain,
         },
     ]
 }

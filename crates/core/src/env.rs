@@ -11,7 +11,7 @@ use mpisim::{Frame, Mpi, Profile};
 use mpjbuf::{BufferPool, PoolStats};
 use mrt::prim::Prim;
 use mrt::{DirectBuffer, GcStats, JArray, MrtResult, Runtime};
-use simfabric::{run_cluster, FaultPlan, Topology};
+use simfabric::{run_cluster_on, EngineMode, FaultPlan, Topology};
 use vtime::{CostModel, VDur, VTime};
 
 use crate::flavor::{BindingFlavor, MVAPICH2J};
@@ -44,6 +44,11 @@ pub struct JobConfig {
     /// starts; `None` runs on a perfect fabric with the reliability
     /// sublayer disabled.
     pub faults: Option<FaultPlan>,
+    /// Cluster engine: one OS thread per rank (`Threaded`) or the
+    /// single-threaded discrete-event loop (`EventDriven`). Virtual
+    /// results are engine-invariant; the event engine lifts the rank
+    /// ceiling into the thousands.
+    pub engine: EngineMode,
 }
 
 impl JobConfig {
@@ -59,6 +64,7 @@ impl JobConfig {
             pool_limit: 8,
             obs: obs::ObsOptions::default(),
             faults: None,
+            engine: EngineMode::Threaded,
         }
     }
 
@@ -78,6 +84,12 @@ impl JobConfig {
     /// Same job, with a fault plan injected at the fabric.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Same job, run under a different cluster engine.
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -120,13 +132,20 @@ where
     use std::sync::Mutex;
     let reports: Mutex<Vec<(obs::RankReport, f64)>> = Mutex::new(Vec::new());
     let wall_start = std::time::Instant::now();
-    let results = run_cluster::<Frame, R, _>(cfg.topo, |mut ep| {
+    let results = run_cluster_on::<Frame, R, _>(cfg.engine, cfg.topo, |mut ep| {
         if let Some(plan) = cfg.faults {
             ep.install_faults(plan);
         }
         let rank = ep.rank();
         obs::install(rank, cfg.obs);
-        obs::set_process_label(format!("rank {rank} ({})", cfg.flavor.name));
+        // The engine is part of the span/process identity so traces from
+        // the two engines are distinguishable at a glance; virtual span
+        // begin/end times themselves stay engine-invariant.
+        obs::set_process_label(format!(
+            "rank {rank} ({}, {} engine)",
+            cfg.flavor.name,
+            cfg.engine.label()
+        ));
         let mut env = Env {
             rt: Runtime::with_heap(cfg.cost, cfg.heap_initial, cfg.heap_max),
             mpi: Mpi::new(ep, cfg.profile),
@@ -149,7 +168,8 @@ where
     let mut ranks = reports.into_inner().expect("report sink");
     ranks.sort_by_key(|r| r.0.rank);
     let sim_perf = cfg.obs.profiling.then(|| {
-        obs::wallprof::SimPerf::from_ranks(
+        obs::wallprof::SimPerf::from_ranks_on(
+            cfg.engine.label(),
             wall_ns,
             ranks
                 .iter()

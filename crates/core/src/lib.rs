@@ -67,4 +67,4 @@ pub use rma::JWin;
 // Re-exports so applications need only this crate.
 pub use mpisim::{CommHandle, Group, MpiError, Profile, ReduceOp};
 pub use mrt::{ByteOrder, DirectBuffer, JArray};
-pub use simfabric::Topology;
+pub use simfabric::{EngineMode, Topology};

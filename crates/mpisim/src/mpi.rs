@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use simfabric::{run_cluster, Endpoint, FaultPlan, Topology};
+use simfabric::{run_cluster, run_cluster_on, Endpoint, EngineMode, FaultPlan, Topology};
 use vtime::{Clock, VDur, VTime};
 
 use crate::coll;
@@ -156,6 +156,21 @@ where
     })
 }
 
+/// [`run_mpi`] under an explicit cluster engine ([`EngineMode`]). The
+/// virtual outcome is engine-invariant; the event engine runs the whole
+/// job as one discrete-event loop, which is how 1k+-rank jobs fit in a
+/// single process.
+pub fn run_mpi_on<R, F>(mode: EngineMode, topo: Topology, profile: Profile, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Mpi) -> R + Sync,
+{
+    run_cluster_on::<Frame, R, _>(mode, topo, |ep| {
+        let mut mpi = Mpi::new(ep, profile);
+        f(&mut mpi)
+    })
+}
+
 /// Like [`run_mpi`], but with `plan` installed on every rank's endpoint:
 /// the fabric injects the plan's faults and the engine's reliability
 /// sublayer rides over them.
@@ -164,7 +179,23 @@ where
     R: Send,
     F: Fn(&mut Mpi) -> R + Sync,
 {
-    run_cluster::<Frame, R, _>(topo, |mut ep| {
+    run_mpi_faulty_on(EngineMode::Threaded, topo, profile, plan, f)
+}
+
+/// [`run_mpi_faulty`] under an explicit cluster engine. Fault fates are
+/// decided at the sender, so they too are engine-invariant.
+pub fn run_mpi_faulty_on<R, F>(
+    mode: EngineMode,
+    topo: Topology,
+    profile: Profile,
+    plan: FaultPlan,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Mpi) -> R + Sync,
+{
+    run_cluster_on::<Frame, R, _>(mode, topo, |mut ep| {
         ep.install_faults(plan);
         let mut mpi = Mpi::new(ep, profile);
         f(&mut mpi)

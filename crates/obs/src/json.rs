@@ -377,12 +377,21 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Multi-byte UTF-8 passes through unmodified.
-                    let s =
-                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Copy the maximal run of unescaped bytes in one go,
+                    // validating UTF-8 over the run only. (Validating
+                    // from `pos` to the end of the document per character
+                    // is quadratic — a 256-rank incident bundle made that
+                    // a multi-hour parse.)
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| e.to_string())?;
+                    out.push_str(s);
                 }
             }
         }
@@ -493,6 +502,36 @@ mod tests {
     fn parse_handles_unicode_escapes_and_surrogates() {
         let v = parse(r#"["Aé😀"]"#).unwrap();
         assert_eq!(v.as_arr().unwrap()[0].as_str(), Some("Aé😀"));
+    }
+
+    #[test]
+    fn parse_scales_to_multi_megabyte_string_content() {
+        // Regression: the string scanner used to re-validate UTF-8 from
+        // the cursor to the end of the document for every character,
+        // which is quadratic — a 256-rank incident bundle (~20 MB of
+        // mostly-string JSON) took hours to parse. A few MB of string
+        // content must parse in seconds, not hours.
+        let chunk = "span name with ünïcode and a \\\"quoted\\\" bit, ";
+        let mut doc = String::from("[");
+        for i in 0..20_000 {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push('"');
+            for _ in 0..4 {
+                doc.push_str(chunk);
+            }
+            doc.push('"');
+        }
+        doc.push(']');
+        let started = std::time::Instant::now();
+        let v = parse(&doc).unwrap();
+        assert!(started.elapsed() < std::time::Duration::from_secs(20));
+        let items = v.as_arr().unwrap();
+        assert_eq!(items.len(), 20_000);
+        let want = chunk.replace("\\\"", "\"").repeat(4);
+        assert_eq!(items[0].as_str(), Some(want.as_str()));
+        assert_eq!(items[19_999].as_str(), Some(want.as_str()));
     }
 
     #[test]

@@ -221,7 +221,7 @@ pub fn install(rank: usize, opts: ObsOptions) {
 }
 
 /// Name this rank's process row in trace viewers (e.g.
-/// `"rank 3 (MVAPICH2-J)"`).
+/// `"rank 3 (MVAPICH2-J, threaded engine)"`).
 pub fn set_process_label(label: String) {
     RECORDER.with(|r| {
         if let Some(rec) = r.borrow_mut().as_mut() {

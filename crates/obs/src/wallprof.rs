@@ -312,8 +312,13 @@ pub struct RankPerf {
 
 /// The job-level self-profile merged into `JobReport` (outside every
 /// determinism digest — see the module docs).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SimPerf {
+    /// Cluster engine the job ran under (`"threaded"` or `"event"`).
+    /// Events are counted per rank either way (injections + deliveries
+    /// through each rank's endpoint), so `events/sec` is directly
+    /// comparable across engines.
+    pub engine: &'static str,
     /// Wall time of the whole job as measured by the harness (ns).
     pub wall_ns: u64,
     /// Final virtual clock of the job: max across ranks (ns).
@@ -322,11 +327,29 @@ pub struct SimPerf {
     pub ranks: Vec<RankPerf>,
 }
 
+impl Default for SimPerf {
+    fn default() -> Self {
+        SimPerf {
+            engine: "threaded",
+            wall_ns: 0,
+            virtual_ns: 0.0,
+            ranks: Vec::new(),
+        }
+    }
+}
+
 impl SimPerf {
-    /// Assemble from per-rank harvests plus the harness wall measurement.
+    /// Assemble from per-rank harvests plus the harness wall measurement
+    /// (threaded-engine label; see [`SimPerf::from_ranks_on`]).
     pub fn from_ranks(wall_ns: u64, ranks: Vec<RankPerf>) -> SimPerf {
+        Self::from_ranks_on("threaded", wall_ns, ranks)
+    }
+
+    /// [`SimPerf::from_ranks`] with an explicit engine label.
+    pub fn from_ranks_on(engine: &'static str, wall_ns: u64, ranks: Vec<RankPerf>) -> SimPerf {
         let virtual_ns = ranks.iter().map(|r| r.virtual_ns).fold(0.0, f64::max);
         SimPerf {
+            engine,
             wall_ns,
             virtual_ns,
             ranks,
@@ -394,8 +417,9 @@ impl SimPerf {
         let t = self.totals();
         let mut out = String::new();
         out.push_str(&format!(
-            "# sim-perf: {} ranks, wall {:.2} ms, virtual {:.3} ms\n",
+            "# sim-perf: {} ranks ({} engine), wall {:.2} ms, virtual {:.3} ms\n",
             self.ranks.len(),
+            self.engine,
             self.wall_ns as f64 / 1e6,
             self.virtual_ns / 1e6,
         ));
@@ -447,6 +471,8 @@ impl SimPerf {
     pub fn write_json(&self, w: &mut JsonBuf) {
         let t = self.totals();
         w.begin_obj();
+        w.key("engine");
+        w.str_val(self.engine);
         w.key("ranks");
         w.uint_val(self.ranks.len() as u64);
         w.key("wall_ms");

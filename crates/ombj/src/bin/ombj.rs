@@ -12,6 +12,9 @@
 //!
 //! options:
 //!   --lib mvapich2j|openmpij    library under test (default mvapich2j)
+//!   --engine threaded|event     cluster engine: one OS thread per rank, or the
+//!                               cooperative discrete-event scheduler (same
+//!                               virtual-time results; `event` scales to 1k+ ranks)
 //!   --overlap | --no-overlap    non-blocking collectives only: put the
 //!                               simulated compute between post and wait
 //!                               (default) or after the wait (control)
@@ -41,12 +44,13 @@
 //! ```
 
 use ombj::{run, run_with_obs, Api, BenchOptions, Benchmark, CollOp, Library, NbOp, RunSpec};
-use simfabric::{FaultPlan, Topology};
+use simfabric::{EngineMode, FaultPlan, Topology};
 
 fn usage() -> ! {
     eprintln!(
         "usage: ombj <latency|bw|bibw|put_latency|get_bw|put_bibw|bcast|reduce|allreduce|allgather|allgatherv|gather|gatherv|scatter|scatterv|alltoall|alltoallv|barrier|ibcast|iallreduce> \
-         [--lib mvapich2j|openmpij] [--api buffer|arrays] [--nodes N] [--ppn P] \
+         [--lib mvapich2j|openmpij] [--engine threaded|event] [--api buffer|arrays] \
+         [--nodes N] [--ppn P] \
          [--min B] [--max B] [--iters N] [--warmup N] [--validate] [--compare] \
          [--overlap|--no-overlap] [--format text|json|csv] [--trace-out PATH] \
          [--analyze] [--perf] [--pvar-dump] [--telemetry] [--telemetry-interval NS] \
@@ -123,6 +127,7 @@ fn main() {
     );
 
     let mut library = Library::Mvapich2J;
+    let mut engine = EngineMode::Threaded;
     let mut api = Api::Buffer;
     let (mut nodes, mut ppn) = if is_collective { (4, 16) } else { (1, 2) };
     let mut opts = BenchOptions::default();
@@ -158,6 +163,12 @@ fn main() {
                     "openmpij" => Library::OpenMpiJ,
                     _ => usage(),
                 }
+            }
+            "--engine" => {
+                engine = EngineMode::parse(&val(&mut it)).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                })
             }
             "--api" => {
                 api = match val(&mut it).as_str() {
@@ -255,6 +266,7 @@ fn main() {
                     topo,
                     opts,
                     faults,
+                    engine,
                 }) {
                     series.push(s);
                 } else {
@@ -288,6 +300,7 @@ fn main() {
             topo,
             opts,
             faults,
+            engine,
         };
         let obs_opts = obs::ObsOptions {
             tracing: trace_out.is_some() || analyze,

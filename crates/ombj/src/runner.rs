@@ -3,7 +3,7 @@
 
 use mpjbuf::PoolStats;
 use mvapich2j::{run_job_with_obs, BindError, BindResult, Env, JobConfig, Topology};
-use simfabric::FaultPlan;
+use simfabric::{EngineMode, FaultPlan};
 
 use crate::coll::{collective, CollOp};
 use crate::nbcoll::{nb_collective, NbOp, OverlapPoint};
@@ -108,6 +108,11 @@ pub struct RunSpec {
     /// reliability sublayer keeps benchmark semantics unchanged under any
     /// non-crash plan; latency then reflects retransmission cost.
     pub faults: Option<FaultPlan>,
+    /// Cluster engine: one OS thread per rank (`Threaded`) or the
+    /// cooperative discrete-event scheduler (`EventDriven`), which lifts
+    /// the rank ceiling into the thousands. Virtual-time results are
+    /// identical (see `tests/engine_diff.rs`).
+    pub engine: EngineMode,
 }
 
 /// A measured series.
@@ -178,7 +183,11 @@ pub fn run_with_obs(spec: RunSpec, o: obs::ObsOptions) -> (Option<Series>, obs::
         };
         Ok((points, overlap, env.pool_stats()))
     };
-    let mut cfg = spec.library.config(spec.topo).with_obs(o);
+    let mut cfg = spec
+        .library
+        .config(spec.topo)
+        .with_engine(spec.engine)
+        .with_obs(o);
     if let Some(plan) = spec.faults {
         cfg = cfg.with_faults(plan);
     }
@@ -213,6 +222,7 @@ mod tests {
             topo: Topology::single_node(2),
             opts: BenchOptions::quick(),
             faults: None,
+            engine: EngineMode::Threaded,
         }
     }
 
@@ -286,6 +296,7 @@ mod tests {
                 ..BenchOptions::quick()
             },
             faults: None,
+            engine: EngineMode::Threaded,
         };
         let s = run(spec).unwrap();
         assert_eq!(s.benchmark, "osu_bcast");
@@ -310,6 +321,7 @@ mod tests {
                 ..BenchOptions::quick()
             },
             faults: None,
+            engine: EngineMode::Threaded,
         }
     }
 

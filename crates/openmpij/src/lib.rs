@@ -144,7 +144,10 @@ mod tests {
                 .unwrap();
         });
         assert_eq!(report.ranks.len(), 4);
-        assert_eq!(report.ranks[1].label, "rank 1 (Open MPI-J)");
+        assert_eq!(
+            report.ranks[1].label,
+            "rank 1 (Open MPI-J, threaded engine)"
+        );
         let merged = report.merged_pvars();
         // One binding call (the allreduce) per rank, at minimum.
         assert!(merged.counter("bind.calls") >= 4);

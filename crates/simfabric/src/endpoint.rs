@@ -14,10 +14,12 @@
 
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
 use std::time::Duration;
 
 use vtime::{LinkState, LogGp, VDur, VTime};
 
+use crate::event::EventCore;
 use crate::fault::{mix, unit, FabricError, Fate, FaultPlan, FaultTarget, SendOutcome};
 use crate::topology::Topology;
 
@@ -51,14 +53,27 @@ struct FaultLink {
     last_arrival: VTime,
 }
 
+/// How deliveries move between ranks: real mpsc mailboxes under the
+/// threaded engine, or the shared event queue under the event engine.
+/// Injection timing (the `links` below) is identical either way — the
+/// transport only decides *when a thread runs*, never *what time it is*.
+enum Transport<M> {
+    Threaded {
+        /// Mailbox senders, indexed by destination rank.
+        txs: Vec<Sender<Delivery<M>>>,
+        /// This rank's mailbox.
+        rx: Receiver<Delivery<M>>,
+    },
+    Event {
+        core: Arc<EventCore<M>>,
+    },
+}
+
 /// One rank's attachment point to the fabric.
 pub struct Endpoint<M> {
     rank: usize,
     topo: Topology,
-    /// Mailbox senders, indexed by destination rank.
-    txs: Vec<Sender<Delivery<M>>>,
-    /// This rank's mailbox.
-    rx: Receiver<Delivery<M>>,
+    transport: Transport<M>,
     /// Per-destination injection serialization. Keyed by (src, dst) pair —
     /// never shared across destinations — so arrival times are a pure
     /// function of the per-pair message sequence, which is FIFO. This is
@@ -88,12 +103,20 @@ impl<M> Endpoint<M> {
         txs: Vec<Sender<Delivery<M>>>,
         rx: Receiver<Delivery<M>>,
     ) -> Self {
+        Self::with_transport(rank, topo, Transport::Threaded { txs, rx })
+    }
+
+    /// An endpoint wired to an event-driven core instead of mailboxes.
+    pub(crate) fn new_event(rank: usize, topo: Topology, core: Arc<EventCore<M>>) -> Self {
+        Self::with_transport(rank, topo, Transport::Event { core })
+    }
+
+    fn with_transport(rank: usize, topo: Topology, transport: Transport<M>) -> Self {
         let n = topo.size();
         Endpoint {
             rank,
             topo,
-            txs,
-            rx,
+            transport,
             links: (0..n).map(|_| LinkState::new()).collect(),
             channels: HashMap::new(),
             plan: None,
@@ -131,6 +154,9 @@ impl<M> Endpoint<M> {
     /// will not be reproducible across runs.
     pub fn install_faults(&mut self, plan: FaultPlan) {
         self.plan = Some(plan);
+        if let Transport::Event { core } = &self.transport {
+            core.set_fault_mode();
+        }
     }
 
     /// The installed fault plan, if any (layers above read reliability
@@ -140,13 +166,24 @@ impl<M> Endpoint<M> {
         self.plan
     }
 
-    /// Enqueue a delivery. A closed mailbox means the destination rank's
-    /// thread already exited: under a fault plan that is the crash model
-    /// (the message silently disappears); without one it is a wiring bug.
+    /// Enqueue a delivery. A closed mailbox (threaded) or a finished
+    /// rank (event engine) means the destination already exited: under
+    /// a fault plan that is the crash model (the message silently
+    /// disappears); without one it is a wiring bug. Under the event
+    /// engine the delivery enters the shared event queue keyed by its
+    /// arrival time; the threaded mpsc path ignores `arrival` because
+    /// per-sender FIFO already carries the ordering.
     fn deliver(&self, dst: usize, arrival: VTime, msg: Delivery<M>) {
         let _ = arrival;
-        if self.txs[dst].send(msg).is_err() && self.plan.is_none() {
-            panic!("fabric mailbox closed: a rank thread exited early");
+        match &self.transport {
+            Transport::Threaded { txs, .. } => {
+                if txs[dst].send(msg).is_err() && self.plan.is_none() {
+                    panic!("fabric mailbox closed: a rank thread exited early");
+                }
+            }
+            Transport::Event { core } => {
+                core.push(dst, msg, self.plan.is_some());
+            }
         }
     }
 
@@ -364,38 +401,54 @@ impl<M> Endpoint<M> {
 
     /// Block until the next message is delivered to this rank's mailbox.
     ///
-    /// Blocking here is *real* (thread parking) but carries no timing
-    /// meaning: virtual time is read from the returned
-    /// [`Delivery::arrival`].
+    /// Under the threaded engine blocking is *real* (thread parking)
+    /// but carries no timing meaning: virtual time is read from the
+    /// returned [`Delivery::arrival`]. Under the event engine the rank
+    /// parks its state machine and the scheduler releases the next
+    /// queued frame.
     pub fn recv_blocking(&self) -> Delivery<M> {
-        self.rx
-            .recv()
-            .expect("fabric mailbox closed: all sender handles dropped")
-    }
-
-    /// Like [`Endpoint::recv_blocking`] but gives up after `timeout` of
-    /// *real* time, returning `None`. A disconnected mailbox (every peer
-    /// exited) also returns `None` — both are "no progress is coming",
-    /// which is exactly what a progress watchdog wants to know.
-    pub fn recv_timeout(&self, timeout: Duration) -> Option<Delivery<M>> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(d) => Some(d),
-            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        match &self.transport {
+            Transport::Threaded { rx, .. } => rx
+                .recv()
+                .expect("fabric mailbox closed: all sender handles dropped"),
+            Transport::Event { core } => core.recv_blocking(self.rank),
         }
     }
 
-    /// Non-blocking poll of the mailbox.
+    /// Like [`Endpoint::recv_blocking`] but with a watchdog verdict:
+    /// `None` means "no progress is coming". The threaded engine
+    /// approximates that with `timeout` of *real* time (a disconnected
+    /// mailbox — every peer exited — also returns `None`); the event
+    /// engine proves it structurally (no runnable rank, no pending
+    /// event) and ignores `timeout` entirely, so the watchdog fires at
+    /// its virtual deadline with zero wall-clock waiting.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Delivery<M>> {
+        match &self.transport {
+            Transport::Threaded { rx, .. } => match rx.recv_timeout(timeout) {
+                Ok(d) => Some(d),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+            },
+            Transport::Event { core } => core.recv_progress_or_stall(self.rank),
+        }
+    }
+
+    /// Non-blocking poll of the mailbox. Under the event engine an
+    /// empty poll yields the baton once (so poll loops drive cluster
+    /// progress instead of spinning) before reporting `None`.
     pub fn try_recv(&self) -> Option<Delivery<M>> {
-        match self.rx.try_recv() {
-            Ok(d) => Some(d),
-            Err(TryRecvError::Empty) => None,
-            Err(TryRecvError::Disconnected) => {
-                if self.plan.is_some() {
-                    None
-                } else {
-                    panic!("fabric mailbox closed: all sender handles dropped")
+        match &self.transport {
+            Transport::Threaded { rx, .. } => match rx.try_recv() {
+                Ok(d) => Some(d),
+                Err(TryRecvError::Empty) => None,
+                Err(TryRecvError::Disconnected) => {
+                    if self.plan.is_some() {
+                        None
+                    } else {
+                        panic!("fabric mailbox closed: all sender handles dropped")
+                    }
                 }
-            }
+            },
+            Transport::Event { core } => core.try_recv(self.rank),
         }
     }
 

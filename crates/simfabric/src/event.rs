@@ -1,0 +1,682 @@
+//! The discrete-event engine: a timestamped event queue and a
+//! cooperative rank scheduler that runs a whole cluster as a
+//! single-threaded discrete-event simulation.
+//!
+//! Under [`EngineMode::EventDriven`] a rank is a resumable state
+//! machine: exactly one rank executes at any instant, and every fabric
+//! operation that would park a thread in the threaded engine instead
+//! hands the *baton* to the scheduler, which releases the next frame
+//! from a binary-heap event queue ordered by `(arrival time, src,
+//! seq)`. Blocking semantics, watchdogs, and fault handling key off
+//! *structural* conditions (is any progress still possible?) instead of
+//! wall-clock timeouts, so a 1024-rank job needs no real concurrency at
+//! all — rank threads exist only to hold per-rank stacks and
+//! thread-local observability state, never to run in parallel.
+//!
+//! Determinism argument: execution is globally serialized (one Running
+//! rank), so event-queue sequence numbers are assigned in a
+//! reproducible order; the queue pops in total `(time, src, seq)`
+//! order; and the engine above is insensitive to delivery order by
+//! construction (arrival timestamps are pure functions of per-link
+//! injection sequences, which follow program order). Both engines
+//! therefore produce bit-identical virtual clocks and payloads — the
+//! contract `tests/engine_diff.rs` enforces case by case.
+
+use std::any::Any;
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use vtime::VTime;
+
+use crate::endpoint::{Delivery, Endpoint};
+use crate::topology::Topology;
+
+/// Which cluster engine executes a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// One OS thread per rank; mailboxes are mpsc channels; blocking is
+    /// real thread parking. The original engine.
+    #[default]
+    Threaded,
+    /// Single-threaded discrete-event loop with a baton scheduler:
+    /// frames are delivered from a binary-heap event queue in
+    /// `(time, src, seq)` order and blocking compiles to park/resume
+    /// transitions. Scales to thousands of ranks in one process.
+    EventDriven,
+}
+
+impl EngineMode {
+    /// Short CLI/report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineMode::Threaded => "threaded",
+            EngineMode::EventDriven => "event",
+        }
+    }
+
+    /// Parse a CLI spelling (`threaded` | `event`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "threaded" | "thread" => Ok(EngineMode::Threaded),
+            "event" | "event-driven" | "eventdriven" => Ok(EngineMode::EventDriven),
+            other => Err(format!(
+                "unknown engine {other:?} (expected `threaded` or `event`)"
+            )),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Event queue
+// ----------------------------------------------------------------------
+
+/// One timestamped event popped from an [`EventQueue`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event<T> {
+    /// Virtual instant the event becomes deliverable.
+    pub time: VTime,
+    /// Source rank (first tie-break for equal times).
+    pub src: usize,
+    /// Queue-assigned sequence number (final tie-break; preserves
+    /// per-source push order among equal timestamps).
+    pub seq: u64,
+    /// Payload.
+    pub item: T,
+}
+
+struct HeapEntry<T>(Event<T>);
+
+impl<T> HeapEntry<T> {
+    #[inline]
+    fn key(&self) -> (VTime, usize, u64) {
+        (self.0.time, self.0.src, self.0.seq)
+    }
+}
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    /// Reversed: `BinaryHeap` is a max-heap and we want the earliest
+    /// `(time, src, seq)` at the top.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.key().cmp(&self.key())
+    }
+}
+
+/// A deterministic timestamped event queue with a total pop order.
+///
+/// Pops come out in ascending `(time, src, seq)` order; `seq` is
+/// assigned at push, so events pushed for the same `(time, src)` pop in
+/// push order (stability). [`EventQueue::push_replay`] re-inserts a
+/// previously popped event with its original sequence number, which is
+/// how deferred deliveries (e.g. RMA epoch deferral) re-enter the queue
+/// without losing their place in the tie-break order.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Insert an event; returns the sequence number it was assigned.
+    pub fn push(&mut self, time: VTime, src: usize, item: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry(Event {
+            time,
+            src,
+            seq,
+            item,
+        }));
+        seq
+    }
+
+    /// Re-insert a previously popped event (deferral/replay), keeping
+    /// its original sequence number so the total order is unchanged.
+    pub fn push_replay(&mut self, ev: Event<T>) {
+        self.heap.push(HeapEntry(ev));
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// The earliest pending timestamp, if any.
+    pub fn peek_time(&self) -> Option<VTime> {
+        self.heap.peek().map(|e| e.0.time)
+    }
+
+    /// Pending event count.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+// ----------------------------------------------------------------------
+// The cooperative rank scheduler
+// ----------------------------------------------------------------------
+
+/// Where a rank's state machine currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RankStatus {
+    /// Holds the baton and is executing. At most one rank at a time.
+    Running,
+    /// Parked inside a blocking receive; only a delivery (or a
+    /// structural deadlock) resumes it.
+    BlockedRecv,
+    /// Parked inside a watchdog receive; a delivery resumes it, and a
+    /// global stall (no runnable rank, no pending event) resumes it
+    /// with a timeout verdict — the virtual-deadline watchdog.
+    BlockedTimeout,
+    /// Yielded from a non-blocking poll (or not yet started): runnable
+    /// whenever the scheduler has nothing timestamped to deliver.
+    PollYield,
+    /// The rank program returned (or unwound).
+    Done,
+}
+
+struct RankSlot<M> {
+    inbox: VecDeque<Delivery<M>>,
+    status: RankStatus,
+    /// Set (with `Running`) when the rank is stall-woken: the scheduler
+    /// proved no further progress is possible while it was parked.
+    stall_wake: bool,
+}
+
+struct CoreState<M> {
+    queue: EventQueue<(usize, Delivery<M>)>,
+    slots: Vec<RankSlot<M>>,
+    /// A fault plan is installed somewhere: late frames for exited
+    /// ranks are the crash model, not a wiring bug.
+    fault_mode: bool,
+    /// A rank panicked (or the fabric hit a wiring bug): every parked
+    /// rank must unwind instead of waiting forever.
+    poisoned: Option<&'static str>,
+    /// The first rank that panicked, so the runner can re-throw *its*
+    /// payload rather than a cascade panic from an innocent rank.
+    original_panicker: Option<usize>,
+}
+
+/// Shared state of one event-driven cluster: the event queue, per-rank
+/// inboxes and statuses, and one condvar per rank for baton handoff.
+pub(crate) struct EventCore<M> {
+    state: Mutex<CoreState<M>>,
+    cvs: Vec<Condvar>,
+}
+
+const POISON_CASCADE: &str = "event engine poisoned: another rank panicked";
+const POISON_LATE_FRAME: &str = "fabric mailbox closed: a rank thread exited early (event engine)";
+
+impl<M> EventCore<M> {
+    pub(crate) fn new(n: usize) -> Self {
+        assert!(n > 0, "cluster must have at least one rank");
+        let slots = (0..n)
+            .map(|rank| RankSlot {
+                inbox: VecDeque::new(),
+                // Rank 0 starts with the baton; every other rank is
+                // runnable-from-the-start, which is exactly a poll
+                // yield at its first instruction.
+                status: if rank == 0 {
+                    RankStatus::Running
+                } else {
+                    RankStatus::PollYield
+                },
+                stall_wake: false,
+            })
+            .collect();
+        EventCore {
+            state: Mutex::new(CoreState {
+                queue: EventQueue::new(),
+                slots,
+                fault_mode: false,
+                poisoned: None,
+                original_panicker: None,
+            }),
+            cvs: (0..n).map(|_| Condvar::new()).collect(),
+        }
+    }
+
+    /// Ignore mutex poisoning: unwinding is coordinated through the
+    /// explicit `poisoned` flag, which carries a useful message.
+    fn lock(&self) -> MutexGuard<'_, CoreState<M>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Treat late frames to finished ranks as the crash model rather
+    /// than a wiring bug (set when any endpoint installs a fault plan).
+    pub(crate) fn set_fault_mode(&self) {
+        self.lock().fault_mode = true;
+    }
+
+    fn wake_all(&self, st: &mut CoreState<M>) {
+        let _ = st;
+        for cv in &self.cvs {
+            cv.notify_all();
+        }
+    }
+
+    /// Pick and resume the next rank. Called with the lock held by a
+    /// rank that is parking (or finishing); `from` is that rank, used
+    /// to rotate poll-yield resumption so a polling rank cannot starve
+    /// the others.
+    fn schedule_next(&self, st: &mut CoreState<M>, from: usize) {
+        let _sched = obs::wallprof::span(obs::wallprof::Subsystem::Sched);
+        obs::wallprof::add(obs::wallprof::Counter::SchedPolls, 1);
+        let n = st.slots.len();
+        // 1) A parked rank already holding an undelivered frame.
+        if let Some(r) = st.slots.iter().position(|s| {
+            matches!(
+                s.status,
+                RankStatus::BlockedRecv | RankStatus::BlockedTimeout
+            ) && !s.inbox.is_empty()
+        }) {
+            st.slots[r].status = RankStatus::Running;
+            self.cvs[r].notify_one();
+            return;
+        }
+        // 2) The earliest timestamped event.
+        while let Some(ev) = st.queue.pop() {
+            let (dst, d) = ev.item;
+            if st.slots[dst].status == RankStatus::Done {
+                if st.fault_mode {
+                    // A crashed/failed rank's stragglers vanish, like a
+                    // closed mailbox under a fault plan.
+                    continue;
+                }
+                st.poisoned = Some(POISON_LATE_FRAME);
+                self.wake_all(st);
+                return;
+            }
+            st.slots[dst].inbox.push_back(d);
+            st.slots[dst].status = RankStatus::Running;
+            self.cvs[dst].notify_one();
+            return;
+        }
+        // 3) A poll-yielded (or not-yet-started) rank, rotating from
+        //    the parker so repeated polls round-robin.
+        for off in 1..=n {
+            let r = (from + off) % n;
+            if st.slots[r].status == RankStatus::PollYield {
+                st.slots[r].status = RankStatus::Running;
+                self.cvs[r].notify_one();
+                return;
+            }
+        }
+        // 4) Global stall: nothing runnable, nothing queued. Wake the
+        //    lowest parked rank with the stall verdict — its watchdog
+        //    (or deadlock diagnostics) takes it from there. One at a
+        //    time: the woken rank re-enters the scheduler when it next
+        //    parks or finishes.
+        if let Some(r) = st.slots.iter().position(|s| {
+            matches!(
+                s.status,
+                RankStatus::BlockedRecv | RankStatus::BlockedTimeout
+            )
+        }) {
+            st.slots[r].stall_wake = true;
+            st.slots[r].status = RankStatus::Running;
+            self.cvs[r].notify_one();
+        }
+        // else: every rank is Done; nothing to schedule.
+    }
+
+    /// Park until this rank holds the baton again (status `Running`).
+    fn wait_for_baton<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, CoreState<M>>,
+        rank: usize,
+    ) -> MutexGuard<'a, CoreState<M>> {
+        while st.slots[rank].status != RankStatus::Running && st.poisoned.is_none() {
+            st = self.cvs[rank].wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st
+    }
+
+    /// Block a freshly spawned rank thread until the scheduler starts
+    /// it (rank 0 starts immediately).
+    pub(crate) fn start_wait(&self, rank: usize) {
+        let st = self.lock();
+        let st = self.wait_for_baton(st, rank);
+        if let Some(msg) = st.poisoned {
+            drop(st);
+            panic!("{msg}");
+        }
+    }
+
+    /// Event-mode blocking receive: pop the inbox or park until a
+    /// frame is delivered. A stall wake here means no frame can ever
+    /// arrive — a structural deadlock, which the threaded engine would
+    /// express as a hang; the event engine makes it a diagnosis.
+    pub(crate) fn recv_blocking(&self, rank: usize) -> Delivery<M> {
+        let mut st = self.lock();
+        loop {
+            if let Some(msg) = st.poisoned {
+                drop(st);
+                panic!("{msg}");
+            }
+            if let Some(d) = st.slots[rank].inbox.pop_front() {
+                st.slots[rank].stall_wake = false;
+                return d;
+            }
+            if st.slots[rank].stall_wake {
+                st.slots[rank].stall_wake = false;
+                st.poisoned = Some(
+                    "event engine stalled: a rank is blocked in recv with no runnable \
+                     rank and no pending events (deadlock)",
+                );
+                self.wake_all(&mut st);
+                drop(st);
+                panic!(
+                    "event engine stalled: rank {rank} blocked in recv with no runnable \
+                     rank and no pending events (deadlock)"
+                );
+            }
+            st.slots[rank].status = RankStatus::BlockedRecv;
+            self.schedule_next(&mut st, rank);
+            st = self.wait_for_baton(st, rank);
+        }
+    }
+
+    /// Event-mode watchdog receive: like [`EventCore::recv_blocking`],
+    /// but a stall wake returns `None` — the virtual-deadline watchdog
+    /// verdict ("no progress is coming"), which the threaded engine
+    /// approximates with a wall-clock timeout.
+    pub(crate) fn recv_progress_or_stall(&self, rank: usize) -> Option<Delivery<M>> {
+        let mut st = self.lock();
+        loop {
+            if let Some(msg) = st.poisoned {
+                drop(st);
+                panic!("{msg}");
+            }
+            if let Some(d) = st.slots[rank].inbox.pop_front() {
+                st.slots[rank].stall_wake = false;
+                return Some(d);
+            }
+            if st.slots[rank].stall_wake {
+                st.slots[rank].stall_wake = false;
+                return None;
+            }
+            st.slots[rank].status = RankStatus::BlockedTimeout;
+            self.schedule_next(&mut st, rank);
+            st = self.wait_for_baton(st, rank);
+        }
+    }
+
+    /// Event-mode non-blocking poll: pop the inbox, or yield the baton
+    /// once and try again. Returning `None` is possible only after the
+    /// scheduler ran — so poll loops make progress for the whole
+    /// cluster instead of spinning.
+    pub(crate) fn try_recv(&self, rank: usize) -> Option<Delivery<M>> {
+        let mut st = self.lock();
+        if let Some(msg) = st.poisoned {
+            drop(st);
+            panic!("{msg}");
+        }
+        if let Some(d) = st.slots[rank].inbox.pop_front() {
+            return Some(d);
+        }
+        st.slots[rank].status = RankStatus::PollYield;
+        self.schedule_next(&mut st, rank);
+        st = self.wait_for_baton(st, rank);
+        if let Some(msg) = st.poisoned {
+            drop(st);
+            panic!("{msg}");
+        }
+        st.slots[rank].inbox.pop_front()
+    }
+
+    /// Enqueue a frame for `dst`. `sender_has_plan` mirrors the
+    /// threaded engine's closed-mailbox rule: without a fault plan a
+    /// frame for a finished rank is a wiring bug.
+    pub(crate) fn push(&self, dst: usize, delivery: Delivery<M>, sender_has_plan: bool) {
+        let mut st = self.lock();
+        if st.slots[dst].status == RankStatus::Done {
+            if sender_has_plan || st.fault_mode {
+                return;
+            }
+            drop(st);
+            panic!("fabric mailbox closed: a rank thread exited early");
+        }
+        let (src, time) = (delivery.src, delivery.arrival);
+        st.queue.push(time, src, (dst, delivery));
+    }
+
+    /// Mark a rank finished and hand the baton on (or, if it unwound,
+    /// poison the core so every parked rank unwinds too).
+    pub(crate) fn finish_rank(&self, rank: usize, panicked: bool) {
+        let mut st = self.lock();
+        st.slots[rank].status = RankStatus::Done;
+        st.slots[rank].inbox.clear();
+        if panicked {
+            if st.original_panicker.is_none() {
+                st.original_panicker = Some(rank);
+            }
+            st.poisoned = Some(POISON_CASCADE);
+            self.wake_all(&mut st);
+        } else {
+            self.schedule_next(&mut st, rank);
+        }
+    }
+
+    fn original_panicker(&self) -> Option<usize> {
+        self.lock().original_panicker
+    }
+}
+
+// ----------------------------------------------------------------------
+// The event-driven cluster runner
+// ----------------------------------------------------------------------
+
+/// Stack size for rank threads under the event engine. Rank threads
+/// never run concurrently — they are coroutine frames — so a modest
+/// fixed stack keeps 1024-rank jobs cheap.
+const RANK_STACK_BYTES: usize = 2 << 20;
+
+/// [`crate::run_cluster`]'s event-driven twin: run `f` once per rank as
+/// a cooperatively scheduled state machine. Same contract — per-rank
+/// results in rank order, panics propagate — but only one rank ever
+/// executes at a time, driven by the `(time, src, seq)` event queue.
+pub fn run_cluster_event<M, R, F>(topo: Topology, f: F) -> Vec<R>
+where
+    M: Send + 'static,
+    R: Send,
+    F: Fn(Endpoint<M>) -> R + Sync,
+{
+    let n = topo.size();
+    let core: Arc<EventCore<M>> = Arc::new(EventCore::new(n));
+    let f = &f;
+    type Caught<R> = Result<R, Box<dyn Any + Send>>;
+    let mut results: Vec<Caught<R>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for rank in 0..n {
+            let ep = Endpoint::new_event(rank, topo, core.clone());
+            let core = core.clone();
+            let h = std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(RANK_STACK_BYTES)
+                .spawn_scoped(scope, move || {
+                    core.start_wait(rank);
+                    let out = catch_unwind(AssertUnwindSafe(|| f(ep)));
+                    core.finish_rank(rank, out.is_err());
+                    out
+                })
+                .expect("spawn rank thread");
+            handles.push(h);
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(Err))
+            .collect()
+    });
+    // Re-throw the first panic from the rank that caused it, not from
+    // a rank that merely unwound in the cascade.
+    if let Some(r) = core.original_panicker() {
+        if results[r].is_err() {
+            if let Err(payload) = results.swap_remove(r) {
+                resume_unwind(payload);
+            }
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(payload) => resume_unwind(payload),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtime::LogGp;
+
+    fn params() -> LogGp {
+        LogGp {
+            latency_ns: 1000.0,
+            o_send_ns: 100.0,
+            o_recv_ns: 100.0,
+            gap_msg_ns: 50.0,
+            gap_per_byte_ns: 0.1,
+        }
+    }
+
+    #[test]
+    fn queue_pops_in_time_src_seq_order() {
+        let mut q = EventQueue::new();
+        q.push(VTime::from_nanos(30.0), 0, "c");
+        q.push(VTime::from_nanos(10.0), 1, "a2");
+        q.push(VTime::from_nanos(10.0), 0, "a1");
+        q.push(VTime::from_nanos(20.0), 0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|e| e.item).collect();
+        assert_eq!(order, vec!["a1", "a2", "b", "c"]);
+    }
+
+    #[test]
+    fn queue_equal_keys_pop_in_push_order() {
+        let mut q = EventQueue::new();
+        for i in 0..16 {
+            q.push(VTime::from_nanos(5.0), 3, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|e| e.item).collect();
+        assert_eq!(order, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queue_replay_keeps_total_order() {
+        let mut q = EventQueue::new();
+        q.push(VTime::from_nanos(10.0), 0, "first");
+        q.push(VTime::from_nanos(10.0), 0, "second");
+        let ev = q.pop().unwrap();
+        assert_eq!(ev.item, "first");
+        // Deferral: the popped event re-enters and still sorts first.
+        q.push_replay(ev);
+        assert_eq!(q.pop().unwrap().item, "first");
+        assert_eq!(q.pop().unwrap().item, "second");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn event_ring_matches_threaded_semantics() {
+        let topo = Topology::new(2, 4); // 8 ranks
+        let results = run_cluster_event::<u64, u64, _>(topo, |mut ep| {
+            let n = ep.size();
+            let rank = ep.rank();
+            let next = (rank + 1) % n;
+            if rank == 0 {
+                ep.send(next, VTime::ZERO, 8, &params(), 1).unwrap();
+                ep.recv_blocking().msg
+            } else {
+                let d = ep.recv_blocking();
+                ep.send(next, d.arrival, 8, &params(), d.msg + 1).unwrap();
+                d.msg
+            }
+        });
+        assert_eq!(results[0], 8);
+        for (r, v) in results.iter().enumerate().skip(1) {
+            assert_eq!(*v, r as u64);
+        }
+    }
+
+    #[test]
+    fn event_engine_poll_loops_make_progress() {
+        // Rank 1 spins on try_recv until the frame shows up; the yield
+        // must hand the baton to rank 0 so the send ever happens.
+        let results = run_cluster_event::<u32, u32, _>(Topology::new(2, 1), |mut ep| {
+            if ep.rank() == 0 {
+                ep.send(1, VTime::ZERO, 8, &params(), 77).unwrap();
+                0
+            } else {
+                loop {
+                    if let Some(d) = ep.try_recv() {
+                        return d.msg;
+                    }
+                }
+            }
+        });
+        assert_eq!(results, vec![0, 77]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 failed")]
+    fn event_rank_panic_propagates() {
+        run_cluster_event::<(), (), _>(Topology::new(4, 1), |ep| {
+            if ep.rank() == 2 {
+                panic!("rank 2 failed");
+            }
+            // Other ranks park so the cascade path is exercised too.
+            if ep.rank() == 3 {
+                let _ = ep.recv_blocking();
+            }
+        });
+    }
+
+    #[test]
+    fn watchdog_recv_returns_none_on_structural_stall() {
+        let results = run_cluster_event::<u32, bool, _>(Topology::new(2, 1), |ep| {
+            if ep.rank() == 0 {
+                // Never sends: rank 1's watchdog receive must come back
+                // with the stall verdict instead of hanging.
+                true
+            } else {
+                ep.recv_timeout(std::time::Duration::from_millis(1))
+                    .is_none()
+            }
+        });
+        assert_eq!(results, vec![true, true]);
+    }
+
+    #[test]
+    fn event_results_are_in_rank_order() {
+        let r = run_cluster_event::<(), usize, _>(Topology::new(2, 3), |ep| ep.rank());
+        assert_eq!(r, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

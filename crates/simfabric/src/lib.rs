@@ -1,11 +1,15 @@
 //! Deterministic virtual-time cluster fabric.
 //!
 //! `simfabric` provides the physical substrate of the reproduction: a
-//! cluster of `nodes × ppn` MPI ranks, each running as one OS thread,
-//! exchanging messages through per-rank mailboxes with LogGP-timed
-//! arrivals. The fabric is *payload-generic* (`Endpoint<M>`): the native
-//! MPI simulation (`mpisim`) defines what a message is; the fabric defines
-//! when it arrives.
+//! cluster of `nodes × ppn` MPI ranks exchanging messages with
+//! LogGP-timed arrivals, under one of two engines ([`EngineMode`]): the
+//! *threaded* engine (one OS thread per rank, mpsc mailboxes, real
+//! blocking) or the *event-driven* engine (a single-threaded
+//! discrete-event loop releasing frames from a `(time, src, seq)` event
+//! queue — see the `event` module), which lifts the rank ceiling into
+//! the thousands. The fabric is *payload-generic* (`Endpoint<M>`): the
+//! native MPI simulation (`mpisim`) defines what a message is; the
+//! fabric defines when it arrives.
 //!
 //! ## Determinism
 //!
@@ -22,13 +26,15 @@
 //! times on every run, regardless of OS scheduling.
 
 pub mod endpoint;
+pub mod event;
 pub mod fault;
 pub mod onesided;
 pub mod runner;
 pub mod topology;
 
 pub use endpoint::{Delivery, Endpoint, SendStats};
+pub use event::{run_cluster_event, EngineMode, Event, EventQueue};
 pub use fault::{FabricError, Fate, FaultPlan, FaultTarget, SendOutcome};
 pub use onesided::{one_sided_channel, OneSidedClass};
-pub use runner::run_cluster;
+pub use runner::{run_cluster, run_cluster_on};
 pub use topology::Topology;

@@ -4,7 +4,26 @@
 use std::sync::mpsc::channel;
 
 use crate::endpoint::{Delivery, Endpoint};
+use crate::event::{run_cluster_event, EngineMode};
 use crate::topology::Topology;
+
+/// Run a cluster under the selected engine: [`run_cluster`] for
+/// [`EngineMode::Threaded`], [`run_cluster_event`] for
+/// [`EngineMode::EventDriven`]. Both give the same contract (per-rank
+/// results in rank order, panics propagate) and — because arrival times
+/// are pure functions of per-link injection order — the same virtual
+/// outcome, bit for bit.
+pub fn run_cluster_on<M, R, F>(mode: EngineMode, topo: Topology, f: F) -> Vec<R>
+where
+    M: Send + 'static,
+    R: Send,
+    F: Fn(Endpoint<M>) -> R + Sync,
+{
+    match mode {
+        EngineMode::Threaded => run_cluster(topo, f),
+        EngineMode::EventDriven => run_cluster_event(topo, f),
+    }
+}
 
 /// Run `f` once per rank, each on its own OS thread, with a fully wired
 /// [`Endpoint`]. Returns the per-rank results in rank order.

@@ -7,7 +7,7 @@
 use mvapich2j::datatype::INT;
 use mvapich2j::{run_job, run_job_with_obs, BindError, JobConfig, ReduceOp, Topology};
 use ombj::{run_with_obs, Api, BenchOptions, Benchmark, Library, RunSpec};
-use simfabric::FaultPlan;
+use simfabric::{EngineMode, FaultPlan};
 
 fn lossy_plan(seed: u64) -> FaultPlan {
     let mut p = FaultPlan::parse("drop=0.03,corrupt=0.005,dup=0.02,jitter=150").unwrap();
@@ -27,6 +27,7 @@ fn spec(faults: Option<FaultPlan>) -> RunSpec {
             ..BenchOptions::quick()
         },
         faults,
+        engine: EngineMode::Threaded,
     }
 }
 
@@ -144,6 +145,7 @@ fn lossy_collective_benchmark_validates() {
             ..BenchOptions::quick()
         },
         faults: Some(lossy_plan(9)),
+        engine: EngineMode::Threaded,
     };
     let (series, _) = run_with_obs(spec, obs::ObsOptions::default());
     let s = series.expect("allreduce runs under a lossy plan");

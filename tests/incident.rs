@@ -12,7 +12,7 @@
 //!   and accounts every eviction in `flight.dropped`.
 
 use ombj::{run_with_obs, Api, BenchOptions, Benchmark, Library, RunSpec};
-use simfabric::{FaultPlan, Topology};
+use simfabric::{EngineMode, FaultPlan, Topology};
 
 fn latency_spec(faults: Option<FaultPlan>) -> RunSpec {
     RunSpec {
@@ -25,6 +25,7 @@ fn latency_spec(faults: Option<FaultPlan>) -> RunSpec {
             ..BenchOptions::quick()
         },
         faults,
+        engine: EngineMode::Threaded,
     }
 }
 

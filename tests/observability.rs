@@ -6,7 +6,7 @@
 //! * **Zero virtual cost** — instrumentation only reads virtual clocks,
 //!   so every measured number is bit-identical with tracing on or off.
 
-use mvapich2j::{run_job_with_obs, JobConfig, Topology};
+use mvapich2j::{run_job_with_obs, EngineMode, JobConfig, Topology};
 use ombj::{run_with_obs, Api, BenchOptions, Benchmark, Library, RunSpec};
 
 fn latency_spec() -> RunSpec {
@@ -21,6 +21,7 @@ fn latency_spec() -> RunSpec {
             ..BenchOptions::quick()
         },
         faults: None,
+        engine: EngineMode::Threaded,
     }
 }
 
@@ -45,7 +46,7 @@ fn traced_runs_serialize_byte_identically() {
     assert!(trace1.starts_with('{') && trace1.trim_end().ends_with('}'));
     assert!(trace1.contains(r#""traceEvents":["#));
     assert!(trace1.contains(r#""name":"process_name""#));
-    assert!(trace1.contains(r#""name":"rank 1 (MVAPICH2-J)""#));
+    assert!(trace1.contains(r#""name":"rank 1 (MVAPICH2-J, threaded engine)""#));
     assert!(trace1.contains(r#""ph":"X""#), "complete spans present");
     assert!(trace1.contains(r#""cat":"pt2pt""#));
     assert!(trace1.contains(r#""proto":"eager""#));
@@ -156,6 +157,7 @@ fn bcast_recv_flows_pair_with_exactly_one_send() {
             ..BenchOptions::quick()
         },
         faults: None,
+        engine: EngineMode::Threaded,
     };
     let (_, report) = run_with_obs(spec, obs::ObsOptions::traced());
     let a = obs::analyze::analyze(&report);

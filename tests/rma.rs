@@ -146,6 +146,7 @@ fn rma_time_shows_up_in_attribution() {
             ..BenchOptions::quick()
         },
         faults: None,
+        engine: simfabric::EngineMode::Threaded,
     };
     let (series, report) = run_with_obs(spec, obs::ObsOptions::traced());
     let s = series.expect("put_latency runs");

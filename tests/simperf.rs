@@ -7,7 +7,7 @@
 
 use ombj::{run_with_obs, Api, BenchOptions, Benchmark, Library, RunSpec};
 use ombj_bench::perf;
-use simfabric::Topology;
+use simfabric::{EngineMode, Topology};
 
 fn latency_spec() -> RunSpec {
     RunSpec {
@@ -20,6 +20,7 @@ fn latency_spec() -> RunSpec {
             ..BenchOptions::quick()
         },
         faults: None,
+        engine: EngineMode::Threaded,
     }
 }
 
@@ -245,6 +246,60 @@ fn rma_put_latency_allocs_exactly_one_buffer_per_message() {
         "RMA put must charge exactly one staging alloc per message"
     );
     assert_eq!(perf.allocs_per_msg(), 1.0, "alloc_per_msg is exact");
+}
+
+#[test]
+fn sim_perf_is_engine_labeled_and_comparable_across_engines() {
+    // Events are counted per rank (injections + deliveries), so the
+    // events/sec metric means the same thing under both engines; the
+    // profile says which engine produced it.
+    let threaded = latency_spec();
+    let mut event = latency_spec();
+    event.engine = EngineMode::EventDriven;
+    let (s_t, r_t) = run_with_obs(threaded, obs::ObsOptions::profiled());
+    let (s_e, r_e) = run_with_obs(event, obs::ObsOptions::profiled());
+    assert_eq!(
+        s_t.unwrap().points,
+        s_e.unwrap().points,
+        "virtual-time series must not depend on the engine"
+    );
+    let p_t = r_t.sim_perf.expect("profiling was on");
+    let p_e = r_e.sim_perf.expect("profiling was on");
+    assert_eq!(p_t.engine, "threaded");
+    assert_eq!(p_e.engine, "event");
+    assert_eq!(
+        p_t.events(),
+        p_e.events(),
+        "per-rank event counts are engine-invariant"
+    );
+    assert!(p_e.render_text().contains("(event engine)"));
+    let mut w = obs::json::JsonBuf::new();
+    p_e.write_json(&mut w);
+    assert!(w.finish().contains("\"engine\":\"event\""));
+}
+
+#[test]
+fn perf_basket_carries_the_event_engine_rows() {
+    // Satellite: the trajectory basket prices the event engine too —
+    // one row comparable 1:1 with `bcast_8`, one scale row that only
+    // the event engine can host at full size (1024 ranks).
+    let entries = perf::basket(true);
+    let engine_of = |name: &str| {
+        entries
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("basket entry {name} missing"))
+            .spec
+            .engine
+    };
+    assert_eq!(engine_of("bcast_8"), EngineMode::Threaded);
+    assert_eq!(engine_of("bcast_8_event"), EngineMode::EventDriven);
+    assert_eq!(engine_of("bcast_1k_event"), EngineMode::EventDriven);
+    let full: Vec<_> = perf::basket(false)
+        .into_iter()
+        .filter(|e| e.name == "bcast_1k_event")
+        .collect();
+    assert_eq!(full[0].spec.topo.size(), 1024, "full-mode scale row");
 }
 
 #[test]
